@@ -1,0 +1,43 @@
+"""Ablation — Lemma 1 (density pruning) and Lemma 2 (distance pruning).
+
+Both prunings only skip work, never change results; this bench quantifies
+how much work each saves on the δ query, which is the paper's implicit
+justification for storing maxrho at every node.
+"""
+
+import pytest
+
+from repro.core.quantities import DensityOrder
+from repro.indexes.rtree import RTreeIndex
+
+CONFIGS = {
+    "both": dict(density_pruning=True, distance_pruning=True),
+    "density-only": dict(density_pruning=True, distance_pruning=False),
+    "distance-only": dict(density_pruning=False, distance_pruning=True),
+    "none": dict(density_pruning=False, distance_pruning=False),
+}
+
+
+@pytest.mark.parametrize("config", list(CONFIGS))
+def test_ablation_pruning_delta(benchmark, birch, config):
+    ds = birch
+    dc = ds.params.dc_default
+    index = RTreeIndex(**CONFIGS[config]).fit(ds.points)
+    rho = index.rho_all(dc)
+    order = DensityOrder(rho)
+    benchmark.extra_info.update(dataset=ds.name, config=config)
+    benchmark(index.delta_all, order)
+    benchmark.extra_info["nodes_visited"] = index.stats().nodes_visited
+
+
+def test_pruning_reduces_node_visits(birch):
+    ds = birch
+    dc = ds.params.dc_default
+    visits = {}
+    for config, kwargs in CONFIGS.items():
+        index = RTreeIndex(**kwargs).fit(ds.points)
+        index.quantities(dc)
+        visits[config] = index.stats().nodes_visited
+    assert visits["both"] < visits["none"]
+    assert visits["both"] <= visits["density-only"]
+    assert visits["both"] <= visits["distance-only"]

@@ -1,0 +1,48 @@
+"""Figure 10 — clustering quality of the τ-approximation vs exact DPC.
+
+Times the full approximate pipeline (build RN-List, quantities, centres,
+assignment) and reports the paper's pairwise P/R/F1 against the exact
+clustering in extra_info.  Shape asserted: quality at the largest τ beats
+quality at the smallest τ.
+"""
+
+import pytest
+
+from repro.core.assignment import assign_labels
+from repro.core.decision import select_centers_auto, select_centers_top_k
+from repro.indexes.rn_list import RNListIndex
+from repro.indexes.rtree import RTreeIndex
+from repro.metrics.pair_metrics import pairwise_precision_recall_f1
+
+
+@pytest.mark.parametrize("dataset_name", ["birch", "range_ds"])
+def test_fig10_quality_sweep(benchmark, request, dataset_name):
+    ds = request.getfixturevalue(dataset_name)
+    params = ds.params
+    dc = params.dc_default
+
+    exact = RTreeIndex().fit(ds.points)
+    q_ref = exact.quantities(dc)
+    centers_ref = select_centers_auto(q_ref, min_centers=2)
+    labels_ref = assign_labels(q_ref, centers_ref, points=ds.points)
+    k = len(centers_ref)
+
+    def approximate_run(tau):
+        index = RNListIndex(tau=float(tau)).fit(ds.points)
+        q = index.quantities(dc)
+        centers = select_centers_top_k(q, k)
+        return assign_labels(q, centers, points=ds.points)
+
+    taus = params.quality_tau_grid
+    quality = {}
+    for tau in taus:
+        labels = approximate_run(tau)
+        p, r, f1 = pairwise_precision_recall_f1(labels_ref, labels)
+        quality[tau] = {"precision": round(p, 4), "recall": round(r, 4), "f1": round(f1, 4)}
+    benchmark.extra_info.update(dataset=ds.name, dc=dc, quality=quality)
+
+    benchmark(approximate_run, taus[-1])  # time one full approximate pipeline
+
+    assert quality[taus[-1]]["f1"] >= quality[taus[0]]["f1"], (
+        "largest tau must not be worse than the smallest"
+    )

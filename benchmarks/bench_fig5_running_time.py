@@ -1,0 +1,66 @@
+"""Figure 5 — query (ρ+δ) running time per method per dataset.
+
+Paper shape: list-based indexes (CH best) beat tree-based; the original DPC
+baseline is slowest at scale; R-tree beats Quadtree on the larger datasets.
+"""
+
+import pytest
+
+from repro.core.baseline import naive_quantities
+from repro.harness.runner import time_quantities
+from repro.indexes.ch_index import CHIndex
+from repro.indexes.list_index import ListIndex
+from repro.indexes.quadtree import QuadtreeIndex
+from repro.indexes.rn_list import RNCHIndex, RNListIndex
+from repro.indexes.rtree import RTreeIndex
+
+
+def _query_run(index, dc):
+    q, _ = time_quantities(index, dc)
+    return q
+
+
+@pytest.mark.parametrize("dataset_name", ["s1", "query"])
+class BenchSmallDatasets:
+    """Datasets where the full list indexes fit (paper: S1, Query)."""
+
+
+@pytest.mark.parametrize("dataset_name", ["s1", "query"])
+@pytest.mark.parametrize(
+    "method",
+    ["list", "ch", "rtree", "quadtree", "dpc"],
+)
+def test_fig5_small(benchmark, request, dataset_name, method):
+    ds = request.getfixturevalue(dataset_name)
+    dc = ds.params.dc_default
+    if method == "dpc":
+        benchmark.extra_info.update(dataset=ds.name, n=ds.n, method="DPC")
+        benchmark(lambda: naive_quantities(ds.points, dc))
+        return
+    factory = {
+        "list": lambda: ListIndex(),
+        "ch": lambda: CHIndex(bin_width=ds.params.w_default),
+        "rtree": lambda: RTreeIndex(),
+        "quadtree": lambda: QuadtreeIndex(),
+    }[method]
+    index = factory().fit(ds.points)
+    benchmark.extra_info.update(dataset=ds.name, n=ds.n, method=method)
+    benchmark(_query_run, index, dc)
+
+
+@pytest.mark.parametrize("dataset_name", ["birch", "range_ds", "brightkite", "gowalla"])
+@pytest.mark.parametrize("method", ["rn-list", "rn-ch", "rtree", "quadtree"])
+def test_fig5_large(benchmark, request, dataset_name, method):
+    """The four datasets where only τ*-approximated lists fit (paper's *)."""
+    ds = request.getfixturevalue(dataset_name)
+    params = ds.params
+    dc = params.dc_default
+    factory = {
+        "rn-list": lambda: RNListIndex(tau=params.tau_star),
+        "rn-ch": lambda: RNCHIndex(tau=params.tau_star, bin_width=params.w_default),
+        "rtree": lambda: RTreeIndex(),
+        "quadtree": lambda: QuadtreeIndex(),
+    }[method]
+    index = factory().fit(ds.points)
+    benchmark.extra_info.update(dataset=ds.name, n=ds.n, method=method)
+    benchmark(_query_run, index, dc)

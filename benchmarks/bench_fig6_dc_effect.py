@@ -1,0 +1,50 @@
+"""Figure 6 — running time vs dc.
+
+Paper shape: list-based times are flat in dc (binary search depth barely
+moves); tree times grow with dc (more intersected nodes) and then collapse
+at the largest dc L, where Observation-1 containment answers ρ from the
+root.
+"""
+
+import pytest
+
+from repro.harness.runner import time_quantities
+from repro.indexes.ch_index import CHIndex
+from repro.indexes.list_index import ListIndex
+from repro.indexes.rtree import RTreeIndex
+
+DC_POINTS = ["smallest", "middle", "largest", "L"]
+
+
+def pick_dc(ds, which):
+    grid = ds.params.dc_grid
+    return {
+        "smallest": grid[0],
+        "middle": grid[len(grid) // 2],
+        "largest": grid[-1],
+        "L": ds.diameter_upper_bound(),
+    }[which]
+
+
+@pytest.mark.parametrize("which", DC_POINTS)
+@pytest.mark.parametrize("method", ["list", "ch", "rtree"])
+def test_fig6_dc_sweep_s1(benchmark, s1, which, method):
+    ds = s1
+    dc = pick_dc(ds, which)
+    index = {
+        "list": lambda: ListIndex(),
+        "ch": lambda: CHIndex(bin_width=ds.params.w_default),
+        "rtree": lambda: RTreeIndex(),
+    }[method]().fit(ds.points)
+    benchmark.extra_info.update(dataset=ds.name, dc=dc, dc_point=which, method=method)
+    benchmark(lambda: time_quantities(index, dc)[0])
+
+
+@pytest.mark.parametrize("which", DC_POINTS)
+def test_fig6_tree_rho_only_birch(benchmark, birch, which):
+    """Isolates the ρ query, where the dc growth/collapse effect lives."""
+    ds = birch
+    dc = pick_dc(ds, which)
+    index = RTreeIndex().fit(ds.points)
+    benchmark.extra_info.update(dataset=ds.name, dc=dc, dc_point=which)
+    benchmark(index.rho_all, dc)

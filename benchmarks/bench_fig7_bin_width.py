@@ -1,0 +1,35 @@
+"""Figure 7 — CH Index running time vs bin width w.
+
+Paper shape: larger w ⇒ longer N-List sections to search ⇒ slower ρ; when
+dc is an exact multiple of w the bin density is the answer and the time
+dips below the trend.
+"""
+
+import pytest
+
+from repro.indexes.rn_list import RNCHIndex
+
+
+@pytest.mark.parametrize("w_position", [0, 1, 2, 3])
+@pytest.mark.parametrize("dataset_name", ["birch", "range_ds"])
+def test_fig7_rho_time_vs_w(benchmark, request, dataset_name, w_position):
+    ds = request.getfixturevalue(dataset_name)
+    params = ds.params
+    w = params.w_grid[w_position]
+    dc = params.fig7_dc[1]  # the middle dc of the panel
+    index = RNCHIndex(tau=params.tau_star, bin_width=float(w)).fit(ds.points)
+    benchmark.extra_info.update(dataset=ds.name, w=w, dc=dc)
+    benchmark(index.rho_all, float(dc))
+
+
+def test_fig7_edge_dip(benchmark, birch):
+    """dc exactly on a bin edge answers without any section search."""
+    ds = birch
+    w = ds.params.w_grid[1]
+    index = RNCHIndex(tau=ds.params.tau_star, bin_width=float(w)).fit(ds.points)
+    dc = 4.0 * w  # exact multiple
+    benchmark.extra_info.update(dataset=ds.name, w=w, dc=dc, edge=True)
+    benchmark(index.rho_all, float(dc))
+    index.reset_stats()
+    index.rho_all(float(dc))
+    assert index.stats().binary_searches == 0

@@ -1,0 +1,27 @@
+"""Figure 8 — running time vs τ for the approximate list indexes.
+
+Paper shape: running time grows with τ (longer RN-Lists to search); the CH
+variant varies less because its ρ cost is governed by w, so differences
+come from the δ scan only.
+"""
+
+import pytest
+
+from repro.harness.runner import time_quantities
+from repro.indexes.rn_list import RNCHIndex, RNListIndex
+
+
+@pytest.mark.parametrize("tau_position", [0, 1, 2])
+@pytest.mark.parametrize("variant", ["list", "ch"])
+@pytest.mark.parametrize("dataset_name", ["birch", "brightkite"])
+def test_fig8_time_vs_tau(benchmark, request, dataset_name, variant, tau_position):
+    ds = request.getfixturevalue(dataset_name)
+    params = ds.params
+    tau = float(params.tau_grid[tau_position])
+    index = (
+        RNListIndex(tau=tau)
+        if variant == "list"
+        else RNCHIndex(tau=tau, bin_width=params.w_default)
+    ).fit(ds.points)
+    benchmark.extra_info.update(dataset=ds.name, tau=tau, variant=variant)
+    benchmark(lambda: time_quantities(index, params.dc_default)[0])

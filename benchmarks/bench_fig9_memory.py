@@ -1,0 +1,49 @@
+"""Figure 9 — memory vs w (9a, CH histograms) and vs τ (9b, List Index).
+
+Paper shape: histogram memory shrinks as w grows (fewer bins); RN-List
+memory grows with τ (longer lists).  The monotonicity is asserted.
+"""
+
+import pytest
+
+from repro.indexes.rn_list import RNCHIndex, RNListIndex
+
+
+@pytest.mark.parametrize("dataset_name", ["birch", "range_ds"])
+def test_fig9a_histogram_memory_vs_w(benchmark, request, dataset_name):
+    ds = request.getfixturevalue(dataset_name)
+    params = ds.params
+
+    def build_all():
+        mems = {}
+        for w in params.w_grid:
+            index = RNCHIndex(tau=params.tau_star, bin_width=float(w)).fit(ds.points)
+            mems[w] = index.histogram_memory_bytes()
+        return mems
+
+    mems = benchmark(build_all)
+    benchmark.extra_info.update(
+        dataset=ds.name, histogram_mb={w: m / 2**20 for w, m in mems.items()}
+    )
+    sizes = [mems[w] for w in params.w_grid]
+    assert sizes == sorted(sizes, reverse=True), "larger w must mean fewer bins"
+
+
+@pytest.mark.parametrize("dataset_name", ["birch", "gowalla"])
+def test_fig9b_list_memory_vs_tau(benchmark, request, dataset_name):
+    ds = request.getfixturevalue(dataset_name)
+    params = ds.params
+
+    def build_all():
+        mems = {}
+        for tau in params.tau_grid:
+            index = RNListIndex(tau=float(tau)).fit(ds.points)
+            mems[tau] = index.memory_bytes()
+        return mems
+
+    mems = benchmark(build_all)
+    benchmark.extra_info.update(
+        dataset=ds.name, memory_mb={t: m / 2**20 for t, m in mems.items()}
+    )
+    sizes = [mems[t] for t in params.tau_grid]
+    assert sizes == sorted(sizes), "larger tau must mean longer RN-Lists"

@@ -1,0 +1,46 @@
+"""Table 3 — index memory footprint (reported via extra_info).
+
+pytest-benchmark times the (cheap) memory accounting call; the quantity of
+interest is ``memory_mb`` in extra_info.  Paper shape: List/CH require
+orders of magnitude more than R-tree/Quadtree; R-tree slightly below
+Quadtree (balanced structure, no empty quadrants).
+"""
+
+import pytest
+
+from repro.indexes.ch_index import CHIndex
+from repro.indexes.list_index import ListIndex
+from repro.indexes.quadtree import QuadtreeIndex
+from repro.indexes.rn_list import RNCHIndex, RNListIndex
+from repro.indexes.rtree import RTreeIndex
+
+
+def _factories(params, full_lists):
+    if full_lists:
+        yield "List Index", lambda: ListIndex()
+        yield "CH Index", lambda: CHIndex(bin_width=params.w_default)
+    else:
+        yield "List Index*", lambda: RNListIndex(tau=params.tau_star)
+        yield "CH Index*", lambda: RNCHIndex(
+            tau=params.tau_star, bin_width=params.w_default
+        )
+    yield "R-tree", lambda: RTreeIndex()
+    yield "Quadtree", lambda: QuadtreeIndex()
+
+
+@pytest.mark.parametrize("dataset_name", ["s1", "query", "birch", "range_ds", "brightkite", "gowalla"])
+def test_table3_memory(benchmark, request, dataset_name):
+    ds = request.getfixturevalue(dataset_name)
+    full_lists = ds.params.tau_star is None
+    report = {}
+    indexes = []
+    for label, factory in _factories(ds.params, full_lists):
+        index = factory().fit(ds.points)
+        indexes.append(index)
+        report[label] = round(index.memory_bytes() / 2**20, 3)
+    benchmark.extra_info.update(dataset=ds.name, n=ds.n, memory_mb=report)
+    benchmark(lambda: [i.memory_bytes() for i in indexes])
+
+    tree_mb = report["R-tree"]
+    list_mb = report.get("List Index", report.get("List Index*"))
+    assert list_mb > tree_mb, "Table 3 shape: list-based indexes cost more memory"

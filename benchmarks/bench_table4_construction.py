@@ -1,0 +1,46 @@
+"""Table 4 — index construction time.
+
+Paper shape: tree indexes build orders of magnitude faster than list-based
+ones; Quadtree beats R-tree on small data (no balancing work); the CH
+histograms add little on top of the List Index build.
+"""
+
+import pytest
+
+from repro.indexes.ch_index import CHIndex
+from repro.indexes.list_index import ListIndex
+from repro.indexes.quadtree import QuadtreeIndex
+from repro.indexes.rn_list import RNCHIndex, RNListIndex
+from repro.indexes.rtree import RTreeIndex
+
+SMALL = ["s1", "query"]
+LARGE = ["birch", "range_ds", "brightkite", "gowalla"]
+
+
+@pytest.mark.parametrize("dataset_name", SMALL)
+@pytest.mark.parametrize("method", ["list", "ch", "rtree", "quadtree"])
+def test_table4_construction_small(benchmark, request, dataset_name, method):
+    ds = request.getfixturevalue(dataset_name)
+    factory = {
+        "list": lambda: ListIndex(),
+        "ch": lambda: CHIndex(bin_width=ds.params.w_default),
+        "rtree": lambda: RTreeIndex(),
+        "quadtree": lambda: QuadtreeIndex(),
+    }[method]
+    benchmark.extra_info.update(dataset=ds.name, n=ds.n, method=method)
+    benchmark(lambda: factory().fit(ds.points))
+
+
+@pytest.mark.parametrize("dataset_name", LARGE)
+@pytest.mark.parametrize("method", ["rn-list", "rn-ch", "rtree", "quadtree"])
+def test_table4_construction_large(benchmark, request, dataset_name, method):
+    ds = request.getfixturevalue(dataset_name)
+    params = ds.params
+    factory = {
+        "rn-list": lambda: RNListIndex(tau=params.tau_star),
+        "rn-ch": lambda: RNCHIndex(tau=params.tau_star, bin_width=params.w_default),
+        "rtree": lambda: RTreeIndex(),
+        "quadtree": lambda: QuadtreeIndex(),
+    }[method]
+    benchmark.extra_info.update(dataset=ds.name, n=ds.n, method=method)
+    benchmark(lambda: factory().fit(ds.points))

@@ -1,0 +1,34 @@
+"""Shared fixtures for the per-figure benchmark suite.
+
+Benchmarks default to the small ``test`` profile so that
+``pytest benchmarks/ --benchmark-only`` completes in minutes; set
+``REPRO_BENCH_PROFILE=bench`` (or ``large``) to run closer to paper scale.
+Full-scale sweeps with paper-style tables come from the harness CLI
+(``python -m repro.harness all``).
+"""
+
+import os
+
+import pytest
+
+from repro.datasets.loaders import load_dataset
+
+PROFILE = os.environ.get("REPRO_BENCH_PROFILE", "test")
+
+
+def dataset_fixture(name, fixture_name):
+    @pytest.fixture(scope="session", name=fixture_name)
+    def fixture():
+        return load_dataset(name, profile=PROFILE, seed=0)
+
+    return fixture
+
+
+s1 = dataset_fixture("s1", "s1")
+query = dataset_fixture("query", "query")
+birch = dataset_fixture("birch", "birch")
+# "range" would shadow the builtin-named pytest fixture namespace entry, so
+# the range dataset is exposed as "range_ds".
+range_ds = dataset_fixture("range", "range_ds")
+brightkite = dataset_fixture("brightkite", "brightkite")
+gowalla = dataset_fixture("gowalla", "gowalla")

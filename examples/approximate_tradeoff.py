@@ -1,0 +1,56 @@
+"""The τ-approximation trade-off (paper §3.3, Figures 8–10 in miniature).
+
+Sweeps the neighbour threshold τ on the Birch stand-in and reports, for each
+τ: index memory, query time, and clustering quality against exact DPC.
+
+Run:  python examples/approximate_tradeoff.py
+"""
+
+from repro import RNListIndex, RTreeIndex, assign_labels, select_centers_auto, select_centers_top_k
+from repro.datasets import birch
+from repro.harness import Table, time_quantities
+from repro.metrics import pairwise_precision_recall_f1
+
+
+def main() -> None:
+    data = birch(n=3000, seed=0)
+    dc = data.params.dc_default
+    print(f"{data.name}: n = {data.n}, dc = {dc}")
+
+    # Exact reference clustering (tree index: exact, low memory).
+    exact = RTreeIndex().fit(data.points)
+    q_ref = exact.quantities(dc)
+    centers_ref = select_centers_auto(q_ref, min_centers=2)
+    labels_ref = assign_labels(q_ref, centers_ref, points=data.points)
+    k = len(centers_ref)
+    print(f"exact DPC finds {k} clusters\n")
+
+    table = Table(
+        "tau sweep: memory vs speed vs quality",
+        ["tau", "tau/dc", "memory_mb", "query_s", "precision", "recall", "f1"],
+    )
+    for tau in (dc / 10, dc / 2, dc, 2 * dc, 5 * dc):
+        index = RNListIndex(tau=float(tau)).fit(data.points)
+        q, timing = time_quantities(index, dc)
+        centers = select_centers_top_k(q, k)
+        labels = assign_labels(q, centers, points=data.points)
+        p, r, f1 = pairwise_precision_recall_f1(labels_ref, labels)
+        table.add_row(
+            tau=float(tau),
+            **{"tau/dc": tau / dc},
+            memory_mb=index.memory_bytes() / 2**20,
+            query_s=timing.total_seconds,
+            precision=p,
+            recall=r,
+            f1=f1,
+        )
+    print(table.render())
+    print(
+        "\nreading: once tau >= dc the clustering matches exact DPC almost "
+        "perfectly at a fraction of the full N-List memory; below dc, rho is "
+        "truncated and quality collapses — the paper's Figure 10."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""The paper's Section 5.5 ("Discussion") as executable advice.
+
+Builds every index over the same dataset and prints the three costs a user
+trades off — construction time, memory, query time — followed by the
+paper's selection guidance evaluated against the measured numbers.
+
+Run:  python examples/index_selection.py [n_points]
+"""
+
+import sys
+import time
+
+from repro import make_index
+from repro.datasets import birch
+from repro.harness import Table, time_quantities
+
+CANDIDATES = [
+    ("list", {}),
+    ("ch", {}),
+    ("rn-list", {"tau": 250_000.0}),
+    ("rn-ch", {"tau": 250_000.0, "bin_width": 8_000.0}),
+    ("rtree", {}),
+    ("quadtree", {}),
+    ("kdtree", {}),
+    ("grid", {}),
+]
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 3000
+    data = birch(n=n, seed=0)
+    dc = data.params.dc_default
+    print(f"{data.name}: n = {data.n}, dc = {dc}\n")
+
+    table = Table(
+        "index trade-offs (build once, query per dc)",
+        ["index", "build_s", "memory_mb", "query_s", "exact"],
+    )
+    measured = {}
+    for name, params in CANDIDATES:
+        index = make_index(name, **params)
+        index.fit(data.points)
+        _, timing = time_quantities(index, dc)
+        row = dict(
+            index=name,
+            build_s=index.build_seconds,
+            memory_mb=index.memory_bytes() / 2**20,
+            query_s=timing.total_seconds,
+            exact=type(index).exact,
+        )
+        measured[name] = row
+        table.add_row(**row)
+    print(table.render())
+
+    print("\npaper's guidance (Section 5.5), checked against this run:")
+    checks = [
+        (
+            "small data + many dc runs -> CH Index",
+            measured["ch"]["query_s"] <= measured["rtree"]["query_s"],
+        ),
+        (
+            "tree indexes dominate on memory",
+            measured["rtree"]["memory_mb"] < 0.1 * measured["list"]["memory_mb"],
+        ),
+        (
+            "tree indexes dominate on construction",
+            measured["rtree"]["build_s"] < measured["list"]["build_s"],
+        ),
+        (
+            "tau-truncation shrinks list memory",
+            measured["rn-list"]["memory_mb"] < measured["list"]["memory_mb"],
+        ),
+    ]
+    for claim, holds in checks:
+        print(f"  [{'ok' if holds else '??'}] {claim}")
+
+
+if __name__ == "__main__":
+    main()

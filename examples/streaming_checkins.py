@@ -1,0 +1,45 @@
+"""Streaming clustering of arriving check-ins (extension).
+
+The paper's check-in datasets grow continuously in reality.  StreamingDPC
+keeps the clustering exact while amortising index rebuilds geometrically:
+ingest Gowalla-style batches and watch the hot-spot map evolve.
+
+Run:  python examples/streaming_checkins.py
+"""
+
+import numpy as np
+
+from repro.datasets import gowalla
+from repro.extras import StreamingDPC
+
+
+def main() -> None:
+    data = gowalla(n=6000, seed=3)
+    rng = np.random.default_rng(0)
+    order = rng.permutation(data.n)
+    batches = np.array_split(data.points[order], 12)
+
+    stream = StreamingDPC(rebuild_factor=0.5, min_buffer=128)
+    dc = 0.4
+    print(f"simulated check-in stream: {data.n} points in {len(batches)} batches, dc = {dc}\n")
+    print(f"{'batch':>5} {'points':>7} {'buffered':>8} {'rebuilds':>8} {'clusters':>8}")
+
+    for i, batch in enumerate(batches, start=1):
+        stream.add(batch)
+        if i % 3 == 0 or i == len(batches):
+            result = stream.cluster(dc)
+            print(
+                f"{i:>5} {stream.n:>7} {stream.n_buffered:>8} "
+                f"{stream.rebuild_count:>8} {result.n_clusters:>8}"
+            )
+
+    print(
+        f"\n{stream.rebuild_count} index rebuilds for {len(batches)} batches — "
+        "the geometric rebuild schedule keeps total construction work within "
+        "a constant factor of one final build, while every intermediate "
+        "clustering stayed exact."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy shim so `pip install -e .` works in offline environments.
+
+The canonical metadata lives in pyproject.toml; this file only enables the
+setup.py-develop editable path on systems without the `wheel` package
+(pip falls back automatically, or pass --no-use-pep517).
+"""
+
+from setuptools import setup
+
+setup()

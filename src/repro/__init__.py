@@ -1,0 +1,88 @@
+"""repro — Index-based Solutions for Efficient Density Peak Clustering.
+
+A from-scratch reproduction of Rasool, Zhou, Chen, Liu & Xu (ICDE 2021 /
+arXiv:2002.03182): Density Peak Clustering accelerated by list-based indexes
+(List Index, Cumulative Histogram Index, approximate RN-List) and tree-based
+indexes (Quadtree, R-tree), plus kd-tree and grid extensions.
+
+Quickstart::
+
+    import numpy as np
+    from repro import DensityPeakClustering
+    from repro.datasets import s1
+
+    data = s1(seed=7)
+    model = DensityPeakClustering(index="ch", dc=50_000, n_centers=15)
+    labels = model.fit_predict(data.points)
+"""
+
+from repro.core import (
+    DensityPeakClustering,
+    DecisionGraph,
+    DensityOrder,
+    DPCQuantities,
+    DPCResult,
+    NO_NEIGHBOR,
+    TieBreak,
+    assign_labels,
+    estimate_dc,
+    halo_mask,
+    naive_quantities,
+    select_centers_auto,
+    select_centers_threshold,
+    select_centers_top_k,
+    suggest_outliers,
+)
+from repro.indexes import (
+    CHIndex,
+    DPCIndex,
+    GridIndex,
+    IndexStats,
+    KDTreeIndex,
+    ListIndex,
+    QuadtreeIndex,
+    RNCHIndex,
+    RNListIndex,
+    RTreeIndex,
+    available_indexes,
+    load_index,
+    make_index,
+    save_index,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "DensityPeakClustering",
+    "DecisionGraph",
+    "DensityOrder",
+    "DPCQuantities",
+    "DPCResult",
+    "NO_NEIGHBOR",
+    "TieBreak",
+    "assign_labels",
+    "estimate_dc",
+    "halo_mask",
+    "naive_quantities",
+    "select_centers_auto",
+    "select_centers_threshold",
+    "select_centers_top_k",
+    "suggest_outliers",
+    # indexes
+    "CHIndex",
+    "DPCIndex",
+    "GridIndex",
+    "IndexStats",
+    "KDTreeIndex",
+    "ListIndex",
+    "QuadtreeIndex",
+    "RNCHIndex",
+    "RNListIndex",
+    "RTreeIndex",
+    "available_indexes",
+    "make_index",
+    "save_index",
+    "load_index",
+]

@@ -1,0 +1,38 @@
+"""Core DPC machinery: quantities, baseline, decision graph, assignment."""
+
+from repro.core.quantities import (
+    TieBreak,
+    DensityOrder,
+    DPCQuantities,
+    DPCResult,
+    NO_NEIGHBOR,
+)
+from repro.core.baseline import naive_quantities, estimate_dc
+from repro.core.decision import (
+    DecisionGraph,
+    select_centers_threshold,
+    select_centers_top_k,
+    select_centers_auto,
+    suggest_outliers,
+)
+from repro.core.assignment import assign_labels
+from repro.core.halo import halo_mask
+from repro.core.dpc import DensityPeakClustering
+
+__all__ = [
+    "TieBreak",
+    "DensityOrder",
+    "DPCQuantities",
+    "DPCResult",
+    "NO_NEIGHBOR",
+    "naive_quantities",
+    "estimate_dc",
+    "DecisionGraph",
+    "select_centers_threshold",
+    "select_centers_top_k",
+    "select_centers_auto",
+    "suggest_outliers",
+    "assign_labels",
+    "halo_mask",
+    "DensityPeakClustering",
+]

@@ -1,0 +1,82 @@
+"""Object-to-cluster assignment (paper Section 2, step 4).
+
+After centres are chosen, every remaining object joins the cluster of its
+nearest higher-density neighbour μ.  Processing objects densest-first
+guarantees μ's label is already known when an object is visited, so the whole
+step is a single O(n) pass — the paper notes this step is cheap and reused
+verbatim from the original algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.quantities import NO_NEIGHBOR, DPCQuantities
+from repro.geometry.distance import Metric, distances_to_point
+
+__all__ = ["assign_labels"]
+
+
+def assign_labels(
+    quantities: DPCQuantities,
+    centers: np.ndarray,
+    points: Optional[np.ndarray] = None,
+    metric: "str | Metric" = "euclidean",
+) -> np.ndarray:
+    """Propagate centre labels down the μ-chains.
+
+    Parameters
+    ----------
+    quantities:
+        The (ρ, δ, μ) triple; ``μ`` drives the propagation.
+    centers:
+        Centre object ids.  Cluster ``c`` is the cluster whose centre is
+        ``centers[c]`` (densest-first ordering is conventional but not
+        required).
+    points, metric:
+        Only needed for the corner case of an *unselected peak*: an object
+        with ``μ = NO_NEIGHBOR`` that is not a centre (possible under
+        ``TieBreak.STRICT``, or with an approximate index whose τ hid every
+        denser neighbour).  Such objects join the nearest centre by distance;
+        without ``points`` this raises instead of guessing.
+
+    Returns
+    -------
+    ``(n,)`` int64 labels in ``0..len(centers)-1``.
+    """
+    centers = np.asarray(centers, dtype=np.int64)
+    if centers.ndim != 1 or len(centers) == 0:
+        raise ValueError(f"centers must be a non-empty 1-D id array, got shape {centers.shape}")
+    n = len(quantities)
+    if np.any((centers < 0) | (centers >= n)):
+        raise ValueError("center ids out of range")
+    if len(np.unique(centers)) != len(centers):
+        raise ValueError("duplicate center ids")
+
+    labels = np.full(n, -1, dtype=np.int64)
+    labels[centers] = np.arange(len(centers))
+
+    mu = quantities.mu
+    for p in quantities.density_order.order:
+        if labels[p] != -1:
+            continue
+        parent = mu[p]
+        if parent == NO_NEIGHBOR:
+            if points is None:
+                raise ValueError(
+                    f"object {p} is a peak (mu = NO_NEIGHBOR) but not a selected "
+                    "center; pass points= so it can join the nearest center"
+                )
+            d = distances_to_point(points[centers], points[p], metric)
+            labels[p] = int(np.argmin(d))
+        else:
+            if labels[parent] == -1:
+                # Can only happen if mu points to an equal-or-lower-density
+                # object, i.e. the quantities are inconsistent with the order.
+                raise ValueError(
+                    f"mu chain broken at object {p}: neighbor {parent} not yet labeled"
+                )
+            labels[p] = labels[parent]
+    return labels

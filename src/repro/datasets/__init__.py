@@ -1,0 +1,41 @@
+"""Datasets: simulated stand-ins for the paper's six evaluation datasets.
+
+The paper evaluates on S1, Query, Birch, Range (synthetic / UCI) and
+Brightkite, Gowalla (SNAP check-ins).  None of the originals ship with this
+repository (offline build), so each loader synthesises a distribution with
+the same *structure* and — importantly — the same coordinate scale, which
+keeps every ``dc`` / ``w`` / ``τ`` grid from the paper's figures meaningful.
+See DESIGN.md §4 for the substitution rationale.
+"""
+
+from repro.datasets.base import Dataset, ExperimentParams, PROFILES, profile_size
+from repro.datasets.synthetic import (
+    gaussian_blobs,
+    uniform_square,
+    science_toy,
+    s1,
+    birch,
+    query_workload,
+    range_workload,
+)
+from repro.datasets.checkins import brightkite, gowalla
+from repro.datasets.loaders import available_datasets, load_dataset, PAPER_DATASETS
+
+__all__ = [
+    "Dataset",
+    "ExperimentParams",
+    "PROFILES",
+    "profile_size",
+    "gaussian_blobs",
+    "uniform_square",
+    "science_toy",
+    "s1",
+    "birch",
+    "query_workload",
+    "range_workload",
+    "brightkite",
+    "gowalla",
+    "available_datasets",
+    "load_dataset",
+    "PAPER_DATASETS",
+]

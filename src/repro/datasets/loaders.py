@@ -1,0 +1,51 @@
+"""Name → dataset loader registry (the paper's Table 2 line-up)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.datasets.base import Dataset
+from repro.datasets.checkins import brightkite, gowalla
+from repro.datasets.synthetic import birch, query_workload, range_workload, s1, science_toy
+
+__all__ = ["PAPER_DATASETS", "available_datasets", "load_dataset"]
+
+#: The six evaluation datasets, in the paper's non-decreasing size order.
+PAPER_DATASETS: Tuple[str, ...] = (
+    "s1",
+    "query",
+    "birch",
+    "range",
+    "brightkite",
+    "gowalla",
+)
+
+_LOADERS: Dict[str, Callable[..., Dataset]] = {
+    "s1": s1,
+    "query": query_workload,
+    "birch": birch,
+    "range": range_workload,
+    "brightkite": brightkite,
+    "gowalla": gowalla,
+    "science-toy": lambda n=None, profile="bench", seed=0: science_toy(),
+}
+
+
+def available_datasets() -> Tuple[str, ...]:
+    return tuple(sorted(_LOADERS))
+
+
+def load_dataset(
+    name: str,
+    n: Optional[int] = None,
+    profile: str = "bench",
+    seed: int = 0,
+) -> Dataset:
+    """Load ``name`` at ``profile`` scale (or explicit ``n``), seeded."""
+    try:
+        loader = _LOADERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {available_datasets()}"
+        ) from None
+    return loader(n=n, profile=profile, seed=seed)

@@ -1,0 +1,252 @@
+"""Synthetic generators: S1, Birch, Query, Range, and small toys.
+
+Coordinate scales follow the original datasets so the paper's dc/w/τ grids
+apply verbatim:
+
+* **S1** (Fränti & Virmajoki) — 15 Gaussian clusters in ``[0, 10⁶]²``;
+* **Birch** (Zhang et al.) — 10×10 grid of Gaussian clusters in ``[0, 10⁶]²``;
+* **Query / Range** (UCI query-analytics workloads) — spatial query centres:
+  Gaussian hot-spots plus a uniform background, in ``[0, 1]²`` and
+  ``[0, 10⁵]²`` respectively.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.base import Dataset, ExperimentParams, profile_size
+
+__all__ = [
+    "gaussian_blobs",
+    "uniform_square",
+    "science_toy",
+    "s1",
+    "birch",
+    "query_workload",
+    "range_workload",
+]
+
+
+def gaussian_blobs(
+    n: int,
+    centers: np.ndarray,
+    sigma: "float | np.ndarray",
+    weights: Optional[np.ndarray] = None,
+    background_fraction: float = 0.0,
+    bbox: Optional[Tuple[float, float, float, float]] = None,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample a Gaussian mixture (+ optional uniform background).
+
+    Parameters
+    ----------
+    n:
+        Total sample size (background included).
+    centers:
+        ``(k, d)`` component means.
+    sigma:
+        Scalar, per-component ``(k,)``, or per-component-per-axis ``(k, d)``
+        standard deviation.
+    weights:
+        Component mixing weights (uniform when omitted).
+    background_fraction:
+        Fraction of points drawn uniformly over ``bbox`` and labelled ``-1``.
+    bbox:
+        ``(x0, y0, x1, y1)`` for the background (defaults to the centre
+        bounding box inflated by 3σ).
+
+    Returns
+    -------
+    ``(points, labels)`` — labels are component ids, ``-1`` for background.
+    """
+    if not (0.0 <= background_fraction < 1.0):
+        raise ValueError(f"background_fraction must be in [0, 1), got {background_fraction}")
+    rng = np.random.default_rng(seed)
+    centers = np.asarray(centers, dtype=np.float64)
+    k, d = centers.shape
+    sigma = np.broadcast_to(np.asarray(sigma, dtype=np.float64), (k, d)) \
+        if np.ndim(sigma) else np.full((k, d), float(sigma))
+    if weights is None:
+        weights = np.full(k, 1.0 / k)
+    else:
+        weights = np.asarray(weights, dtype=np.float64)
+        weights = weights / weights.sum()
+
+    n_background = int(round(n * background_fraction))
+    n_clustered = n - n_background
+    assignment = rng.choice(k, size=n_clustered, p=weights)
+    points = centers[assignment] + rng.standard_normal((n_clustered, d)) * sigma[assignment]
+    labels = assignment.astype(np.int64)
+
+    if n_background:
+        if bbox is None:
+            lo = centers.min(axis=0) - 3.0 * sigma.max()
+            hi = centers.max(axis=0) + 3.0 * sigma.max()
+        else:
+            lo = np.array(bbox[:d], dtype=np.float64)
+            hi = np.array(bbox[d:], dtype=np.float64)
+        noise = rng.uniform(lo, hi, size=(n_background, d))
+        points = np.concatenate([points, noise])
+        labels = np.concatenate([labels, np.full(n_background, -1, dtype=np.int64)])
+
+    shuffle = rng.permutation(len(points))
+    return points[shuffle], labels[shuffle]
+
+
+def uniform_square(n: int, side: float = 1.0, seed: int = 0) -> np.ndarray:
+    """``n`` points uniform over ``[0, side]²`` (worst case for DPC: no
+    density structure, maximal density ties)."""
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.0, side, size=(n, 2))
+
+
+def science_toy() -> Dataset:
+    """A 28-point layout in the spirit of Rodriguez & Laio's Figure 1.
+
+    Two dense groups plus three isolated outliers (ids 25–27), so the
+    decision graph shows exactly two high-ρ/high-δ centres and three
+    low-ρ/high-δ outliers.  Deterministic — used by the decision-graph
+    example and by tests.
+    """
+    group_a = np.array(
+        [
+            [1.0, 1.0], [1.2, 1.1], [0.9, 1.2], [1.1, 0.9], [1.3, 1.0],
+            [1.0, 1.3], [0.8, 1.0], [1.15, 1.25], [0.95, 0.85], [1.25, 0.8],
+            [0.7, 1.2], [1.4, 1.2], [1.05, 1.1],
+        ]
+    )
+    group_b = np.array(
+        [
+            [3.0, 2.6], [3.2, 2.7], [2.9, 2.8], [3.1, 2.5], [3.3, 2.6],
+            [3.0, 2.9], [2.8, 2.6], [3.15, 2.85], [2.95, 2.45], [3.25, 2.4],
+            [3.05, 2.7], [2.85, 2.95],
+        ]
+    )
+    outliers = np.array([[0.5, 3.4], [4.2, 0.6], [4.4, 3.6]])
+    points = np.concatenate([group_a, group_b, outliers])
+    labels = np.concatenate(
+        [np.zeros(len(group_a)), np.ones(len(group_b)), np.full(3, -1)]
+    ).astype(np.int64)
+    params = ExperimentParams(
+        dc_grid=(0.2, 0.3, 0.5, 1.0, 2.0),
+        dc_default=0.5,
+        w_grid=(0.1, 0.2, 0.5, 1.0),
+        w_default=0.2,
+    )
+    return Dataset("science-toy", points, params, labels=labels, meta={"source": "handmade"})
+
+
+# Fifteen S1-style cluster centres in [0, 1e6]^2: well separated (min gap
+# ≈ 1.6e5) with mild irregularity, matching the published S1 layout's
+# character.  Fixed, so every run and every test sees the same geometry.
+_S1_CENTERS = np.array(
+    [
+        [166000, 845000], [398000, 862000], [640000, 905000], [880000, 830000],
+        [110000, 605000], [356000, 570000], [602000, 635000], [858000, 588000],
+        [162000, 352000], [420000, 315000], [660000, 378000], [912000, 340000],
+        [255000, 110000], [535000, 92000], [800000, 125000],
+    ],
+    dtype=np.float64,
+)
+
+
+def s1(n: Optional[int] = None, profile: str = "bench", seed: int = 0) -> Dataset:
+    """S1 stand-in: 15 Gaussian clusters in ``[0, 10⁶]²`` (paper Table 2).
+
+    The original S1 has 5000 points and ~9% cluster overlap; σ = 28000 gives
+    a comparable overlap at this layout's spacing.
+    """
+    if n is None:
+        n = profile_size("s1", profile)
+    points, labels = gaussian_blobs(n, _S1_CENTERS, sigma=28000.0, seed=seed)
+    params = ExperimentParams(
+        # Figure 6a x-axis.
+        dc_grid=(5_000, 10_000, 30_000, 200_000, 500_000),
+        dc_default=30_000,
+        w_grid=(1_000, 2_000, 8_000, 30_000),
+        w_default=2_000,  # Table 3/4 note: "2000" for S1
+    )
+    return Dataset("s1", points, params, labels=labels, meta={"clusters": 15})
+
+
+def birch(n: Optional[int] = None, profile: str = "bench", seed: int = 0) -> Dataset:
+    """Birch1 stand-in: 100 Gaussian clusters on a 10×10 grid in ``[0, 10⁶]²``."""
+    if n is None:
+        n = profile_size("birch", profile)
+    grid = (np.arange(10) + 0.5) * 100_000.0
+    centers = np.array([(x, y) for x in grid for y in grid])
+    points, labels = gaussian_blobs(n, centers, sigma=16_000.0, seed=seed)
+    params = ExperimentParams(
+        # Figure 6c x-axis.
+        dc_grid=(30_000, 150_000, 220_000, 500_000, 800_000),
+        dc_default=100_000,  # §5.4 fixed dc
+        w_grid=(3_000, 8_000, 30_000, 100_000),  # Figure 7a
+        w_default=8_000,  # Table 3/4 note
+        tau_grid=(100_000, 200_000, 250_000),  # Figure 8a
+        tau_star=250_000,  # Tables 3/4 '*'
+        quality_tau_grid=(10_000, 50_000, 80_000, 100_000, 250_000),  # Fig 10a
+        fig7_dc=(10_000, 50_000, 220_000),  # Figure 7a legend
+    )
+    return Dataset("birch", points, params, labels=labels, meta={"clusters": 100})
+
+
+def query_workload(n: Optional[int] = None, profile: str = "bench", seed: int = 0) -> Dataset:
+    """Query-analytics stand-in: query hot-spots over ``[0, 1]²``.
+
+    Eight Gaussian hot-spots of unequal weight plus 20% uniform background —
+    a mildly clustered spatial workload, like the UCI original.
+    """
+    if n is None:
+        n = profile_size("query", profile)
+    rng = np.random.default_rng(seed + 1)
+    centers = rng.uniform(0.12, 0.88, size=(8, 2))
+    weights = rng.uniform(0.5, 2.0, size=8)
+    points, labels = gaussian_blobs(
+        n,
+        centers,
+        sigma=0.035,
+        weights=weights,
+        background_fraction=0.20,
+        bbox=(0.0, 0.0, 1.0, 1.0),
+        seed=seed,
+    )
+    params = ExperimentParams(
+        # Figure 6b x-axis.
+        dc_grid=(0.001, 0.005, 0.010, 0.050, 0.100),
+        dc_default=0.010,
+        w_grid=(0.0002, 0.0006, 0.002, 0.006),
+        w_default=0.0006,  # Table 3/4 note
+    )
+    return Dataset("query", points, params, labels=labels, meta={"hotspots": 8})
+
+
+def range_workload(n: Optional[int] = None, profile: str = "bench", seed: int = 0) -> Dataset:
+    """Range-analytics stand-in: 12 hot-spots over ``[0, 10⁵]²`` + background."""
+    if n is None:
+        n = profile_size("range", profile)
+    rng = np.random.default_rng(seed + 2)
+    centers = rng.uniform(8_000.0, 92_000.0, size=(12, 2))
+    weights = rng.uniform(0.5, 2.5, size=12)
+    points, labels = gaussian_blobs(
+        n,
+        centers,
+        sigma=2_600.0,
+        weights=weights,
+        background_fraction=0.25,
+        bbox=(0.0, 0.0, 100_000.0, 100_000.0),
+        seed=seed,
+    )
+    params = ExperimentParams(
+        # Figure 6d x-axis.
+        dc_grid=(300, 1_200, 2_200, 5_000, 10_000),
+        dc_default=1_500,  # §5.4 fixed dc
+        w_grid=(200, 600, 1_500, 2_500),  # Figure 7b
+        w_default=600,  # Table 3/4 note
+        tau_grid=(500, 2_000, 2_500),  # Figure 8b
+        tau_star=2_500,  # Tables 3/4 '*'
+        quality_tau_grid=(200, 500, 800, 1_500, 2_500),  # Fig 10b
+        fig7_dc=(150, 1_200, 2_200),  # Figure 7b legend
+    )
+    return Dataset("range", points, params, labels=labels, meta={"hotspots": 12})

@@ -1,0 +1,23 @@
+"""Reference algorithms for the paper's introductory comparisons.
+
+Section 1 positions DPC against DBSCAN (the other major density-based
+method) and against centroid-based clustering (k-means).  These small,
+self-contained implementations back the comparison example; they are not
+part of the paper's contribution.
+"""
+
+from repro.extras.dbscan import dbscan, DBSCANResult
+from repro.extras.kmeans import kmeans, KMeansResult
+from repro.extras.streaming import StreamingDPC
+from repro.extras.variants import gaussian_density, knn_density, variant_quantities
+
+__all__ = [
+    "StreamingDPC",
+    "dbscan",
+    "DBSCANResult",
+    "kmeans",
+    "KMeansResult",
+    "gaussian_density",
+    "knn_density",
+    "variant_quantities",
+]

@@ -1,0 +1,22 @@
+"""Geometric substrate shared by every index: metrics and rectangles."""
+
+from repro.geometry.distance import (
+    Metric,
+    available_metrics,
+    get_metric,
+    pairwise_distances,
+    pairwise_blocks,
+    distances_to_point,
+)
+from repro.geometry.rect import Rect, bounding_rect
+
+__all__ = [
+    "Metric",
+    "available_metrics",
+    "get_metric",
+    "pairwise_distances",
+    "pairwise_blocks",
+    "distances_to_point",
+    "Rect",
+    "bounding_rect",
+]

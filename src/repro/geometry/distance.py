@@ -1,0 +1,359 @@
+"""Distance metrics and memory-bounded pairwise kernels.
+
+Every index in this package consults the same metric objects so that the
+naive baseline, the list-based indexes, and the tree-based indexes agree on
+distances bit-for-bit.  A :class:`Metric` knows how to compute
+
+* one-to-many distances (``distances_from``), the workhorse of index
+  construction and of the naive baseline;
+* many-to-many block distances (``cross``), used by the chunked pairwise
+  helpers below;
+* per-coordinate lower bounds to axis-aligned rectangles (``rect_mindist`` /
+  ``rect_maxdist``), which is what the tree indexes prune with.
+
+Only metrics for which rectangle bounds are exact are allowed in the tree
+indexes; the list-based indexes accept any metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Metric",
+    "available_metrics",
+    "get_metric",
+    "register_metric",
+    "pairwise_distances",
+    "pairwise_blocks",
+    "distances_to_point",
+]
+
+
+@dataclass(frozen=True)
+class Metric:
+    """A distance metric with vectorised kernels and rectangle bounds.
+
+    Parameters
+    ----------
+    name:
+        Registry key, e.g. ``"euclidean"``.
+    distances_from:
+        ``f(points, q) -> (n,) float64`` distances from each row of
+        ``points`` to the single point ``q``.
+    cross:
+        ``f(a, b) -> (len(a), len(b)) float64`` distance matrix.
+    rect_mindist:
+        ``f(q, lo, hi) -> float`` minimum distance from ``q`` to the
+        axis-aligned box ``[lo, hi]`` (0.0 when ``q`` is inside).
+    rect_maxdist:
+        ``f(q, lo, hi) -> float`` maximum distance from ``q`` to the box.
+    supports_rect_bounds:
+        Whether the rectangle bounds are exact; tree indexes require this.
+    """
+
+    name: str
+    distances_from: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    cross: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    rect_mindist: Callable[[np.ndarray, np.ndarray, np.ndarray], float]
+    rect_maxdist: Callable[[np.ndarray, np.ndarray, np.ndarray], float]
+    supports_rect_bounds: bool = True
+
+    def __call__(self, p: np.ndarray, q: np.ndarray) -> float:
+        """Distance between two single points."""
+        return float(self.distances_from(np.asarray(q, dtype=np.float64)[None, :], p)[0])
+
+
+# ---------------------------------------------------------------------------
+# Euclidean
+# ---------------------------------------------------------------------------
+
+
+def _euclidean_from(points: np.ndarray, q: np.ndarray) -> np.ndarray:
+    diff = points - q
+    return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+
+def _euclidean_cross(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    # Deliberately the same difference-based formula as _euclidean_from (not
+    # the Gram-matrix trick): every code path in the package — baseline,
+    # list builders, tree leaves — must produce bit-identical distances, or
+    # the cross-index exactness contract breaks at dc boundaries.
+    diff = a[:, None, :] - b[None, :, :]
+    return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+
+
+def _box_axis_gaps(q: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+    """Per-axis distance from q to the interval [lo, hi] (0 inside)."""
+    return np.maximum(np.maximum(lo - q, q - hi), 0.0)
+
+
+def _box_axis_reach(q: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+    """Per-axis distance from q to the farthest face of [lo, hi]."""
+    return np.maximum(np.abs(q - lo), np.abs(q - hi))
+
+
+def _euclidean_rect_min(q: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> float:
+    gaps = _box_axis_gaps(q, lo, hi)
+    return float(np.sqrt(np.dot(gaps, gaps)))
+
+
+def _euclidean_rect_max(q: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> float:
+    reach = _box_axis_reach(q, lo, hi)
+    return float(np.sqrt(np.dot(reach, reach)))
+
+
+# ---------------------------------------------------------------------------
+# Squared euclidean (useful for benchmarks; NOT a metric in the triangle
+# inequality sense, but rectangle bounds remain exact)
+# ---------------------------------------------------------------------------
+
+
+def _sqeuclidean_from(points: np.ndarray, q: np.ndarray) -> np.ndarray:
+    diff = points - q
+    return np.einsum("ij,ij->i", diff, diff)
+
+
+def _sqeuclidean_cross(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    # Same bit-exactness requirement as _euclidean_cross: compute the sum of
+    # squared differences directly, never via sqrt-then-square.
+    diff = a[:, None, :] - b[None, :, :]
+    return np.einsum("ijk,ijk->ij", diff, diff)
+
+
+def _sqeuclidean_rect_min(q, lo, hi) -> float:
+    gaps = _box_axis_gaps(q, lo, hi)
+    return float(np.dot(gaps, gaps))
+
+
+def _sqeuclidean_rect_max(q, lo, hi) -> float:
+    reach = _box_axis_reach(q, lo, hi)
+    return float(np.dot(reach, reach))
+
+
+# ---------------------------------------------------------------------------
+# Manhattan / Chebyshev
+# ---------------------------------------------------------------------------
+
+
+def _manhattan_from(points: np.ndarray, q: np.ndarray) -> np.ndarray:
+    return np.abs(points - q).sum(axis=1)
+
+
+def _manhattan_cross(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.abs(a[:, None, :] - b[None, :, :]).sum(axis=2)
+
+
+def _manhattan_rect_min(q, lo, hi) -> float:
+    return float(_box_axis_gaps(q, lo, hi).sum())
+
+
+def _manhattan_rect_max(q, lo, hi) -> float:
+    return float(_box_axis_reach(q, lo, hi).sum())
+
+
+def _chebyshev_from(points: np.ndarray, q: np.ndarray) -> np.ndarray:
+    return np.abs(points - q).max(axis=1)
+
+
+def _chebyshev_cross(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.abs(a[:, None, :] - b[None, :, :]).max(axis=2)
+
+
+def _chebyshev_rect_min(q, lo, hi) -> float:
+    return float(_box_axis_gaps(q, lo, hi).max(initial=0.0))
+
+
+def _chebyshev_rect_max(q, lo, hi) -> float:
+    return float(_box_axis_reach(q, lo, hi).max(initial=0.0))
+
+
+# ---------------------------------------------------------------------------
+# Haversine (lat/lon degrees -> great-circle km); no exact rectangle bounds,
+# so it is list-index-only.  Provided because the paper's two real datasets
+# (Brightkite, Gowalla) are geographic check-ins.
+# ---------------------------------------------------------------------------
+
+_EARTH_RADIUS_KM = 6371.0088
+
+
+def _haversine_from(points: np.ndarray, q: np.ndarray) -> np.ndarray:
+    lat1, lon1 = np.radians(points[:, 0]), np.radians(points[:, 1])
+    lat2, lon2 = np.radians(q[0]), np.radians(q[1])
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = np.sin(dlat / 2.0) ** 2 + np.cos(lat1) * np.cos(lat2) * np.sin(dlon / 2.0) ** 2
+    return 2.0 * _EARTH_RADIUS_KM * np.arcsin(np.sqrt(np.clip(h, 0.0, 1.0)))
+
+
+def _haversine_cross(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    out = np.empty((len(a), len(b)), dtype=np.float64)
+    for i, row in enumerate(a):
+        out[i] = _haversine_from(b, row)
+    return out
+
+
+def _haversine_rect_unsupported(q, lo, hi) -> float:
+    raise NotImplementedError("haversine has no exact rectangle bounds")
+
+
+# ---------------------------------------------------------------------------
+# Minkowski factory
+# ---------------------------------------------------------------------------
+
+
+def make_minkowski(p: float) -> Metric:
+    """Build an L_p Minkowski metric (``p >= 1``) with exact box bounds."""
+    if p < 1:
+        raise ValueError(f"minkowski order must be >= 1, got {p}")
+
+    def _from(points: np.ndarray, q: np.ndarray) -> np.ndarray:
+        return (np.abs(points - q) ** p).sum(axis=1) ** (1.0 / p)
+
+    def _cross(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return (np.abs(a[:, None, :] - b[None, :, :]) ** p).sum(axis=2) ** (1.0 / p)
+
+    def _rect_min(q, lo, hi) -> float:
+        gaps = _box_axis_gaps(q, lo, hi)
+        return float((gaps**p).sum() ** (1.0 / p))
+
+    def _rect_max(q, lo, hi) -> float:
+        reach = _box_axis_reach(q, lo, hi)
+        return float((reach**p).sum() ** (1.0 / p))
+
+    return Metric(
+        name=f"minkowski[p={p:g}]",
+        distances_from=_from,
+        cross=_cross,
+        rect_mindist=_rect_min,
+        rect_maxdist=_rect_max,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: Dict[str, Metric] = {}
+
+
+def register_metric(metric: Metric) -> Metric:
+    """Add ``metric`` to the registry (overwrites an existing entry)."""
+    _REGISTRY[metric.name] = metric
+    return metric
+
+
+register_metric(
+    Metric(
+        "euclidean",
+        _euclidean_from,
+        _euclidean_cross,
+        _euclidean_rect_min,
+        _euclidean_rect_max,
+    )
+)
+register_metric(
+    Metric(
+        "sqeuclidean",
+        _sqeuclidean_from,
+        _sqeuclidean_cross,
+        _sqeuclidean_rect_min,
+        _sqeuclidean_rect_max,
+    )
+)
+register_metric(
+    Metric(
+        "manhattan",
+        _manhattan_from,
+        _manhattan_cross,
+        _manhattan_rect_min,
+        _manhattan_rect_max,
+    )
+)
+register_metric(
+    Metric(
+        "chebyshev",
+        _chebyshev_from,
+        _chebyshev_cross,
+        _chebyshev_rect_min,
+        _chebyshev_rect_max,
+    )
+)
+register_metric(
+    Metric(
+        "haversine",
+        _haversine_from,
+        _haversine_cross,
+        _haversine_rect_unsupported,
+        _haversine_rect_unsupported,
+        supports_rect_bounds=False,
+    )
+)
+
+
+def available_metrics() -> Tuple[str, ...]:
+    """Names of all registered metrics, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_metric(metric: "str | Metric") -> Metric:
+    """Resolve a metric name (or pass a :class:`Metric` through).
+
+    ``"minkowski[p=3]"`` style names are materialised on demand.
+    """
+    if isinstance(metric, Metric):
+        return metric
+    if metric in _REGISTRY:
+        return _REGISTRY[metric]
+    if metric.startswith("minkowski[p=") and metric.endswith("]"):
+        order = float(metric[len("minkowski[p=") : -1])
+        return make_minkowski(order)
+    raise KeyError(f"unknown metric {metric!r}; available: {available_metrics()}")
+
+
+# ---------------------------------------------------------------------------
+# Chunked pairwise helpers
+# ---------------------------------------------------------------------------
+
+
+def distances_to_point(
+    points: np.ndarray, q: np.ndarray, metric: "str | Metric" = "euclidean"
+) -> np.ndarray:
+    """Distances from every row of ``points`` to the single point ``q``."""
+    m = get_metric(metric)
+    points = np.ascontiguousarray(points, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    return m.distances_from(points, q)
+
+
+def pairwise_blocks(
+    points: np.ndarray,
+    metric: "str | Metric" = "euclidean",
+    block_rows: int = 1024,
+) -> Iterator[Tuple[int, int, np.ndarray]]:
+    """Yield ``(start, stop, block)`` where ``block`` is rows ``start:stop``
+    of the full pairwise distance matrix.
+
+    Keeps peak memory at ``O(block_rows * n)`` instead of ``O(n^2)``, which is
+    how the naive baseline and the list-index builder scale past ~20k points.
+    """
+    if block_rows <= 0:
+        raise ValueError(f"block_rows must be positive, got {block_rows}")
+    m = get_metric(metric)
+    points = np.ascontiguousarray(points, dtype=np.float64)
+    n = len(points)
+    for start in range(0, n, block_rows):
+        stop = min(start + block_rows, n)
+        yield start, stop, m.cross(points[start:stop], points)
+
+
+def pairwise_distances(
+    points: np.ndarray, metric: "str | Metric" = "euclidean"
+) -> np.ndarray:
+    """Full ``(n, n)`` distance matrix.  Only for small inputs / tests."""
+    m = get_metric(metric)
+    points = np.ascontiguousarray(points, dtype=np.float64)
+    return m.cross(points, points)

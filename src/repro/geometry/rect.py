@@ -1,0 +1,155 @@
+"""Axis-aligned rectangles (minimum bounding rectangles).
+
+Shared by the Quadtree, R-tree, kd-tree, and grid indexes.  A rectangle is a
+closed box ``[lo, hi]`` in d dimensions.  The two quantities the paper's
+pruning framework needs (Table 1: ``dmin`` / ``dmax``) are provided for any
+metric with exact rectangle bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from repro.geometry.distance import Metric, get_metric
+
+__all__ = ["Rect", "bounding_rect"]
+
+
+@dataclass(frozen=True)
+class Rect:
+    """A closed axis-aligned box ``[lo, hi]``.
+
+    ``lo`` and ``hi`` are float64 arrays of equal length; ``lo <= hi``
+    component-wise.  Instances are immutable and safe to share across nodes.
+    """
+
+    lo: np.ndarray
+    hi: np.ndarray
+
+    def __post_init__(self) -> None:
+        lo = np.asarray(self.lo, dtype=np.float64)
+        hi = np.asarray(self.hi, dtype=np.float64)
+        if lo.shape != hi.shape or lo.ndim != 1:
+            raise ValueError(f"lo/hi must be 1-D of equal length, got {lo.shape} vs {hi.shape}")
+        if np.any(lo > hi):
+            raise ValueError(f"degenerate rect: lo {lo} exceeds hi {hi}")
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+
+    # -- basic geometry -----------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        return len(self.lo)
+
+    @property
+    def center(self) -> np.ndarray:
+        return (self.lo + self.hi) / 2.0
+
+    @property
+    def extent(self) -> np.ndarray:
+        return self.hi - self.lo
+
+    def area(self) -> float:
+        """Hyper-volume of the box (product of extents)."""
+        return float(np.prod(self.extent))
+
+    def margin(self) -> float:
+        """Sum of edge lengths (the R*-tree 'margin' of the box)."""
+        return float(self.extent.sum())
+
+    def contains_point(self, p: np.ndarray) -> bool:
+        p = np.asarray(p, dtype=np.float64)
+        return bool(np.all(p >= self.lo) and np.all(p <= self.hi))
+
+    def contains_rect(self, other: "Rect") -> bool:
+        return bool(np.all(other.lo >= self.lo) and np.all(other.hi <= self.hi))
+
+    def intersects(self, other: "Rect") -> bool:
+        return bool(np.all(self.lo <= other.hi) and np.all(other.lo <= self.hi))
+
+    def union(self, other: "Rect") -> "Rect":
+        return Rect(np.minimum(self.lo, other.lo), np.maximum(self.hi, other.hi))
+
+    def expanded_to(self, p: np.ndarray) -> "Rect":
+        p = np.asarray(p, dtype=np.float64)
+        return Rect(np.minimum(self.lo, p), np.maximum(self.hi, p))
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area growth if ``other`` were merged in (Guttman's ChooseLeaf cost)."""
+        return self.union(other).area() - self.area()
+
+    def intersection_area(self, other: "Rect") -> float:
+        lo = np.maximum(self.lo, other.lo)
+        hi = np.minimum(self.hi, other.hi)
+        if np.any(lo > hi):
+            return 0.0
+        return float(np.prod(hi - lo))
+
+    # -- metric bounds (paper Table 1: dmin/dmax) ----------------------------
+
+    def mindist(self, p: np.ndarray, metric: "str | Metric" = "euclidean") -> float:
+        """Minimum distance from point ``p`` to this box (0 when inside)."""
+        m = get_metric(metric)
+        if not m.supports_rect_bounds:
+            raise ValueError(f"metric {m.name!r} has no exact rectangle bounds")
+        return m.rect_mindist(np.asarray(p, dtype=np.float64), self.lo, self.hi)
+
+    def maxdist(self, p: np.ndarray, metric: "str | Metric" = "euclidean") -> float:
+        """Maximum distance from point ``p`` to any point of this box."""
+        m = get_metric(metric)
+        if not m.supports_rect_bounds:
+            raise ValueError(f"metric {m.name!r} has no exact rectangle bounds")
+        return m.rect_maxdist(np.asarray(p, dtype=np.float64), self.lo, self.hi)
+
+    # -- subdivision ----------------------------------------------------------
+
+    def quadrants(self) -> List["Rect"]:
+        """Split a 2-D rect into its four quadrants (quadtree children).
+
+        Order: SW, SE, NW, NE (x-minor, y-major).
+        """
+        if self.ndim != 2:
+            raise ValueError(f"quadrants() requires a 2-D rect, got {self.ndim}-D")
+        cx, cy = self.center
+        (x0, y0), (x1, y1) = self.lo, self.hi
+        return [
+            Rect(np.array([x0, y0]), np.array([cx, cy])),
+            Rect(np.array([cx, y0]), np.array([x1, cy])),
+            Rect(np.array([x0, cy]), np.array([cx, y1])),
+            Rect(np.array([cx, cy]), np.array([x1, y1])),
+        ]
+
+    def split_at(self, axis: int, value: float) -> Tuple["Rect", "Rect"]:
+        """Split along ``axis`` at ``value`` into (low side, high side)."""
+        if not (self.lo[axis] <= value <= self.hi[axis]):
+            raise ValueError(
+                f"split value {value} outside [{self.lo[axis]}, {self.hi[axis]}] on axis {axis}"
+            )
+        left_hi = self.hi.copy()
+        left_hi[axis] = value
+        right_lo = self.lo.copy()
+        right_lo[axis] = value
+        return Rect(self.lo, left_hi), Rect(right_lo, self.hi)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        lo = ", ".join(f"{v:g}" for v in self.lo)
+        hi = ", ".join(f"{v:g}" for v in self.hi)
+        return f"Rect([{lo}] .. [{hi}])"
+
+
+def bounding_rect(points: np.ndarray, pad: float = 0.0) -> Rect:
+    """Tight bounding box of ``points`` (shape ``(n, d)``), optionally padded.
+
+    ``pad`` inflates each side by an absolute amount, which the quadtree uses
+    to avoid points sitting exactly on the outer boundary.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or len(points) == 0:
+        raise ValueError(f"points must be a non-empty (n, d) array, got shape {points.shape}")
+    lo = points.min(axis=0) - pad
+    hi = points.max(axis=0) + pad
+    return Rect(lo, hi)

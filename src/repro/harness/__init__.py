@@ -1,0 +1,63 @@
+"""Experiment harness: timing plumbing, result tables, per-figure runners."""
+
+from repro.harness.tables import Table
+from repro.harness.runner import (
+    DEFAULT_MEMORY_BUDGET_MB,
+    MethodSpec,
+    QueryTiming,
+    full_list_bytes,
+    list_index_fits,
+    paper_methods,
+    time_naive,
+    time_quantities,
+)
+from repro.harness.ablations import (
+    ABLATIONS,
+    ablation_densities,
+    ablation_dimensionality,
+    ablation_frontier,
+    ablation_pruning,
+    ablation_rtree_packing,
+)
+from repro.harness.experiments import (
+    EXPERIMENTS,
+    fig5_running_time,
+    fig6_dc_sweep,
+    fig7_binwidth_sweep,
+    fig8_tau_sweep,
+    fig9a_w_memory,
+    fig9b_tau_memory,
+    fig10_quality,
+    table3_memory,
+    table4_construction,
+)
+
+EXPERIMENTS.update(ABLATIONS)
+
+__all__ = [
+    "Table",
+    "ABLATIONS",
+    "ablation_densities",
+    "ablation_dimensionality",
+    "ablation_frontier",
+    "ablation_pruning",
+    "ablation_rtree_packing",
+    "DEFAULT_MEMORY_BUDGET_MB",
+    "MethodSpec",
+    "QueryTiming",
+    "full_list_bytes",
+    "list_index_fits",
+    "paper_methods",
+    "time_naive",
+    "time_quantities",
+    "EXPERIMENTS",
+    "fig5_running_time",
+    "fig6_dc_sweep",
+    "fig7_binwidth_sweep",
+    "fig8_tau_sweep",
+    "fig9a_w_memory",
+    "fig9b_tau_memory",
+    "fig10_quality",
+    "table3_memory",
+    "table4_construction",
+]

@@ -1,0 +1,240 @@
+"""Ablation experiments (DESIGN.md §3) — the design choices the paper
+mentions but does not isolate:
+
+* δ-query frontier: the paper's ordered stack vs the priority queue it
+  suggests as a replacement;
+* the two pruning lemmas, toggled independently;
+* R-tree construction: STR packing vs dynamic Guttman insertion.
+
+All three report both wall-clock and the logical probe counters, because at
+Python scale constant factors can mask algorithmic differences the counters
+still show.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.datasets.loaders import load_dataset
+from repro.harness.runner import time_quantities
+from repro.harness.tables import Table
+from repro.indexes.quadtree import QuadtreeIndex
+from repro.indexes.rtree import RTreeIndex
+
+__all__ = [
+    "ablation_frontier",
+    "ablation_pruning",
+    "ablation_rtree_packing",
+    "ablation_dimensionality",
+    "ablation_densities",
+    "ABLATIONS",
+]
+
+
+def ablation_frontier(
+    profile: str = "bench",
+    seed: int = 0,
+    datasets: Optional[Sequence[str]] = None,
+) -> Table:
+    """Stack (Algorithm 6) vs priority-queue frontier for the δ query."""
+    table = Table(
+        "Ablation — delta-query frontier (stack vs heap)",
+        ["dataset", "n", "index", "frontier", "delta_seconds", "nodes_visited"],
+    )
+    for name in datasets or ("birch", "gowalla"):
+        ds = load_dataset(name, profile=profile, seed=seed)
+        for cls in (RTreeIndex, QuadtreeIndex):
+            for frontier in ("heap", "stack"):
+                index = cls(frontier=frontier).fit(ds.points)
+                _, timing = time_quantities(index, ds.params.dc_default)
+                table.add_row(
+                    dataset=ds.name, n=ds.n, index=cls.name, frontier=frontier,
+                    delta_seconds=timing.delta_seconds,
+                    nodes_visited=index.stats().nodes_visited,
+                )
+    return table
+
+
+def ablation_pruning(
+    profile: str = "bench",
+    seed: int = 0,
+    datasets: Optional[Sequence[str]] = None,
+) -> Table:
+    """Lemma 1 (density) and Lemma 2 (distance) pruning, independently."""
+    table = Table(
+        "Ablation — pruning lemmas in the delta query",
+        ["dataset", "n", "density", "distance", "delta_seconds", "nodes_visited"],
+    )
+    configs = (
+        (True, True),
+        (True, False),
+        (False, True),
+        (False, False),
+    )
+    for name in datasets or ("birch",):
+        ds = load_dataset(name, profile=profile, seed=seed)
+        for density, distance in configs:
+            index = RTreeIndex(
+                density_pruning=density, distance_pruning=distance
+            ).fit(ds.points)
+            _, timing = time_quantities(index, ds.params.dc_default)
+            table.add_row(
+                dataset=ds.name, n=ds.n, density=density, distance=distance,
+                delta_seconds=timing.delta_seconds,
+                nodes_visited=index.stats().nodes_visited,
+            )
+    return table
+
+
+def ablation_rtree_packing(
+    profile: str = "bench",
+    seed: int = 0,
+    datasets: Optional[Sequence[str]] = None,
+) -> Table:
+    """STR bulk loading vs dynamic Guttman insertion (paper §4.2)."""
+    table = Table(
+        "Ablation — R-tree packing (STR vs dynamic insertion)",
+        [
+            "dataset", "n", "packing", "build_seconds", "query_seconds",
+            "nodes_visited", "leaf_fill",
+        ],
+    )
+    for name in datasets or ("query",):
+        ds = load_dataset(name, profile=profile, seed=seed)
+        for packing in ("str", "dynamic"):
+            index = RTreeIndex(packing=packing).fit(ds.points)
+            _, timing = time_quantities(index, ds.params.dc_default)
+            leaves = [len(n.ids) for n in index.root.iter_nodes() if n.is_leaf]
+            fill = sum(leaves) / (len(leaves) * index.max_entries)
+            table.add_row(
+                dataset=ds.name, n=ds.n, packing=packing,
+                build_seconds=index.build_seconds,
+                query_seconds=timing.total_seconds,
+                nodes_visited=index.stats().nodes_visited,
+                leaf_fill=fill,
+            )
+    return table
+
+
+def ablation_dimensionality(
+    profile: str = "bench",
+    seed: int = 0,
+    datasets: Optional[Sequence[str]] = None,
+) -> Table:
+    """Query cost vs dimensionality (beyond the paper's 2-D datasets).
+
+    Gaussian mixtures embedded in d = 2..8 dimensions at constant n; the
+    list-based indexes are dimension-oblivious (they only see distances)
+    while the box-pruning indexes degrade as boxes become less selective —
+    the classic curse-of-dimensionality effect, quantified with probe
+    counters.
+    """
+    import numpy as np
+
+    from repro.indexes.kdtree import KDTreeIndex
+    from repro.indexes.list_index import ListIndex
+
+    del datasets  # synthetic sweep; the dataset argument does not apply
+    n = {"test": 600, "bench": 2000, "large": 5000}.get(profile, 2000)
+    table = Table(
+        "Ablation — query cost vs dimensionality (n fixed)",
+        [
+            "d", "n", "index", "seconds", "nodes_visited",
+            "distance_evals", "objects_scanned",
+        ],
+    )
+    rng = np.random.default_rng(seed)
+    for d in (2, 3, 5, 8):
+        centers = rng.uniform(0.0, 10.0, size=(6, d))
+        points = np.concatenate(
+            [rng.normal(c, 0.5, size=(n // 6 + 1, d)) for c in centers]
+        )[:n]
+        dc = 1.0
+        for factory in (lambda: ListIndex(), lambda: KDTreeIndex(), lambda: RTreeIndex()):
+            index = factory().fit(points)
+            _, timing = time_quantities(index, dc)
+            stats = index.stats()
+            table.add_row(
+                d=d, n=n, index=index.name, seconds=timing.total_seconds,
+                nodes_visited=stats.nodes_visited,
+                distance_evals=stats.distance_evals,
+                objects_scanned=stats.objects_scanned,
+            )
+    return table
+
+
+def ablation_densities(
+    profile: str = "bench",
+    seed: int = 0,
+    datasets: Optional[Sequence[str]] = None,
+) -> Table:
+    """Cut-off (Eq. 1) vs Gaussian-kernel vs kNN densities (extension).
+
+    Same index, same δ machinery, three density definitions; reports wall
+    clock for the density step and agreement with generator ground truth
+    (ARI) where the dataset has one.
+    """
+    import time as _time
+
+    import numpy as np
+
+    from repro.core.assignment import assign_labels
+    from repro.core.decision import select_centers_top_k
+    from repro.core.quantities import DensityOrder
+    from repro.extras.variants import gaussian_density, knn_density
+    from repro.indexes.list_index import ListIndex
+    from repro.metrics.external import adjusted_rand_index
+
+    table = Table(
+        "Ablation — density definitions (cut-off vs kernel vs kNN)",
+        ["dataset", "n", "density", "rho_seconds", "k_or_dc", "ari_vs_truth"],
+    )
+    for name in datasets or ("s1", "birch"):
+        ds = load_dataset(name, profile=profile, seed=seed)
+        dc = ds.params.dc_default
+        k_clusters = int(ds.meta.get("clusters", 15))
+        index = ListIndex().fit(ds.points)
+        knn_k = max(4, ds.n // 100)
+
+        def run(label, rho, knob):
+            order = DensityOrder(rho)
+            delta, mu = index.delta_all(order)
+            from repro.core.quantities import DPCQuantities
+
+            q = DPCQuantities(dc=dc, rho=order.rho, delta=delta, mu=mu, density_order=order)
+            centers = select_centers_top_k(q, k_clusters)
+            labels = assign_labels(q, centers, points=ds.points)
+            ari = (
+                adjusted_rand_index(ds.labels, labels)
+                if ds.labels is not None
+                else None
+            )
+            table.add_row(
+                dataset=ds.name, n=ds.n, density=label,
+                rho_seconds=rho_time, k_or_dc=knob, ari_vs_truth=ari,
+            )
+
+        start = _time.perf_counter()
+        cutoff = index.rho_all(dc).astype(np.float64)
+        rho_time = _time.perf_counter() - start
+        run("cut-off", cutoff, dc)
+
+        start = _time.perf_counter()
+        kernel = gaussian_density(ds.points, dc)
+        rho_time = _time.perf_counter() - start
+        run("gaussian", kernel, dc)
+
+        start = _time.perf_counter()
+        knn = knn_density(index, k=knn_k)
+        rho_time = _time.perf_counter() - start
+        run("knn", knn, knn_k)
+    return table
+
+
+ABLATIONS = {
+    "ablation-frontier": ablation_frontier,
+    "ablation-pruning": ablation_pruning,
+    "ablation-packing": ablation_rtree_packing,
+    "ablation-dimensionality": ablation_dimensionality,
+    "ablation-densities": ablation_densities,
+}

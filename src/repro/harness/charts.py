@@ -1,0 +1,104 @@
+"""ASCII charts for the harness CLI.
+
+The paper's results are figures; ``python -m repro.harness fig6 --chart``
+renders the regenerated series as monospace bar charts so the shape (growth,
+collapse, crossover) is visible without leaving the terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.harness.tables import Table
+
+__all__ = ["bar_chart", "grouped_chart", "chart_table"]
+
+
+def _format_value(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1e5 or abs(value) < 1e-3:
+        return f"{value:.2g}"
+    return f"{value:.4g}"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str = "",
+    width: int = 48,
+) -> str:
+    """One horizontal bar per (label, value); bars scale to the maximum."""
+    if len(labels) != len(values):
+        raise ValueError(f"{len(labels)} labels vs {len(values)} values")
+    if not labels:
+        return f"== {title} ==\n(no data)"
+    peak = max((abs(v) for v in values), default=0.0)
+    label_w = max(len(str(l)) for l in labels)
+    lines = [f"== {title} =="] if title else []
+    for label, value in zip(labels, values):
+        bar = "" if peak == 0 else "█" * max(1, int(round(abs(value) / peak * width)))
+        lines.append(f"{str(label):>{label_w}} | {bar} {_format_value(value)}")
+    return "\n".join(lines)
+
+
+def grouped_chart(
+    groups: Dict[str, Dict[str, float]],
+    title: str = "",
+    width: int = 40,
+) -> str:
+    """Bars grouped by an outer key: ``{group: {series: value}}``.
+
+    Matches the paper's multi-series figures (e.g. one group per dc, one bar
+    per index).
+    """
+    lines = [f"== {title} =="] if title else []
+    all_values = [v for series in groups.values() for v in series.values()]
+    peak = max((abs(v) for v in all_values), default=0.0)
+    series_w = max(
+        (len(str(s)) for series in groups.values() for s in series), default=1
+    )
+    for group, series in groups.items():
+        lines.append(f"{group}:")
+        for name, value in series.items():
+            bar = "" if peak == 0 else "█" * max(1, int(round(abs(value) / peak * width)))
+            lines.append(f"  {str(name):>{series_w}} | {bar} {_format_value(value)}")
+    return "\n".join(lines)
+
+
+def chart_table(
+    table: Table,
+    value_column: str,
+    label_column: str,
+    group_column: Optional[str] = None,
+    width: int = 40,
+) -> str:
+    """Render a harness :class:`Table` as a (grouped) bar chart.
+
+    Rows with missing values are skipped.  With ``group_column``, one block
+    per distinct group value is emitted.
+    """
+    rows = [r for r in table.rows if r.get(value_column) is not None]
+    if group_column is None:
+        labels = [str(r[label_column]) for r in rows]
+        values = [float(r[value_column]) for r in rows]
+        return bar_chart(labels, values, title=table.title, width=width)
+    groups: Dict[str, Dict[str, float]] = {}
+    for r in rows:
+        group = str(r[group_column])
+        groups.setdefault(group, {})[str(r[label_column])] = float(r[value_column])
+    return grouped_chart(groups, title=table.title, width=width)
+
+
+#: Per-experiment chart configuration: (value, label, group) columns.
+CHART_SPECS: Dict[str, Dict[str, Optional[str]]] = {
+    "fig5": {"value_column": "seconds", "label_column": "method", "group_column": "dataset"},
+    "table3": {"value_column": "memory_mb", "label_column": "method", "group_column": "dataset"},
+    "table4": {"value_column": "seconds", "label_column": "method", "group_column": "dataset"},
+    "fig6": {"value_column": "seconds", "label_column": "dc", "group_column": "method"},
+    "fig7": {"value_column": "rho_seconds", "label_column": "w", "group_column": "dataset"},
+    "fig8": {"value_column": "seconds", "label_column": "tau", "group_column": "method"},
+    "fig9a": {"value_column": "histogram_mb", "label_column": "w", "group_column": "dataset"},
+    "fig9b": {"value_column": "memory_mb", "label_column": "tau", "group_column": "dataset"},
+    "fig10": {"value_column": "f1", "label_column": "tau", "group_column": "dataset"},
+}

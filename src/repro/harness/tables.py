@@ -1,0 +1,91 @@
+"""Plain-text result tables for the experiment harness.
+
+Each experiment produces a :class:`Table` whose rows mirror the rows/series
+of the corresponding paper table or figure; ``render()`` prints an aligned
+monospace table, ``to_csv`` exports for plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["Table"]
+
+
+def _format_cell(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3g}"
+        if magnitude >= 100:
+            return f"{value:.1f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+class Table:
+    """An ordered collection of result rows with a title and column list."""
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[Dict[str, Any]] = []
+
+    def add_row(self, **values: Any) -> None:
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise KeyError(f"unknown columns {sorted(unknown)}; declared: {self.columns}")
+        self.rows.append({c: values.get(c) for c in self.columns})
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def column(self, name: str) -> List[Any]:
+        if name not in self.columns:
+            raise KeyError(f"unknown column {name!r}")
+        return [row[name] for row in self.rows]
+
+    def where(self, **conditions: Any) -> List[Dict[str, Any]]:
+        """Rows matching all ``column=value`` conditions."""
+        out = []
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in conditions.items()):
+                out.append(row)
+        return out
+
+    def render(self) -> str:
+        cells = [[_format_cell(row[c]) for c in self.columns] for row in self.rows]
+        widths = [
+            max(len(c), *(len(r[i]) for r in cells)) if cells else len(c)
+            for i, c in enumerate(self.columns)
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        body = [" | ".join(r[i].rjust(widths[i]) for i in range(len(widths))) for r in cells]
+        lines = [f"== {self.title} ==", header, sep, *body]
+        return "\n".join(lines)
+
+    def to_csv(self, path: Optional[str] = None) -> str:
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=self.columns, lineterminator="\n")
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow(row)
+        text = buffer.getvalue()
+        if path is not None:
+            with open(path, "w", newline="") as handle:
+                handle.write(text)
+        return text
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Table({self.title!r}, rows={len(self.rows)})"

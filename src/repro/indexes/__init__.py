@@ -1,0 +1,29 @@
+"""Index structures for DPC: list-based, histogram, approximate, and trees."""
+
+from repro.indexes.base import DPCIndex, IndexStats
+from repro.indexes.list_index import ListIndex
+from repro.indexes.ch_index import CHIndex
+from repro.indexes.rn_list import RNListIndex, RNCHIndex
+from repro.indexes.quadtree import QuadtreeIndex
+from repro.indexes.rtree import RTreeIndex
+from repro.indexes.kdtree import KDTreeIndex
+from repro.indexes.grid import GridIndex
+from repro.indexes.persist import load_index, save_index
+from repro.indexes.registry import available_indexes, make_index
+
+__all__ = [
+    "DPCIndex",
+    "IndexStats",
+    "ListIndex",
+    "CHIndex",
+    "RNListIndex",
+    "RNCHIndex",
+    "QuadtreeIndex",
+    "RTreeIndex",
+    "KDTreeIndex",
+    "GridIndex",
+    "available_indexes",
+    "make_index",
+    "save_index",
+    "load_index",
+]

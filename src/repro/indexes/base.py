@@ -1,0 +1,243 @@
+"""Common contract for every DPC index.
+
+An index is built **once** over a point set and then answers the two DPC
+queries for **any** ``dc`` (the whole point of the paper: users try many
+``dc`` values, so ρ/δ must be cheap per run):
+
+* ``rho_all(dc)`` — local densities of every object;
+* ``delta_all(order)`` — dependent distances + nearest denser neighbours,
+  given the :class:`~repro.core.quantities.DensityOrder` derived from ρ.
+
+``quantities(dc)`` is the template method that chains the two, and
+``cluster(dc, ...)`` runs steps 3–4 (centre selection + assignment) on top.
+
+Every index also exposes:
+
+* ``memory_bytes()`` — the storage footprint (Table 3 of the paper);
+* ``stats()`` — probe counters (distance evaluations, node visits, objects
+  scanned, prunes) so the complexity claims of Theorems 1–4 can be tested
+  without wall-clock timing;
+* ``build_seconds`` — construction time (Table 4).
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field, fields
+from typing import Any, ClassVar, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.assignment import assign_labels
+from repro.core.decision import (
+    select_centers_auto,
+    select_centers_threshold,
+    select_centers_top_k,
+)
+from repro.core.halo import halo_mask
+from repro.core.quantities import (
+    DensityOrder,
+    DPCQuantities,
+    DPCResult,
+    TieBreak,
+)
+from repro.geometry.distance import Metric, get_metric
+
+__all__ = ["IndexStats", "DPCIndex"]
+
+
+@dataclass
+class IndexStats:
+    """Probe counters accumulated across queries since the last reset.
+
+    These are *logical* work measures, independent of Python overhead:
+
+    * ``distance_evals`` — point-to-point distance computations;
+    * ``objects_scanned`` — list entries or leaf objects examined;
+    * ``nodes_visited`` — tree/grid nodes popped or recursed into;
+    * ``nodes_pruned_density`` — nodes skipped by Lemma 1 (maxrho);
+    * ``nodes_pruned_distance`` — nodes skipped by Lemma 2 (dmin ≥ δ);
+    * ``nodes_contained`` — nodes fully inside the query circle
+      (Observation 1) whose count was added wholesale;
+    * ``binary_searches`` — N-List binary searches performed.
+    """
+
+    distance_evals: int = 0
+    objects_scanned: int = 0
+    nodes_visited: int = 0
+    nodes_pruned_density: int = 0
+    nodes_pruned_distance: int = 0
+    nodes_contained: int = 0
+    binary_searches: int = 0
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def total_work(self) -> int:
+        """A single scalar proxy for query effort."""
+        return (
+            self.distance_evals
+            + self.objects_scanned
+            + self.nodes_visited
+            + self.binary_searches
+        )
+
+
+class DPCIndex(abc.ABC):
+    """Abstract base class for all DPC indexes.
+
+    Subclasses implement ``_build``, ``rho_all`` and ``delta_all``; the
+    lifecycle, validation, timing and the high-level ``quantities`` /
+    ``cluster`` orchestration live here.
+
+    Usage::
+
+        index = ListIndex().fit(points)
+        result = index.cluster(dc=0.25, n_centers=15)
+    """
+
+    #: Registry name; subclasses override.
+    name: ClassVar[str] = "abstract"
+    #: Whether ρ/δ are exact for every ``dc`` (False for the τ-truncated ones).
+    exact: ClassVar[bool] = True
+    #: Required dimensionality (None = any).
+    required_ndim: ClassVar[Optional[int]] = None
+
+    def __init__(self, metric: "str | Metric" = "euclidean"):
+        self.metric = get_metric(metric)
+        self.points: Optional[np.ndarray] = None
+        self.build_seconds: float = float("nan")
+        self._stats = IndexStats()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def fit(self, points: np.ndarray) -> "DPCIndex":
+        """Validate ``points``, build the index, record construction time."""
+        points = np.ascontiguousarray(points, dtype=np.float64)
+        if points.ndim != 2 or len(points) == 0:
+            raise ValueError(
+                f"points must be a non-empty (n, d) array, got shape {points.shape}"
+            )
+        if self.required_ndim is not None and points.shape[1] != self.required_ndim:
+            raise ValueError(
+                f"{type(self).__name__} requires {self.required_ndim}-D points, "
+                f"got {points.shape[1]}-D"
+            )
+        self.points = points
+        start = time.perf_counter()
+        self._build()
+        self.build_seconds = time.perf_counter() - start
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.points is not None
+
+    def _require_fitted(self) -> np.ndarray:
+        if self.points is None:
+            raise RuntimeError(f"{type(self).__name__} is not fitted; call fit(points) first")
+        return self.points
+
+    @property
+    def n(self) -> int:
+        return len(self._require_fitted())
+
+    # -- subclass responsibilities -------------------------------------------
+
+    @abc.abstractmethod
+    def _build(self) -> None:
+        """Construct the index over ``self.points``."""
+
+    @abc.abstractmethod
+    def rho_all(self, dc: float) -> np.ndarray:
+        """Local density of every object for cut-off ``dc`` (int64)."""
+
+    @abc.abstractmethod
+    def delta_all(self, order: DensityOrder) -> Tuple[np.ndarray, np.ndarray]:
+        """Dependent distance δ and nearest denser neighbour μ for every
+        object, under the density ordering ``order``.
+
+        Returns ``(delta, mu)``; ``mu`` uses
+        :data:`~repro.core.quantities.NO_NEIGHBOR` for objects with no denser
+        neighbour (see the tie-break discussion in
+        :mod:`repro.core.quantities`).
+        """
+
+    @abc.abstractmethod
+    def memory_bytes(self) -> int:
+        """Approximate resident size of the index structures, in bytes."""
+
+    # -- template methods ------------------------------------------------------
+
+    def quantities(
+        self, dc: float, tie_break: "str | TieBreak" = TieBreak.ID
+    ) -> DPCQuantities:
+        """Compute the full (ρ, δ, μ) triple for ``dc`` (steps 1–2)."""
+        self._require_fitted()
+        if dc <= 0:
+            raise ValueError(f"dc must be positive, got {dc}")
+        rho = self.rho_all(float(dc))
+        order = DensityOrder(rho, tie_break)
+        delta, mu = self.delta_all(order)
+        return DPCQuantities(dc=float(dc), rho=rho, delta=delta, mu=mu, density_order=order)
+
+    def cluster(
+        self,
+        dc: float,
+        n_centers: Optional[int] = None,
+        rho_min: Optional[float] = None,
+        delta_min: Optional[float] = None,
+        tie_break: "str | TieBreak" = TieBreak.ID,
+        halo: bool = False,
+    ) -> DPCResult:
+        """Full DPC run: quantities, centre selection, assignment (+ halo).
+
+        Exactly one selection mode applies: ``n_centers`` (top-k by γ),
+        both ``rho_min`` and ``delta_min`` (decision-graph thresholds), or
+        neither (automatic largest-γ-gap heuristic).
+        """
+        points = self._require_fitted()
+        q = self.quantities(dc, tie_break)
+        if n_centers is not None and (rho_min is not None or delta_min is not None):
+            raise ValueError("pass either n_centers or rho_min/delta_min, not both")
+        if n_centers is not None:
+            centers = select_centers_top_k(q, n_centers)
+        elif rho_min is not None or delta_min is not None:
+            if rho_min is None or delta_min is None:
+                raise ValueError("rho_min and delta_min must be given together")
+            centers = select_centers_threshold(q, rho_min, delta_min)
+        else:
+            centers = select_centers_auto(q)
+        labels = assign_labels(q, centers, points=points, metric=self.metric)
+        result = DPCResult(quantities=q, centers=centers, labels=labels)
+        if halo:
+            result.halo = halo_mask(points, labels, q.rho, q.dc, metric=self.metric)
+        return result
+
+    # -- instrumentation ---------------------------------------------------------
+
+    def stats(self) -> IndexStats:
+        return self._stats
+
+    def reset_stats(self) -> None:
+        self._stats.reset()
+
+    def describe(self) -> Dict[str, Any]:
+        """Human-oriented summary used by the harness tables."""
+        return {
+            "index": self.name,
+            "n": self.n if self.is_fitted else None,
+            "metric": self.metric.name,
+            "exact": self.exact,
+            "memory_bytes": self.memory_bytes() if self.is_fitted else None,
+            "build_seconds": self.build_seconds,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = f"n={self.n}" if self.is_fitted else "unfitted"
+        return f"{type(self).__name__}({state}, metric={self.metric.name!r})"

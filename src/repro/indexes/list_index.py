@@ -1,0 +1,171 @@
+"""List Index — the paper's N-List structure (Section 3.1, Algorithms 1–2).
+
+For every object ``p`` the index stores *all* other objects sorted by
+non-decreasing distance to ``p`` (the *N-List*).  Then:
+
+* ``ρ(p)`` is the position of the farthest object with ``dist < dc`` — one
+  binary search per object (Algorithm 2 lines 2–6), ``O(n log n)`` total;
+* ``δ(p)`` is found by scanning the N-List near-to-far until the first
+  denser object appears (Algorithm 2 lines 7–13) — expected ``O(1)`` probes
+  per non-peak object (Theorem 1), so ``O(n)`` total in expectation.
+
+Construction is ``O(n² log n)`` time and — the index's Achilles heel the
+paper keeps returning to — ``Θ(n²)`` space.  The builder works in row blocks
+so peak *transient* memory stays bounded, but the resident index is still
+quadratic; use :class:`~repro.indexes.rn_list.RNListIndex` when that does not
+fit (paper Section 3.3).
+
+Implementation notes
+--------------------
+The N-Lists are stored as two ``(n, n-1)`` arrays (ids, distances) rather
+than Python lists; the δ scan is vectorised across all unresolved objects in
+column blocks, which preserves the expected-O(1)-probes-per-object behaviour
+(most rows resolve in the first block) without a per-object Python loop.
+Distance ties are ordered by ascending id (stable argsort), matching the
+baseline's argmin convention.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Optional, Tuple
+
+import numpy as np
+
+from repro.core.quantities import NO_NEIGHBOR, DensityOrder, TieBreak
+from repro.geometry.distance import Metric
+from repro.indexes.base import DPCIndex
+
+__all__ = ["ListIndex"]
+
+
+class ListIndex(DPCIndex):
+    """Exact N-List index (paper Algorithms 1–2).
+
+    Parameters
+    ----------
+    metric:
+        Any registered metric (list indexes need no rectangle bounds).
+    build_block_rows:
+        Row-block size used during construction; bounds transient memory at
+        ``O(block · n)`` without changing the result.
+    scan_block:
+        Column-block width of the vectorised δ scan.  Small blocks waste
+        Python overhead, large blocks waste probes; 32 is a good default for
+        the expected-constant-probe regime.
+    """
+
+    name: ClassVar[str] = "list"
+
+    def __init__(
+        self,
+        metric: "str | Metric" = "euclidean",
+        build_block_rows: int = 512,
+        scan_block: int = 32,
+    ):
+        super().__init__(metric)
+        if build_block_rows <= 0:
+            raise ValueError(f"build_block_rows must be positive, got {build_block_rows}")
+        if scan_block <= 0:
+            raise ValueError(f"scan_block must be positive, got {scan_block}")
+        self.build_block_rows = build_block_rows
+        self.scan_block = scan_block
+        self._neighbor_ids: Optional[np.ndarray] = None  # (n, n-1) int32
+        self._neighbor_dists: Optional[np.ndarray] = None  # (n, n-1) float64
+
+    # -- construction (Algorithm 1) -------------------------------------------
+
+    def _build(self) -> None:
+        points = self.points
+        n = len(points)
+        if n < 2:
+            raise ValueError("ListIndex needs at least 2 points")
+        ids = np.empty((n, n - 1), dtype=np.int32)
+        dists = np.empty((n, n - 1), dtype=np.float64)
+        all_ids = np.arange(n, dtype=np.int32)
+        for start in range(0, n, self.build_block_rows):
+            stop = min(start + self.build_block_rows, n)
+            block = self.metric.cross(points[start:stop], points)
+            for i, p in enumerate(range(start, stop)):
+                row = block[i]
+                # Drop self, then stable-sort by distance (ties by id).
+                keep = all_ids != p
+                neigh = all_ids[keep]
+                d = row[keep]
+                sorting = np.argsort(d, kind="stable")
+                ids[p] = neigh[sorting]
+                dists[p] = d[sorting]
+        self._neighbor_ids = ids
+        self._neighbor_dists = dists
+
+    # -- ρ query (Algorithm 2, lines 2-6) --------------------------------------
+
+    def rho_all(self, dc: float) -> np.ndarray:
+        self._require_fitted()
+        dists = self._neighbor_dists
+        n = len(dists)
+        rho = np.empty(n, dtype=np.int64)
+        for p in range(n):
+            # searchsorted(side="left") == index of farthest object with
+            # dist < dc, which *is* ρ(p) (Example 1 of the paper).
+            rho[p] = np.searchsorted(dists[p], dc, side="left")
+        self._stats.binary_searches += n
+        return rho
+
+    # -- δ query (Algorithm 2, lines 7-13) --------------------------------------
+
+    def delta_all(self, order: DensityOrder) -> Tuple[np.ndarray, np.ndarray]:
+        self._require_fitted()
+        ids = self._neighbor_ids
+        dists = self._neighbor_dists
+        n = len(ids)
+        if len(order) != n:
+            raise ValueError(f"order has {len(order)} objects, index has {n}")
+        delta = np.empty(n, dtype=np.float64)
+        mu = np.full(n, NO_NEIGHBOR, dtype=np.int64)
+
+        unresolved = np.arange(n)
+        width = ids.shape[1]
+        for col in range(0, width, self.scan_block):
+            hi = min(col + self.scan_block, width)
+            cand = ids[unresolved, col:hi]
+            if order.tie_break is TieBreak.ID:
+                denser = order.rank[cand] < order.rank[unresolved, None]
+            else:
+                denser = order.rho[cand] > order.rho[unresolved, None]
+            self._stats.objects_scanned += cand.size
+            found = denser.any(axis=1)
+            if found.any():
+                first = denser[found].argmax(axis=1)
+                rows = unresolved[found]
+                delta[rows] = dists[rows, col + first]
+                mu[rows] = cand[found, first]
+                unresolved = unresolved[~found]
+            if len(unresolved) == 0:
+                break
+
+        # Whatever is left has no denser object at all: the single global
+        # peak under TieBreak.ID, every maximal-density object under STRICT.
+        # Paper convention: δ = max_q dist(p, q) = last N-List entry.
+        for p in unresolved:
+            delta[p] = dists[p, -1]
+            mu[p] = NO_NEIGHBOR
+        return delta, mu
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        if self._neighbor_ids is None:
+            return 0
+        return int(self._neighbor_ids.nbytes + self._neighbor_dists.nbytes)
+
+    # Exposed for CHIndex, which builds its histograms over these arrays, and
+    # for white-box tests.
+    @property
+    def neighbor_ids(self) -> np.ndarray:
+        self._require_fitted()
+        return self._neighbor_ids
+
+    @property
+    def neighbor_dists(self) -> np.ndarray:
+        self._require_fitted()
+        return self._neighbor_dists

@@ -1,0 +1,287 @@
+"""Approximate list-based indexes — the RN-List of paper Section 3.3.
+
+For memory-constrained systems the paper truncates every N-List at a
+*neighbour threshold* τ: only neighbours with ``dist < τ`` are stored (the
+Reduced Neighbor List).  Consequences, all reproduced here:
+
+* ρ is **exact** whenever ``dc ≤ τ``; for ``dc > τ`` no search is performed
+  and the (undercounted) list length is returned — the paper's "running time
+  drops at the expense of loss of accuracy";
+* δ is exact for objects whose denser neighbour lies within τ (the vast
+  majority: non-peaks have small δ); objects whose RN-List contains no denser
+  neighbour get δ set to a large value so they still surface in the decision
+  graph as centre/outlier candidates;
+* memory shrinks from Θ(n²) to Θ(n·k_τ), the paper's Figure 9b.
+
+A row that happens to contain *all* ``n-1`` neighbours is provably complete,
+so its peak δ uses the exact ``max_q dist`` convention — which makes a
+τ ≥ diameter RN-List bit-identical to the exact List Index (tested).
+
+:class:`RNCHIndex` layers cumulative histograms over the truncated lists,
+i.e. the approximate variant of the CH Index (the paper applies the
+approximation "to the above indices", plural).
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Optional, Tuple
+
+import numpy as np
+
+from repro.core.quantities import NO_NEIGHBOR, DensityOrder, TieBreak
+from repro.geometry.distance import Metric
+from repro.indexes.base import DPCIndex
+
+__all__ = ["RNListIndex", "RNCHIndex"]
+
+
+class RNListIndex(DPCIndex):
+    """Truncated (approximate) List Index with neighbour threshold τ.
+
+    Parameters
+    ----------
+    tau:
+        Truncation radius.  The paper's guidance: "usually τ should be set to
+        a large value greater than any possible value of dc to be tested".
+    metric, build_block_rows, scan_block:
+        As in :class:`~repro.indexes.list_index.ListIndex`.
+    """
+
+    name: ClassVar[str] = "rn-list"
+    exact: ClassVar[bool] = False
+
+    def __init__(
+        self,
+        tau: float,
+        metric: "str | Metric" = "euclidean",
+        build_block_rows: int = 512,
+        scan_block: int = 32,
+    ):
+        super().__init__(metric)
+        if tau <= 0:
+            raise ValueError(f"tau must be positive, got {tau}")
+        if build_block_rows <= 0:
+            raise ValueError(f"build_block_rows must be positive, got {build_block_rows}")
+        if scan_block <= 0:
+            raise ValueError(f"scan_block must be positive, got {scan_block}")
+        self.tau = float(tau)
+        self.build_block_rows = build_block_rows
+        self.scan_block = scan_block
+        # CSR layout: row p occupies [offsets[p], offsets[p+1]) in ids/dists.
+        self._offsets: Optional[np.ndarray] = None
+        self._ids: Optional[np.ndarray] = None
+        self._dists: Optional[np.ndarray] = None
+        self._big_delta: float = float("inf")
+
+    # -- construction ------------------------------------------------------------
+
+    def _build(self) -> None:
+        points = self.points
+        n = len(points)
+        if n < 2:
+            raise ValueError(f"{type(self).__name__} needs at least 2 points")
+        all_ids = np.arange(n, dtype=np.int32)
+        row_ids: list = []
+        row_dists: list = []
+        lengths = np.empty(n, dtype=np.int64)
+        max_seen = 0.0
+        for start in range(0, n, self.build_block_rows):
+            stop = min(start + self.build_block_rows, n)
+            block = self.metric.cross(points[start:stop], points)
+            max_seen = max(max_seen, float(block.max()))
+            for i, p in enumerate(range(start, stop)):
+                row = block[i]
+                keep = (row < self.tau) & (all_ids != p)
+                neigh = all_ids[keep]
+                d = row[keep]
+                sorting = np.argsort(d, kind="stable")
+                row_ids.append(neigh[sorting])
+                row_dists.append(d[sorting])
+                lengths[p] = len(neigh)
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        self._offsets = offsets
+        self._ids = (
+            np.concatenate(row_ids) if offsets[-1] else np.empty(0, dtype=np.int32)
+        )
+        self._dists = (
+            np.concatenate(row_dists) if offsets[-1] else np.empty(0, dtype=np.float64)
+        )
+        # "A large value" for truncated peaks: anything ≥ the data diameter
+        # keeps them at the top of the decision graph.
+        self._big_delta = max(max_seen, self.tau)
+
+    def row_lengths(self) -> np.ndarray:
+        self._require_fitted()
+        return np.diff(self._offsets)
+
+    # -- ρ query -------------------------------------------------------------------
+
+    def rho_all(self, dc: float) -> np.ndarray:
+        self._require_fitted()
+        offsets, dists = self._offsets, self._dists
+        n = self.n
+        rho = np.empty(n, dtype=np.int64)
+        if dc > self.tau:
+            # Paper 5.3.1: beyond τ no search happens; the truncated length is
+            # the (approximate) answer.
+            rho[:] = np.diff(offsets)
+            return rho
+        for p in range(n):
+            start, stop = offsets[p], offsets[p + 1]
+            rho[p] = np.searchsorted(dists[start:stop], dc, side="left")
+        self._stats.binary_searches += n
+        return rho
+
+    # -- δ query ---------------------------------------------------------------------
+
+    def delta_all(self, order: DensityOrder) -> Tuple[np.ndarray, np.ndarray]:
+        self._require_fitted()
+        n = self.n
+        if len(order) != n:
+            raise ValueError(f"order has {len(order)} objects, index has {n}")
+        offsets, ids, dists = self._offsets, self._ids, self._dists
+        lengths = np.diff(offsets)
+        delta = np.empty(n, dtype=np.float64)
+        mu = np.full(n, NO_NEIGHBOR, dtype=np.int64)
+
+        # Vectorised near-to-far scan over the CSR rows, mirroring
+        # ListIndex.delta_all but with per-row lengths.
+        unresolved = np.arange(n)
+        col = 0
+        max_len = int(lengths.max()) if n else 0
+        block = self.scan_block
+        while len(unresolved) and col < max_len:
+            width = min(block, max_len - col)
+            rows = unresolved
+            base = offsets[rows][:, None] + col + np.arange(width)[None, :]
+            valid = (col + np.arange(width))[None, :] < lengths[rows][:, None]
+            flat = np.where(valid, base, 0)
+            cand = ids[flat] if len(ids) else np.zeros_like(flat, dtype=np.int32)
+            if order.tie_break is TieBreak.ID:
+                denser = order.rank[cand] < order.rank[rows, None]
+            else:
+                denser = order.rho[cand] > order.rho[rows, None]
+            denser &= valid
+            self._stats.objects_scanned += int(valid.sum())
+            found = denser.any(axis=1)
+            if found.any():
+                first = denser[found].argmax(axis=1)
+                hit_rows = rows[found]
+                flat_hit = offsets[hit_rows] + col + first
+                delta[hit_rows] = dists[flat_hit]
+                mu[hit_rows] = ids[flat_hit]
+                unresolved = unresolved[~found]
+            # Rows whose list is exhausted can never resolve; drop them now to
+            # keep later blocks small.
+            unresolved = unresolved[lengths[unresolved] > col + width]
+            col += width
+
+        # No denser neighbour within τ.  Two cases:
+        resolved = mu != NO_NEIGHBOR
+        for p in np.flatnonzero(~resolved):
+            if lengths[p] == n - 1:
+                # Complete row ⇒ p is a true peak; exact convention applies.
+                delta[p] = dists[offsets[p + 1] - 1]
+            else:
+                delta[p] = self._big_delta
+        return delta, mu
+
+    # -- bookkeeping --------------------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        if self._offsets is None:
+            return 0
+        return int(self._offsets.nbytes + self._ids.nbytes + self._dists.nbytes)
+
+
+class RNCHIndex(RNListIndex):
+    """Approximate CH Index: cumulative histograms over truncated RN-Lists.
+
+    ρ queries use the O(1) bin lookup of Algorithm 4 restricted to the stored
+    τ-neighbourhood; δ queries are inherited from :class:`RNListIndex`.
+    """
+
+    name: ClassVar[str] = "rn-ch"
+    exact: ClassVar[bool] = False
+
+    def __init__(
+        self,
+        tau: float,
+        metric: "str | Metric" = "euclidean",
+        bin_width: Optional[float] = None,
+        default_bins: int = 64,
+        build_block_rows: int = 512,
+        scan_block: int = 32,
+    ):
+        super().__init__(tau, metric, build_block_rows, scan_block)
+        if bin_width is not None and bin_width <= 0:
+            raise ValueError(f"bin_width must be positive, got {bin_width}")
+        if default_bins <= 0:
+            raise ValueError(f"default_bins must be positive, got {default_bins}")
+        self.bin_width = bin_width
+        self.default_bins = default_bins
+        self._hist_offsets: Optional[np.ndarray] = None
+        self._hist_values: Optional[np.ndarray] = None
+
+    def _build(self) -> None:
+        super()._build()
+        if self.bin_width is None:
+            self.bin_width = self.tau / self.default_bins
+        w = float(self.bin_width)
+        offsets, dists = self._offsets, self._dists
+        n = self.n
+        lengths = np.diff(offsets)
+        # Bins must cover every stored neighbour, i.e. up to τ.
+        n_bins = np.full(n, int(np.floor(self.tau / w)) + 1, dtype=np.int64)
+        hist_offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(n_bins, out=hist_offsets[1:])
+        values = np.empty(int(hist_offsets[-1]), dtype=np.int64)
+        for p in range(n):
+            row = dists[offsets[p] : offsets[p + 1]]
+            edges = w * np.arange(1, n_bins[p] + 1, dtype=np.float64)
+            values[hist_offsets[p] : hist_offsets[p + 1]] = np.searchsorted(
+                row, edges, side="left"
+            )
+            values[hist_offsets[p + 1] - 1] = lengths[p]
+        self._hist_offsets = hist_offsets
+        self._hist_values = values
+
+    def rho_all(self, dc: float) -> np.ndarray:
+        self._require_fitted()
+        if dc > self.tau:
+            return super().rho_all(dc)
+        w = float(self.bin_width)
+        offsets, dists = self._offsets, self._dists
+        h_off, values = self._hist_offsets, self._hist_values
+        n = self.n
+        bin_real = dc / w
+        target = int(np.floor(bin_real))
+        on_edge = bin_real == target
+        rho = np.empty(n, dtype=np.int64)
+        for p in range(n):
+            hs, he = h_off[p], h_off[p + 1]
+            size = he - hs
+            if target >= size:
+                rho[p] = values[he - 1]
+            elif on_edge:
+                rho[p] = values[hs + target - 1] if target > 0 else 0
+            else:
+                first = values[hs + target - 1] if target > 0 else 0
+                last = values[hs + target]
+                if first == last:
+                    rho[p] = first
+                else:
+                    row = dists[offsets[p] + first : offsets[p] + last]
+                    rho[p] = first + np.searchsorted(row, dc, side="left")
+                    self._stats.objects_scanned += int(last - first)
+                    self._stats.binary_searches += 1
+        return rho
+
+    def histogram_memory_bytes(self) -> int:
+        if self._hist_values is None:
+            return 0
+        return int(self._hist_values.nbytes + self._hist_offsets.nbytes)
+
+    def memory_bytes(self) -> int:
+        return super().memory_bytes() + self.histogram_memory_bytes()

@@ -1,0 +1,400 @@
+"""Shared query machinery for the tree-based indexes (paper Section 4).
+
+The paper develops one pruning framework and applies it to both Quadtree and
+R-tree ("the pruning techniques are still valid for R-tree ... we omit the
+discussions", Section 4.2.2).  We follow the same factoring: any tree whose
+nodes expose a bounding box, a child list / leaf id array, an object count
+``nc`` and a per-run ``maxrho`` gets
+
+* the ρ query of Algorithm 5 — classify each node against the query circle
+  as *discarded* (``dmin ≥ dc``), *fully contained* (``dmax < dc``, add
+  ``nc`` wholesale) or *intersected* (recurse) — Observation 1;
+* the δ query of Algorithm 6 — best-first search with **density pruning**
+  (Lemma 1: skip nodes with ``maxrho < ρ(p)``; equality is kept so id
+  tie-breaking stays exact) and **distance pruning** (Lemma 2: skip nodes
+  with ``dmin`` beyond the candidate δ).
+
+Ablation knobs (DESIGN.md §3): both prunings can be disabled and the
+best-first frontier can be a heap (the paper's "a priority queue can be used
+to replace the stack") or the paper's original ordered stack.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, ClassVar, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.quantities import NO_NEIGHBOR, DensityOrder, TieBreak
+from repro.geometry.distance import Metric
+from repro.geometry.rect import Rect
+from repro.indexes.base import DPCIndex
+
+__all__ = ["TreeNode", "TreeIndexBase"]
+
+
+class TreeNode:
+    """One node of a spatial tree: a box, plus children or leaf ids.
+
+    ``lo``/``hi`` are the box corners (kept as raw arrays — hot query paths
+    bypass :class:`~repro.geometry.rect.Rect` to avoid per-visit wrapper
+    costs).  ``lo_t``/``hi_t`` are plain-float tuples of the same corners,
+    filled by :meth:`finalize_counts`, for the scalar fast path of the 2-D
+    Euclidean traversals.  ``nc`` is the number of objects below the node
+    (paper Table 1); ``maxrho`` is (re)annotated per clustering run since it
+    depends on ``dc``.
+    """
+
+    __slots__ = ("lo", "hi", "lo_t", "hi_t", "children", "ids", "nc", "maxrho")
+
+    def __init__(
+        self,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        children: Optional[List["TreeNode"]] = None,
+        ids: Optional[np.ndarray] = None,
+    ):
+        self.lo = lo
+        self.hi = hi
+        self.lo_t = None
+        self.hi_t = None
+        self.children = children
+        self.ids = ids
+        self.nc = int(len(ids)) if ids is not None else 0
+        self.maxrho = -1
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+    @property
+    def rect(self) -> Rect:
+        return Rect(self.lo, self.hi)
+
+    def finalize_counts(self) -> int:
+        """Fill ``nc`` bottom-up and cache tuple boxes; returns the count."""
+        self.lo_t = tuple(float(v) for v in self.lo)
+        self.hi_t = tuple(float(v) for v in self.hi)
+        if self.children is not None:
+            self.nc = sum(child.finalize_counts() for child in self.children)
+        else:
+            # Leaf ids may have been assigned after construction (the dynamic
+            # R-tree buffers them); recompute rather than trusting __init__.
+            self.nc = int(len(self.ids)) if self.ids is not None else 0
+        return self.nc
+
+    def iter_nodes(self):
+        """Pre-order iteration over the subtree (tests, memory accounting)."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            if node.children is not None:
+                stack.extend(node.children)
+
+    def height(self) -> int:
+        """Leaf = 1."""
+        if self.children is None:
+            return 1
+        return 1 + max(child.height() for child in self.children)
+
+
+class TreeIndexBase(DPCIndex):
+    """Query algorithms shared by Quadtree / R-tree / kd-tree.
+
+    Subclasses build ``self._root`` in ``_build`` and may override
+    ``memory_bytes``.  Query-behaviour knobs:
+
+    Parameters
+    ----------
+    density_pruning, distance_pruning:
+        Enable Lemma 1 / Lemma 2 in the δ query (both on by default; exposed
+        for the ablation benchmarks — disabling them changes *work*, never
+        *results*).
+    frontier:
+        ``"heap"`` — best-first via priority queue; ``"stack"`` — the paper's
+        Algorithm 6 ordered stack (children pushed best-last so the nearest
+        is popped first).
+    """
+
+    def __init__(
+        self,
+        metric: "str | Metric" = "euclidean",
+        density_pruning: bool = True,
+        distance_pruning: bool = True,
+        frontier: str = "heap",
+    ):
+        super().__init__(metric)
+        if not self.metric.supports_rect_bounds:
+            raise ValueError(
+                f"metric {self.metric.name!r} has no exact rectangle bounds; "
+                "tree indexes cannot prune with it (use a list-based index)"
+            )
+        if frontier not in ("heap", "stack"):
+            raise ValueError(f"frontier must be 'heap' or 'stack', got {frontier!r}")
+        self.density_pruning = density_pruning
+        self.distance_pruning = distance_pruning
+        self.frontier = frontier
+        self._root: Optional[TreeNode] = None
+
+    # -- bound-function selection -------------------------------------------------
+
+    def _bound_fns(self):
+        """Pick (mindist, maxdist, q_of) node-bound callables for queries.
+
+        For the ubiquitous 2-D Euclidean case a scalar ``math``-based fast
+        path avoids per-visit numpy temporaries (~6x less traversal
+        overhead); any other metric/dimension falls back to the generic
+        rectangle bounds.  Both paths compute the exact same values, so
+        pruning decisions are identical.
+        """
+        if self.metric.name == "euclidean" and self.points.shape[1] == 2:
+            sqrt = math.sqrt
+
+            def mindist(q, node) -> float:
+                qx, qy = q
+                lo = node.lo_t
+                hi = node.hi_t
+                dx = lo[0] - qx
+                if dx < 0.0:
+                    dx = qx - hi[0]
+                    if dx < 0.0:
+                        dx = 0.0
+                dy = lo[1] - qy
+                if dy < 0.0:
+                    dy = qy - hi[1]
+                    if dy < 0.0:
+                        dy = 0.0
+                return sqrt(dx * dx + dy * dy)
+
+            def maxdist(q, node) -> float:
+                qx, qy = q
+                lo = node.lo_t
+                hi = node.hi_t
+                dx = qx - lo[0]
+                dx2 = hi[0] - qx
+                if dx2 > dx:
+                    dx = dx2
+                dy = qy - lo[1]
+                dy2 = hi[1] - qy
+                if dy2 > dy:
+                    dy = dy2
+                return sqrt(dx * dx + dy * dy)
+
+            def q_of(point: np.ndarray):
+                return (float(point[0]), float(point[1]))
+
+        else:
+            rect_min = self.metric.rect_mindist
+            rect_max = self.metric.rect_maxdist
+
+            def mindist(q, node) -> float:
+                return rect_min(q, node.lo, node.hi)
+
+            def maxdist(q, node) -> float:
+                return rect_max(q, node.lo, node.hi)
+
+            def q_of(point: np.ndarray):
+                return point
+
+        return mindist, maxdist, q_of
+
+    # -- per-run annotation ------------------------------------------------------
+
+    def _annotate_maxrho(self, rho: np.ndarray) -> None:
+        """Post-order maxrho fill (the paper's pre-pass before Algorithm 6).
+
+        Dtype-agnostic: integer ρ (Eq. 1 counts) and real-valued ρ (the
+        kernel/kNN variants in :mod:`repro.extras.variants`) both work.
+        """
+        root = self._root
+        stack: List[Tuple[TreeNode, bool]] = [(root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if node.is_leaf:
+                node.maxrho = rho[node.ids].max() if len(node.ids) else -np.inf
+            elif expanded:
+                node.maxrho = max(child.maxrho for child in node.children)
+            else:
+                stack.append((node, True))
+                stack.extend((child, False) for child in node.children)
+
+    # -- ρ query (Algorithm 5 / Observation 1) -------------------------------------
+
+    def rho_all(self, dc: float) -> np.ndarray:
+        points = self._require_fitted()
+        mindist, maxdist, q_of = self._bound_fns()
+        n = len(points)
+        rho = np.empty(n, dtype=np.int64)
+        for p in range(n):
+            rho[p] = self._rho_one(points[p], q_of(points[p]), dc, mindist, maxdist)
+        # Every object was counted inside its own query circle (dist 0 < dc);
+        # Eq. 1 excludes the object itself.
+        rho -= 1
+        return rho
+
+    def _rho_one(self, point: np.ndarray, q, dc: float, mindist, maxdist) -> int:
+        dist_from = self.metric.distances_from
+        points = self.points
+        stats = self._stats
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            stats.nodes_visited += 1
+            if mindist(q, node) >= dc:
+                continue  # discarded: R ∩ Q = ∅
+            if maxdist(q, node) < dc:
+                count += node.nc  # fully contained: R ⊂ Q
+                stats.nodes_contained += 1
+                continue
+            if node.is_leaf:
+                d = dist_from(points[node.ids], point)
+                stats.distance_evals += len(node.ids)
+                count += int((d < dc).sum())
+            else:
+                stack.extend(node.children)
+        return count
+
+    # -- δ query (Algorithm 6) --------------------------------------------------------
+
+    def delta_all(self, order: DensityOrder) -> Tuple[np.ndarray, np.ndarray]:
+        points = self._require_fitted()
+        n = len(points)
+        if len(order) != n:
+            raise ValueError(f"order has {len(order)} objects, index has {n}")
+        self._annotate_maxrho(order.rho)
+        mindist, _maxdist, q_of = self._bound_fns()
+        delta = np.empty(n, dtype=np.float64)
+        mu = np.full(n, NO_NEIGHBOR, dtype=np.int64)
+        peaks = set(int(p) for p in order.global_peaks())
+        one = self._delta_one_heap if self.frontier == "heap" else self._delta_one_stack
+        for p in range(n):
+            if p in peaks:
+                # Paper convention for the densest object(s):
+                # δ = max_q dist(p, q); a single exact sweep.
+                d = self.metric.distances_from(points, points[p])
+                self._stats.distance_evals += n
+                delta[p] = float(d.max())
+                mu[p] = NO_NEIGHBOR
+            else:
+                delta[p], mu[p] = one(p, order, mindist, q_of)
+        return delta, mu
+
+    def _leaf_best(
+        self, node: TreeNode, p: int, q: np.ndarray, order: DensityOrder
+    ) -> Tuple[float, int]:
+        """Best (distance, id) among denser objects in a leaf; (inf, -1) if none.
+
+        Ties on distance prefer the smaller id, matching the baseline's
+        first-occurrence ``argmin`` and the List Index's stable ordering.
+        """
+        ids = node.ids
+        denser = order.denser_mask(p, ids)
+        self._stats.objects_scanned += len(ids)
+        if not denser.any():
+            return np.inf, -1
+        cand = ids[denser]
+        d = self.metric.distances_from(self.points[cand], q)
+        self._stats.distance_evals += len(cand)
+        best = np.lexsort((cand, d))[0]
+        return float(d[best]), int(cand[best])
+
+    def _delta_one_heap(self, p: int, order: DensityOrder, mindist, q_of) -> Tuple[float, int]:
+        point = self.points[p]
+        q = q_of(point)
+        stats = self._stats
+        rho_p = order.rho[p]
+        best_d, best_id = np.inf, -1
+        counter = 0  # heap tie-breaker; TreeNodes are not comparable
+        heap = [(0.0, counter, self._root)]
+        while heap:
+            dmin, _, node = heapq.heappop(heap)
+            # Lemma 2: the heap is dmin-ordered, so the first non-improving
+            # node ends the search.  '>' (not '>=') keeps equal-distance
+            # candidates reachable for exact id tie-breaking.
+            if self.distance_pruning and dmin > best_d:
+                stats.nodes_pruned_distance += len(heap) + 1
+                break
+            stats.nodes_visited += 1
+            if node.is_leaf:
+                d, qid = self._leaf_best(node, p, point, order)
+                if d < best_d or (d == best_d and qid != -1 and qid < best_id):
+                    best_d, best_id = d, qid
+                continue
+            for child in node.children:
+                if self.density_pruning and child.maxrho < rho_p:
+                    stats.nodes_pruned_density += 1
+                    continue  # Lemma 1 (equality kept: ties may be denser)
+                child_dmin = mindist(q, child)
+                if self.distance_pruning and child_dmin > best_d:
+                    stats.nodes_pruned_distance += 1
+                    continue
+                counter += 1
+                heapq.heappush(heap, (child_dmin, counter, child))
+        return best_d, best_id
+
+    def _delta_one_stack(self, p: int, order: DensityOrder, mindist, q_of) -> Tuple[float, int]:
+        """Algorithm 6 verbatim: ordered stack, nearest child pushed last."""
+        point = self.points[p]
+        q = q_of(point)
+        stats = self._stats
+        rho_p = order.rho[p]
+        best_d, best_id = np.inf, -1
+        stack: List[Tuple[float, TreeNode]] = [(0.0, self._root)]
+        while stack:
+            dmin, node = stack.pop()
+            if self.distance_pruning and dmin > best_d:
+                stats.nodes_pruned_distance += 1
+                continue  # unlike the heap, later stack entries may still win
+            stats.nodes_visited += 1
+            if node.is_leaf:
+                d, qid = self._leaf_best(node, p, point, order)
+                if d < best_d or (d == best_d and qid != -1 and qid < best_id):
+                    best_d, best_id = d, qid
+                continue
+            survivors = []
+            for child in node.children:
+                if self.density_pruning and child.maxrho < rho_p:
+                    stats.nodes_pruned_density += 1
+                    continue
+                child_dmin = mindist(q, child)
+                if self.distance_pruning and child_dmin > best_d:
+                    stats.nodes_pruned_distance += 1
+                    continue
+                survivors.append((child_dmin, child))
+            # Push farthest first so the best candidate is on top (the
+            # paper's lines 13-24 achieve the same with the temp node).
+            survivors.sort(key=lambda item: -item[0])
+            stack.extend(survivors)
+        return best_d, best_id
+
+    # -- bookkeeping -------------------------------------------------------------------
+
+    @property
+    def root(self) -> TreeNode:
+        if self._root is None:
+            raise RuntimeError(f"{type(self).__name__} is not fitted")
+        return self._root
+
+    def node_count(self) -> int:
+        return sum(1 for _ in self.root.iter_nodes())
+
+    def height(self) -> int:
+        return self.root.height()
+
+    def memory_bytes(self) -> int:
+        """Boxes + child pointers + leaf id arrays, per node."""
+        if self._root is None:
+            return 0
+        total = 0
+        for node in self._root.iter_nodes():
+            total += node.lo.nbytes + node.hi.nbytes
+            total += 64  # object header + slot pointers (approximation)
+            if node.ids is not None:
+                total += node.ids.nbytes
+            if node.children is not None:
+                total += 8 * len(node.children)
+        return total

@@ -1,0 +1,34 @@
+"""Clustering-quality metrics.
+
+The paper evaluates its approximate solution with *pairwise* Precision,
+Recall and F1 (Eqs. 3–5) against the exact DPC clustering as reference;
+:mod:`repro.metrics.pair_metrics` implements those.  The usual external
+metrics (ARI, NMI, FMI, purity, V-measure) are in
+:mod:`repro.metrics.external` for the examples and extended analyses.
+"""
+
+from repro.metrics.pair_metrics import (
+    contingency_matrix,
+    pair_confusion,
+    pairwise_precision_recall_f1,
+    PairQuality,
+)
+from repro.metrics.external import (
+    adjusted_rand_index,
+    fowlkes_mallows_index,
+    normalized_mutual_information,
+    purity_score,
+    v_measure,
+)
+
+__all__ = [
+    "contingency_matrix",
+    "pair_confusion",
+    "pairwise_precision_recall_f1",
+    "PairQuality",
+    "adjusted_rand_index",
+    "fowlkes_mallows_index",
+    "normalized_mutual_information",
+    "purity_score",
+    "v_measure",
+]

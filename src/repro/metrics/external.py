@@ -1,0 +1,120 @@
+"""Standard external clustering metrics (beyond the paper's Eqs. 3–5).
+
+Implemented from the contingency table, no third-party dependencies:
+Adjusted Rand Index, Fowlkes–Mallows, Normalized Mutual Information,
+purity, and V-measure (homogeneity / completeness).  Used by the examples
+and the extended quality analyses; the paper's own figures only need the
+pairwise metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.metrics.pair_metrics import contingency_matrix, pair_confusion
+
+__all__ = [
+    "adjusted_rand_index",
+    "fowlkes_mallows_index",
+    "normalized_mutual_information",
+    "purity_score",
+    "v_measure",
+]
+
+
+def adjusted_rand_index(reference: np.ndarray, obtained: np.ndarray) -> float:
+    """ARI ∈ [-1, 1]; 1 = identical partitions, ~0 = random agreement."""
+    q = pair_confusion(reference, obtained)
+    tp, fp, fn, tn = q.tp, q.fp, q.fn, q.tn
+    total = tp + fp + fn + tn
+    if total == 0:
+        return 1.0
+    sum_ref = tp + fn
+    sum_obt = tp + fp
+    expected = sum_ref * sum_obt / total
+    max_index = (sum_ref + sum_obt) / 2.0
+    if max_index == expected:
+        # Degenerate partitions (e.g. everything in one cluster on both
+        # sides): identical by convention.
+        return 1.0
+    return float((tp - expected) / (max_index - expected))
+
+
+def fowlkes_mallows_index(reference: np.ndarray, obtained: np.ndarray) -> float:
+    """FMI = sqrt(pairwise precision × recall) ∈ [0, 1]."""
+    q = pair_confusion(reference, obtained)
+    return float(np.sqrt(q.precision * q.recall))
+
+
+def _entropy(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts[counts > 0] / total
+    return float(-(p * np.log(p)).sum())
+
+
+def _mutual_information(table: np.ndarray) -> float:
+    n = table.sum()
+    if n == 0:
+        return 0.0
+    rows = table.sum(axis=1, keepdims=True)
+    cols = table.sum(axis=0, keepdims=True)
+    mask = table > 0
+    p = table[mask] / n
+    outer = (rows @ cols)[mask] / (n * n)
+    return float((p * np.log(p / outer)).sum())
+
+
+def normalized_mutual_information(
+    reference: np.ndarray, obtained: np.ndarray
+) -> float:
+    """NMI with arithmetic-mean normalisation, ∈ [0, 1]."""
+    table, ref_sizes, obt_sizes = contingency_matrix(reference, obtained)
+    mi = _mutual_information(table)
+    h_ref = _entropy(ref_sizes)
+    h_obt = _entropy(obt_sizes)
+    if h_ref == 0.0 and h_obt == 0.0:
+        return 1.0
+    denom = (h_ref + h_obt) / 2.0
+    if denom == 0.0:
+        return 0.0
+    return float(mi / denom)
+
+
+def purity_score(reference: np.ndarray, obtained: np.ndarray) -> float:
+    """Fraction of objects in the majority reference class of their cluster."""
+    table, _, _ = contingency_matrix(reference, obtained)
+    n = table.sum()
+    if n == 0:
+        return 1.0
+    return float(table.max(axis=0).sum() / n)
+
+
+def v_measure(
+    reference: np.ndarray, obtained: np.ndarray, beta: float = 1.0
+) -> Tuple[float, float, float]:
+    """(homogeneity, completeness, V-measure).
+
+    Homogeneity: each obtained cluster contains only one reference class;
+    completeness: each reference class lands in one obtained cluster;
+    V-measure: their (β-weighted) harmonic mean.
+    """
+    table, ref_sizes, obt_sizes = contingency_matrix(reference, obtained)
+    h_ref = _entropy(ref_sizes)
+    h_obt = _entropy(obt_sizes)
+    mi = _mutual_information(table)
+    homogeneity = 1.0 if h_ref == 0.0 else mi / h_ref
+    completeness = 1.0 if h_obt == 0.0 else mi / h_obt
+    if homogeneity + completeness == 0.0:
+        v = 0.0
+    else:
+        v = (
+            (1.0 + beta)
+            * homogeneity
+            * completeness
+            / (beta * homogeneity + completeness)
+        )
+    return float(homogeneity), float(completeness), float(v)

@@ -1,0 +1,59 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.baseline import naive_quantities
+from repro.core.quantities import DPCQuantities
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def blobs():
+    """Three well-separated Gaussian blobs + sprinkled noise (~320 points)."""
+    r = np.random.default_rng(7)
+    return np.concatenate(
+        [
+            r.normal([0.0, 0.0], 0.3, size=(110, 2)),
+            r.normal([4.0, 4.0], 0.4, size=(130, 2)),
+            r.normal([8.0, 0.0], 0.25, size=(60, 2)),
+            r.uniform(-1.0, 9.0, size=(20, 2)),
+        ]
+    )
+
+
+@pytest.fixture
+def blobs_quantities(blobs):
+    """Baseline (ρ, δ, μ) for the blobs fixture at dc = 0.5."""
+    return naive_quantities(blobs, 0.5)
+
+
+def assert_quantities_equal(a: DPCQuantities, b: DPCQuantities) -> None:
+    """Bit-exact equality of two quantity triples (the exactness contract)."""
+    np.testing.assert_array_equal(a.rho, b.rho, err_msg="rho differs")
+    np.testing.assert_array_equal(a.delta, b.delta, err_msg="delta differs")
+    np.testing.assert_array_equal(a.mu, b.mu, err_msg="mu differs")
+
+
+def safe_dc(points: np.ndarray, fraction: float = 0.3) -> float:
+    """A dc that no pairwise distance sits near (for FP-robust exact tests).
+
+    Takes the ``fraction`` quantile of the pairwise distances and moves it to
+    the midpoint of the two unique distances bracketing it, so boundary
+    comparisons (< dc) can never flip between code paths.
+    """
+    from repro.geometry.distance import pairwise_distances
+
+    d = pairwise_distances(points)
+    iu = np.triu_indices(len(points), k=1)
+    flat = np.unique(d[iu])
+    if len(flat) < 2:
+        return float(flat[0] if len(flat) else 1.0) or 1.0
+    idx = int(np.clip(round(fraction * (len(flat) - 1)), 0, len(flat) - 2))
+    return float((flat[idx] + flat[idx + 1]) / 2.0)

@@ -1,0 +1,69 @@
+"""Integration tests for the ablation experiments."""
+
+import pytest
+
+from repro.harness.ablations import (
+    ablation_dimensionality,
+    ablation_frontier,
+    ablation_pruning,
+    ablation_rtree_packing,
+)
+
+
+@pytest.fixture(scope="module")
+def small():
+    return {"profile": "test", "seed": 0}
+
+
+class TestFrontier:
+    def test_both_frontiers_covered(self, small):
+        t = ablation_frontier(**small, datasets=["birch"])
+        assert {r["frontier"] for r in t.rows} == {"heap", "stack"}
+        assert {r["index"] for r in t.rows} == {"rtree", "quadtree"}
+
+    def test_heap_visits_no_more_nodes(self, small):
+        t = ablation_frontier(**small, datasets=["birch"])
+        for index in ("rtree", "quadtree"):
+            rows = {r["frontier"]: r["nodes_visited"] for r in t.where(index=index)}
+            # Global best-first (heap) cannot be beaten by the local stack
+            # order on node visits; allow equality.
+            assert rows["heap"] <= rows["stack"]
+
+
+class TestPruning:
+    def test_full_pruning_minimises_visits(self, small):
+        t = ablation_pruning(**small)
+        visits = {
+            (r["density"], r["distance"]): r["nodes_visited"] for r in t.rows
+        }
+        assert visits[(True, True)] < visits[(False, False)]
+        assert visits[(True, True)] <= visits[(True, False)]
+        assert visits[(True, True)] <= visits[(False, True)]
+
+
+class TestPacking:
+    def test_str_builds_faster_and_packs_fuller(self, small):
+        t = ablation_rtree_packing(**small)
+        rows = {r["packing"]: r for r in t.rows}
+        assert rows["str"]["build_seconds"] < rows["dynamic"]["build_seconds"]
+        assert rows["str"]["leaf_fill"] > rows["dynamic"]["leaf_fill"]
+
+
+class TestDimensionality:
+    def test_list_scan_is_dimension_oblivious(self, small):
+        t = ablation_dimensionality(**small)
+        rows = [r for r in t.rows if r["index"] == "list"]
+        scans = [r["objects_scanned"] for r in rows]
+        # The list index sees only distances; its probe count stays within a
+        # small band across dimensions.
+        assert max(scans) < 2.0 * min(scans)
+
+    def test_tree_work_grows_with_dimension(self, small):
+        t = ablation_dimensionality(**small)
+        for index in ("kdtree", "rtree"):
+            rows = sorted(
+                (r for r in t.rows if r["index"] == index), key=lambda r: r["d"]
+            )
+            assert rows[-1]["objects_scanned"] > rows[0]["objects_scanned"], (
+                f"{index}: box pruning should degrade from 2-D to 8-D"
+            )

@@ -1,0 +1,81 @@
+"""Integration tests for the τ-approximation (paper §3.3 + Figure 10)."""
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import assign_labels
+from repro.core.baseline import naive_quantities
+from repro.core.decision import select_centers_top_k
+from repro.core.quantities import NO_NEIGHBOR
+from repro.datasets.loaders import load_dataset
+from repro.indexes.rn_list import RNListIndex
+from repro.indexes.rtree import RTreeIndex
+from repro.metrics.pair_metrics import pairwise_precision_recall_f1
+
+
+def cluster_with(index_quantities, k, points):
+    centers = select_centers_top_k(index_quantities, k)
+    return assign_labels(index_quantities, centers, points=points)
+
+
+class TestQualityVsTau:
+    @pytest.mark.parametrize("name,k", [("birch", 30), ("s1", 15)])
+    def test_tau_above_dc_reproduces_exact_clustering(self, name, k):
+        ds = load_dataset(name, n=1500, seed=0)
+        dc = ds.params.dc_default
+        exact = RTreeIndex().fit(ds.points).quantities(dc)
+        labels_ref = cluster_with(exact, k, ds.points)
+
+        tau = dc * 3.0
+        approx = RNListIndex(tau=tau).fit(ds.points).quantities(dc)
+        labels = cluster_with(approx, k, ds.points)
+        _, _, f1 = pairwise_precision_recall_f1(labels_ref, labels)
+        assert f1 > 0.9, f"F1 {f1} too low for tau = 3 dc on {name}"
+
+    def test_tiny_tau_degrades_quality(self):
+        ds = load_dataset("birch", n=1500, seed=0)
+        dc = ds.params.dc_default
+        exact = RTreeIndex().fit(ds.points).quantities(dc)
+        labels_ref = cluster_with(exact, 30, ds.points)
+
+        f1s = []
+        for tau in (dc / 10.0, dc * 3.0):
+            approx = RNListIndex(tau=tau).fit(ds.points).quantities(dc)
+            labels = cluster_with(approx, 30, ds.points)
+            _, _, f1 = pairwise_precision_recall_f1(labels_ref, labels)
+            f1s.append(f1)
+        assert f1s[0] < f1s[1], "quality must drop when tau falls below dc"
+
+    def test_rho_error_only_above_tau(self, blobs):
+        tau = 1.0
+        index = RNListIndex(tau=tau).fit(blobs)
+        below = index.rho_all(0.8)
+        np.testing.assert_array_equal(below, naive_quantities(blobs, 0.8).rho)
+        above = index.rho_all(2.0)
+        true_above = naive_quantities(blobs, 2.0).rho
+        assert (above <= true_above).all()  # truncation only undercounts
+        assert (above < true_above).any()
+
+
+class TestProbeEconomy:
+    def test_fraction_of_index_probed_is_small(self):
+        """Paper §5.4: ~1-3% of the (reduced) index probed per query run."""
+        ds = load_dataset("range", n=2000, seed=0)
+        params = ds.params
+        n = ds.n
+        index = RNListIndex(tau=params.tau_star).fit(ds.points)
+        index.reset_stats()
+        index.quantities(params.dc_default)
+        scanned = index.stats().objects_scanned
+        # The δ scan touches a small multiple of n entries — a vanishing
+        # fraction of the full N-List index (n(n-1) entries) the paper's
+        # probe percentages are measured against.
+        assert scanned < 0.02 * n * (n - 1)
+        assert scanned / n < 64  # expected-constant probes per object
+
+    def test_truncated_peak_count_small(self):
+        ds = load_dataset("birch", n=1500, seed=0)
+        index = RNListIndex(tau=ds.params.tau_star).fit(ds.points)
+        q = index.quantities(ds.params.dc_default)
+        unresolved = (q.mu == NO_NEIGHBOR).sum()
+        assert unresolved < len(ds.points) * 0.05

@@ -1,0 +1,112 @@
+"""Testing the paper's complexity claims via probe counters, not wall-clock.
+
+Theorem 1: List Index δ probes are expected O(1) per non-peak object.
+Theorem 2: CH Index ρ sections are near-constant for a good w.
+Observation 1 / Lemmas 1-2: pruning shrinks tree work, dramatically at the
+extremes of dc.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.quantities import DensityOrder
+from repro.datasets.synthetic import s1
+from repro.indexes.ch_index import CHIndex
+from repro.indexes.list_index import ListIndex
+from repro.indexes.quadtree import QuadtreeIndex
+from repro.indexes.rtree import RTreeIndex
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return s1(n=1500, seed=0)
+
+
+class TestTheorem1:
+    def test_delta_probes_grow_linearly_not_quadratically(self):
+        """Doubling n should roughly double total δ probes (expected O(n))."""
+        sizes = (400, 800, 1600)
+        probes = []
+        for n in sizes:
+            ds = s1(n=n, seed=1)
+            index = ListIndex(scan_block=8).fit(ds.points)
+            rho = index.rho_all(30_000)
+            index.reset_stats()
+            index.delta_all(DensityOrder(rho))
+            probes.append(index.stats().objects_scanned)
+        # Quadratic growth would give ratios ~4; expected-linear gives ~2.
+        assert probes[1] / probes[0] < 3.0
+        assert probes[2] / probes[1] < 3.0
+
+    def test_probes_per_object_bounded(self, dataset):
+        index = ListIndex(scan_block=8).fit(dataset.points)
+        rho = index.rho_all(30_000)
+        index.reset_stats()
+        index.delta_all(DensityOrder(rho))
+        assert index.stats().objects_scanned / len(dataset.points) < 40
+
+
+class TestTheorem2:
+    def test_ch_sections_small_and_stable(self, dataset):
+        """ρ query work per object ≈ one bin's worth of entries."""
+        w = 2000.0
+        index = CHIndex(bin_width=w).fit(dataset.points)
+        index.reset_stats()
+        index.rho_all(30_000 + w / 3)  # off-edge so sections are searched
+        scanned_per_object = index.stats().objects_scanned / len(dataset.points)
+        assert scanned_per_object < 60
+
+    def test_ch_scans_less_than_list_length(self, dataset):
+        index = CHIndex(bin_width=2000.0).fit(dataset.points)
+        index.reset_stats()
+        index.rho_all(30_500.0)
+        # The plain List Index would binary-search the whole (n-1)-long list;
+        # CH touches only the target section.
+        assert index.stats().objects_scanned < len(dataset.points) * 60
+
+
+class TestTreePruning:
+    def test_largest_dc_answers_from_root(self, dataset):
+        index = RTreeIndex().fit(dataset.points)
+        L = 2e6  # larger than the S1 diameter
+        index.reset_stats()
+        rho = index.rho_all(L)
+        assert (rho == len(dataset.points) - 1).all()
+        assert index.stats().nodes_visited == len(dataset.points)
+
+    def test_node_visits_grow_with_dc_until_collapse(self, dataset):
+        index = QuadtreeIndex().fit(dataset.points)
+        visits = []
+        for dc in (5_000, 200_000, 2_000_000):
+            index.reset_stats()
+            index.rho_all(float(dc))
+            visits.append(index.stats().nodes_visited)
+        assert visits[1] > visits[0], "mid dc explores more than small dc"
+        assert visits[2] < visits[1], "the paper's large-dc collapse"
+
+    def test_density_pruning_helps_most_for_peaks(self, dataset):
+        """Lemma 1's motivation: peaks prune many low-density subtrees."""
+        pruned = RTreeIndex().fit(dataset.points)
+        unpruned = RTreeIndex(density_pruning=False).fit(dataset.points)
+        for index in (pruned, unpruned):
+            q = index.quantities(30_000)
+        assert pruned.stats().nodes_visited < unpruned.stats().nodes_visited
+
+    def test_distance_pruning_reduces_leaf_scans(self, dataset):
+        pruned = RTreeIndex().fit(dataset.points)
+        unpruned = RTreeIndex(distance_pruning=False).fit(dataset.points)
+        for index in (pruned, unpruned):
+            index.quantities(30_000)
+        assert pruned.stats().objects_scanned < unpruned.stats().objects_scanned
+
+
+class TestBalanceMatters:
+    def test_rtree_shallower_than_quadtree_on_skewed_data(self):
+        """Paper §4.2: quadtree height follows the data distribution."""
+        rng = np.random.default_rng(5)
+        skewed = np.concatenate(
+            [rng.normal([0, 0], 1e-4, (900, 2)), rng.uniform(0, 1000, (100, 2))]
+        )
+        quad = QuadtreeIndex(capacity=16).fit(skewed)
+        rtree = RTreeIndex(max_entries=16).fit(skewed)
+        assert rtree.height() < quad.height()

@@ -1,0 +1,129 @@
+"""The cross-index exactness contract (DESIGN.md §2).
+
+Every exact index — and the τ-truncated indexes with τ above the data
+diameter — must produce **bit-identical** (ρ, δ, μ) to the naive baseline,
+for multiple datasets, dc values, metrics and both tie conventions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.baseline import naive_quantities
+from repro.indexes.ch_index import CHIndex
+from repro.indexes.grid import GridIndex
+from repro.indexes.kdtree import KDTreeIndex
+from repro.indexes.list_index import ListIndex
+from repro.indexes.quadtree import QuadtreeIndex
+from repro.indexes.rn_list import RNCHIndex, RNListIndex
+from repro.indexes.rtree import RTreeIndex
+
+from tests.conftest import assert_quantities_equal, safe_dc
+
+EXACT_FACTORIES = [
+    pytest.param(lambda: ListIndex(), id="list"),
+    pytest.param(lambda: CHIndex(), id="ch"),
+    pytest.param(lambda: QuadtreeIndex(), id="quadtree"),
+    pytest.param(lambda: RTreeIndex(), id="rtree-str"),
+    pytest.param(lambda: RTreeIndex(packing="dynamic"), id="rtree-dynamic"),
+    pytest.param(lambda: RTreeIndex(frontier="stack"), id="rtree-stack"),
+    pytest.param(lambda: QuadtreeIndex(frontier="stack"), id="quadtree-stack"),
+    pytest.param(lambda: KDTreeIndex(), id="kdtree"),
+    pytest.param(lambda: GridIndex(), id="grid"),
+    pytest.param(lambda: RNListIndex(tau=1e9), id="rn-list-inf"),
+    pytest.param(lambda: RNCHIndex(tau=1e9, bin_width=1e7), id="rn-ch-inf"),
+]
+
+
+def make_workloads():
+    rng = np.random.default_rng(99)
+    blobs = np.concatenate(
+        [
+            rng.normal([0, 0], 0.5, (80, 2)),
+            rng.normal([5, 5], 0.8, (90, 2)),
+            rng.normal([9, 1], 0.3, (50, 2)),
+        ]
+    )
+    uniform = rng.uniform(0, 10, (150, 2))
+    skewed = np.concatenate(
+        [rng.normal([0, 0], 0.05, (120, 2)), rng.uniform(0, 50, (60, 2))]
+    )
+    gridded = np.array([(x, y) for x in range(12) for y in range(12)], dtype=float)
+    return [
+        ("blobs", blobs),
+        ("uniform", uniform),
+        ("skewed", skewed),
+        ("gridded", gridded + 0.0),  # heavy density ties
+    ]
+
+
+WORKLOADS = make_workloads()
+
+
+@pytest.mark.parametrize("factory", EXACT_FACTORIES)
+@pytest.mark.parametrize("workload", [w[0] for w in WORKLOADS])
+def test_bit_identical_to_baseline(factory, workload):
+    points = dict(WORKLOADS)[workload]
+    dc = safe_dc(points, 0.05)
+    base = naive_quantities(points, dc)
+    got = factory().fit(points).quantities(dc)
+    assert_quantities_equal(base, got)
+
+
+@pytest.mark.parametrize("factory", EXACT_FACTORIES)
+def test_bit_identical_strict_mode(factory):
+    points = dict(WORKLOADS)["gridded"]  # maximal ties
+    dc = safe_dc(points, 0.1)
+    base = naive_quantities(points, dc, tie_break="strict")
+    got = factory().fit(points).quantities(dc, tie_break="strict")
+    assert_quantities_equal(base, got)
+
+
+@pytest.mark.parametrize(
+    "fraction", [0.01, 0.2, 0.5, 0.9], ids=["tiny", "small", "mid", "large"]
+)
+def test_dc_sweep_all_indexes_agree(fraction):
+    points = dict(WORKLOADS)["blobs"]
+    dc = safe_dc(points, fraction)
+    base = naive_quantities(points, dc)
+    for factory in (
+        lambda: ListIndex(),
+        lambda: CHIndex(bin_width=0.35),
+        lambda: QuadtreeIndex(capacity=8),
+        lambda: RTreeIndex(max_entries=4),
+        lambda: KDTreeIndex(leaf_size=4),
+        lambda: GridIndex(cell_size=0.9),
+    ):
+        assert_quantities_equal(base, factory().fit(points).quantities(dc))
+
+
+@pytest.mark.parametrize("metric", ["euclidean", "manhattan", "chebyshev"])
+def test_metric_generic_indexes_agree(metric):
+    """The non-quadtree indexes are metric-generic; verify beyond euclidean."""
+    points = dict(WORKLOADS)["blobs"]
+    base = naive_quantities(points, 1.0, metric=metric)
+    for factory in (
+        lambda: ListIndex(metric=metric),
+        lambda: CHIndex(metric=metric),
+        lambda: RTreeIndex(metric=metric),
+        lambda: KDTreeIndex(metric=metric),
+    ):
+        got = factory().fit(points).quantities(1.0)
+        assert_quantities_equal(base, got)
+
+
+def test_cluster_labels_identical_across_indexes(blobs):
+    reference = None
+    for factory in (
+        lambda: ListIndex(),
+        lambda: CHIndex(),
+        lambda: QuadtreeIndex(),
+        lambda: RTreeIndex(),
+        lambda: KDTreeIndex(),
+        lambda: GridIndex(),
+    ):
+        result = factory().fit(blobs).cluster(0.5, n_centers=3)
+        if reference is None:
+            reference = result
+        else:
+            np.testing.assert_array_equal(reference.labels, result.labels)
+            np.testing.assert_array_equal(reference.centers, result.centers)

@@ -1,0 +1,51 @@
+"""Reproducibility: same seed ⇒ bit-identical pipeline outputs."""
+
+import numpy as np
+
+from repro.core.dpc import DensityPeakClustering
+from repro.datasets.loaders import load_dataset
+from repro.harness import ABLATIONS, EXPERIMENTS
+
+
+class TestSeedDeterminism:
+    def test_estimator_is_deterministic(self):
+        runs = []
+        for _ in range(2):
+            ds = load_dataset("brightkite", profile="test", seed=11)
+            model = DensityPeakClustering(index="rtree", dc=0.5, seed=11).fit(ds.points)
+            runs.append((model.labels_.copy(), model.centers_.copy(), model.rho_.copy()))
+        np.testing.assert_array_equal(runs[0][0], runs[1][0])
+        np.testing.assert_array_equal(runs[0][1], runs[1][1])
+        np.testing.assert_array_equal(runs[0][2], runs[1][2])
+
+    def test_auto_dc_is_deterministic(self):
+        ds = load_dataset("query", profile="test", seed=3)
+        a = DensityPeakClustering(index="kdtree", seed=5).fit(ds.points)
+        b = DensityPeakClustering(index="kdtree", seed=5).fit(ds.points)
+        assert a.dc_ == b.dc_
+
+    def test_quality_experiment_rows_repeat(self):
+        from repro.harness.experiments import fig9b_tau_memory
+
+        a = fig9b_tau_memory(profile="test", seed=0, datasets=["birch"])
+        b = fig9b_tau_memory(profile="test", seed=0, datasets=["birch"])
+        assert a.rows == b.rows  # memory numbers carry no timing noise
+
+
+class TestRegistryCompleteness:
+    def test_all_paper_figures_have_experiments(self):
+        for key in ("fig5", "fig6", "fig7", "fig8", "fig9a", "fig9b", "fig10",
+                    "table3", "table4"):
+            assert key in EXPERIMENTS
+
+    def test_ablations_registered_in_cli(self):
+        for key in ABLATIONS:
+            assert key in EXPERIMENTS
+
+    def test_every_experiment_accepts_standard_kwargs(self):
+        import inspect
+
+        for name, func in EXPERIMENTS.items():
+            params = inspect.signature(func).parameters
+            for expected in ("profile", "seed", "datasets"):
+                assert expected in params, (name, expected)

@@ -1,0 +1,84 @@
+"""End-to-end clustering behaviour on generated datasets."""
+
+import numpy as np
+import pytest
+
+from repro.core.dpc import DensityPeakClustering
+from repro.datasets.loaders import load_dataset
+from repro.datasets.synthetic import s1, science_toy
+from repro.metrics.external import adjusted_rand_index
+
+
+class TestRecoverGeneratorStructure:
+    def test_s1_clusters_recovered(self):
+        ds = s1(n=1200, seed=3)
+        model = DensityPeakClustering(index="rtree", dc=30_000, n_centers=15)
+        labels = model.fit_predict(ds.points)
+        assert adjusted_rand_index(ds.labels, labels) > 0.9
+
+    def test_s1_auto_everything(self):
+        ds = s1(n=1200, seed=3)
+        model = DensityPeakClustering(index="kdtree").fit(ds.points)
+        assert 12 <= model.n_clusters_ <= 18
+        assert adjusted_rand_index(ds.labels, model.labels_) > 0.8
+
+    def test_birch_grid_recovered(self):
+        ds = load_dataset("birch", n=3000, seed=1)
+        model = DensityPeakClustering(index="rtree", dc=30_000, n_centers=100)
+        labels = model.fit_predict(ds.points)
+        assert adjusted_rand_index(ds.labels, labels) > 0.85
+
+    def test_science_toy_decision_graph(self):
+        ds = science_toy()
+        model = DensityPeakClustering(index="list", dc=0.5, n_centers=2).fit(ds.points)
+        # Clustered objects (ignore the 3 outliers) should match the layout.
+        core = ds.labels >= 0
+        assert adjusted_rand_index(ds.labels[core], model.labels_[core]) == 1.0
+
+
+class TestDcSensitivity:
+    """Paper Figure 1: different dc produce different clusterings."""
+
+    def test_refit_changes_clustering(self):
+        ds = load_dataset("gowalla", n=1500, seed=0)
+        model = DensityPeakClustering(index="rtree", dc=0.05).fit(ds.points)
+        coarse = model.labels_.copy()
+        k_coarse = model.n_clusters_
+        model.refit(2.0)
+        assert model.n_clusters_ != k_coarse or adjusted_rand_index(
+            coarse, model.labels_
+        ) < 0.999
+
+    def test_rho_monotone_in_dc(self, blobs):
+        model = DensityPeakClustering(index="kdtree", dc=0.2, n_centers=3).fit(blobs)
+        rho_02 = model.rho_.copy()
+        model.refit(0.6)
+        assert (model.rho_ >= rho_02).all()
+        assert model.rho_.sum() > rho_02.sum()
+
+
+class TestHaloEndToEnd:
+    def test_halo_objects_are_border_objects(self):
+        rng = np.random.default_rng(11)
+        pts = np.concatenate(
+            [rng.normal([0, 0], 0.5, (200, 2)), rng.normal([2.4, 0], 0.5, (200, 2))]
+        )
+        model = DensityPeakClustering(index="rtree", dc=0.35, n_centers=2, halo=True)
+        model.fit(pts)
+        halo = model.halo_
+        assert halo is not None and halo.any()
+        # Halo objects have lower density than their cluster cores on average.
+        core_rho = model.rho_[~halo].mean()
+        halo_rho = model.rho_[halo].mean()
+        assert halo_rho < core_rho
+
+
+class TestOutlierStory:
+    def test_checkin_noise_has_low_gamma(self):
+        ds = load_dataset("brightkite", n=1500, seed=2)
+        model = DensityPeakClustering(index="rtree", dc=0.5).fit(ds.points)
+        graph = model.decision_graph_
+        noise = ds.labels == -1
+        # Background check-ins are (on average) much lower density than city
+        # check-ins — the decision graph separates them.
+        assert graph.rho[noise].mean() < graph.rho[~noise].mean() * 0.8

@@ -1,0 +1,86 @@
+"""Hypothesis: invariants of the clustering-quality metrics."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics.external import (
+    adjusted_rand_index,
+    fowlkes_mallows_index,
+    normalized_mutual_information,
+    purity_score,
+    v_measure,
+)
+from repro.metrics.pair_metrics import pair_confusion, pairwise_precision_recall_f1
+
+labelings = st.integers(2, 60).flatmap(
+    lambda n: st.tuples(
+        st.lists(st.integers(0, 5), min_size=n, max_size=n),
+        st.lists(st.integers(0, 5), min_size=n, max_size=n),
+    )
+)
+
+
+@given(labelings)
+@settings(max_examples=60, deadline=None)
+def test_pair_counts_partition_all_pairs(pair):
+    ref, obt = map(np.asarray, pair)
+    q = pair_confusion(ref, obt)
+    n = len(ref)
+    assert q.tp + q.fp + q.fn + q.tn == n * (n - 1) // 2
+    assert min(q.tp, q.fp, q.fn, q.tn) >= 0
+
+
+@given(labelings)
+@settings(max_examples=60, deadline=None)
+def test_metrics_bounded(pair):
+    ref, obt = map(np.asarray, pair)
+    p, r, f1 = pairwise_precision_recall_f1(ref, obt)
+    for v in (p, r, f1):
+        assert 0.0 <= v <= 1.0
+    assert 0.0 <= normalized_mutual_information(ref, obt) <= 1.0 + 1e-12
+    assert 0.0 <= purity_score(ref, obt) <= 1.0
+    assert -1.0 <= adjusted_rand_index(ref, obt) <= 1.0 + 1e-12
+    assert 0.0 <= fowlkes_mallows_index(ref, obt) <= 1.0 + 1e-12
+
+
+@given(labelings)
+@settings(max_examples=60, deadline=None)
+def test_precision_recall_swap_duality(pair):
+    """Swapping reference and obtained swaps precision and recall."""
+    ref, obt = map(np.asarray, pair)
+    p1, r1, f1a = pairwise_precision_recall_f1(ref, obt)
+    p2, r2, f1b = pairwise_precision_recall_f1(obt, ref)
+    assert p1 == r2 and r1 == p2
+    assert abs(f1a - f1b) < 1e-12
+
+
+@given(st.lists(st.integers(0, 5), min_size=2, max_size=60))
+@settings(max_examples=60, deadline=None)
+def test_self_comparison_perfect(labels):
+    labels = np.asarray(labels)
+    assert pairwise_precision_recall_f1(labels, labels) == (1.0, 1.0, 1.0)
+    assert adjusted_rand_index(labels, labels) == 1.0
+    h, c, v = v_measure(labels, labels)
+    assert min(h, c, v) > 1.0 - 1e-9
+
+
+@given(labelings, st.integers(1, 1000))
+@settings(max_examples=40, deadline=None)
+def test_relabeling_invariance(pair, offset):
+    ref, obt = map(np.asarray, pair)
+    renamed = obt + offset  # a pure renaming of cluster ids
+    assert pairwise_precision_recall_f1(ref, obt) == pairwise_precision_recall_f1(
+        ref, renamed
+    )
+    assert adjusted_rand_index(ref, obt) == adjusted_rand_index(ref, renamed)
+
+
+@given(labelings)
+@settings(max_examples=40, deadline=None)
+def test_ari_relates_to_pair_counts(pair):
+    """ARI must be 1 exactly when FP = FN = 0 (identical partitions)."""
+    ref, obt = map(np.asarray, pair)
+    q = pair_confusion(ref, obt)
+    ari = adjusted_rand_index(ref, obt)
+    if q.fp == 0 and q.fn == 0:
+        assert ari == 1.0

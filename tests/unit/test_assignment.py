@@ -1,0 +1,105 @@
+"""Unit tests for μ-chain cluster assignment."""
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import assign_labels
+from repro.core.baseline import naive_quantities
+from repro.core.quantities import NO_NEIGHBOR, DensityOrder, DPCQuantities
+
+
+def make_quantities(rho, mu, delta=None, dc=1.0):
+    rho = np.asarray(rho)
+    if delta is None:
+        delta = np.ones(len(rho), dtype=np.float64)
+    return DPCQuantities(
+        dc=dc,
+        rho=rho,
+        delta=np.asarray(delta, dtype=np.float64),
+        mu=np.asarray(mu, dtype=np.int64),
+        density_order=DensityOrder(rho),
+    )
+
+
+class TestChainPropagation:
+    def test_two_chains(self):
+        # 0 is the peak of cluster A (1, 2 hang off it); 3 is the peak of
+        # cluster B (4 hangs off it) but mu[3] points at 0 (nearest denser).
+        q = make_quantities(
+            rho=[9, 5, 3, 8, 2],
+            mu=[NO_NEIGHBOR, 0, 1, 0, 3],
+        )
+        labels = assign_labels(q, centers=np.array([0, 3]))
+        np.testing.assert_array_equal(labels, [0, 0, 0, 1, 1])
+
+    def test_single_cluster(self):
+        q = make_quantities(rho=[5, 4, 3], mu=[NO_NEIGHBOR, 0, 1])
+        labels = assign_labels(q, centers=np.array([0]))
+        np.testing.assert_array_equal(labels, [0, 0, 0])
+
+    def test_deep_chain(self):
+        n = 50
+        rho = np.arange(n)[::-1]  # densest first
+        mu = np.array([NO_NEIGHBOR] + list(range(n - 1)))
+        q = make_quantities(rho=rho, mu=mu)
+        labels = assign_labels(q, centers=np.array([0]))
+        assert (labels == 0).all()
+
+    def test_center_order_defines_label_ids(self):
+        q = make_quantities(rho=[9, 5, 8, 3], mu=[NO_NEIGHBOR, 0, 0, 2])
+        labels = assign_labels(q, centers=np.array([2, 0]))
+        # centers[0] = object 2 -> label 0; centers[1] = object 0 -> label 1.
+        np.testing.assert_array_equal(labels, [1, 1, 0, 0])
+
+
+class TestPeakFallback:
+    def test_unselected_peak_joins_nearest_center(self):
+        points = np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 5.0], [9.0, 0.0]])
+        # Object 3 is a strict-mode peak (mu = NO_NEIGHBOR) but not a centre.
+        q = make_quantities(
+            rho=[4, 2, 3, 4],
+            mu=[NO_NEIGHBOR, 0, 0, NO_NEIGHBOR],
+        )
+        labels = assign_labels(q, centers=np.array([0, 2]), points=points)
+        assert labels[3] == 1  # (9,0) is nearer to (5,5) (√41) than to (0,0) (9)
+
+    def test_unselected_peak_without_points_raises(self):
+        q = make_quantities(rho=[4, 2, 4], mu=[NO_NEIGHBOR, 0, NO_NEIGHBOR])
+        with pytest.raises(ValueError, match="peak"):
+            assign_labels(q, centers=np.array([0]))
+
+
+class TestValidation:
+    def test_empty_centers_rejected(self):
+        q = make_quantities(rho=[2, 1], mu=[NO_NEIGHBOR, 0])
+        with pytest.raises(ValueError, match="non-empty"):
+            assign_labels(q, centers=np.array([], dtype=np.int64))
+
+    def test_out_of_range_center(self):
+        q = make_quantities(rho=[2, 1], mu=[NO_NEIGHBOR, 0])
+        with pytest.raises(ValueError, match="out of range"):
+            assign_labels(q, centers=np.array([5]))
+
+    def test_duplicate_centers(self):
+        q = make_quantities(rho=[2, 1], mu=[NO_NEIGHBOR, 0])
+        with pytest.raises(ValueError, match="duplicate"):
+            assign_labels(q, centers=np.array([0, 0]))
+
+    def test_broken_chain_detected(self):
+        # mu points to a *less* dense object: inconsistent quantities.
+        q = make_quantities(rho=[5, 3, 1], mu=[NO_NEIGHBOR, 2, 0])
+        with pytest.raises(ValueError, match="chain broken"):
+            assign_labels(q, centers=np.array([0]))
+
+
+class TestEndToEnd:
+    def test_labels_follow_blob_structure(self, blobs):
+        q = naive_quantities(blobs, 0.5)
+        from repro.core.decision import select_centers_top_k
+
+        centers = select_centers_top_k(q, 3)
+        labels = assign_labels(q, centers, points=blobs)
+        assert labels.min() == 0 and labels.max() == 2
+        # The three dense blobs (known generator layout) dominate the labels.
+        sizes = np.bincount(labels)
+        assert sorted(sizes, reverse=True)[0] >= 100

@@ -1,0 +1,124 @@
+"""Unit tests for the naive Θ(n²) baseline and the dc estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.baseline import estimate_dc, naive_quantities, naive_rho
+from repro.core.quantities import NO_NEIGHBOR
+
+
+class TestNaiveRho:
+    def test_matches_definition(self, blobs):
+        """ρ(p) = |{q ≠ p : dist(p,q) < dc}| by direct double loop."""
+        pts = blobs[:60]
+        dc = 0.5
+        rho = naive_rho(pts, dc)
+        for p in range(len(pts)):
+            count = sum(
+                1
+                for q in range(len(pts))
+                if q != p and np.sqrt(((pts[p] - pts[q]) ** 2).sum()) < dc
+            )
+            assert rho[p] == count
+
+    def test_strict_inequality_at_boundary(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        # dist(0,1) == 1.0 exactly; Eq. 1 uses strict '<'.
+        np.testing.assert_array_equal(naive_rho(pts, 1.0), [0, 0, 0])
+        np.testing.assert_array_equal(naive_rho(pts, 1.0000001), [1, 2, 1])
+
+    def test_blocking_invariant(self, blobs):
+        full = naive_rho(blobs, 0.4, block_rows=len(blobs))
+        small = naive_rho(blobs, 0.4, block_rows=17)
+        np.testing.assert_array_equal(full, small)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError, match="dc must be positive"):
+            naive_rho(np.zeros((3, 2)), 0.0)
+        with pytest.raises(ValueError, match="non-empty"):
+            naive_rho(np.zeros((0, 2)), 1.0)
+
+
+class TestNaiveQuantities:
+    def test_delta_is_distance_to_nearest_denser(self, blobs):
+        pts = blobs[:80]
+        q = naive_quantities(pts, 0.5)
+        d = np.sqrt(((pts[:, None] - pts[None, :]) ** 2).sum(-1))
+        for p in range(len(pts)):
+            if q.mu[p] == NO_NEIGHBOR:
+                continue
+            denser = [
+                j
+                for j in range(len(pts))
+                if q.rho[j] > q.rho[p] or (q.rho[j] == q.rho[p] and j < p)
+            ]
+            assert q.delta[p] == d[p, denser].min()
+            assert q.density_order.is_denser(int(q.mu[p]), p)
+            assert d[p, q.mu[p]] == q.delta[p]
+
+    def test_global_peak_gets_max_distance(self, blobs):
+        q = naive_quantities(blobs, 0.5)
+        peak = int(q.density_order.order[0])
+        assert q.mu[peak] == NO_NEIGHBOR
+        d = np.sqrt(((blobs - blobs[peak]) ** 2).sum(axis=1))
+        assert q.delta[peak] == d.max()
+
+    def test_strict_mode_many_peaks(self):
+        # Four corners of a square: all densities 0 at tiny dc -> all peaks.
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        q = naive_quantities(pts, 0.01, tie_break="strict")
+        assert (q.mu == NO_NEIGHBOR).all()
+        np.testing.assert_allclose(q.delta, np.sqrt(2.0))
+
+    def test_id_mode_single_peak(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        q = naive_quantities(pts, 0.01)
+        assert (q.mu == NO_NEIGHBOR).sum() == 1
+        assert q.mu[0] == NO_NEIGHBOR  # smallest id wins all ties
+
+    def test_reuses_precomputed_rho(self, blobs):
+        rho = naive_rho(blobs, 0.5)
+        q = naive_quantities(blobs, 0.5, rho=rho)
+        assert q.rho is rho
+
+    def test_blocking_invariant(self, blobs):
+        a = naive_quantities(blobs, 0.5, block_rows=13)
+        b = naive_quantities(blobs, 0.5, block_rows=1024)
+        np.testing.assert_array_equal(a.delta, b.delta)
+        np.testing.assert_array_equal(a.mu, b.mu)
+
+
+class TestEstimateDc:
+    def test_targets_neighbor_fraction(self, blobs):
+        dc = estimate_dc(blobs, neighbor_fraction=0.02)
+        rho = naive_rho(blobs, dc)
+        mean_fraction = rho.mean() / (len(blobs) - 1)
+        assert 0.005 < mean_fraction < 0.08  # loose but meaningful bracket
+
+    def test_monotone_in_fraction(self, blobs):
+        assert estimate_dc(blobs, 0.01) <= estimate_dc(blobs, 0.2)
+
+    def test_deterministic_given_seed(self, blobs):
+        assert estimate_dc(blobs, seed=5) == estimate_dc(blobs, seed=5)
+
+    def test_sampling_path(self, blobs):
+        dc = estimate_dc(blobs, sample_size=50, seed=3)
+        assert dc > 0.0
+
+    def test_rejects_bad_fraction(self, blobs):
+        with pytest.raises(ValueError, match="neighbor_fraction"):
+            estimate_dc(blobs, neighbor_fraction=1.5)
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            estimate_dc(np.zeros((1, 2)))
+
+    def test_coincident_points_fallback(self):
+        pts = np.array([[1.0, 1.0]] * 5 + [[2.0, 2.0]] * 5)
+        dc = estimate_dc(pts, neighbor_fraction=0.01)
+        assert dc > 0.0
+
+    def test_all_identical_raises(self):
+        pts = np.ones((6, 2))
+        with pytest.raises(ValueError, match="coincide"):
+            estimate_dc(pts)

@@ -1,0 +1,116 @@
+"""Unit tests for the Cumulative Histogram Index (paper Algorithms 3–4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.baseline import naive_quantities
+from repro.indexes.ch_index import CHIndex
+from repro.indexes.list_index import ListIndex
+
+from tests.conftest import assert_quantities_equal, safe_dc
+
+
+@pytest.fixture
+def fitted(blobs):
+    return CHIndex(bin_width=0.8).fit(blobs)
+
+
+class TestHistogramConstruction:
+    def test_bins_cover_whole_nlist(self, fitted, blobs):
+        """The last bin of every object holds the full list length."""
+        n = len(blobs)
+        for p in range(0, n, 23):
+            start = fitted._hist_offsets[p]
+            stop = fitted._hist_offsets[p + 1]
+            assert fitted._hist_values[stop - 1] == n - 1
+
+    def test_bins_monotone_nondecreasing(self, fitted, blobs):
+        for p in range(0, len(blobs), 23):
+            start = fitted._hist_offsets[p]
+            stop = fitted._hist_offsets[p + 1]
+            values = fitted._hist_values[start:stop]
+            assert (np.diff(values) >= 0).all()
+
+    def test_bin_value_equals_count_below_edge(self, fitted, blobs):
+        """Bin k stores |{q : dist(p,q) < (k+1)w}| (Algorithm 3 semantics)."""
+        w = fitted.bin_width
+        for p in (0, 41, 100):
+            start = fitted._hist_offsets[p]
+            nbins = fitted.n_bins_of(p)
+            dists = fitted.neighbor_dists[p]
+            for k in range(min(nbins - 1, 5)):
+                expected = int((dists < (k + 1) * w).sum())
+                assert fitted._hist_values[start + k] == expected
+
+    def test_auto_bin_width(self, blobs):
+        index = CHIndex(default_bins=64).fit(blobs)
+        assert index.bin_width is not None and index.bin_width > 0
+        diameter = index.neighbor_dists[:, -1].max()
+        assert index.bin_width == pytest.approx(diameter / 64)
+
+    def test_smaller_w_means_more_bins(self, blobs):
+        coarse = CHIndex(bin_width=1.0).fit(blobs)
+        fine = CHIndex(bin_width=0.25).fit(blobs)
+        assert fine.n_bins_of(0) > coarse.n_bins_of(0)
+        assert fine.histogram_memory_bytes() > coarse.histogram_memory_bytes()
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError, match="bin_width"):
+            CHIndex(bin_width=0.0)
+        with pytest.raises(ValueError, match="default_bins"):
+            CHIndex(default_bins=0)
+
+    def test_coincident_points_rejected_for_auto_w(self):
+        pts = np.ones((5, 2))
+        with pytest.raises(ValueError, match="coincide"):
+            CHIndex().fit(pts)
+
+
+class TestRhoQuery:
+    def test_matches_list_index(self, blobs, fitted):
+        list_index = ListIndex().fit(blobs)
+        for dc in (0.11, 0.5, 1.7, 4.0, safe_dc(blobs, 0.6)):
+            np.testing.assert_array_equal(
+                fitted.rho_all(dc), list_index.rho_all(dc), err_msg=f"dc={dc}"
+            )
+
+    def test_dc_on_exact_bin_edge(self, blobs):
+        """Algorithm 4 line 5-6: dc == k·w answers straight from the bin."""
+        index = CHIndex(bin_width=0.5).fit(blobs)
+        base = naive_quantities(blobs, 1.0).rho  # dc = 2 * w exactly
+        index.reset_stats()
+        np.testing.assert_array_equal(index.rho_all(1.0), base)
+        assert index.stats().binary_searches == 0  # no section search at all
+
+    def test_dc_beyond_last_bin(self, blobs, fitted):
+        assert (fitted.rho_all(1e9) == len(blobs) - 1).all()
+
+    def test_dc_in_first_bin(self, blobs):
+        index = CHIndex(bin_width=5.0).fit(blobs)  # everything in bin 0
+        base = naive_quantities(blobs, 0.5).rho
+        np.testing.assert_array_equal(index.rho_all(0.5), base)
+
+    def test_searches_smaller_sections_than_list(self, blobs):
+        """The whole point of CH: far fewer objects touched per ρ query."""
+        w = 0.3
+        ch = CHIndex(bin_width=w).fit(blobs)
+        ch.reset_stats()
+        ch.rho_all(0.5)
+        scanned_ch = ch.stats().objects_scanned
+        # Each section is at most one bin of the N-List; with w=0.3 over this
+        # data a bin holds far fewer than n-1 entries.
+        assert scanned_ch < len(blobs) * 40
+
+
+class TestFullPipeline:
+    def test_quantities_match_naive(self, blobs, fitted):
+        base = naive_quantities(blobs, 0.5)
+        assert_quantities_equal(base, fitted.quantities(0.5))
+
+    def test_memory_is_list_plus_histograms(self, blobs, fitted):
+        list_bytes = ListIndex().fit(blobs).memory_bytes()
+        assert fitted.memory_bytes() == list_bytes + fitted.histogram_memory_bytes()
+        assert fitted.histogram_memory_bytes() > 0
+
+    def test_histogram_memory_zero_before_fit(self):
+        assert CHIndex().histogram_memory_bytes() == 0

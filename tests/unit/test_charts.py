@@ -1,0 +1,76 @@
+"""Unit tests for the ASCII chart rendering."""
+
+import pytest
+
+from repro.harness.charts import CHART_SPECS, bar_chart, chart_table, grouped_chart
+from repro.harness.tables import Table
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        text = bar_chart(["a", "bb"], [1.0, 2.0], title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "== demo =="
+        assert len(lines) == 3
+        # The larger value gets the longer bar.
+        assert lines[2].count("█") > lines[1].count("█")
+
+    def test_scaling_to_width(self):
+        text = bar_chart(["x"], [123.0], width=10)
+        assert text.splitlines()[-1].count("█") == 10
+
+    def test_zero_values(self):
+        text = bar_chart(["x", "y"], [0.0, 0.0])
+        assert "█" not in text
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="labels vs"):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert "(no data)" in bar_chart([], [], title="none")
+
+
+class TestGroupedChart:
+    def test_groups_rendered(self):
+        text = grouped_chart(
+            {"g1": {"a": 1.0, "b": 2.0}, "g2": {"a": 4.0}}, title="demo"
+        )
+        assert "g1:" in text and "g2:" in text
+        # Bars scale against the global maximum (4.0).
+        lines = {l.strip().split(" |")[0]: l for l in text.splitlines() if "|" in l}
+        assert lines["a"].count("█") < len(text)
+
+
+class TestChartTable:
+    def _table(self):
+        t = Table("demo", ["ds", "m", "v"])
+        t.add_row(ds="x", m="list", v=1.0)
+        t.add_row(ds="x", m="tree", v=3.0)
+        t.add_row(ds="y", m="list", v=2.0)
+        t.add_row(ds="y", m="tree", v=None)  # missing values are skipped
+        return t
+
+    def test_flat_chart(self):
+        text = chart_table(self._table(), "v", "m")
+        assert "list" in text and "tree" in text
+
+    def test_grouped_chart(self):
+        text = chart_table(self._table(), "v", "m", group_column="ds")
+        assert "x:" in text and "y:" in text
+        assert text.count("list") == 2
+        assert text.count("tree") == 1  # the None row dropped
+
+    def test_specs_reference_real_columns(self):
+        """Every CHART_SPECS entry must name columns its experiment emits."""
+        from repro.harness.experiments import EXPERIMENTS
+
+        for name, spec in CHART_SPECS.items():
+            table = EXPERIMENTS[name]
+            # Can't afford running them here; validate against the Table
+            # constructors by static inspection of the source instead.
+            import inspect
+
+            source = inspect.getsource(table)
+            for column in filter(None, spec.values()):
+                assert f'"{column}"' in source, (name, column)

@@ -1,0 +1,167 @@
+"""Unit tests for the dataset generators and loaders."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    Dataset,
+    ExperimentParams,
+    PAPER_DATASETS,
+    available_datasets,
+    brightkite,
+    gaussian_blobs,
+    gowalla,
+    load_dataset,
+    profile_size,
+    s1,
+    science_toy,
+    uniform_square,
+)
+from repro.datasets.base import PROFILES
+from repro.datasets.checkins import simulate_checkins
+
+
+class TestProfiles:
+    def test_sizes_preserve_paper_ordering(self):
+        for profile in PROFILES:
+            sizes = [profile_size(name, profile) for name in PAPER_DATASETS]
+            assert sizes == sorted(sizes), f"{profile} breaks the size ordering"
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError, match="unknown profile"):
+            profile_size("s1", "huge")
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            profile_size("mnist", "bench")
+
+
+class TestLoaders:
+    def test_all_paper_datasets_loadable(self):
+        for name in PAPER_DATASETS:
+            ds = load_dataset(name, profile="test")
+            assert ds.name == name
+            assert ds.n == profile_size(name, "test")
+            assert ds.ndim == 2
+
+    def test_available_includes_toy(self):
+        assert "science-toy" in available_datasets()
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("iris")
+
+    def test_seed_determinism(self):
+        a = load_dataset("s1", profile="test", seed=42)
+        b = load_dataset("s1", profile="test", seed=42)
+        np.testing.assert_array_equal(a.points, b.points)
+
+    def test_seed_changes_data(self):
+        a = load_dataset("s1", profile="test", seed=1)
+        b = load_dataset("s1", profile="test", seed=2)
+        assert not np.array_equal(a.points, b.points)
+
+    def test_explicit_n_overrides_profile(self):
+        ds = load_dataset("query", n=321)
+        assert ds.n == 321
+
+
+class TestCoordinateScales:
+    """The dc/w/τ grids only make sense at the original coordinate scales."""
+
+    def test_s1_scale(self):
+        ds = s1(n=500, seed=0)
+        assert ds.points.min() > -2e5
+        assert 8e5 < ds.points.max() < 1.2e6
+
+    def test_query_unit_square(self):
+        ds = load_dataset("query", n=500)
+        assert ds.points.min() >= -0.2
+        assert ds.points.max() <= 1.2
+
+    def test_checkins_in_bbox(self):
+        ds = brightkite(n=500)
+        lon, lat = ds.points[:, 0], ds.points[:, 1]
+        assert lon.min() >= -125.0 and lon.max() <= -66.0
+        assert lat.min() >= 25.0 and lat.max() <= 50.0
+
+    def test_dc_grid_below_diameter(self):
+        for name in PAPER_DATASETS:
+            ds = load_dataset(name, profile="test")
+            diameter = ds.diameter_upper_bound()
+            for dc in ds.params.dc_grid:
+                assert dc < diameter, f"{name}: dc {dc} >= diameter {diameter}"
+
+
+class TestExperimentParams:
+    def test_tau_datasets_have_full_grids(self):
+        for name in ("birch", "range", "brightkite", "gowalla"):
+            params = load_dataset(name, profile="test").params
+            assert params.tau_grid is not None
+            assert params.tau_star == max(params.tau_grid)
+            assert params.quality_tau_grid is not None
+            assert params.fig7_dc is not None and len(params.fig7_dc) == 3
+
+    def test_small_datasets_skip_tau(self):
+        for name in ("s1", "query"):
+            params = load_dataset(name, profile="test").params
+            assert params.tau_grid is None
+
+
+class TestGenerators:
+    def test_gaussian_blobs_labels(self):
+        centers = np.array([[0.0, 0.0], [10.0, 10.0]])
+        pts, labels = gaussian_blobs(200, centers, sigma=0.5, seed=0)
+        assert len(pts) == 200
+        assert set(np.unique(labels)) == {0, 1}
+
+    def test_gaussian_blobs_background(self):
+        centers = np.array([[0.0, 0.0]])
+        pts, labels = gaussian_blobs(
+            100, centers, 0.5, background_fraction=0.3, bbox=(0, 0, 1, 1), seed=0
+        )
+        assert (labels == -1).sum() == 30
+
+    def test_gaussian_blobs_invalid_background(self):
+        with pytest.raises(ValueError, match="background_fraction"):
+            gaussian_blobs(10, np.zeros((1, 2)), 1.0, background_fraction=1.0)
+
+    def test_uniform_square_bounds(self):
+        pts = uniform_square(100, side=3.0, seed=1)
+        assert pts.min() >= 0.0 and pts.max() <= 3.0
+
+    def test_simulate_checkins_zipf_skew(self):
+        pts, labels = simulate_checkins(
+            3000, n_cities=30, bbox=(-120, 25, -70, 50), seed=0
+        )
+        city_sizes = np.bincount(labels[labels >= 0], minlength=30)
+        # Zipf: the biggest city dwarfs the median one.
+        assert city_sizes.max() > 5 * max(np.median(city_sizes), 1)
+
+    def test_simulate_checkins_validation(self):
+        with pytest.raises(ValueError, match="n_cities"):
+            simulate_checkins(10, n_cities=0, bbox=(0, 0, 1, 1))
+
+    def test_science_toy_shape(self):
+        ds = science_toy()
+        assert ds.n == 28
+        assert (ds.labels == -1).sum() == 3  # the three outliers
+
+
+class TestDatasetContainer:
+    def test_rejects_empty_points(self):
+        params = ExperimentParams((1.0,), 1.0, (1.0,), 1.0)
+        with pytest.raises(ValueError, match="non-empty"):
+            Dataset("x", np.empty((0, 2)), params)
+
+    def test_rejects_label_mismatch(self):
+        params = ExperimentParams((1.0,), 1.0, (1.0,), 1.0)
+        with pytest.raises(ValueError, match="labels length"):
+            Dataset("x", np.zeros((3, 2)), params, labels=np.zeros(2, dtype=np.int64))
+
+    def test_diameter_upper_bound_is_upper(self):
+        ds = science_toy()
+        from repro.geometry.distance import pairwise_distances
+
+        true_diameter = pairwise_distances(ds.points).max()
+        assert ds.diameter_upper_bound() >= true_diameter

@@ -1,0 +1,136 @@
+"""Unit tests for the metric registry and pairwise kernels."""
+
+import numpy as np
+import pytest
+from scipy.spatial.distance import cdist
+
+from repro.geometry.distance import (
+    Metric,
+    available_metrics,
+    distances_to_point,
+    get_metric,
+    make_minkowski,
+    pairwise_blocks,
+    pairwise_distances,
+    register_metric,
+)
+
+
+@pytest.fixture
+def pts(rng):
+    return rng.normal(size=(40, 3))
+
+
+class TestRegistry:
+    def test_available_metrics_contains_core_set(self):
+        names = available_metrics()
+        for expected in ("euclidean", "sqeuclidean", "manhattan", "chebyshev", "haversine"):
+            assert expected in names
+
+    def test_get_metric_by_name(self):
+        assert get_metric("euclidean").name == "euclidean"
+
+    def test_get_metric_passthrough(self):
+        m = get_metric("manhattan")
+        assert get_metric(m) is m
+
+    def test_get_metric_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown metric"):
+            get_metric("mahalanobis")
+
+    def test_minkowski_on_demand(self):
+        m = get_metric("minkowski[p=3]")
+        assert m.name == "minkowski[p=3]"
+
+    def test_minkowski_invalid_order(self):
+        with pytest.raises(ValueError, match="must be >= 1"):
+            make_minkowski(0.5)
+
+    def test_register_metric_overwrites(self):
+        custom = Metric(
+            "euclidean-copy",
+            get_metric("euclidean").distances_from,
+            get_metric("euclidean").cross,
+            get_metric("euclidean").rect_mindist,
+            get_metric("euclidean").rect_maxdist,
+        )
+        register_metric(custom)
+        assert get_metric("euclidean-copy") is custom
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize(
+        "ours,theirs",
+        [
+            ("euclidean", "euclidean"),
+            ("sqeuclidean", "sqeuclidean"),
+            ("manhattan", "cityblock"),
+            ("chebyshev", "chebyshev"),
+        ],
+    )
+    def test_cross_matches_cdist(self, pts, ours, theirs):
+        got = pairwise_distances(pts, ours)
+        want = cdist(pts, pts, theirs)
+        np.testing.assert_allclose(got, want, rtol=1e-12, atol=1e-12)
+
+    def test_minkowski_matches_cdist(self, pts):
+        got = pairwise_distances(pts, "minkowski[p=3]")
+        want = cdist(pts, pts, "minkowski", p=3)
+        np.testing.assert_allclose(got, want, rtol=1e-12, atol=1e-12)
+
+
+class TestKernelConsistency:
+    """distances_from and cross must agree bit-for-bit (exactness contract)."""
+
+    @pytest.mark.parametrize("name", ["euclidean", "manhattan", "chebyshev", "sqeuclidean"])
+    def test_from_equals_cross_row(self, pts, name):
+        m = get_metric(name)
+        full = m.cross(pts, pts)
+        for i in (0, 7, 39):
+            row = m.distances_from(pts, pts[i])
+            np.testing.assert_array_equal(row, full[i])
+
+    def test_pairwise_blocks_reassemble(self, pts):
+        full = pairwise_distances(pts)
+        rebuilt = np.empty_like(full)
+        for start, stop, block in pairwise_blocks(pts, block_rows=7):
+            rebuilt[start:stop] = block
+        np.testing.assert_array_equal(rebuilt, full)
+
+    def test_pairwise_blocks_bad_block_rows(self, pts):
+        with pytest.raises(ValueError, match="block_rows"):
+            next(pairwise_blocks(pts, block_rows=0))
+
+    def test_distances_to_point(self, pts):
+        d = distances_to_point(pts, pts[3])
+        assert d[3] == 0.0
+        assert d.shape == (len(pts),)
+
+
+class TestMetricCall:
+    def test_single_pair_call(self):
+        m = get_metric("euclidean")
+        assert m(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(5.0)
+
+
+class TestHaversine:
+    def test_known_distance_london_paris(self):
+        london = np.array([51.5074, -0.1278])
+        paris = np.array([48.8566, 2.3522])
+        d = get_metric("haversine").distances_from(london[None, :], paris)[0]
+        assert 330.0 < d < 360.0  # ~344 km
+
+    def test_zero_on_identical(self):
+        p = np.array([[40.0, -75.0]])
+        assert get_metric("haversine").distances_from(p, p[0])[0] == 0.0
+
+    def test_rect_bounds_unsupported(self):
+        m = get_metric("haversine")
+        assert not m.supports_rect_bounds
+        with pytest.raises(NotImplementedError):
+            m.rect_mindist(np.zeros(2), np.zeros(2), np.ones(2))
+
+    def test_cross_symmetric(self, rng):
+        pts = np.column_stack([rng.uniform(-60, 60, 10), rng.uniform(-170, 170, 10)])
+        d = get_metric("haversine").cross(pts, pts)
+        np.testing.assert_allclose(d, d.T, atol=1e-9)

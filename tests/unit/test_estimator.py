@@ -1,0 +1,111 @@
+"""Unit tests for the DensityPeakClustering estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.dpc import DensityPeakClustering
+from repro.indexes.kdtree import KDTreeIndex
+
+
+class TestFit:
+    def test_fit_predict_three_blobs(self, blobs):
+        model = DensityPeakClustering(index="kdtree", dc=0.5, n_centers=3)
+        labels = model.fit_predict(blobs)
+        assert len(labels) == len(blobs)
+        assert model.n_clusters_ == 3
+        assert set(np.unique(labels)) == {0, 1, 2}
+
+    def test_auto_dc(self, blobs):
+        model = DensityPeakClustering(index="rtree", n_centers=3).fit(blobs)
+        assert model.dc_ is not None and model.dc_ > 0
+
+    def test_auto_centers(self, blobs):
+        model = DensityPeakClustering(index="quadtree", dc=0.5).fit(blobs)
+        assert model.n_clusters_ >= 2
+
+    def test_threshold_selection(self, blobs):
+        model = DensityPeakClustering(
+            index="kdtree", dc=0.5, rho_min=10, delta_min=1.0
+        ).fit(blobs)
+        assert model.n_clusters_ >= 2
+
+    def test_halo_flag(self, blobs):
+        model = DensityPeakClustering(index="kdtree", dc=0.5, n_centers=3, halo=True)
+        model.fit(blobs)
+        assert model.halo_ is not None
+        assert model.halo_.dtype == bool
+
+    def test_index_params_forwarded(self, blobs):
+        model = DensityPeakClustering(
+            index="ch", dc=0.5, n_centers=3, index_params={"bin_width": 0.4}
+        ).fit(blobs)
+        assert model.index_.bin_width == 0.4
+
+    def test_prebuilt_index_instance(self, blobs):
+        index = KDTreeIndex().fit(blobs)
+        model = DensityPeakClustering(index=index, dc=0.5, n_centers=3).fit(blobs)
+        assert model.index_ is index
+
+    def test_prebuilt_index_wrong_points_rejected(self, blobs):
+        index = KDTreeIndex().fit(blobs)
+        other = blobs + 100.0
+        with pytest.raises(ValueError, match="different points"):
+            DensityPeakClustering(index=index, dc=0.5).fit(other)
+
+    def test_index_params_with_instance_rejected(self, blobs):
+        index = KDTreeIndex().fit(blobs)
+        model = DensityPeakClustering(index=index, dc=0.5, index_params={"leaf_size": 4})
+        with pytest.raises(ValueError, match="index_params"):
+            model.fit(blobs)
+
+
+class TestRefit:
+    def test_refit_reuses_index(self, blobs):
+        model = DensityPeakClustering(index="rtree", dc=0.3, n_centers=3).fit(blobs)
+        index_before = model.index_
+        model.refit(0.8)
+        assert model.index_ is index_before
+        assert model.dc_ == 0.8
+
+    def test_refit_changes_result(self, blobs):
+        model = DensityPeakClustering(index="kdtree", dc=0.2, n_centers=3).fit(blobs)
+        rho_small = model.rho_.copy()
+        model.refit(1.0)
+        assert model.rho_.sum() > rho_small.sum()
+
+    def test_refit_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="before refit"):
+            DensityPeakClustering().refit(0.5)
+
+
+class TestAccessors:
+    def test_unfitted_accessors_raise(self):
+        model = DensityPeakClustering()
+        for attr in ("labels_", "centers_", "rho_", "delta_", "mu_", "decision_graph_"):
+            with pytest.raises(RuntimeError, match="not fitted"):
+                getattr(model, attr)
+
+    def test_decision_graph_alignment(self, blobs):
+        model = DensityPeakClustering(index="kdtree", dc=0.5, n_centers=3).fit(blobs)
+        graph = model.decision_graph_
+        assert len(graph) == len(blobs)
+        np.testing.assert_array_equal(graph.rho, model.rho_)
+
+    def test_conflicting_selection_args(self, blobs):
+        model = DensityPeakClustering(index="kdtree", dc=0.5, n_centers=2, rho_min=1)
+        with pytest.raises(ValueError, match="not both"):
+            model.fit(blobs)
+
+    def test_partial_thresholds_rejected(self, blobs):
+        model = DensityPeakClustering(index="kdtree", dc=0.5, rho_min=1)
+        with pytest.raises(ValueError, match="together"):
+            model.fit(blobs)
+
+    def test_result_consistency(self, blobs):
+        model = DensityPeakClustering(index="grid", dc=0.5, n_centers=3).fit(blobs)
+        result = model.result_
+        np.testing.assert_array_equal(result.labels, model.labels_)
+        assert result.n_clusters == model.n_clusters_
+        # Every centre is labelled with its own cluster id.
+        for c, center in enumerate(model.centers_):
+            assert model.labels_[center] == c

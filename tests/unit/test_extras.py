@@ -1,0 +1,106 @@
+"""Unit tests for the DBSCAN and k-means reference implementations."""
+
+import numpy as np
+import pytest
+
+from repro.extras.dbscan import NOISE, dbscan
+from repro.extras.kmeans import kmeans
+from repro.metrics.external import adjusted_rand_index
+
+
+@pytest.fixture
+def two_moons(rng):
+    """Two interleaved half-circles — the classic k-means failure case."""
+    t = rng.uniform(0, np.pi, 200)
+    upper = np.column_stack([np.cos(t), np.sin(t)]) + rng.normal(0, 0.06, (200, 2))
+    lower = np.column_stack([1 - np.cos(t), 0.5 - np.sin(t)]) + rng.normal(
+        0, 0.06, (200, 2)
+    )
+    points = np.concatenate([upper, lower])
+    labels = np.concatenate([np.zeros(200), np.ones(200)]).astype(np.int64)
+    return points, labels
+
+
+class TestDBSCAN:
+    def test_recovers_blobs(self, blobs):
+        result = dbscan(blobs, eps=0.3, min_pts=4)
+        assert result.n_clusters == 3
+        sizes = np.bincount(result.labels[result.labels >= 0])
+        assert sorted(sizes, reverse=True)[2] >= 50
+
+    def test_handles_moons(self, two_moons):
+        points, truth = two_moons
+        result = dbscan(points, eps=0.2, min_pts=4)
+        mask = result.labels >= 0
+        assert adjusted_rand_index(truth[mask], result.labels[mask]) > 0.95
+
+    def test_noise_detected(self, blobs):
+        result = dbscan(blobs, eps=0.15, min_pts=5)
+        assert result.noise_count() > 0
+        assert (result.labels[~result.core_mask & (result.labels == NOISE)] == NOISE).all()
+
+    def test_all_noise_when_eps_tiny(self, blobs):
+        result = dbscan(blobs, eps=1e-9, min_pts=2)
+        assert result.n_clusters == 0
+        assert result.noise_count() == len(blobs)
+
+    def test_one_cluster_when_eps_huge(self, blobs):
+        result = dbscan(blobs, eps=100.0, min_pts=2)
+        assert result.n_clusters == 1
+        assert result.noise_count() == 0
+
+    def test_border_points_join_clusters(self):
+        # A core chain with one border point at the end.
+        pts = np.array([[0.0, 0], [0.5, 0], [1.0, 0], [1.5, 0], [2.2, 0]])
+        result = dbscan(pts, eps=0.8, min_pts=2)
+        assert result.labels[4] == result.labels[0]
+        assert not result.core_mask[4]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="eps"):
+            dbscan(np.zeros((3, 2)), eps=0.0, min_pts=2)
+        with pytest.raises(ValueError, match="min_pts"):
+            dbscan(np.zeros((3, 2)), eps=1.0, min_pts=0)
+        with pytest.raises(ValueError, match="non-empty"):
+            dbscan(np.empty((0, 2)), eps=1.0, min_pts=2)
+
+
+class TestKMeans:
+    def test_recovers_blobs(self, blobs):
+        result = kmeans(blobs, k=3, seed=0)
+        assert result.n_clusters == 3
+        assert result.inertia < 1e3
+        assert len(np.unique(result.labels)) == 3
+
+    def test_fails_on_moons(self, two_moons):
+        """The Section-1 point: centroid methods split non-convex clusters."""
+        points, truth = two_moons
+        result = kmeans(points, k=2, seed=0)
+        assert adjusted_rand_index(truth, result.labels) < 0.7
+
+    def test_k_equals_n(self, rng):
+        pts = rng.normal(size=(10, 2))
+        result = kmeans(pts, k=10, seed=1)
+        assert result.inertia == pytest.approx(0.0, abs=1e-12)
+
+    def test_k_one(self, blobs):
+        result = kmeans(blobs, k=1)
+        np.testing.assert_allclose(result.centroids[0], blobs.mean(axis=0))
+
+    def test_deterministic_given_seed(self, blobs):
+        a = kmeans(blobs, k=3, seed=5)
+        b = kmeans(blobs, k=3, seed=5)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_duplicate_points(self):
+        pts = np.tile([[1.0, 1.0]], (20, 1))
+        result = kmeans(pts, k=3, seed=0)
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="k must be"):
+            kmeans(np.zeros((3, 2)), k=0)
+        with pytest.raises(ValueError, match="k must be"):
+            kmeans(np.zeros((3, 2)), k=4)
+        with pytest.raises(ValueError, match="non-empty"):
+            kmeans(np.empty((0, 2)), k=1)

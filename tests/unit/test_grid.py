@@ -1,0 +1,92 @@
+"""Unit tests for the uniform grid index (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.baseline import naive_quantities
+from repro.indexes.grid import GridIndex
+
+from tests.conftest import assert_quantities_equal, safe_dc
+
+
+@pytest.fixture
+def fitted(blobs):
+    return GridIndex(cell_size=0.5).fit(blobs)
+
+
+class TestStructure:
+    def test_every_point_in_exactly_one_cell(self, fitted, blobs):
+        assert len(fitted._ids) == len(blobs)
+        assert len(np.unique(fitted._ids)) == len(blobs)
+
+    def test_cell_assignment_consistent(self, fitted, blobs):
+        nx, ny = fitted._shape
+        w = fitted.cell_size
+        for p in range(0, len(blobs), 31):
+            flat = int(fitted._cell_of[p])
+            ix, iy = divmod(flat, ny)
+            clo, chi = fitted._cell_box(ix, iy)
+            assert (blobs[p] >= clo - 1e-9).all()
+            assert (blobs[p] <= chi + 1e-9).all()
+
+    def test_occupied_cells_positive(self, fitted):
+        assert 0 < fitted.occupied_cells() <= fitted._shape[0] * fitted._shape[1]
+
+    def test_auto_cell_size(self, blobs):
+        index = GridIndex(target_occupancy=8).fit(blobs)
+        assert index.cell_size > 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError, match="cell_size"):
+            GridIndex(cell_size=0.0)
+        with pytest.raises(ValueError, match="target_occupancy"):
+            GridIndex(target_occupancy=0)
+        with pytest.raises(ValueError, match="rectangle bounds"):
+            GridIndex(metric="haversine")
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            GridIndex().fit(np.zeros((10, 3)))
+
+
+class TestQueries:
+    def test_matches_naive(self, blobs, fitted):
+        for dc in (0.2, 0.5, safe_dc(blobs, 0.4)):
+            assert_quantities_equal(
+                naive_quantities(blobs, dc), fitted.quantities(dc)
+            )
+
+    def test_dc_spanning_many_cells(self, blobs, fitted):
+        base = naive_quantities(blobs, 3.0)
+        assert_quantities_equal(base, fitted.quantities(3.0))
+
+    def test_dc_larger_than_grid(self, blobs, fitted):
+        base = naive_quantities(blobs, 100.0)
+        assert_quantities_equal(base, fitted.quantities(100.0))
+
+    def test_tiny_cells(self, blobs):
+        index = GridIndex(cell_size=0.05).fit(blobs)
+        assert_quantities_equal(
+            naive_quantities(blobs, 0.3), index.quantities(0.3)
+        )
+
+    def test_one_cell_grid(self, rng):
+        pts = rng.uniform(0, 0.1, size=(50, 2))
+        index = GridIndex(cell_size=10.0).fit(pts)
+        assert index._shape == (1, 1)
+        assert_quantities_equal(naive_quantities(pts, 0.02), index.quantities(0.02))
+
+    def test_strict_mode(self, blobs, fitted):
+        base = naive_quantities(blobs, 0.5, tie_break="strict")
+        assert_quantities_equal(base, fitted.quantities(0.5, tie_break="strict"))
+
+    def test_stats_counters_move(self, blobs, fitted):
+        fitted.reset_stats()
+        fitted.quantities(0.5)
+        stats = fitted.stats()
+        assert stats.nodes_visited > 0
+        assert stats.distance_evals > 0
+        assert stats.nodes_pruned_density > 0
+
+    def test_memory_linear(self, fitted, blobs):
+        assert 0 < fitted.memory_bytes() < len(blobs) * 200

@@ -1,0 +1,67 @@
+"""Unit tests for halo (border-noise) detection."""
+
+import numpy as np
+import pytest
+
+from repro.core.baseline import naive_quantities
+from repro.core.assignment import assign_labels
+from repro.core.decision import select_centers_top_k
+from repro.core.halo import halo_mask
+
+
+def cluster_and_halo(points, dc, k):
+    q = naive_quantities(points, dc)
+    centers = select_centers_top_k(q, k)
+    labels = assign_labels(q, centers, points=points)
+    halo = halo_mask(points, labels, q.rho, dc)
+    return q, labels, halo
+
+
+class TestHalo:
+    def test_far_separated_clusters_have_no_halo(self):
+        rng = np.random.default_rng(3)
+        pts = np.concatenate(
+            [rng.normal([0, 0], 0.2, (80, 2)), rng.normal([100, 100], 0.2, (80, 2))]
+        )
+        _, _, halo = cluster_and_halo(pts, dc=0.5, k=2)
+        assert not halo.any()
+
+    def test_touching_clusters_have_halo_at_border(self):
+        rng = np.random.default_rng(4)
+        pts = np.concatenate(
+            [rng.normal([0, 0], 0.6, (150, 2)), rng.normal([2.2, 0], 0.6, (150, 2))]
+        )
+        q, labels, halo = cluster_and_halo(pts, dc=0.4, k=2)
+        assert halo.any()
+        # Halo objects must be less dense than their cluster's core.
+        for c in (0, 1):
+            core = q.rho[(labels == c) & ~halo]
+            edge = q.rho[(labels == c) & halo]
+            if len(edge) and len(core):
+                assert edge.max() <= core.max()
+
+    def test_halo_points_near_boundary(self):
+        rng = np.random.default_rng(5)
+        pts = np.concatenate(
+            [rng.normal([0, 0], 0.5, (120, 2)), rng.normal([2.0, 0], 0.5, (120, 2))]
+        )
+        _, labels, halo = cluster_and_halo(pts, dc=0.4, k=2)
+        if halo.any():
+            # Halo x-coordinates concentrate between the two centres.
+            xs = pts[halo][:, 0]
+            assert xs.mean() == pytest.approx(1.0, abs=0.8)
+
+    def test_blocking_invariant(self):
+        rng = np.random.default_rng(6)
+        pts = np.concatenate(
+            [rng.normal([0, 0], 0.5, (60, 2)), rng.normal([1.8, 0], 0.5, (60, 2))]
+        )
+        q = naive_quantities(pts, 0.4)
+        labels = assign_labels(q, select_centers_top_k(q, 2), points=pts)
+        a = halo_mask(pts, labels, q.rho, 0.4, block_rows=7)
+        b = halo_mask(pts, labels, q.rho, 0.4, block_rows=4096)
+        np.testing.assert_array_equal(a, b)
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError, match="equal length"):
+            halo_mask(np.zeros((3, 2)), np.zeros(2, dtype=int), np.zeros(3, dtype=int), 1.0)

@@ -1,0 +1,124 @@
+"""Unit tests for the harness: tables, runner plumbing, method selection."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.loaders import load_dataset
+from repro.harness.runner import (
+    MethodSpec,
+    full_list_bytes,
+    list_index_fits,
+    paper_methods,
+    time_naive,
+    time_quantities,
+)
+from repro.harness.tables import Table
+from repro.indexes.kdtree import KDTreeIndex
+
+
+class TestTable:
+    def test_add_and_render(self):
+        t = Table("demo", ["a", "b"])
+        t.add_row(a=1, b="x")
+        t.add_row(a=2.5)
+        text = t.render()
+        assert "demo" in text
+        assert "2.5" in text
+        assert text.count("\n") == 4  # title, header, separator, 2 rows
+
+    def test_unknown_column_rejected(self):
+        t = Table("demo", ["a"])
+        with pytest.raises(KeyError, match="unknown columns"):
+            t.add_row(z=1)
+
+    def test_missing_values_render_as_dash(self):
+        t = Table("demo", ["a", "b"])
+        t.add_row(a=1)
+        assert "-" in t.render().splitlines()[-1]
+
+    def test_column_and_where(self):
+        t = Table("demo", ["ds", "v"])
+        t.add_row(ds="x", v=1)
+        t.add_row(ds="y", v=2)
+        t.add_row(ds="x", v=3)
+        assert t.column("v") == [1, 2, 3]
+        assert [r["v"] for r in t.where(ds="x")] == [1, 3]
+
+    def test_column_unknown(self):
+        with pytest.raises(KeyError, match="unknown column"):
+            Table("demo", ["a"]).column("b")
+
+    def test_to_csv(self, tmp_path):
+        t = Table("demo", ["a", "b"])
+        t.add_row(a=1, b=2)
+        path = tmp_path / "out.csv"
+        text = t.to_csv(str(path))
+        assert "a,b" in text
+        assert path.read_text() == text
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError, match="at least one column"):
+            Table("demo", [])
+
+    def test_float_formatting(self):
+        t = Table("demo", ["v"])
+        for v in (0.0, 1e-9, 123456.789, 3.14159, 150.0):
+            t.add_row(v=v)
+        rendered = t.render()
+        assert "0" in rendered and "1e-09" in rendered
+
+
+class TestTiming:
+    def test_time_quantities(self, blobs):
+        index = KDTreeIndex().fit(blobs)
+        q, timing = time_quantities(index, 0.5)
+        assert len(q) == len(blobs)
+        assert timing.rho_seconds >= 0.0
+        assert timing.total_seconds >= timing.delta_seconds
+
+    def test_time_naive(self, blobs):
+        q, seconds = time_naive(blobs, 0.5)
+        assert len(q) == len(blobs)
+        assert seconds > 0.0
+
+
+class TestFeasibility:
+    def test_full_list_bytes_formula(self):
+        assert full_list_bytes(1000) == 1000 * 999 * 12
+
+    def test_list_index_fits_thresholds(self):
+        assert list_index_fits(1000, memory_budget_mb=100)
+        assert not list_index_fits(100_000, memory_budget_mb=100)
+
+
+class TestPaperMethods:
+    def test_small_dataset_gets_full_lists_and_naive(self):
+        ds = load_dataset("s1", profile="test")
+        methods = paper_methods(ds, memory_budget_mb=300)
+        labels = [m.label for m in methods]
+        assert labels == ["List Index", "CH Index", "R-tree", "Quadtree", "DPC"]
+        assert not any(m.approximate for m in methods)
+
+    def test_large_dataset_falls_back_to_tau(self):
+        ds = load_dataset("birch", profile="test")
+        methods = paper_methods(ds, memory_budget_mb=0.001)
+        labels = [m.label for m in methods]
+        assert "DPC" not in labels  # naive skipped when memory-infeasible
+        approx = {m.label: m.approximate for m in methods}
+        assert approx["List Index"] and approx["CH Index"]
+
+    def test_skip_unfit_lists_drops_them(self):
+        ds = load_dataset("birch", profile="test")
+        methods = paper_methods(ds, memory_budget_mb=0.001, skip_unfit_lists=True)
+        labels = [m.label for m in methods]
+        assert labels == ["R-tree", "Quadtree"]
+
+    def test_method_build(self, blobs):
+        spec = MethodSpec("kd", lambda: KDTreeIndex())
+        index = spec.build(blobs)
+        assert index.is_fitted
+
+    def test_naive_method_cannot_build(self):
+        spec = MethodSpec("DPC", None)
+        with pytest.raises(ValueError, match="naive baseline"):
+            spec.build(np.zeros((3, 2)))

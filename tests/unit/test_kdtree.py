@@ -1,0 +1,81 @@
+"""Unit tests for the kd-tree index (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.baseline import naive_quantities
+from repro.indexes.kdtree import KDTreeIndex
+
+from tests.conftest import assert_quantities_equal, safe_dc
+
+
+@pytest.fixture
+def fitted(blobs):
+    return KDTreeIndex(leaf_size=16).fit(blobs)
+
+
+class TestStructure:
+    def test_counts(self, fitted, blobs):
+        assert fitted.root.nc == len(blobs)
+
+    def test_balanced_height(self, fitted, blobs):
+        import math
+
+        n = len(blobs)
+        expected = math.ceil(math.log2(max(n / fitted.leaf_size, 1))) + 1
+        assert fitted.height() <= expected + 1
+
+    def test_two_children_everywhere(self, fitted):
+        for node in fitted.root.iter_nodes():
+            if node.children is not None:
+                assert len(node.children) == 2
+
+    def test_boxes_tight(self, fitted, blobs):
+        for node in fitted.root.iter_nodes():
+            if node.is_leaf and len(node.ids):
+                pts = blobs[node.ids]
+                np.testing.assert_allclose(node.lo, pts.min(axis=0))
+                np.testing.assert_allclose(node.hi, pts.max(axis=0))
+
+    def test_median_split_sizes(self, fitted):
+        for node in fitted.root.iter_nodes():
+            if node.children is not None:
+                left, right = node.children
+                assert abs(left.nc - right.nc) <= 1
+
+    def test_duplicates_terminate(self):
+        pts = np.tile([[3.0, 3.0]], (40, 1))
+        index = KDTreeIndex(leaf_size=4).fit(pts)
+        assert index.root.nc == 40
+
+    def test_leaf_size_validation(self):
+        with pytest.raises(ValueError, match="leaf_size"):
+            KDTreeIndex(leaf_size=0)
+
+
+class TestQueries:
+    def test_matches_naive_2d(self, blobs, fitted):
+        dc = safe_dc(blobs, 0.3)
+        assert_quantities_equal(naive_quantities(blobs, dc), fitted.quantities(dc))
+
+    def test_matches_naive_5d(self, rng):
+        pts = rng.normal(size=(150, 5))
+        index = KDTreeIndex(leaf_size=8).fit(pts)
+        base = naive_quantities(pts, 1.5)
+        assert_quantities_equal(base, index.quantities(1.5))
+
+    def test_matches_naive_1d(self, rng):
+        pts = rng.normal(size=(100, 1))
+        index = KDTreeIndex(leaf_size=8).fit(pts)
+        base = naive_quantities(pts, 0.5)
+        assert_quantities_equal(base, index.quantities(0.5))
+
+    def test_manhattan_metric(self, rng):
+        pts = rng.normal(size=(120, 2))
+        index = KDTreeIndex(metric="manhattan").fit(pts)
+        base = naive_quantities(pts, 0.8, metric="manhattan")
+        assert_quantities_equal(base, index.quantities(0.8))
+
+    def test_strict_mode(self, blobs, fitted):
+        base = naive_quantities(blobs, 0.5, tie_break="strict")
+        assert_quantities_equal(base, fitted.quantities(0.5, tie_break="strict"))

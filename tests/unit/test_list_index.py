@@ -1,0 +1,128 @@
+"""Unit tests for the List Index (paper Algorithms 1–2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.baseline import naive_quantities
+from repro.core.quantities import NO_NEIGHBOR, DensityOrder
+from repro.indexes.list_index import ListIndex
+
+from tests.conftest import assert_quantities_equal, safe_dc
+
+
+@pytest.fixture
+def fitted(blobs):
+    return ListIndex().fit(blobs)
+
+
+class TestConstruction:
+    def test_nlists_sorted_nondecreasing(self, fitted):
+        d = fitted.neighbor_dists
+        assert (np.diff(d, axis=1) >= 0).all()
+
+    def test_nlists_exclude_self(self, fitted):
+        ids = fitted.neighbor_ids
+        n = len(ids)
+        for p in range(0, n, 37):
+            assert p not in set(ids[p].tolist())
+            assert len(set(ids[p].tolist())) == n - 1
+
+    def test_distance_ties_ordered_by_id(self):
+        # Four points equidistant from the centre point 0.
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [-1.0, 0.0], [0.0, -1.0]])
+        index = ListIndex().fit(pts)
+        np.testing.assert_array_equal(index.neighbor_ids[0], [1, 2, 3, 4])
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            ListIndex().fit(np.zeros((1, 2)))
+
+    def test_build_block_invariance(self, blobs):
+        a = ListIndex(build_block_rows=7).fit(blobs)
+        b = ListIndex(build_block_rows=4096).fit(blobs)
+        np.testing.assert_array_equal(a.neighbor_ids, b.neighbor_ids)
+        np.testing.assert_array_equal(a.neighbor_dists, b.neighbor_dists)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError, match="build_block_rows"):
+            ListIndex(build_block_rows=0)
+        with pytest.raises(ValueError, match="scan_block"):
+            ListIndex(scan_block=-1)
+
+    def test_build_seconds_recorded(self, fitted):
+        assert fitted.build_seconds >= 0.0
+
+
+class TestRhoQuery:
+    def test_matches_naive(self, blobs, fitted):
+        dc = safe_dc(blobs, 0.1)
+        np.testing.assert_array_equal(
+            fitted.rho_all(dc), naive_quantities(blobs, dc).rho
+        )
+
+    def test_binary_search_counter(self, blobs, fitted):
+        fitted.reset_stats()
+        fitted.rho_all(0.5)
+        assert fitted.stats().binary_searches == len(blobs)
+
+    def test_rho_zero_for_tiny_dc(self, fitted):
+        assert (fitted.rho_all(1e-12) == 0).all()
+
+    def test_rho_full_for_huge_dc(self, blobs, fitted):
+        assert (fitted.rho_all(1e9) == len(blobs) - 1).all()
+
+
+class TestDeltaQuery:
+    def test_matches_naive_both_tie_modes(self, blobs, fitted):
+        for tie in ("id", "strict"):
+            base = naive_quantities(blobs, 0.5, tie_break=tie)
+            got = fitted.quantities(0.5, tie_break=tie)
+            assert_quantities_equal(base, got)
+
+    def test_scan_block_invariance(self, blobs):
+        base = naive_quantities(blobs, 0.5)
+        for block in (1, 3, 64, 1000):
+            got = ListIndex(scan_block=block).fit(blobs).quantities(0.5)
+            assert_quantities_equal(base, got)
+
+    def test_peak_delta_is_max_distance(self, blobs, fitted):
+        q = fitted.quantities(0.5)
+        peak = int(q.density_order.order[0])
+        assert q.mu[peak] == NO_NEIGHBOR
+        assert q.delta[peak] == fitted.neighbor_dists[peak, -1]
+
+    def test_expected_constant_probes_per_object(self, blobs, fitted):
+        """Theorem 1: the δ scan touches O(1) list entries per non-peak."""
+        q = fitted.quantities(0.5)
+        fitted.reset_stats()
+        fitted.delta_all(q.density_order)
+        per_object = fitted.stats().objects_scanned / len(blobs)
+        # scan_block=32; well-clustered data resolves in the first block or
+        # two for almost every object.
+        assert per_object < 4 * fitted.scan_block
+
+    def test_order_length_mismatch(self, fitted):
+        with pytest.raises(ValueError, match="order has"):
+            fitted.delta_all(DensityOrder(np.zeros(3, dtype=np.int64)))
+
+
+class TestBookkeeping:
+    def test_memory_counts_both_arrays(self, fitted):
+        expected = fitted.neighbor_ids.nbytes + fitted.neighbor_dists.nbytes
+        assert fitted.memory_bytes() == expected
+
+    def test_memory_zero_before_fit(self):
+        assert ListIndex().memory_bytes() == 0
+
+    def test_unfitted_queries_raise(self):
+        index = ListIndex()
+        with pytest.raises(RuntimeError, match="not fitted"):
+            index.rho_all(1.0)
+        with pytest.raises(RuntimeError, match="not fitted"):
+            index.quantities(1.0)
+
+    def test_describe(self, fitted, blobs):
+        info = fitted.describe()
+        assert info["index"] == "list"
+        assert info["n"] == len(blobs)
+        assert info["exact"] is True

@@ -1,0 +1,131 @@
+"""Unit tests for ARI / NMI / FMI / purity / V-measure."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.external import (
+    adjusted_rand_index,
+    fowlkes_mallows_index,
+    normalized_mutual_information,
+    purity_score,
+    v_measure,
+)
+
+
+@pytest.fixture
+def perfect():
+    labels = np.array([0, 0, 0, 1, 1, 2, 2, 2])
+    return labels, labels.copy()
+
+
+@pytest.fixture
+def renamed():
+    ref = np.array([0, 0, 0, 1, 1, 2, 2, 2])
+    obt = np.array([7, 7, 7, 3, 3, 0, 0, 0])
+    return ref, obt
+
+
+class TestARI:
+    def test_perfect(self, perfect):
+        assert adjusted_rand_index(*perfect) == pytest.approx(1.0)
+
+    def test_relabeling_invariant(self, renamed):
+        assert adjusted_rand_index(*renamed) == pytest.approx(1.0)
+
+    def test_random_labels_near_zero(self, rng):
+        ref = rng.integers(0, 5, size=2000)
+        obt = rng.integers(0, 5, size=2000)
+        assert abs(adjusted_rand_index(ref, obt)) < 0.05
+
+    def test_known_value(self):
+        # sklearn doc example: ARI([0,0,1,1],[0,0,1,2]) = 0.5714...
+        ref = np.array([0, 0, 1, 1])
+        obt = np.array([0, 0, 1, 2])
+        assert adjusted_rand_index(ref, obt) == pytest.approx(0.5714285714, abs=1e-9)
+
+    def test_degenerate_all_one_cluster(self):
+        labels = np.zeros(5)
+        assert adjusted_rand_index(labels, labels) == 1.0
+
+
+class TestFMI:
+    def test_perfect(self, perfect):
+        assert fowlkes_mallows_index(*perfect) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        # sklearn doc example: FMI([0,0,1,1],[0,0,1,2]) = sqrt(1/2 * 1) ...
+        ref = np.array([0, 0, 1, 1])
+        obt = np.array([0, 0, 1, 2])
+        # TP=1, FP=0, FN=1 -> precision 1.0, recall 0.5 -> FMI = sqrt(0.5)
+        assert fowlkes_mallows_index(ref, obt) == pytest.approx(np.sqrt(0.5))
+
+
+class TestNMI:
+    def test_perfect(self, perfect):
+        assert normalized_mutual_information(*perfect) == pytest.approx(1.0)
+
+    def test_relabeling_invariant(self, renamed):
+        assert normalized_mutual_information(*renamed) == pytest.approx(1.0)
+
+    def test_independent_partitions_near_zero(self, rng):
+        ref = rng.integers(0, 4, size=5000)
+        obt = rng.integers(0, 4, size=5000)
+        assert normalized_mutual_information(ref, obt) < 0.01
+
+    def test_symmetry(self, rng):
+        ref = rng.integers(0, 3, size=100)
+        obt = rng.integers(0, 5, size=100)
+        a = normalized_mutual_information(ref, obt)
+        b = normalized_mutual_information(obt, ref)
+        assert a == pytest.approx(b)
+
+    def test_degenerate_single_clusters(self):
+        assert normalized_mutual_information(np.zeros(4), np.zeros(4)) == 1.0
+
+
+class TestPurity:
+    def test_perfect(self, perfect):
+        assert purity_score(*perfect) == 1.0
+
+    def test_known_value(self):
+        ref = np.array([0, 0, 0, 1, 1, 1])
+        obt = np.array([0, 0, 1, 1, 1, 1])
+        # cluster 0: 2 of class 0; cluster 1: 3 of class 1 + 1 of class 0.
+        assert purity_score(ref, obt) == pytest.approx(5.0 / 6.0)
+
+    def test_singletons_always_pure(self):
+        ref = np.array([0, 0, 1, 1])
+        obt = np.arange(4)
+        assert purity_score(ref, obt) == 1.0
+
+
+class TestVMeasure:
+    def test_perfect(self, perfect):
+        h, c, v = v_measure(*perfect)
+        assert (h, c, v) == (pytest.approx(1.0), pytest.approx(1.0), pytest.approx(1.0))
+
+    def test_homogeneous_but_incomplete(self):
+        # Splitting a true cluster keeps homogeneity 1, lowers completeness.
+        ref = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        obt = np.array([0, 0, 1, 1, 2, 2, 3, 3])
+        h, c, v = v_measure(ref, obt)
+        assert h == pytest.approx(1.0)
+        assert c < 1.0
+        assert 0.0 < v < 1.0
+
+    def test_complete_but_inhomogeneous(self):
+        # Merging everything keeps completeness 1, kills homogeneity.
+        ref = np.array([0, 0, 1, 1])
+        obt = np.zeros(4)
+        h, c, v = v_measure(ref, obt)
+        assert c == pytest.approx(1.0)
+        assert h == pytest.approx(0.0)
+        assert v == pytest.approx(0.0)
+
+    def test_beta_weighting(self):
+        ref = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        obt = np.array([0, 0, 1, 1, 2, 2, 3, 3])
+        _, _, v_precision_weighted = v_measure(ref, obt, beta=0.5)
+        _, _, v_balanced = v_measure(ref, obt, beta=1.0)
+        # beta < 1 weights homogeneity (which is 1.0 here) more heavily.
+        assert v_precision_weighted > v_balanced

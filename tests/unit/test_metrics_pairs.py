@@ -1,0 +1,119 @@
+"""Unit tests for pairwise Precision/Recall/F1 (the paper's Eqs. 3–5)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.metrics.pair_metrics import (
+    PairQuality,
+    contingency_matrix,
+    pair_confusion,
+    pairwise_precision_recall_f1,
+)
+
+
+def brute_force_pairs(reference, obtained):
+    """O(n²) ground truth for the pair counts."""
+    tp = fp = fn = tn = 0
+    n = len(reference)
+    for i, j in itertools.combinations(range(n), 2):
+        same_ref = reference[i] == reference[j]
+        same_obt = obtained[i] == obtained[j]
+        if same_ref and same_obt:
+            tp += 1
+        elif not same_ref and same_obt:
+            fp += 1
+        elif same_ref and not same_obt:
+            fn += 1
+        else:
+            tn += 1
+    return tp, fp, fn, tn
+
+
+class TestContingency:
+    def test_simple_table(self):
+        ref = np.array([0, 0, 1, 1])
+        obt = np.array([0, 1, 1, 1])
+        table, ref_sizes, obt_sizes = contingency_matrix(ref, obt)
+        np.testing.assert_array_equal(table, [[1, 1], [0, 2]])
+        np.testing.assert_array_equal(ref_sizes, [2, 2])
+        np.testing.assert_array_equal(obt_sizes, [1, 3])
+
+    def test_arbitrary_label_values(self):
+        ref = np.array([10, 10, -5])
+        obt = np.array([99, 7, 7])
+        table, _, _ = contingency_matrix(ref, obt)
+        assert table.sum() == 3
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="differ in length"):
+            contingency_matrix(np.zeros(3), np.zeros(4))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            contingency_matrix(np.zeros((2, 2)), np.zeros(4))
+
+
+class TestPairConfusion:
+    def test_matches_brute_force(self, rng):
+        for _ in range(10):
+            n = int(rng.integers(5, 40))
+            ref = rng.integers(0, 4, size=n)
+            obt = rng.integers(0, 5, size=n)
+            q = pair_confusion(ref, obt)
+            tp, fp, fn, tn = brute_force_pairs(ref, obt)
+            assert (q.tp, q.fp, q.fn, q.tn) == (tp, fp, fn, tn)
+
+    def test_identical_partitions_perfect(self):
+        labels = np.array([0, 0, 1, 1, 2])
+        p, r, f1 = pairwise_precision_recall_f1(labels, labels)
+        assert (p, r, f1) == (1.0, 1.0, 1.0)
+
+    def test_relabeling_invariance(self):
+        ref = np.array([0, 0, 1, 1, 2, 2])
+        obt = np.array([5, 5, 9, 9, 1, 1])  # same partition, new names
+        assert pairwise_precision_recall_f1(ref, obt) == (1.0, 1.0, 1.0)
+
+    def test_hand_computed_example(self):
+        # G = {0,1,2 | 3,4}; C = {0,1 | 2,3,4}
+        ref = np.array([0, 0, 0, 1, 1])
+        obt = np.array([0, 0, 1, 1, 1])
+        q = pair_confusion(ref, obt)
+        # Together in both: (0,1), (3,4) -> TP=2
+        # Together in C only: (2,3), (2,4) -> FP=2
+        # Together in G only: (0,2), (1,2) -> FN=2
+        assert (q.tp, q.fp, q.fn) == (2, 2, 2)
+        assert q.precision == pytest.approx(0.5)
+        assert q.recall == pytest.approx(0.5)
+        assert q.f1 == pytest.approx(0.5)
+
+    def test_all_singletons_vs_one_cluster(self):
+        ref = np.arange(6)  # all apart
+        obt = np.zeros(6)  # all together
+        q = pair_confusion(ref, obt)
+        assert q.tp == 0
+        assert q.fp == 15
+        assert q.fn == 0
+        assert q.precision == 0.0
+        assert q.recall == 1.0  # vacuous: no together-pairs in G
+
+    def test_f1_zero_when_no_overlap(self):
+        ref = np.array([0, 0, 1, 1])
+        obt = np.array([0, 1, 0, 1])
+        q = pair_confusion(ref, obt)
+        assert q.tp == 0
+        assert q.f1 == 0.0
+
+
+class TestPairQuality:
+    def test_as_dict_roundtrip(self):
+        q = PairQuality(tp=3, fp=1, fn=2, tn=4)
+        d = q.as_dict()
+        assert d["tp"] == 3
+        assert d["precision"] == pytest.approx(0.75)
+        assert d["recall"] == pytest.approx(0.6)
+
+    def test_degenerate_single_object(self):
+        q = pair_confusion(np.array([0]), np.array([0]))
+        assert (q.precision, q.recall, q.f1) == (1.0, 1.0, 1.0)

@@ -1,0 +1,85 @@
+"""Unit tests for index persistence (save_index / load_index)."""
+
+import numpy as np
+import pytest
+
+from repro.indexes.ch_index import CHIndex
+from repro.indexes.grid import GridIndex
+from repro.indexes.kdtree import KDTreeIndex
+from repro.indexes.list_index import ListIndex
+from repro.indexes.persist import load_index, save_index
+from repro.indexes.quadtree import QuadtreeIndex
+from repro.indexes.rn_list import RNCHIndex, RNListIndex
+from repro.indexes.rtree import RTreeIndex
+
+from tests.conftest import assert_quantities_equal
+
+ALL_FACTORIES = [
+    pytest.param(lambda: ListIndex(scan_block=16), id="list"),
+    pytest.param(lambda: CHIndex(bin_width=0.4), id="ch"),
+    pytest.param(lambda: RNListIndex(tau=2.0), id="rn-list"),
+    pytest.param(lambda: RNCHIndex(tau=2.0, bin_width=0.25), id="rn-ch"),
+    pytest.param(lambda: QuadtreeIndex(capacity=16), id="quadtree"),
+    pytest.param(lambda: RTreeIndex(max_entries=8), id="rtree"),
+    pytest.param(lambda: KDTreeIndex(leaf_size=8), id="kdtree"),
+    pytest.param(lambda: GridIndex(cell_size=0.6), id="grid"),
+]
+
+
+@pytest.mark.parametrize("factory", ALL_FACTORIES)
+def test_roundtrip_answers_identically(factory, blobs, tmp_path):
+    path = str(tmp_path / "index.npz")
+    original = factory().fit(blobs)
+    save_index(original, path)
+    restored = load_index(path)
+    assert type(restored) is type(original)
+    for dc in (0.3, 0.9):
+        assert_quantities_equal(
+            original.quantities(dc), restored.quantities(dc)
+        )
+
+
+def test_list_state_restored_not_rebuilt(blobs, tmp_path):
+    path = str(tmp_path / "list.npz")
+    original = ListIndex().fit(blobs)
+    save_index(original, path)
+    restored = load_index(path)
+    np.testing.assert_array_equal(original.neighbor_ids, restored.neighbor_ids)
+    np.testing.assert_array_equal(original.neighbor_dists, restored.neighbor_dists)
+    assert restored.build_seconds == original.build_seconds  # copied, not re-timed
+
+
+def test_params_roundtrip(blobs, tmp_path):
+    path = str(tmp_path / "rt.npz")
+    original = RTreeIndex(max_entries=6, packing="dynamic", frontier="stack").fit(blobs)
+    save_index(original, path)
+    restored = load_index(path)
+    assert restored.max_entries == 6
+    assert restored.packing == "dynamic"
+    assert restored.frontier == "stack"
+
+
+def test_rnch_big_delta_preserved(blobs, tmp_path):
+    path = str(tmp_path / "rn.npz")
+    original = RNListIndex(tau=0.3).fit(blobs)
+    save_index(original, path)
+    restored = load_index(path)
+    assert restored._big_delta == original._big_delta
+    q1 = original.quantities(0.2)
+    q2 = restored.quantities(0.2)
+    np.testing.assert_array_equal(q1.delta, q2.delta)
+
+
+def test_unfitted_index_rejected(tmp_path):
+    with pytest.raises(ValueError, match="unfitted"):
+        save_index(ListIndex(), str(tmp_path / "x.npz"))
+
+
+def test_metric_preserved(tmp_path, rng):
+    pts = rng.normal(size=(60, 2))
+    path = str(tmp_path / "manhattan.npz")
+    original = KDTreeIndex(metric="manhattan").fit(pts)
+    save_index(original, path)
+    restored = load_index(path)
+    assert restored.metric.name == "manhattan"
+    assert_quantities_equal(original.quantities(1.0), restored.quantities(1.0))

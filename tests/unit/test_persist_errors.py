@@ -1,0 +1,74 @@
+"""Error paths and file-format robustness of index persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.indexes.kdtree import KDTreeIndex
+from repro.indexes.persist import load_index, save_index
+
+
+@pytest.fixture
+def saved(tmp_path, blobs):
+    path = str(tmp_path / "index.npz")
+    save_index(KDTreeIndex().fit(blobs), path)
+    return path
+
+
+def _rewrite_meta(path, mutate):
+    with np.load(path, allow_pickle=False) as data:
+        arrays = {k: data[k] for k in data.files if k != "meta"}
+        meta = json.loads(str(data["meta"]))
+    mutate(meta)
+    np.savez_compressed(path, meta=json.dumps(meta), **arrays)
+
+
+class TestLoadErrors:
+    def test_wrong_version_rejected(self, saved):
+        _rewrite_meta(saved, lambda m: m.update(format_version=99))
+        with pytest.raises(ValueError, match="unsupported index file version"):
+            load_index(saved)
+
+    def test_unknown_index_type_rejected(self, saved):
+        _rewrite_meta(saved, lambda m: m.update(index_name="btree"))
+        with pytest.raises(ValueError, match="unknown index type"):
+            load_index(saved)
+
+    def test_not_an_index_file(self, tmp_path):
+        path = str(tmp_path / "random.npz")
+        np.savez(path, data=np.zeros(3))
+        with pytest.raises(KeyError):
+            load_index(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_index(str(tmp_path / "nope.npz"))
+
+
+class TestGeographicEndToEnd:
+    """Haversine + list index on check-in coordinates: real-world km radii."""
+
+    def test_haversine_dpc_pipeline(self):
+        rng = np.random.default_rng(8)
+        # Two 'cities' ~340 km apart (roughly London / Paris) in (lat, lon).
+        london = rng.normal([51.5, -0.13], [0.05, 0.08], size=(60, 2))
+        paris = rng.normal([48.86, 2.35], [0.05, 0.08], size=(60, 2))
+        points = np.concatenate([london, paris])
+        from repro.indexes.list_index import ListIndex
+
+        index = ListIndex(metric="haversine").fit(points)
+        result = index.cluster(dc=20.0, n_centers=2)  # 20 km radius
+        labels = result.labels
+        assert (labels[:60] == labels[0]).all()
+        assert (labels[60:] == labels[60]).all()
+        assert labels[0] != labels[60]
+
+    def test_haversine_rho_is_km_radius_count(self):
+        # Points 111 km apart along a meridian: 1 degree latitude.
+        points = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        from repro.indexes.list_index import ListIndex
+
+        index = ListIndex(metric="haversine").fit(points)
+        np.testing.assert_array_equal(index.rho_all(120.0), [1, 2, 1])
+        np.testing.assert_array_equal(index.rho_all(100.0), [0, 0, 0])

@@ -1,0 +1,133 @@
+"""Unit tests for the Quadtree index (paper Section 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.baseline import naive_quantities
+from repro.indexes.quadtree import QuadtreeIndex
+
+from tests.conftest import assert_quantities_equal, safe_dc
+
+
+@pytest.fixture
+def fitted(blobs):
+    return QuadtreeIndex(capacity=16).fit(blobs)
+
+
+class TestStructure:
+    def test_counts_sum_to_n(self, fitted, blobs):
+        assert fitted.root.nc == len(blobs)
+
+    def test_internal_counts_equal_children_sum(self, fitted):
+        for node in fitted.root.iter_nodes():
+            if node.children is not None:
+                assert node.nc == sum(c.nc for c in node.children)
+
+    def test_leaves_respect_capacity(self, fitted):
+        for node in fitted.root.iter_nodes():
+            if node.is_leaf:
+                assert len(node.ids) <= fitted.capacity
+
+    def test_children_boxes_inside_parent(self, fitted):
+        for node in fitted.root.iter_nodes():
+            if node.children is None:
+                continue
+            for child in node.children:
+                assert (child.lo >= node.lo - 1e-9).all()
+                assert (child.hi <= node.hi + 1e-9).all()
+
+    def test_points_inside_their_leaf_box(self, fitted, blobs):
+        for node in fitted.root.iter_nodes():
+            if node.is_leaf and len(node.ids):
+                pts = blobs[node.ids]
+                assert (pts >= node.lo - 1e-9).all()
+                assert (pts <= node.hi + 1e-9).all()
+
+    def test_every_point_in_exactly_one_leaf(self, fitted, blobs):
+        seen = np.concatenate(
+            [node.ids for node in fitted.root.iter_nodes() if node.is_leaf]
+        )
+        assert len(seen) == len(blobs)
+        assert len(np.unique(seen)) == len(blobs)
+
+    def test_max_depth_caps_height(self, blobs):
+        index = QuadtreeIndex(capacity=1, max_depth=3).fit(blobs)
+        assert index.height() <= 4  # root + 3 levels
+
+    def test_duplicate_points_terminate(self):
+        pts = np.tile([[1.0, 2.0]], (50, 1))
+        index = QuadtreeIndex(capacity=4).fit(pts)
+        assert index.root.nc == 50  # would recurse forever without max_depth
+
+    def test_collinear_points_handled(self):
+        pts = np.column_stack([np.linspace(0, 1, 40), np.zeros(40)])
+        index = QuadtreeIndex(capacity=4).fit(pts)
+        q = index.quantities(0.1)
+        base = naive_quantities(pts, 0.1)
+        assert_quantities_equal(base, q)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            QuadtreeIndex().fit(np.zeros((10, 3)))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError, match="capacity"):
+            QuadtreeIndex(capacity=0)
+        with pytest.raises(ValueError, match="max_depth"):
+            QuadtreeIndex(max_depth=0)
+
+
+class TestQueries:
+    def test_quantities_match_naive(self, blobs, fitted):
+        dc = safe_dc(blobs, 0.2)
+        assert_quantities_equal(naive_quantities(blobs, dc), fitted.quantities(dc))
+
+    def test_strict_mode_matches(self, blobs, fitted):
+        base = naive_quantities(blobs, 0.5, tie_break="strict")
+        assert_quantities_equal(base, fitted.quantities(0.5, tie_break="strict"))
+
+    def test_stack_frontier_matches_heap(self, blobs):
+        heap = QuadtreeIndex(frontier="heap").fit(blobs).quantities(0.5)
+        stack = QuadtreeIndex(frontier="stack").fit(blobs).quantities(0.5)
+        assert_quantities_equal(heap, stack)
+
+    def test_huge_dc_contains_root(self, blobs, fitted):
+        fitted.reset_stats()
+        rho = fitted.rho_all(1e9)
+        assert (rho == len(blobs) - 1).all()
+        # Root fully contained -> exactly one node visit per query object.
+        assert fitted.stats().nodes_visited == len(blobs)
+        assert fitted.stats().nodes_contained == len(blobs)
+
+    def test_tiny_dc_all_zero(self, blobs, fitted):
+        assert (fitted.rho_all(1e-12) == 0).all()
+
+    def test_invalid_frontier(self):
+        with pytest.raises(ValueError, match="frontier"):
+            QuadtreeIndex(frontier="queue")
+
+    def test_haversine_rejected(self):
+        with pytest.raises(ValueError, match="rectangle bounds"):
+            QuadtreeIndex(metric="haversine")
+
+
+class TestPruning:
+    def test_pruning_off_same_results_more_work(self, blobs):
+        base = naive_quantities(blobs, 0.5)
+        pruned = QuadtreeIndex().fit(blobs)
+        unpruned = QuadtreeIndex(density_pruning=False, distance_pruning=False).fit(blobs)
+        assert_quantities_equal(base, pruned.quantities(0.5))
+        assert_quantities_equal(base, unpruned.quantities(0.5))
+        assert (
+            unpruned.stats().nodes_visited > pruned.stats().nodes_visited
+        ), "disabling Lemma 1+2 must increase node visits"
+
+    def test_density_pruning_counter_moves(self, blobs, fitted):
+        fitted.reset_stats()
+        fitted.quantities(0.5)
+        assert fitted.stats().nodes_pruned_density > 0
+        assert fitted.stats().nodes_pruned_distance > 0
+
+    def test_memory_reasonable(self, fitted, blobs):
+        # O(n) structure: far below the quadratic list index.
+        assert 0 < fitted.memory_bytes() < len(blobs) * 1000

@@ -1,0 +1,150 @@
+"""Unit tests for DensityOrder, DPCQuantities, DPCResult and tie-breaking."""
+
+import numpy as np
+import pytest
+
+from repro.core.quantities import (
+    NO_NEIGHBOR,
+    DensityOrder,
+    DPCQuantities,
+    DPCResult,
+    TieBreak,
+)
+
+
+class TestTieBreak:
+    def test_coerce_from_string(self):
+        assert TieBreak.coerce("id") is TieBreak.ID
+        assert TieBreak.coerce("strict") is TieBreak.STRICT
+
+    def test_coerce_passthrough(self):
+        assert TieBreak.coerce(TieBreak.ID) is TieBreak.ID
+
+    def test_coerce_invalid(self):
+        with pytest.raises(ValueError, match="tie_break"):
+            TieBreak.coerce("fuzzy")
+
+
+class TestDensityOrderId:
+    def test_order_is_density_descending(self):
+        rho = np.array([3, 1, 4, 1, 5])
+        order = DensityOrder(rho)
+        np.testing.assert_array_equal(order.order, [4, 2, 0, 1, 3])
+
+    def test_ties_broken_by_smaller_id(self):
+        rho = np.array([2, 2, 2])
+        order = DensityOrder(rho)
+        np.testing.assert_array_equal(order.order, [0, 1, 2])
+        assert order.is_denser(0, 1)
+        assert not order.is_denser(1, 0)
+
+    def test_rank_is_inverse_permutation(self):
+        rho = np.array([3, 1, 4, 1, 5])
+        order = DensityOrder(rho)
+        np.testing.assert_array_equal(order.order[order.rank], np.arange(5))
+
+    def test_denser_mask_matches_scalar(self):
+        rho = np.array([2, 5, 2, 7, 2])
+        order = DensityOrder(rho)
+        candidates = np.array([0, 1, 2, 3, 4])
+        for p in range(5):
+            mask = order.denser_mask(p, candidates)
+            expected = [order.is_denser(int(q), p) for q in candidates]
+            np.testing.assert_array_equal(mask, expected)
+
+    def test_single_global_peak(self):
+        order = DensityOrder(np.array([4, 4, 1]))
+        np.testing.assert_array_equal(order.global_peaks(), [0])
+
+    def test_node_may_contain_denser_keeps_equality(self):
+        order = DensityOrder(np.array([3, 3, 1]))
+        # A node whose maxrho equals rho(p) may hold a tied, smaller-id object.
+        assert order.node_may_contain_denser(1, node_maxrho=3)
+        assert not order.node_may_contain_denser(1, node_maxrho=2)
+
+
+class TestDensityOrderStrict:
+    def test_all_maximal_objects_are_peaks(self):
+        order = DensityOrder(np.array([4, 4, 1]), tie_break="strict")
+        np.testing.assert_array_equal(order.global_peaks(), [0, 1])
+
+    def test_ties_not_denser(self):
+        order = DensityOrder(np.array([2, 2]), tie_break="strict")
+        assert not order.is_denser(0, 1)
+        assert not order.is_denser(1, 0)
+
+    def test_rejects_2d_rho(self):
+        with pytest.raises(ValueError, match="1-D"):
+            DensityOrder(np.zeros((2, 2)))
+
+
+class TestDPCQuantities:
+    def _make(self, n=4, dc=1.0):
+        rho = np.arange(n)
+        return DPCQuantities(
+            dc=dc,
+            rho=rho,
+            delta=np.ones(n),
+            mu=np.full(n, NO_NEIGHBOR),
+            density_order=DensityOrder(rho),
+        )
+
+    def test_len(self):
+        assert len(self._make(5)) == 5
+
+    def test_gamma(self):
+        q = self._make(3)
+        np.testing.assert_array_equal(q.gamma, [0.0, 1.0, 2.0])
+
+    def test_rejects_nonpositive_dc(self):
+        with pytest.raises(ValueError, match="dc must be positive"):
+            self._make(dc=0.0)
+
+    def test_rejects_mismatched_lengths(self):
+        rho = np.arange(3)
+        with pytest.raises(ValueError, match="inconsistent lengths"):
+            DPCQuantities(
+                dc=1.0,
+                rho=rho,
+                delta=np.ones(2),
+                mu=np.zeros(3),
+                density_order=DensityOrder(rho),
+            )
+
+
+class TestDPCResult:
+    def _result(self, halo=None):
+        rho = np.array([5, 3, 3, 1])
+        q = DPCQuantities(
+            dc=1.0,
+            rho=rho,
+            delta=np.array([9.0, 1.0, 8.0, 1.0]),
+            mu=np.array([NO_NEIGHBOR, 0, 0, 2]),
+            density_order=DensityOrder(rho),
+        )
+        return DPCResult(
+            quantities=q,
+            centers=np.array([0, 2]),
+            labels=np.array([0, 0, 1, 1]),
+            halo=halo,
+        )
+
+    def test_n_clusters_and_sizes(self):
+        r = self._result()
+        assert r.n_clusters == 2
+        np.testing.assert_array_equal(r.cluster_sizes(), [2, 2])
+
+    def test_accessors_delegate(self):
+        r = self._result()
+        assert r.dc == 1.0
+        np.testing.assert_array_equal(r.rho, [5, 3, 3, 1])
+        np.testing.assert_array_equal(r.mu, [NO_NEIGHBOR, 0, 0, 2])
+
+    def test_core_mask_without_halo(self):
+        assert self._result().core_mask().all()
+
+    def test_core_mask_with_halo(self):
+        halo = np.array([False, True, False, True])
+        np.testing.assert_array_equal(
+            self._result(halo=halo).core_mask(), [True, False, True, False]
+        )

@@ -1,0 +1,62 @@
+"""Unit tests for the index registry."""
+
+import pytest
+
+from repro.indexes.base import DPCIndex
+from repro.indexes.registry import (
+    INDEX_CLASSES,
+    available_indexes,
+    make_index,
+    register_index,
+)
+
+
+class TestRegistry:
+    def test_all_paper_indexes_present(self):
+        names = available_indexes()
+        for expected in ("list", "ch", "rn-list", "rn-ch", "quadtree", "rtree"):
+            assert expected in names
+
+    def test_extensions_present(self):
+        names = available_indexes()
+        assert "kdtree" in names
+        assert "grid" in names
+
+    def test_make_index_with_params(self):
+        index = make_index("ch", bin_width=0.5)
+        assert index.bin_width == 0.5
+        assert not index.is_fitted
+
+    def test_make_index_unknown(self):
+        with pytest.raises(KeyError, match="unknown index"):
+            make_index("btree")
+
+    def test_approximate_indexes_require_tau(self):
+        with pytest.raises(TypeError):
+            make_index("rn-list")  # tau is intentionally mandatory
+
+    def test_register_custom_index(self):
+        class MyIndex(INDEX_CLASSES["kdtree"]):
+            name = "my-kdtree"
+
+        register_index(MyIndex)
+        try:
+            assert isinstance(make_index("my-kdtree"), MyIndex)
+        finally:
+            del INDEX_CLASSES["my-kdtree"]
+
+    def test_register_rejects_non_index(self):
+        with pytest.raises(TypeError, match="not a DPCIndex"):
+            register_index(dict)
+
+    def test_register_rejects_abstract_name(self):
+        class Nameless(INDEX_CLASSES["kdtree"]):
+            name = "abstract"
+
+        with pytest.raises(ValueError, match="concrete registry name"):
+            register_index(Nameless)
+
+    def test_names_match_classes(self):
+        for name, cls in INDEX_CLASSES.items():
+            assert cls.name == name
+            assert issubclass(cls, DPCIndex)

@@ -1,0 +1,158 @@
+"""Unit tests for the R-tree index (paper Section 4.2): STR and dynamic."""
+
+import numpy as np
+import pytest
+
+from repro.core.baseline import naive_quantities
+from repro.indexes.rtree import RTreeIndex
+
+from tests.conftest import assert_quantities_equal, safe_dc
+
+
+@pytest.fixture
+def str_tree(blobs):
+    return RTreeIndex(max_entries=8).fit(blobs)
+
+
+@pytest.fixture
+def dyn_tree(blobs):
+    return RTreeIndex(max_entries=8, packing="dynamic").fit(blobs)
+
+
+def leaf_depths(root):
+    out = []
+
+    def walk(node, depth):
+        if node.is_leaf:
+            out.append(depth)
+        else:
+            for child in node.children:
+                walk(child, depth + 1)
+
+    walk(root, 0)
+    return out
+
+
+class TestSTRConstruction:
+    def test_counts_sum_to_n(self, str_tree, blobs):
+        assert str_tree.root.nc == len(blobs)
+
+    def test_balanced_leaves(self, str_tree):
+        depths = leaf_depths(str_tree.root)
+        assert max(depths) == min(depths), "STR packing must be height-balanced"
+
+    def test_leaves_full_except_last(self, str_tree, blobs):
+        sizes = [len(n.ids) for n in str_tree.root.iter_nodes() if n.is_leaf]
+        assert sum(sizes) == len(blobs)
+        assert sum(1 for s in sizes if s < str_tree.max_entries) <= max(
+            1, len(sizes) // 4
+        ), "STR packs nearly all leaves to capacity"
+
+    def test_mbrs_tight_over_children(self, str_tree, blobs):
+        for node in str_tree.root.iter_nodes():
+            if node.is_leaf:
+                pts = blobs[node.ids]
+                np.testing.assert_allclose(node.lo, pts.min(axis=0))
+                np.testing.assert_allclose(node.hi, pts.max(axis=0))
+            else:
+                lo = np.min([c.lo for c in node.children], axis=0)
+                hi = np.max([c.hi for c in node.children], axis=0)
+                np.testing.assert_allclose(node.lo, lo)
+                np.testing.assert_allclose(node.hi, hi)
+
+    def test_fanout_respected(self, str_tree):
+        for node in str_tree.root.iter_nodes():
+            if node.children is not None:
+                assert len(node.children) <= str_tree.max_entries
+
+    def test_works_in_3d(self, rng):
+        pts = rng.normal(size=(200, 3))
+        index = RTreeIndex(max_entries=8).fit(pts)
+        base = naive_quantities(pts, 1.0)
+        assert_quantities_equal(base, index.quantities(1.0))
+
+    def test_single_leaf_tree(self):
+        pts = np.random.default_rng(0).normal(size=(5, 2))
+        index = RTreeIndex(max_entries=8).fit(pts)
+        assert index.root.is_leaf
+        assert index.height() == 1
+
+
+class TestDynamicConstruction:
+    def test_counts_sum_to_n(self, dyn_tree, blobs):
+        assert dyn_tree.root.nc == len(blobs)
+
+    def test_every_point_in_exactly_one_leaf(self, dyn_tree, blobs):
+        seen = np.concatenate(
+            [n.ids for n in dyn_tree.root.iter_nodes() if n.is_leaf]
+        )
+        assert len(seen) == len(blobs)
+        assert len(np.unique(seen)) == len(blobs)
+
+    def test_node_capacities_respected(self, dyn_tree):
+        for node in dyn_tree.root.iter_nodes():
+            if node.is_leaf:
+                assert len(node.ids) <= dyn_tree.max_entries
+            else:
+                assert 2 <= len(node.children) <= dyn_tree.max_entries
+
+    def test_mbrs_contain_contents(self, dyn_tree, blobs):
+        for node in dyn_tree.root.iter_nodes():
+            if node.is_leaf:
+                pts = blobs[node.ids]
+                assert (pts >= node.lo - 1e-9).all()
+                assert (pts <= node.hi + 1e-9).all()
+            else:
+                for child in node.children:
+                    assert (child.lo >= node.lo - 1e-9).all()
+                    assert (child.hi <= node.hi + 1e-9).all()
+
+    def test_queries_match_naive(self, blobs, dyn_tree):
+        dc = safe_dc(blobs, 0.25)
+        assert_quantities_equal(naive_quantities(blobs, dc), dyn_tree.quantities(dc))
+
+
+class TestQueries:
+    def test_str_quantities_match_naive(self, blobs, str_tree):
+        for dc in (0.2, 0.5, safe_dc(blobs, 0.5)):
+            assert_quantities_equal(
+                naive_quantities(blobs, dc), str_tree.quantities(dc)
+            )
+
+    def test_strict_mode(self, blobs, str_tree):
+        base = naive_quantities(blobs, 0.5, tie_break="strict")
+        assert_quantities_equal(base, str_tree.quantities(0.5, tie_break="strict"))
+
+    def test_stack_frontier(self, blobs):
+        stack = RTreeIndex(frontier="stack").fit(blobs).quantities(0.5)
+        assert_quantities_equal(naive_quantities(blobs, 0.5), stack)
+
+    def test_str_packing_prunes_better_than_dynamic(self, blobs, str_tree, dyn_tree):
+        """The paper's §4.2 claim: packing yields a better structure.
+
+        Compare logical work (node visits), not wall-clock, for robustness.
+        """
+        str_tree.reset_stats()
+        dyn_tree.reset_stats()
+        str_tree.quantities(0.5)
+        dyn_tree.quantities(0.5)
+        assert (
+            str_tree.stats().nodes_visited <= dyn_tree.stats().nodes_visited * 1.5
+        ), "STR should not visit drastically more nodes than dynamic"
+
+
+class TestValidation:
+    def test_invalid_max_entries(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            RTreeIndex(max_entries=1)
+
+    def test_invalid_packing(self):
+        with pytest.raises(ValueError, match="packing"):
+            RTreeIndex(packing="hilbert")
+
+    def test_invalid_min_entries(self):
+        with pytest.raises(ValueError, match="min_entries"):
+            RTreeIndex(max_entries=8, min_entries=7)
+
+    def test_memory_linear(self, str_tree, blobs):
+        assert 0 < str_tree.memory_bytes() < len(blobs) * 1000

@@ -1,0 +1,121 @@
+"""Unit tests for the shared tree machinery (TreeNode + TreeIndexBase)."""
+
+import numpy as np
+import pytest
+
+from repro.core.quantities import DensityOrder
+from repro.indexes.kdtree import KDTreeIndex
+from repro.indexes.quadtree import QuadtreeIndex
+from repro.indexes.rtree import RTreeIndex
+from repro.indexes.treebase import TreeNode
+
+
+class TestTreeNode:
+    def test_leaf_basics(self):
+        node = TreeNode(np.zeros(2), np.ones(2), ids=np.array([1, 2, 3]))
+        assert node.is_leaf
+        assert node.nc == 3
+        assert node.height() == 1
+
+    def test_finalize_counts_and_tuple_boxes(self):
+        leaf_a = TreeNode(np.zeros(2), np.ones(2), ids=np.array([0, 1]))
+        leaf_b = TreeNode(np.ones(2), 2 * np.ones(2), ids=np.array([2]))
+        root = TreeNode(np.zeros(2), 2 * np.ones(2), children=[leaf_a, leaf_b])
+        assert root.finalize_counts() == 3
+        assert root.lo_t == (0.0, 0.0) and root.hi_t == (2.0, 2.0)
+        assert leaf_b.lo_t == (1.0, 1.0)
+
+    def test_iter_nodes_visits_all(self):
+        leaf_a = TreeNode(np.zeros(2), np.ones(2), ids=np.array([0]))
+        leaf_b = TreeNode(np.ones(2), 2 * np.ones(2), ids=np.array([1]))
+        root = TreeNode(np.zeros(2), 2 * np.ones(2), children=[leaf_a, leaf_b])
+        assert len(list(root.iter_nodes())) == 3
+
+    def test_rect_property(self):
+        node = TreeNode(np.zeros(2), np.ones(2), ids=np.array([0]))
+        assert node.rect.area() == 1.0
+
+
+class TestMaxrhoAnnotation:
+    def test_annotation_is_subtree_max(self, blobs):
+        index = RTreeIndex(max_entries=8).fit(blobs)
+        rho = index.rho_all(0.5)
+        index._annotate_maxrho(rho)
+        for node in index.root.iter_nodes():
+            ids = np.concatenate(
+                [leaf.ids for leaf in node.iter_nodes() if leaf.is_leaf]
+            )
+            assert node.maxrho == rho[ids].max()
+
+    def test_reannotation_per_dc(self, blobs):
+        index = QuadtreeIndex().fit(blobs)
+        index.quantities(0.2)
+        small = index.root.maxrho
+        index.quantities(2.0)
+        assert index.root.maxrho > small
+
+
+class TestBoundFns:
+    def test_fast_path_matches_generic_euclidean_2d(self, blobs):
+        index = KDTreeIndex().fit(blobs)
+        mindist, maxdist, q_of = index._bound_fns()
+        rect_min = index.metric.rect_mindist
+        rect_max = index.metric.rect_maxdist
+        nodes = list(index.root.iter_nodes())[:10]
+        for p in blobs[::50]:
+            q = q_of(p)
+            for node in nodes:
+                assert mindist(q, node) == pytest.approx(
+                    rect_min(p, node.lo, node.hi), abs=1e-12
+                )
+                assert maxdist(q, node) == pytest.approx(
+                    rect_max(p, node.lo, node.hi), abs=1e-12
+                )
+
+    def test_generic_path_used_for_other_metrics(self, blobs):
+        index = KDTreeIndex(metric="manhattan").fit(blobs)
+        mindist, _, q_of = index._bound_fns()
+        node = index.root
+        p = blobs[0]
+        assert mindist(q_of(p), node) == index.metric.rect_mindist(p, node.lo, node.hi)
+
+    def test_generic_path_used_for_3d(self, rng):
+        pts = rng.normal(size=(80, 3))
+        index = KDTreeIndex().fit(pts)
+        mindist, _, q_of = index._bound_fns()
+        p = pts[0]
+        assert mindist(q_of(p), index.root) == index.metric.rect_mindist(
+            p, index.root.lo, index.root.hi
+        )
+
+
+class TestStatsBookkeeping:
+    def test_reset_stats(self, blobs):
+        index = RTreeIndex().fit(blobs)
+        index.quantities(0.5)
+        assert index.stats().total_work() > 0
+        index.reset_stats()
+        assert index.stats().total_work() == 0
+
+    def test_stats_dict_keys(self, blobs):
+        index = RTreeIndex().fit(blobs)
+        index.quantities(0.5)
+        d = index.stats().as_dict()
+        assert set(d) == {
+            "distance_evals",
+            "objects_scanned",
+            "nodes_visited",
+            "nodes_pruned_density",
+            "nodes_pruned_distance",
+            "nodes_contained",
+            "binary_searches",
+        }
+
+    def test_node_count_and_height(self, blobs):
+        index = RTreeIndex(max_entries=4).fit(blobs)
+        assert index.node_count() == len(list(index.root.iter_nodes()))
+        assert index.height() >= 2
+
+    def test_root_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            RTreeIndex().root
