@@ -48,6 +48,21 @@ def test_fig5_small(benchmark, request, dataset_name, method):
     benchmark(_query_run, index, dc)
 
 
+@pytest.mark.parametrize("dataset_name", ["s1", "query"])
+@pytest.mark.parametrize("method", ["list", "ch"])
+def test_fig5_dc_sweep_batched(benchmark, request, dataset_name, method):
+    """Many-dc amortisation: the dataset's whole dc grid per timed run."""
+    ds = request.getfixturevalue(dataset_name)
+    dcs = [float(v) for v in ds.params.dc_grid]
+    factory = {
+        "list": lambda: ListIndex(),
+        "ch": lambda: CHIndex(bin_width=ds.params.w_default),
+    }[method]
+    index = factory().fit(ds.points)
+    benchmark.extra_info.update(dataset=ds.name, n=ds.n, n_dcs=len(dcs), method=method)
+    benchmark(index.quantities_multi, dcs)
+
+
 @pytest.mark.parametrize("dataset_name", ["birch", "range_ds", "brightkite", "gowalla"])
 @pytest.mark.parametrize("method", ["rn-list", "rn-ch", "rtree", "quadtree"])
 def test_fig5_large(benchmark, request, dataset_name, method):

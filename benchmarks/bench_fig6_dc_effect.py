@@ -48,3 +48,17 @@ def test_fig6_tree_rho_only_birch(benchmark, birch, which):
     index = RTreeIndex().fit(ds.points)
     benchmark.extra_info.update(dataset=ds.name, dc=dc, dc_point=which)
     benchmark(index.rho_all, dc)
+
+
+@pytest.mark.parametrize("method", ["list", "ch", "rtree"])
+def test_fig6_whole_grid_batched_s1(benchmark, s1, method):
+    """The entire Figure 6 dc grid in one quantities_multi pass per method."""
+    ds = s1
+    dcs = [pick_dc(ds, which) for which in DC_POINTS]
+    index = {
+        "list": lambda: ListIndex(),
+        "ch": lambda: CHIndex(bin_width=ds.params.w_default),
+        "rtree": lambda: RTreeIndex(),
+    }[method]().fit(ds.points)
+    benchmark.extra_info.update(dataset=ds.name, n_dcs=len(dcs), method=method)
+    benchmark(index.quantities_multi, dcs)

@@ -23,7 +23,12 @@ def test_fig7_rho_time_vs_w(benchmark, request, dataset_name, w_position):
 
 
 def test_fig7_edge_dip(benchmark, birch):
-    """dc exactly on a bin edge answers without any section search."""
+    """dc exactly on a stored bin edge answers without any section search.
+
+    The edge fast path fires only when the stored edge reproduces dc
+    bit-for-bit (w * k == dc); 4.0 * w is an exact float product, so this
+    stays on the O(1) path after the FP-safety fix.
+    """
     ds = birch
     w = ds.params.w_grid[1]
     index = RNCHIndex(tau=ds.params.tau_star, bin_width=float(w)).fit(ds.points)
@@ -33,3 +38,15 @@ def test_fig7_edge_dip(benchmark, birch):
     index.reset_stats()
     index.rho_all(float(dc))
     assert index.stats().binary_searches == 0
+
+
+@pytest.mark.parametrize("dataset_name", ["birch", "range_ds"])
+def test_fig7_panel_dcs_batched(benchmark, request, dataset_name):
+    """All three panel dc values of Figure 7 in one quantities_multi pass."""
+    ds = request.getfixturevalue(dataset_name)
+    params = ds.params
+    w = params.w_grid[1]
+    index = RNCHIndex(tau=params.tau_star, bin_width=float(w)).fit(ds.points)
+    dcs = [float(dc) for dc in params.fig7_dc]
+    benchmark.extra_info.update(dataset=ds.name, w=w, n_dcs=len(dcs))
+    benchmark(index.quantities_multi, dcs)

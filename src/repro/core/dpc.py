@@ -12,11 +12,13 @@ familiar fit/predict-style API::
 
     model.refit(dc=0.5)        # re-uses the index: the paper's headline win
     labels2 = model.labels_
+
+    results = model.refit_many([0.1, 0.25, 0.5, 1.0])   # batched dc sweep
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -135,6 +137,31 @@ class DensityPeakClustering:
         )
         self.dc_ = float(dc)
         return self
+
+    def refit_many(self, dcs) -> List[DPCResult]:
+        """Re-cluster for a whole grid of ``dc`` values in one batched pass.
+
+        Returns one :class:`~repro.core.quantities.DPCResult` per ``dc`` in
+        input order; the estimator's fitted attributes (``labels_``, ...)
+        are left pointing at the **last** grid value, matching a sequence of
+        :meth:`refit` calls.  The index evaluates the grid through
+        ``cluster_multi`` / ``quantities_multi``, so the list-family indexes
+        answer every cut-off with batched kernels instead of re-running the
+        per-``dc`` query loop.
+        """
+        if self.index_ is None:
+            raise RuntimeError("call fit(points) before refit_many(dcs)")
+        results = self.index_.cluster_multi(
+            dcs,
+            n_centers=self.n_centers,
+            rho_min=self.rho_min,
+            delta_min=self.delta_min,
+            tie_break=self.tie_break,
+            halo=self.halo,
+        )
+        self.result_ = results[-1]
+        self.dc_ = float(results[-1].dc)
+        return results
 
     def fit_predict(self, points: np.ndarray) -> np.ndarray:
         return self.fit(points).labels_

@@ -48,7 +48,11 @@ def halo_mask(
     """
     points = np.ascontiguousarray(points, dtype=np.float64)
     labels = np.asarray(labels, dtype=np.int64)
-    rho = np.asarray(rho, dtype=np.int64)
+    # float64 preserves both the paper's integer counts (exactly, n < 2^53)
+    # and the real-valued densities of the Gaussian-kernel/kNN variants —
+    # an int cast here would truncate the latter and corrupt the border
+    # thresholds.
+    rho = np.asarray(rho, dtype=np.float64)
     n = len(points)
     if len(labels) != n or len(rho) != n:
         raise ValueError("points, labels and rho must have equal length")

@@ -9,10 +9,15 @@ distances bit-for-bit.  A :class:`Metric` knows how to compute
 * many-to-many block distances (``cross``), used by the chunked pairwise
   helpers below;
 * per-coordinate lower bounds to axis-aligned rectangles (``rect_mindist`` /
-  ``rect_maxdist``), which is what the tree indexes prune with.
+  ``rect_maxdist``), which is what the tree indexes prune with;
+* batched rectangle bounds (``rect_mindist_many`` / ``rect_maxdist_many``)
+  over a whole block of query points at once — the entry point for the
+  vectorised tree/grid traversals in :mod:`repro.indexes.kernels` users.
 
 Only metrics for which rectangle bounds are exact are allowed in the tree
-indexes; the list-based indexes accept any metric.
+indexes; the list-based indexes accept any metric.  The batched bounds use
+the same per-axis formulas as the scalar ones, so pruning decisions are
+identical between the scalar and vectorised query paths.
 """
 
 from __future__ import annotations
@@ -30,6 +35,7 @@ __all__ = [
     "pairwise_distances",
     "pairwise_blocks",
     "distances_to_point",
+    "rect_bounds_many",
 ]
 
 
@@ -53,6 +59,11 @@ class Metric:
         ``f(q, lo, hi) -> float`` maximum distance from ``q`` to the box.
     supports_rect_bounds:
         Whether the rectangle bounds are exact; tree indexes require this.
+    rect_mindist_many / rect_maxdist_many:
+        ``f(points, lo, hi) -> (n,) float64`` — the same bounds evaluated
+        for every row of ``points`` against one box.  ``None`` means the
+        metric has no native batched form; callers fall back to the scalar
+        functions via :func:`rect_bounds_many`.
     """
 
     name: str
@@ -61,6 +72,8 @@ class Metric:
     rect_mindist: Callable[[np.ndarray, np.ndarray, np.ndarray], float]
     rect_maxdist: Callable[[np.ndarray, np.ndarray, np.ndarray], float]
     supports_rect_bounds: bool = True
+    rect_mindist_many: "Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray] | None" = None
+    rect_maxdist_many: "Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray] | None" = None
 
     def __call__(self, p: np.ndarray, q: np.ndarray) -> float:
         """Distance between two single points."""
@@ -106,6 +119,21 @@ def _euclidean_rect_max(q: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> float:
     return float(np.sqrt(np.dot(reach, reach)))
 
 
+# Batched box bounds: `points` is (n, d), `lo`/`hi` one box.  The per-axis
+# gap/reach expressions broadcast unchanged, so each row gets exactly the
+# elementwise operations of the scalar function.
+
+
+def _euclidean_rect_min_many(points, lo, hi) -> np.ndarray:
+    gaps = _box_axis_gaps(points, lo, hi)
+    return np.sqrt(np.einsum("ij,ij->i", gaps, gaps))
+
+
+def _euclidean_rect_max_many(points, lo, hi) -> np.ndarray:
+    reach = _box_axis_reach(points, lo, hi)
+    return np.sqrt(np.einsum("ij,ij->i", reach, reach))
+
+
 # ---------------------------------------------------------------------------
 # Squared euclidean (useful for benchmarks; NOT a metric in the triangle
 # inequality sense, but rectangle bounds remain exact)
@@ -134,6 +162,16 @@ def _sqeuclidean_rect_max(q, lo, hi) -> float:
     return float(np.dot(reach, reach))
 
 
+def _sqeuclidean_rect_min_many(points, lo, hi) -> np.ndarray:
+    gaps = _box_axis_gaps(points, lo, hi)
+    return np.einsum("ij,ij->i", gaps, gaps)
+
+
+def _sqeuclidean_rect_max_many(points, lo, hi) -> np.ndarray:
+    reach = _box_axis_reach(points, lo, hi)
+    return np.einsum("ij,ij->i", reach, reach)
+
+
 # ---------------------------------------------------------------------------
 # Manhattan / Chebyshev
 # ---------------------------------------------------------------------------
@@ -155,6 +193,14 @@ def _manhattan_rect_max(q, lo, hi) -> float:
     return float(_box_axis_reach(q, lo, hi).sum())
 
 
+def _manhattan_rect_min_many(points, lo, hi) -> np.ndarray:
+    return _box_axis_gaps(points, lo, hi).sum(axis=1)
+
+
+def _manhattan_rect_max_many(points, lo, hi) -> np.ndarray:
+    return _box_axis_reach(points, lo, hi).sum(axis=1)
+
+
 def _chebyshev_from(points: np.ndarray, q: np.ndarray) -> np.ndarray:
     return np.abs(points - q).max(axis=1)
 
@@ -169,6 +215,14 @@ def _chebyshev_rect_min(q, lo, hi) -> float:
 
 def _chebyshev_rect_max(q, lo, hi) -> float:
     return float(_box_axis_reach(q, lo, hi).max(initial=0.0))
+
+
+def _chebyshev_rect_min_many(points, lo, hi) -> np.ndarray:
+    return _box_axis_gaps(points, lo, hi).max(axis=1, initial=0.0)
+
+
+def _chebyshev_rect_max_many(points, lo, hi) -> np.ndarray:
+    return _box_axis_reach(points, lo, hi).max(axis=1, initial=0.0)
 
 
 # ---------------------------------------------------------------------------
@@ -224,12 +278,22 @@ def make_minkowski(p: float) -> Metric:
         reach = _box_axis_reach(q, lo, hi)
         return float((reach**p).sum() ** (1.0 / p))
 
+    def _rect_min_many(points, lo, hi) -> np.ndarray:
+        gaps = _box_axis_gaps(points, lo, hi)
+        return (gaps**p).sum(axis=1) ** (1.0 / p)
+
+    def _rect_max_many(points, lo, hi) -> np.ndarray:
+        reach = _box_axis_reach(points, lo, hi)
+        return (reach**p).sum(axis=1) ** (1.0 / p)
+
     return Metric(
         name=f"minkowski[p={p:g}]",
         distances_from=_from,
         cross=_cross,
         rect_mindist=_rect_min,
         rect_maxdist=_rect_max,
+        rect_mindist_many=_rect_min_many,
+        rect_maxdist_many=_rect_max_many,
     )
 
 
@@ -253,6 +317,8 @@ register_metric(
         _euclidean_cross,
         _euclidean_rect_min,
         _euclidean_rect_max,
+        rect_mindist_many=_euclidean_rect_min_many,
+        rect_maxdist_many=_euclidean_rect_max_many,
     )
 )
 register_metric(
@@ -262,6 +328,8 @@ register_metric(
         _sqeuclidean_cross,
         _sqeuclidean_rect_min,
         _sqeuclidean_rect_max,
+        rect_mindist_many=_sqeuclidean_rect_min_many,
+        rect_maxdist_many=_sqeuclidean_rect_max_many,
     )
 )
 register_metric(
@@ -271,6 +339,8 @@ register_metric(
         _manhattan_cross,
         _manhattan_rect_min,
         _manhattan_rect_max,
+        rect_mindist_many=_manhattan_rect_min_many,
+        rect_maxdist_many=_manhattan_rect_max_many,
     )
 )
 register_metric(
@@ -280,6 +350,8 @@ register_metric(
         _chebyshev_cross,
         _chebyshev_rect_min,
         _chebyshev_rect_max,
+        rect_mindist_many=_chebyshev_rect_min_many,
+        rect_maxdist_many=_chebyshev_rect_max_many,
     )
 )
 register_metric(
@@ -317,6 +389,34 @@ def get_metric(metric: "str | Metric") -> Metric:
 # ---------------------------------------------------------------------------
 # Chunked pairwise helpers
 # ---------------------------------------------------------------------------
+
+
+def rect_bounds_many(metric: "str | Metric"):
+    """Batched ``(mindist, maxdist)`` box-bound callables for ``metric``.
+
+    Each returned function maps ``(points, lo, hi) -> (n,) float64``.  Metrics
+    registered without native batched bounds fall back to a row loop over the
+    scalar functions, so any exact-rect-bounds metric works in the vectorised
+    tree/grid traversals.
+    """
+    m = get_metric(metric)
+    if not m.supports_rect_bounds:
+        raise ValueError(f"metric {m.name!r} has no exact rectangle bounds")
+    min_many = m.rect_mindist_many
+    max_many = m.rect_maxdist_many
+    if min_many is None:
+        scalar_min = m.rect_mindist
+
+        def min_many(points, lo, hi):  # pragma: no cover - exercised via custom metrics
+            return np.array([scalar_min(q, lo, hi) for q in points], dtype=np.float64)
+
+    if max_many is None:
+        scalar_max = m.rect_maxdist
+
+        def max_many(points, lo, hi):  # pragma: no cover - exercised via custom metrics
+            return np.array([scalar_max(q, lo, hi) for q in points], dtype=np.float64)
+
+    return min_many, max_many
 
 
 def distances_to_point(

@@ -10,6 +10,11 @@ queries for **any** ``dc`` (the whole point of the paper: users try many
 
 ``quantities(dc)`` is the template method that chains the two, and
 ``cluster(dc, ...)`` runs steps 3–4 (centre selection + assignment) on top.
+The multi-``dc`` sweep variants — ``rho_all_multi``, ``quantities_multi``
+and ``cluster_multi`` — evaluate a whole grid of cut-offs against the one
+built structure; the base implementations loop, and the list-family indexes
+override ``rho_all_multi``/``quantities_multi`` with batched kernels
+(:mod:`repro.indexes.kernels`).
 
 Every index also exposes:
 
@@ -117,7 +122,12 @@ class DPCIndex(abc.ABC):
     # -- lifecycle ----------------------------------------------------------
 
     def fit(self, points: np.ndarray) -> "DPCIndex":
-        """Validate ``points``, build the index, record construction time."""
+        """Validate ``points``, build the index, record construction time.
+
+        Re-fitting starts a fresh measurement epoch: the probe counters are
+        reset so Theorem 1–4 complexity checks never mix work from a
+        previous dataset.
+        """
         points = np.ascontiguousarray(points, dtype=np.float64)
         if points.ndim != 2 or len(points) == 0:
             raise ValueError(
@@ -128,6 +138,7 @@ class DPCIndex(abc.ABC):
                 f"{type(self).__name__} requires {self.required_ndim}-D points, "
                 f"got {points.shape[1]}-D"
             )
+        self._stats.reset()
         self.points = points
         start = time.perf_counter()
         self._build()
@@ -186,6 +197,61 @@ class DPCIndex(abc.ABC):
         delta, mu = self.delta_all(order)
         return DPCQuantities(dc=float(dc), rho=rho, delta=delta, mu=mu, density_order=order)
 
+    # -- multi-dc sweeps ---------------------------------------------------------
+
+    @staticmethod
+    def _validate_dcs(dcs) -> np.ndarray:
+        dcs = np.asarray(list(dcs), dtype=np.float64)
+        if dcs.ndim != 1 or len(dcs) == 0:
+            raise ValueError(f"dcs must be a non-empty 1-D sequence, got shape {dcs.shape}")
+        if (dcs <= 0).any():
+            raise ValueError(f"every dc must be positive, got {dcs.min()}")
+        return dcs
+
+    def rho_all_multi(self, dcs) -> np.ndarray:
+        """Local densities for a whole grid of cut-offs; ``(len(dcs), n)``.
+
+        Row ``i`` equals ``rho_all(dcs[i])`` exactly.  The base class loops;
+        list-family indexes override this with one batched kernel call.
+        """
+        self._require_fitted()
+        dcs = self._validate_dcs(dcs)
+        return np.stack([self.rho_all(float(dc)) for dc in dcs])
+
+    def quantities_multi(
+        self, dcs, tie_break: "str | TieBreak" = TieBreak.ID
+    ) -> "list[DPCQuantities]":
+        """The (ρ, δ, μ) triples for every ``dc`` in ``dcs``, in input order.
+
+        The whole point of the paper's index-once workflow: one built
+        structure amortised over a ``dc`` sensitivity sweep.  Element ``i``
+        agrees element-wise with ``quantities(dcs[i], tie_break)``.
+        """
+        self._require_fitted()
+        dcs = self._validate_dcs(dcs)
+        rhos = self.rho_all_multi(dcs)
+        out = []
+        for dc, rho in zip(dcs, rhos):
+            order = DensityOrder(rho, tie_break)
+            delta, mu = self.delta_all(order)
+            out.append(
+                DPCQuantities(dc=float(dc), rho=rho, delta=delta, mu=mu, density_order=order)
+            )
+        return out
+
+    def cluster_multi(
+        self,
+        dcs,
+        n_centers: Optional[int] = None,
+        rho_min: Optional[float] = None,
+        delta_min: Optional[float] = None,
+        tie_break: "str | TieBreak" = TieBreak.ID,
+        halo: bool = False,
+    ) -> "list[DPCResult]":
+        """Full DPC runs for every ``dc`` in ``dcs`` over the one index."""
+        qs = self.quantities_multi(dcs, tie_break)
+        return [self._finish_cluster(q, n_centers, rho_min, delta_min, halo) for q in qs]
+
     def cluster(
         self,
         dc: float,
@@ -201,8 +267,20 @@ class DPCIndex(abc.ABC):
         both ``rho_min`` and ``delta_min`` (decision-graph thresholds), or
         neither (automatic largest-γ-gap heuristic).
         """
-        points = self._require_fitted()
+        self._require_fitted()
         q = self.quantities(dc, tie_break)
+        return self._finish_cluster(q, n_centers, rho_min, delta_min, halo)
+
+    def _finish_cluster(
+        self,
+        q: DPCQuantities,
+        n_centers: Optional[int],
+        rho_min: Optional[float],
+        delta_min: Optional[float],
+        halo: bool,
+    ) -> DPCResult:
+        """Steps 3–4 (centre selection + assignment + halo) from quantities."""
+        points = self._require_fitted()
         if n_centers is not None and (rho_min is not None or delta_min is not None):
             raise ValueError("pass either n_centers or rho_min/delta_min, not both")
         if n_centers is not None:

@@ -17,6 +17,17 @@ The histograms cost extra space on top of the already-quadratic N-List
 (paper Table 3 shows CH ≈ List + a few hundred KB); ``memory_bytes`` reports
 both so the harness can reproduce that comparison, and
 ``histogram_memory_bytes`` isolates the histogram part (Figure 9a).
+
+Refit contract
+--------------
+``bin_width`` holds what the caller configured (possibly ``None`` = auto)
+and is never mutated; the width actually used by a fit is resolved into
+``bin_width_``.  Re-fitting the same instance on a different dataset
+therefore re-resolves the automatic width instead of silently reusing the
+first dataset's (a seed bug this split fixed).
+
+Histogram construction and the ρ query both run through the batched kernels
+in :mod:`repro.indexes.kernels` — no per-object Python loops.
 """
 
 from __future__ import annotations
@@ -26,12 +37,41 @@ from typing import ClassVar, Optional
 import numpy as np
 
 from repro.geometry.distance import Metric
+from repro.indexes.kernels import build_row_histograms, ch_rho_from_histograms
 from repro.indexes.list_index import ListIndex
 
-__all__ = ["CHIndex"]
+__all__ = ["CumulativeHistogramMixin", "CHIndex"]
 
 
-class CHIndex(ListIndex):
+class CumulativeHistogramMixin:
+    """The configured-vs-resolved ``bin_width`` contract shared by the
+    exact (:class:`CHIndex`) and truncated
+    (:class:`~repro.indexes.rn_list.RNCHIndex`) histogram indexes:
+    ``bin_width`` is what the caller asked for (``None`` = auto) and is
+    never mutated; each fit resolves the width actually used into
+    ``bin_width_``; queries on a restored index fall back to the configured
+    value when no resolution survived deserialisation.
+    """
+
+    def _init_bin_width(self, bin_width: Optional[float], default_bins: int) -> None:
+        if bin_width is not None and bin_width <= 0:
+            raise ValueError(f"bin_width must be positive, got {bin_width}")
+        if default_bins <= 0:
+            raise ValueError(f"default_bins must be positive, got {default_bins}")
+        self.bin_width = bin_width
+        self.default_bins = default_bins
+        self.bin_width_: Optional[float] = None  # resolved per fit
+
+    def _resolved_bin_width(self) -> float:
+        if self.bin_width_ is not None:
+            return float(self.bin_width_)
+        if self.bin_width is not None:
+            # Restored indexes (persist.py) may carry only the configured w.
+            return float(self.bin_width)
+        raise RuntimeError(f"{type(self).__name__} has no resolved bin width; fit first")
+
+
+class CHIndex(CumulativeHistogramMixin, ListIndex):
     """Exact CH Index: N-Lists plus per-object cumulative histograms.
 
     Parameters
@@ -40,7 +80,8 @@ class CHIndex(ListIndex):
         Histogram bin width ``w`` (same units as the metric).  ``None``
         (default) picks ``diameter / default_bins`` at fit time — the paper
         stresses that ``w`` trades query time against space (Fig. 7/9a), so
-        the constructor exposes it directly.
+        the constructor exposes it directly.  The per-fit resolved value is
+        ``bin_width_``.
     default_bins:
         Target bin count for the automatic ``w``.
     """
@@ -56,12 +97,7 @@ class CHIndex(ListIndex):
         scan_block: int = 32,
     ):
         super().__init__(metric, build_block_rows, scan_block)
-        if bin_width is not None and bin_width <= 0:
-            raise ValueError(f"bin_width must be positive, got {bin_width}")
-        if default_bins <= 0:
-            raise ValueError(f"default_bins must be positive, got {default_bins}")
-        self.bin_width = bin_width
-        self.default_bins = default_bins
+        self._init_bin_width(bin_width, default_bins)
         self._hist_offsets: Optional[np.ndarray] = None  # (n+1,) int64 CSR offsets
         self._hist_values: Optional[np.ndarray] = None  # flat int64 bin densities
 
@@ -70,28 +106,25 @@ class CHIndex(ListIndex):
     def _build(self) -> None:
         super()._build()
         dists = self._neighbor_dists
-        n = len(dists)
         if self.bin_width is None:
             diameter = float(dists[:, -1].max())
             if diameter <= 0.0:
                 raise ValueError("all points coincide; cannot choose a bin width")
-            self.bin_width = diameter / self.default_bins
-        w = float(self.bin_width)
+            self.bin_width_ = diameter / self.default_bins
+        else:
+            self.bin_width_ = float(self.bin_width)
+        w = float(self.bin_width_)
 
         # Per object p: number of bins covers its whole N-List, i.e. up to the
         # farthest neighbour (Algorithm 3 loops until the list is exhausted).
-        # Bin k (0-based) stores |{q : dist(p,q) < (k+1)w}| — exactly a
-        # searchsorted against the sorted distance row.
+        # Bin k (0-based) stores |{q : dist(p,q) < (k+1)w}| — the batched
+        # histogram kernel computes all rows in one binning pass.
         max_dist = dists[:, -1]
         n_bins = np.floor(max_dist / w).astype(np.int64) + 1
-        offsets = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(n_bins, out=offsets[1:])
-        values = np.empty(int(offsets[-1]), dtype=np.int64)
-        for p in range(n):
-            edges = w * np.arange(1, n_bins[p] + 1, dtype=np.float64)
-            values[offsets[p] : offsets[p + 1]] = np.searchsorted(
-                dists[p], edges, side="left"
-            )
+        edges = w * np.arange(1, int(n_bins.max()) + 1, dtype=np.float64)
+        offsets, values = build_row_histograms(
+            dists.reshape(-1), self._row_offsets(), n_bins, edges
+        )
         # The last bin must contain the whole list (Algorithm 3 line 13).
         values[offsets[1:] - 1] = dists.shape[1]
         self._hist_offsets = offsets
@@ -101,37 +134,23 @@ class CHIndex(ListIndex):
 
     def rho_all(self, dc: float) -> np.ndarray:
         self._require_fitted()
-        w = float(self.bin_width)
-        dists = self._neighbor_dists
-        offsets = self._hist_offsets
-        values = self._hist_values
-        n = len(dists)
-
-        bin_real = dc / w
-        target = int(np.floor(bin_real))
-        on_edge = bin_real == target  # dc is exactly a bin upper limit
-
-        rho = np.empty(n, dtype=np.int64)
-        for p in range(n):
-            start, stop = offsets[p], offsets[p + 1]
-            size = stop - start
-            if target >= size:
-                # dc beyond the last bin: every neighbour is within dc.
-                rho[p] = values[stop - 1]
-            elif on_edge:
-                # dc == target*w: bin (target-1) already holds the answer.
-                rho[p] = values[start + target - 1] if target > 0 else 0
-            else:
-                first = values[start + target - 1] if target > 0 else 0
-                last = values[start + target]
-                if first == last:
-                    rho[p] = first
-                else:
-                    section = dists[p, first:last]
-                    rho[p] = first + np.searchsorted(section, dc, side="left")
-                    self._stats.objects_scanned += int(last - first)
-                    self._stats.binary_searches += 1
+        rho, scanned, searches = ch_rho_from_histograms(
+            self._hist_offsets,
+            self._hist_values,
+            self._neighbor_dists.reshape(-1),
+            self._row_offsets()[:-1],
+            float(dc),
+            self._resolved_bin_width(),
+        )
+        self._stats.objects_scanned += scanned
+        self._stats.binary_searches += searches
         return rho
+
+    def rho_all_multi(self, dcs) -> np.ndarray:
+        """Histogram-guided ρ per cut-off (each already one batched pass)."""
+        self._require_fitted()
+        dcs = self._validate_dcs(dcs)
+        return np.stack([self.rho_all(float(dc)) for dc in dcs])
 
     # δ query inherited from ListIndex (identical by design; see module doc).
 

@@ -1,0 +1,377 @@
+"""Vectorized query kernels shared by every index family.
+
+The paper's workload is *many* queries over one frozen structure: every
+``dc`` trial re-runs ρ over all ``n`` objects, and each ρ is a binary search
+(List/CH) or a container classification (grid/trees).  The seed
+implementation answered them one object at a time from Python; this module
+provides the batched, array-level building blocks the indexes now share:
+
+* :func:`bounded_searchsorted` — one binary search per *row* of a CSR-layout
+  flat array, all rows advanced together (``O(log m)`` numpy passes instead
+  of ``n`` Python ``np.searchsorted`` calls).  Broadcasts over a grid of
+  needles, which is what makes the multi-``dc`` sweep API one call.
+* :func:`row_searchsorted` — the same search over a dense ``(n, m)``
+  row-sorted matrix (the N-List layout of the List/CH indexes).
+* :func:`build_row_histograms` — Algorithm 3 (cumulative histogram
+  construction) for all objects at once: bin every stored distance with one
+  global ``searchsorted``, then count-and-cumsum per row.
+* :func:`scan_first_denser` / :func:`prefetch_scan_block` — the blockwise
+  near-to-far "first denser neighbour" scan behind Algorithm 2's δ query,
+  over CSR rows; the prefetched first block can be reused across the ``dc``
+  values of a sweep.
+* :func:`ch_rho_from_histograms` — Algorithm 4's ρ lookup (bin → section →
+  bounded search) for all objects at once, with the FP-safe bin-edge
+  handling described below.
+
+Exactness contract
+------------------
+Each kernel performs, per row, the same comparisons in the same order as the
+scalar code it replaced, so results stay bit-for-bit identical to
+``naive_quantities`` and the :class:`~repro.indexes.base.IndexStats`
+counters keep their seed semantics (a binary search per object, a scanned
+entry per examined list slot, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.quantities import NO_NEIGHBOR
+
+__all__ = [
+    "bounded_searchsorted",
+    "row_searchsorted",
+    "build_row_histograms",
+    "prefetch_scan_block",
+    "scan_first_denser",
+    "resolve_bin",
+    "ch_rho_from_histograms",
+]
+
+
+def bounded_searchsorted(
+    values: np.ndarray,
+    starts: np.ndarray,
+    stops: np.ndarray,
+    needles,
+    side: str = "left",
+) -> np.ndarray:
+    """Vectorised per-row binary search over a flat CSR values array.
+
+    For every broadcast element ``i``, returns the insertion position of
+    ``needles[i]`` into the sorted slice ``values[starts[i]:stops[i]]`` as an
+    **absolute** index into ``values`` (subtract ``starts`` for the row-local
+    position).  ``starts``/``stops``/``needles`` broadcast together, so one
+    call can answer an ``(n_rows, n_needles)`` grid — the multi-``dc`` path.
+
+    Equivalent to ``starts[i] + np.searchsorted(values[starts[i]:stops[i]],
+    needles[i], side)`` for every ``i``, in ``O(log max_row)`` numpy passes.
+    """
+    if side not in ("left", "right"):
+        raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+    values = np.asarray(values)
+    lo, hi, needles = np.broadcast_arrays(
+        np.asarray(starts, dtype=np.int64),
+        np.asarray(stops, dtype=np.int64),
+        np.asarray(needles),
+    )
+    lo = lo.astype(np.int64, copy=True)
+    hi = hi.astype(np.int64, copy=True)
+    active = lo < hi
+    while active.any():
+        mid = (lo + hi) >> 1
+        probe = values[np.where(active, mid, 0)]
+        go_right = (probe < needles) if side == "left" else (probe <= needles)
+        go_right &= active
+        lo[go_right] = mid[go_right] + 1
+        shrink = active & ~go_right
+        hi[shrink] = mid[shrink]
+        active = lo < hi
+    return lo
+
+
+def row_searchsorted(rows: np.ndarray, needles, side: str = "left") -> np.ndarray:
+    """Row-wise :func:`numpy.searchsorted` over a dense row-sorted matrix.
+
+    ``rows`` is ``(n, m)`` with each row sorted ascending.  ``needles`` is a
+    scalar (one search per row, ``(n,)`` result), an ``(n,)`` vector (a
+    different needle per row, ``(n,)`` result), or a ``(1, k)`` / ``(n, k)``
+    grid (``(n, k)`` result).  Positions are **row-local** insertion indexes.
+    """
+    rows = np.ascontiguousarray(rows)
+    n, m = rows.shape
+    needles = np.asarray(needles)
+    grid = needles.ndim == 2
+    starts = np.arange(n, dtype=np.int64) * m
+    if grid:
+        starts = starts[:, None]
+    pos = bounded_searchsorted(rows.reshape(-1), starts, starts + m, needles, side)
+    return pos - starts
+
+
+def build_row_histograms(
+    dists: np.ndarray,
+    offsets: np.ndarray,
+    n_bins: np.ndarray,
+    edges: np.ndarray,
+    block_elems: int = 4_000_000,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Cumulative histograms over CSR rows of sorted distances (Algorithm 3).
+
+    Row ``p`` occupies ``dists[offsets[p]:offsets[p+1]]``; its histogram has
+    ``n_bins[p]`` bins where bin ``k`` stores ``|{d in row : d < edges[k]}|``
+    (``edges`` is the shared ascending edge grid ``w·1, w·2, ...``, of length
+    ``>= n_bins.max()``).  Returns CSR ``(hist_offsets, hist_values)``.
+
+    Instead of ``n`` per-row ``searchsorted(row, edges)`` calls, every stored
+    distance is binned once against the global edge grid, then per-row
+    ``bincount`` + ``cumsum`` produce the cumulative counts — identical
+    values because ``d < edges[k]  ⟺  |{edges ≤ d}| ≤ k`` for an ascending
+    edge grid.  Rows are processed in blocks so the dense ``(rows, max_bins)``
+    intermediate stays under ``block_elems`` elements.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    n_bins = np.asarray(n_bins, dtype=np.int64)
+    n = len(n_bins)
+    hist_offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(n_bins, out=hist_offsets[1:])
+    values = np.empty(int(hist_offsets[-1]), dtype=np.int64)
+    max_bins = int(n_bins.max()) if n else 0
+    if max_bins == 0:
+        return hist_offsets, values
+    if len(edges) < max_bins:
+        raise ValueError(f"edges has {len(edges)} entries, need >= {max_bins}")
+    edges = np.asarray(edges, dtype=np.float64)[:max_bins]
+    block = max(1, min(n, block_elems // (max_bins + 1)))
+    for s in range(0, n, block):
+        e = min(s + block, n)
+        rows = e - s
+        seg = dists[offsets[s] : offsets[e]]
+        lengths = np.diff(offsets[s : e + 1])
+        # |{edges <= d}| per element, clipped into a discard bucket past the
+        # last requested bin.
+        bin_idx = np.minimum(
+            np.searchsorted(edges, seg, side="right"), max_bins
+        )
+        labels = np.repeat(
+            np.arange(rows, dtype=np.int64) * (max_bins + 1), lengths
+        )
+        labels += bin_idx
+        counts = np.bincount(labels, minlength=rows * (max_bins + 1))
+        cum = counts.reshape(rows, max_bins + 1)[:, :max_bins].cumsum(axis=1)
+        nb = n_bins[s:e]
+        row_rep = np.repeat(np.arange(rows, dtype=np.int64), nb)
+        col = np.arange(int(hist_offsets[s]), int(hist_offsets[e]), dtype=np.int64)
+        col -= np.repeat(hist_offsets[s:e], nb)
+        values[hist_offsets[s] : hist_offsets[e]] = cum[row_rep, col]
+    return hist_offsets, values
+
+
+def prefetch_scan_block(
+    offsets: np.ndarray, ids: np.ndarray, dists: np.ndarray, width: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Materialise the first ``width`` columns of every CSR row.
+
+    Returns ``(cand, dist, valid)`` with shape ``(n, width)``; slots past a
+    row's end are masked by ``valid``.  A sweep over many ``dc`` values can
+    gather this once and hand it to every :func:`scan_first_denser` call —
+    the candidate layout does not depend on the density ordering.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    n = len(offsets) - 1
+    lengths = np.diff(offsets)
+    width = min(int(width), int(lengths.max()) if n else 0)
+    cols = np.arange(width, dtype=np.int64)
+    valid = cols[None, :] < lengths[:, None]
+    flat = np.where(valid, offsets[:-1, None] + cols[None, :], 0)
+    if len(ids):
+        cand = ids[flat]
+        dist = dists[flat]
+    else:
+        cand = np.zeros_like(flat)
+        dist = np.zeros(flat.shape, dtype=np.float64)
+    return cand, dist, valid
+
+
+def scan_first_denser(
+    offsets: np.ndarray,
+    ids: np.ndarray,
+    dists: np.ndarray,
+    key: np.ndarray,
+    block: int = 32,
+    prefetch: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Blockwise near-to-far scan for the first denser neighbour per row.
+
+    ``key`` encodes the density total order: object ``q`` is denser than
+    ``p`` iff ``key[q] < key[p]`` (use ``order.rank`` for
+    :data:`~repro.core.quantities.TieBreak.ID`, ``-order.rho`` for STRICT).
+    Rows are the CSR rows of ``(offsets, ids, dists)`` — each sorted
+    near-to-far, Algorithm 2 lines 7-13.
+
+    Returns ``(delta, mu, resolved, scanned)``: per row the distance and id
+    of the first denser neighbour (undefined ``delta`` and
+    ``mu == NO_NEIGHBOR`` where ``resolved`` is False — the caller applies
+    its own peak/truncation convention), plus the number of list slots
+    examined (the ``objects_scanned`` stat).
+
+    ``prefetch`` (from :func:`prefetch_scan_block`) supplies pre-gathered
+    first columns; the scan then starts at ``prefetch`` width.  Since almost
+    every non-peak object resolves within the first few entries (Theorem 1),
+    this removes the dominant gather from every call of a multi-``dc`` sweep.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    n = len(offsets) - 1
+    lengths = np.diff(offsets)
+    delta = np.empty(n, dtype=np.float64)
+    mu = np.full(n, NO_NEIGHBOR, dtype=np.int64)
+    scanned = 0
+    unresolved = np.arange(n)
+    col = 0
+    max_len = int(lengths.max()) if n else 0
+
+    if prefetch is not None and n:
+        cand, dmat, valid = prefetch
+        width = cand.shape[1]
+        denser = (key[cand] < key[:, None]) & valid
+        scanned += int(valid.sum())
+        found = denser.any(axis=1)
+        if found.any():
+            first = denser[found].argmax(axis=1)
+            rows = np.flatnonzero(found)
+            delta[rows] = dmat[found, first]
+            mu[rows] = cand[found, first]
+        unresolved = np.flatnonzero(~found)
+        unresolved = unresolved[lengths[unresolved] > width]
+        col = width
+
+    while len(unresolved) and col < max_len:
+        width = min(block, max_len - col)
+        rows = unresolved
+        cols = np.arange(col, col + width, dtype=np.int64)
+        valid = cols[None, :] < lengths[rows][:, None]
+        flat = np.where(valid, offsets[rows][:, None] + cols[None, :], 0)
+        cand = ids[flat] if len(ids) else np.zeros_like(flat)
+        denser = (key[cand] < key[rows, None]) & valid
+        scanned += int(valid.sum())
+        found = denser.any(axis=1)
+        if found.any():
+            first = denser[found].argmax(axis=1)
+            hit = rows[found]
+            flat_hit = offsets[hit] + col + first
+            delta[hit] = dists[flat_hit]
+            mu[hit] = ids[flat_hit]
+            unresolved = unresolved[~found]
+        # Rows whose list is exhausted can never resolve; drop them now.
+        unresolved = unresolved[lengths[unresolved] > col + width]
+        col += width
+
+    return delta, mu, mu != NO_NEIGHBOR, scanned
+
+
+def resolve_bin(dc: float, w: float, max_bins: Optional[int] = None) -> int:
+    """The histogram bin whose edge interval contains ``dc``, FP-safely.
+
+    The stored edges are the *computed* products ``fl(w·k)``, which need not
+    agree with ``floor(dc / w)`` at the last ulp.  Pin the bin so that
+    ``fl(w·target) <= dc < fl(w·(target+1))`` — the invariant the section
+    search below relies on.
+
+    ``max_bins`` caps the result: the invariant only matters for bins that
+    exist, and for ``dc / w`` beyond the stored range the ±1 ulp-correction
+    loops would otherwise walk one ``w`` at a time across a gap that can be
+    astronomically many steps wide (``ulp(w·target) >> w`` once
+    ``dc/w ≳ 2^52``).  Past the cap the caller treats every row as "dc
+    beyond the last bin", where bit-precision is irrelevant.
+    """
+    quotient = np.floor(dc / w)
+    if not np.isfinite(quotient):
+        # dc/w overflowed (e.g. dc near float max with a small w): beyond
+        # any representable bin grid.
+        if max_bins is None:
+            raise OverflowError(f"dc/w = {dc!r}/{w!r} overflows; pass max_bins")
+        return max_bins + 1
+    target = int(quotient)
+    if target < 0:
+        target = 0
+    if max_bins is not None and target > max_bins:
+        return max_bins + 1
+    while target > 0 and w * target > dc:
+        target -= 1
+    while w * (target + 1) <= dc:
+        target += 1
+        if max_bins is not None and target > max_bins:
+            break
+    return target
+
+
+def ch_rho_from_histograms(
+    hist_offsets: np.ndarray,
+    hist_values: np.ndarray,
+    dists: np.ndarray,
+    row_starts: np.ndarray,
+    dc: float,
+    w: float,
+) -> Tuple[np.ndarray, int, int]:
+    """Algorithm 4's ρ query for every object at once.
+
+    ``(hist_offsets, hist_values)`` are the CSR cumulative histograms;
+    ``dists`` is the flat sorted-distance storage with row ``p`` starting at
+    ``row_starts[p]``.  Returns ``(rho, objects_scanned, binary_searches)``
+    — the two counters matching the seed's per-object accounting (a section
+    is scanned/searched only when its two bounding bins differ).
+
+    The ``dc`` exactly-on-a-bin-edge fast path only fires when the *stored*
+    edge reproduces ``dc`` bit-for-bit (``fl(w·target) == dc``); a quotient
+    test (``dc/w`` integral) is not sufficient because ``fl(fl(dc/w)·w)``
+    need not round back to ``dc``, which silently broke the strict
+    ``dist < dc`` definition on adversarial ``dc``/``w`` pairs.
+    """
+    hist_offsets = np.asarray(hist_offsets, dtype=np.int64)
+    row_starts = np.asarray(row_starts, dtype=np.int64)
+    n = len(hist_offsets) - 1
+    sizes = np.diff(hist_offsets)
+    target = resolve_bin(dc, w, max_bins=int(sizes.max()) if n else 0)
+    rho = np.empty(n, dtype=np.int64)
+
+    # Strictly past the last bin (target > size): every stored entry is
+    # < fl(w·size) < w·(size+1) <= w·target <= dc, so the forced full count
+    # is the exact strict-< answer.  target == size is NOT safe for this
+    # shortcut — dc then sits within one edge of the last stored distances
+    # and a tie at dist == dc must be excluded — so those rows fall through
+    # to a section search over the last bin.
+    beyond = target > sizes
+    if beyond.any():
+        rho[beyond] = hist_values[hist_offsets[1:][beyond] - 1]
+    rest = np.flatnonzero(~beyond)
+    if len(rest) == 0:
+        return rho, 0, 0
+    starts_h = hist_offsets[:-1][rest]
+    sz = sizes[rest]
+
+    if target > 0 and w * target == dc:
+        # dc is exactly the stored upper edge of bin target-1: that bin
+        # already counts dist < dc (the paper's O(1) edge answer) — except
+        # on rows where bin target-1 is the forced last bin, whose value is
+        # the whole list regardless of dc.
+        edge_ok = target < sz
+        rows = rest[edge_ok]
+        rho[rows] = hist_values[hist_offsets[:-1][rows] + target - 1]
+        rest = rest[~edge_ok]
+        if len(rest) == 0:
+            return rho, 0, 0
+        starts_h = hist_offsets[:-1][rest]
+        sz = sizes[rest]
+
+    # Section bounded by the two bins around dc; rows with target == size
+    # clamp to their (forced) last bin.
+    lo_bin = np.minimum(target, sz - 1)
+    first = np.where(lo_bin > 0, hist_values[starts_h + np.maximum(lo_bin, 1) - 1], 0)
+    last = hist_values[starts_h + lo_bin]
+    lo = row_starts[rest] + first
+    pos = bounded_searchsorted(dists, lo, row_starts[rest] + last, dc)
+    rho[rest] = pos - row_starts[rest]
+    section = last - first
+    return rho, int(section.sum()), int(np.count_nonzero(section))

@@ -17,10 +17,12 @@ fit (paper Section 3.3).
 
 Implementation notes
 --------------------
-The N-Lists are stored as two ``(n, n-1)`` arrays (ids, distances) rather
-than Python lists; the δ scan is vectorised across all unresolved objects in
-column blocks, which preserves the expected-O(1)-probes-per-object behaviour
-(most rows resolve in the first block) without a per-object Python loop.
+The N-Lists are stored as two ``(n, n-1)`` arrays (ids, distances).  Both
+queries run through the batched kernels of :mod:`repro.indexes.kernels`:
+ρ is one vectorised row-wise binary search over all objects (and, via
+``rho_all_multi``, over all objects × all ``dc`` values of a sweep at once),
+δ is the blockwise vectorised near-to-far scan, which preserves the
+expected-O(1)-probes-per-object behaviour without a per-object Python loop.
 Distance ties are ordered by ascending id (stable argsort), matching the
 baseline's argmin convention.
 """
@@ -31,11 +33,46 @@ from typing import ClassVar, Optional, Tuple
 
 import numpy as np
 
-from repro.core.quantities import NO_NEIGHBOR, DensityOrder, TieBreak
+from repro.core.quantities import NO_NEIGHBOR, DensityOrder, DPCQuantities, TieBreak
 from repro.geometry.distance import Metric
 from repro.indexes.base import DPCIndex
+from repro.indexes.kernels import (
+    prefetch_scan_block,
+    row_searchsorted,
+    scan_first_denser,
+)
 
 __all__ = ["ListIndex"]
+
+
+def _order_key(order: DensityOrder) -> np.ndarray:
+    """Density total order as a minimising key: denser ⟺ smaller key."""
+    if order.tie_break is TieBreak.ID:
+        return order.rank
+    return -order.rho
+
+
+def sweep_quantities(index, dcs, offsets, ids, dists, tie_break) -> "list[DPCQuantities]":
+    """Shared batched-sweep assembly for the list-family indexes.
+
+    ``index`` supplies ``rho_all_multi`` and ``_delta_from_order``; the CSR
+    triple ``(offsets, ids, dists)`` is the index's neighbour storage.  One
+    ρ pass answers the whole grid, and the δ scans share one pre-gathered
+    first block — a narrow one: it still resolves the overwhelming majority
+    of rows (Theorem 1) while keeping the per-``dc`` key-compare cheap, and
+    the scan continues in ``scan_block`` strides for the stragglers.
+    """
+    dcs = index._validate_dcs(dcs)
+    rhos = index.rho_all_multi(dcs)
+    prefetch = prefetch_scan_block(offsets, ids, dists, min(8, index.scan_block))
+    out = []
+    for dc, rho in zip(dcs, rhos):
+        order = DensityOrder(rho, tie_break)
+        delta, mu = index._delta_from_order(order, prefetch=prefetch)
+        out.append(
+            DPCQuantities(dc=float(dc), rho=rho, delta=delta, mu=mu, density_order=order)
+        )
+    return out
 
 
 class ListIndex(DPCIndex):
@@ -97,59 +134,80 @@ class ListIndex(DPCIndex):
         self._neighbor_ids = ids
         self._neighbor_dists = dists
 
+    # CSR view of the dense rows, shared with the kernels (row p occupies
+    # [p·(n-1), (p+1)·(n-1)) in the flat arrays).
+    def _row_offsets(self) -> np.ndarray:
+        n, m = self._neighbor_dists.shape
+        return np.arange(n + 1, dtype=np.int64) * m
+
     # -- ρ query (Algorithm 2, lines 2-6) --------------------------------------
 
     def rho_all(self, dc: float) -> np.ndarray:
         self._require_fitted()
         dists = self._neighbor_dists
-        n = len(dists)
-        rho = np.empty(n, dtype=np.int64)
-        for p in range(n):
-            # searchsorted(side="left") == index of farthest object with
-            # dist < dc, which *is* ρ(p) (Example 1 of the paper).
-            rho[p] = np.searchsorted(dists[p], dc, side="left")
-        self._stats.binary_searches += n
+        # searchsorted(side="left") == index of farthest object with
+        # dist < dc, which *is* ρ(p) (Example 1 of the paper); one batched
+        # binary search per object.
+        rho = row_searchsorted(dists, float(dc)).astype(np.int64, copy=False)
+        self._stats.binary_searches += len(dists)
         return rho
+
+    def rho_all_multi(self, dcs) -> np.ndarray:
+        """All objects × all cut-offs in a single batched binary search."""
+        self._require_fitted()
+        dcs = self._validate_dcs(dcs)
+        pos = row_searchsorted(self._neighbor_dists, dcs[None, :])
+        self._stats.binary_searches += pos.size
+        return np.ascontiguousarray(pos.T).astype(np.int64, copy=False)
 
     # -- δ query (Algorithm 2, lines 7-13) --------------------------------------
 
     def delta_all(self, order: DensityOrder) -> Tuple[np.ndarray, np.ndarray]:
         self._require_fitted()
+        if len(order) != len(self._neighbor_ids):
+            raise ValueError(
+                f"order has {len(order)} objects, index has {len(self._neighbor_ids)}"
+            )
+        return self._delta_from_order(order)
+
+    def _delta_from_order(
+        self, order: DensityOrder, prefetch=None
+    ) -> Tuple[np.ndarray, np.ndarray]:
         ids = self._neighbor_ids
         dists = self._neighbor_dists
-        n = len(ids)
-        if len(order) != n:
-            raise ValueError(f"order has {len(order)} objects, index has {n}")
-        delta = np.empty(n, dtype=np.float64)
-        mu = np.full(n, NO_NEIGHBOR, dtype=np.int64)
-
-        unresolved = np.arange(n)
-        width = ids.shape[1]
-        for col in range(0, width, self.scan_block):
-            hi = min(col + self.scan_block, width)
-            cand = ids[unresolved, col:hi]
-            if order.tie_break is TieBreak.ID:
-                denser = order.rank[cand] < order.rank[unresolved, None]
-            else:
-                denser = order.rho[cand] > order.rho[unresolved, None]
-            self._stats.objects_scanned += cand.size
-            found = denser.any(axis=1)
-            if found.any():
-                first = denser[found].argmax(axis=1)
-                rows = unresolved[found]
-                delta[rows] = dists[rows, col + first]
-                mu[rows] = cand[found, first]
-                unresolved = unresolved[~found]
-            if len(unresolved) == 0:
-                break
-
+        delta, mu, resolved, scanned = scan_first_denser(
+            self._row_offsets(),
+            ids.reshape(-1),
+            dists.reshape(-1),
+            _order_key(order),
+            block=self.scan_block,
+            prefetch=prefetch,
+        )
+        self._stats.objects_scanned += scanned
         # Whatever is left has no denser object at all: the single global
         # peak under TieBreak.ID, every maximal-density object under STRICT.
         # Paper convention: δ = max_q dist(p, q) = last N-List entry.
-        for p in unresolved:
-            delta[p] = dists[p, -1]
-            mu[p] = NO_NEIGHBOR
+        peaks = np.flatnonzero(~resolved)
+        delta[peaks] = dists[peaks, -1]
+        mu[peaks] = NO_NEIGHBOR
         return delta, mu
+
+    # -- multi-dc sweep -----------------------------------------------------------
+
+    def quantities_multi(
+        self, dcs, tie_break: "str | TieBreak" = TieBreak.ID
+    ) -> "list[DPCQuantities]":
+        """Batched sweep: one ρ search for the whole grid, δ scans sharing
+        one pre-gathered first block (its layout is ``dc``-independent)."""
+        self._require_fitted()
+        return sweep_quantities(
+            self,
+            dcs,
+            self._row_offsets(),
+            self._neighbor_ids.reshape(-1),
+            self._neighbor_dists.reshape(-1),
+            tie_break,
+        )
 
     # -- bookkeeping -------------------------------------------------------------
 

@@ -83,6 +83,16 @@ def save_index(index: DPCIndex, path: str) -> None:
         "params": _constructor_params(index),
         "build_seconds": index.build_seconds,
     }
+    # Fit-resolved values (configured params may be None = auto): the CH
+    # histograms were built with the *resolved* bin width, so a restored
+    # index must query with it, not re-resolve.
+    resolved = {
+        attr: float(getattr(index, attr))
+        for attr in ("bin_width_",)
+        if getattr(index, attr, None) is not None
+    }
+    if resolved:
+        meta["resolved"] = resolved
     arrays = {"points": index.points}
     state = _state_attrs(index)
     meta["state_attrs"] = list(state)
@@ -122,6 +132,8 @@ def load_index(path: str) -> DPCIndex:
         # Restore without rebuilding: place points + arrays directly.
         index.points = np.ascontiguousarray(points, dtype=np.float64)
         for attr, value in state.items():
+            setattr(index, attr, value)
+        for attr, value in meta.get("resolved", {}).items():
             setattr(index, attr, value)
         if "big_delta" in meta:
             index._big_delta = meta["big_delta"]

@@ -20,6 +20,11 @@ so its peak δ uses the exact ``max_q dist`` convention — which makes a
 :class:`RNCHIndex` layers cumulative histograms over the truncated lists,
 i.e. the approximate variant of the CH Index (the paper applies the
 approximation "to the above indices", plural).
+
+Both the ρ search and the δ scan run through the batched CSR kernels in
+:mod:`repro.indexes.kernels`; ``rho_all_multi`` answers a whole ``dc`` grid
+in one call and ``quantities_multi`` shares the pre-gathered first scan
+block across the grid.
 """
 
 from __future__ import annotations
@@ -28,9 +33,17 @@ from typing import ClassVar, Optional, Tuple
 
 import numpy as np
 
-from repro.core.quantities import NO_NEIGHBOR, DensityOrder, TieBreak
+from repro.core.quantities import NO_NEIGHBOR, DensityOrder, DPCQuantities, TieBreak
 from repro.geometry.distance import Metric
 from repro.indexes.base import DPCIndex
+from repro.indexes.kernels import (
+    bounded_searchsorted,
+    build_row_histograms,
+    ch_rho_from_histograms,
+    scan_first_denser,
+)
+from repro.indexes.ch_index import CumulativeHistogramMixin
+from repro.indexes.list_index import _order_key, sweep_quantities
 
 __all__ = ["RNListIndex", "RNCHIndex"]
 
@@ -119,66 +132,58 @@ class RNListIndex(DPCIndex):
 
     def rho_all(self, dc: float) -> np.ndarray:
         self._require_fitted()
-        offsets, dists = self._offsets, self._dists
-        n = self.n
-        rho = np.empty(n, dtype=np.int64)
+        offsets = self._offsets
         if dc > self.tau:
             # Paper 5.3.1: beyond τ no search happens; the truncated length is
             # the (approximate) answer.
-            rho[:] = np.diff(offsets)
-            return rho
-        for p in range(n):
-            start, stop = offsets[p], offsets[p + 1]
-            rho[p] = np.searchsorted(dists[start:stop], dc, side="left")
-        self._stats.binary_searches += n
+            return np.diff(offsets)
+        pos = bounded_searchsorted(self._dists, offsets[:-1], offsets[1:], float(dc))
+        self._stats.binary_searches += self.n
+        return pos - offsets[:-1]
+
+    def rho_all_multi(self, dcs) -> np.ndarray:
+        """One batched binary search for every ``dc ≤ τ`` of the grid."""
+        self._require_fitted()
+        dcs = self._validate_dcs(dcs)
+        offsets = self._offsets
+        rho = np.empty((len(dcs), self.n), dtype=np.int64)
+        beyond = dcs > self.tau
+        if beyond.any():
+            rho[beyond] = np.diff(offsets)[None, :]
+        within = np.flatnonzero(~beyond)
+        if len(within):
+            pos = bounded_searchsorted(
+                self._dists,
+                offsets[:-1, None],
+                offsets[1:, None],
+                dcs[within][None, :],
+            )
+            rho[within] = (pos - offsets[:-1, None]).T
+            self._stats.binary_searches += self.n * len(within)
         return rho
 
     # -- δ query ---------------------------------------------------------------------
 
     def delta_all(self, order: DensityOrder) -> Tuple[np.ndarray, np.ndarray]:
         self._require_fitted()
-        n = self.n
-        if len(order) != n:
-            raise ValueError(f"order has {len(order)} objects, index has {n}")
-        offsets, ids, dists = self._offsets, self._ids, self._dists
-        lengths = np.diff(offsets)
-        delta = np.empty(n, dtype=np.float64)
-        mu = np.full(n, NO_NEIGHBOR, dtype=np.int64)
+        if len(order) != self.n:
+            raise ValueError(f"order has {len(order)} objects, index has {self.n}")
+        return self._delta_from_order(order)
 
-        # Vectorised near-to-far scan over the CSR rows, mirroring
-        # ListIndex.delta_all but with per-row lengths.
-        unresolved = np.arange(n)
-        col = 0
-        max_len = int(lengths.max()) if n else 0
-        block = self.scan_block
-        while len(unresolved) and col < max_len:
-            width = min(block, max_len - col)
-            rows = unresolved
-            base = offsets[rows][:, None] + col + np.arange(width)[None, :]
-            valid = (col + np.arange(width))[None, :] < lengths[rows][:, None]
-            flat = np.where(valid, base, 0)
-            cand = ids[flat] if len(ids) else np.zeros_like(flat, dtype=np.int32)
-            if order.tie_break is TieBreak.ID:
-                denser = order.rank[cand] < order.rank[rows, None]
-            else:
-                denser = order.rho[cand] > order.rho[rows, None]
-            denser &= valid
-            self._stats.objects_scanned += int(valid.sum())
-            found = denser.any(axis=1)
-            if found.any():
-                first = denser[found].argmax(axis=1)
-                hit_rows = rows[found]
-                flat_hit = offsets[hit_rows] + col + first
-                delta[hit_rows] = dists[flat_hit]
-                mu[hit_rows] = ids[flat_hit]
-                unresolved = unresolved[~found]
-            # Rows whose list is exhausted can never resolve; drop them now to
-            # keep later blocks small.
-            unresolved = unresolved[lengths[unresolved] > col + width]
-            col += width
+    def _delta_from_order(
+        self, order: DensityOrder, prefetch=None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        n = self.n
+        offsets, ids, dists = self._offsets, self._ids, self._dists
+        # Vectorised near-to-far scan over the CSR rows (Algorithm 2 lines
+        # 7-13 restricted to the stored τ-neighbourhood).
+        delta, mu, resolved, scanned = scan_first_denser(
+            offsets, ids, dists, _order_key(order), block=self.scan_block, prefetch=prefetch
+        )
+        self._stats.objects_scanned += scanned
 
         # No denser neighbour within τ.  Two cases:
-        resolved = mu != NO_NEIGHBOR
+        lengths = np.diff(offsets)
         for p in np.flatnonzero(~resolved):
             if lengths[p] == n - 1:
                 # Complete row ⇒ p is a true peak; exact convention applies.
@@ -186,6 +191,16 @@ class RNListIndex(DPCIndex):
             else:
                 delta[p] = self._big_delta
         return delta, mu
+
+    # -- multi-dc sweep ----------------------------------------------------------------
+
+    def quantities_multi(
+        self, dcs, tie_break: "str | TieBreak" = TieBreak.ID
+    ) -> "list[DPCQuantities]":
+        self._require_fitted()
+        return sweep_quantities(
+            self, dcs, self._offsets, self._ids, self._dists, tie_break
+        )
 
     # -- bookkeeping --------------------------------------------------------------------
 
@@ -195,11 +210,14 @@ class RNListIndex(DPCIndex):
         return int(self._offsets.nbytes + self._ids.nbytes + self._dists.nbytes)
 
 
-class RNCHIndex(RNListIndex):
+class RNCHIndex(CumulativeHistogramMixin, RNListIndex):
     """Approximate CH Index: cumulative histograms over truncated RN-Lists.
 
     ρ queries use the O(1) bin lookup of Algorithm 4 restricted to the stored
     τ-neighbourhood; δ queries are inherited from :class:`RNListIndex`.
+    As in :class:`~repro.indexes.ch_index.CHIndex`, ``bin_width`` is the
+    configured value (``None`` = auto) and ``bin_width_`` the one resolved at
+    fit time, so refits never reuse a stale width.
     """
 
     name: ClassVar[str] = "rn-ch"
@@ -215,35 +233,25 @@ class RNCHIndex(RNListIndex):
         scan_block: int = 32,
     ):
         super().__init__(tau, metric, build_block_rows, scan_block)
-        if bin_width is not None and bin_width <= 0:
-            raise ValueError(f"bin_width must be positive, got {bin_width}")
-        if default_bins <= 0:
-            raise ValueError(f"default_bins must be positive, got {default_bins}")
-        self.bin_width = bin_width
-        self.default_bins = default_bins
+        self._init_bin_width(bin_width, default_bins)
         self._hist_offsets: Optional[np.ndarray] = None
         self._hist_values: Optional[np.ndarray] = None
 
     def _build(self) -> None:
         super()._build()
         if self.bin_width is None:
-            self.bin_width = self.tau / self.default_bins
-        w = float(self.bin_width)
-        offsets, dists = self._offsets, self._dists
+            self.bin_width_ = self.tau / self.default_bins
+        else:
+            self.bin_width_ = float(self.bin_width)
+        w = float(self.bin_width_)
+        offsets = self._offsets
         n = self.n
         lengths = np.diff(offsets)
         # Bins must cover every stored neighbour, i.e. up to τ.
         n_bins = np.full(n, int(np.floor(self.tau / w)) + 1, dtype=np.int64)
-        hist_offsets = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(n_bins, out=hist_offsets[1:])
-        values = np.empty(int(hist_offsets[-1]), dtype=np.int64)
-        for p in range(n):
-            row = dists[offsets[p] : offsets[p + 1]]
-            edges = w * np.arange(1, n_bins[p] + 1, dtype=np.float64)
-            values[hist_offsets[p] : hist_offsets[p + 1]] = np.searchsorted(
-                row, edges, side="left"
-            )
-            values[hist_offsets[p + 1] - 1] = lengths[p]
+        edges = w * np.arange(1, int(n_bins[0]) + 1, dtype=np.float64)
+        hist_offsets, values = build_row_histograms(self._dists, offsets, n_bins, edges)
+        values[hist_offsets[1:] - 1] = lengths
         self._hist_offsets = hist_offsets
         self._hist_values = values
 
@@ -251,32 +259,23 @@ class RNCHIndex(RNListIndex):
         self._require_fitted()
         if dc > self.tau:
             return super().rho_all(dc)
-        w = float(self.bin_width)
-        offsets, dists = self._offsets, self._dists
-        h_off, values = self._hist_offsets, self._hist_values
-        n = self.n
-        bin_real = dc / w
-        target = int(np.floor(bin_real))
-        on_edge = bin_real == target
-        rho = np.empty(n, dtype=np.int64)
-        for p in range(n):
-            hs, he = h_off[p], h_off[p + 1]
-            size = he - hs
-            if target >= size:
-                rho[p] = values[he - 1]
-            elif on_edge:
-                rho[p] = values[hs + target - 1] if target > 0 else 0
-            else:
-                first = values[hs + target - 1] if target > 0 else 0
-                last = values[hs + target]
-                if first == last:
-                    rho[p] = first
-                else:
-                    row = dists[offsets[p] + first : offsets[p] + last]
-                    rho[p] = first + np.searchsorted(row, dc, side="left")
-                    self._stats.objects_scanned += int(last - first)
-                    self._stats.binary_searches += 1
+        rho, scanned, searches = ch_rho_from_histograms(
+            self._hist_offsets,
+            self._hist_values,
+            self._dists,
+            self._offsets[:-1],
+            float(dc),
+            self._resolved_bin_width(),
+        )
+        self._stats.objects_scanned += scanned
+        self._stats.binary_searches += searches
         return rho
+
+    def rho_all_multi(self, dcs) -> np.ndarray:
+        """Histogram-guided ρ per cut-off (each already one batched pass)."""
+        self._require_fitted()
+        dcs = self._validate_dcs(dcs)
+        return np.stack([self.rho_all(float(dc)) for dc in dcs])
 
     def histogram_memory_bytes(self) -> int:
         if self._hist_values is None:

@@ -8,7 +8,13 @@ nodes expose a bounding box, a child list / leaf id array, an object count
 
 * the ρ query of Algorithm 5 — classify each node against the query circle
   as *discarded* (``dmin ≥ dc``), *fully contained* (``dmax < dc``, add
-  ``nc`` wholesale) or *intersected* (recurse) — Observation 1;
+  ``nc`` wholesale) or *intersected* (recurse) — Observation 1.  The
+  traversal is *batched*: one stack entry carries a whole block of query
+  points, node bounds are evaluated for the block with the vectorised
+  rectangle bounds of :func:`repro.geometry.distance.rect_bounds_many`, and
+  each point follows exactly the per-point classification of the scalar
+  algorithm (results and probe counters are identical — the per-object
+  Python loop is gone);
 * the δ query of Algorithm 6 — best-first search with **density pruning**
   (Lemma 1: skip nodes with ``maxrho < ρ(p)``; equality is kept so id
   tie-breaking stays exact) and **distance pruning** (Lemma 2: skip nodes
@@ -28,7 +34,7 @@ from typing import Callable, ClassVar, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.quantities import NO_NEIGHBOR, DensityOrder, TieBreak
-from repro.geometry.distance import Metric
+from repro.geometry.distance import Metric, rect_bounds_many
 from repro.geometry.rect import Rect
 from repro.indexes.base import DPCIndex
 
@@ -225,38 +231,44 @@ class TreeIndexBase(DPCIndex):
 
     def rho_all(self, dc: float) -> np.ndarray:
         points = self._require_fitted()
-        mindist, maxdist, q_of = self._bound_fns()
+        dc = float(dc)
         n = len(points)
-        rho = np.empty(n, dtype=np.int64)
-        for p in range(n):
-            rho[p] = self._rho_one(points[p], q_of(points[p]), dc, mindist, maxdist)
-        # Every object was counted inside its own query circle (dist 0 < dc);
-        # Eq. 1 excludes the object itself.
-        rho -= 1
-        return rho
-
-    def _rho_one(self, point: np.ndarray, q, dc: float, mindist, maxdist) -> int:
-        dist_from = self.metric.distances_from
-        points = self.points
+        mind_many, maxd_many = rect_bounds_many(self.metric)
+        cross = self.metric.cross
         stats = self._stats
-        count = 0
-        stack = [self._root]
+        counts = np.zeros(n, dtype=np.int64)
+        # Batched Algorithm 5: each stack entry is (node, query-point block).
+        # Every point classifies the node exactly as the scalar traversal
+        # did — discarded / contained / intersected — so per-point counts
+        # and the probe counters match the per-object formulation.
+        stack: List[Tuple[TreeNode, np.ndarray]] = [(self._root, np.arange(n))]
         while stack:
-            node = stack.pop()
-            stats.nodes_visited += 1
-            if mindist(q, node) >= dc:
-                continue  # discarded: R ∩ Q = ∅
-            if maxdist(q, node) < dc:
-                count += node.nc  # fully contained: R ⊂ Q
-                stats.nodes_contained += 1
+            node, idx = stack.pop()
+            stats.nodes_visited += len(idx)
+            pts = points[idx]
+            alive = mind_many(pts, node.lo, node.hi) < dc
+            if not alive.any():
+                continue  # discarded for every point in the block: R ∩ Q = ∅
+            idx = idx[alive]
+            pts = pts[alive]
+            contained = maxd_many(pts, node.lo, node.hi) < dc
+            if contained.any():
+                counts[idx[contained]] += node.nc  # fully contained: R ⊂ Q
+                stats.nodes_contained += int(contained.sum())
+            rest = idx[~contained]
+            if len(rest) == 0:
                 continue
             if node.is_leaf:
-                d = dist_from(points[node.ids], point)
-                stats.distance_evals += len(node.ids)
-                count += int((d < dc).sum())
+                d = cross(pts[~contained], points[node.ids])
+                stats.distance_evals += d.size
+                counts[rest] += (d < dc).sum(axis=1)
             else:
-                stack.extend(node.children)
-        return count
+                for child in node.children:
+                    stack.append((child, rest))
+        # Every object was counted inside its own query circle (dist 0 < dc);
+        # Eq. 1 excludes the object itself.
+        counts -= 1
+        return counts
 
     # -- δ query (Algorithm 6) --------------------------------------------------------
 

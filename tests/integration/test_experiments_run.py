@@ -7,6 +7,7 @@ import pytest
 from repro.harness.experiments import (
     fig5_running_time,
     fig6_dc_sweep,
+    fig6_dc_sweep_batched,
     fig7_binwidth_sweep,
     fig8_tau_sweep,
     fig9a_w_memory,
@@ -94,6 +95,18 @@ class TestFig6:
         t = fig6_dc_sweep(**small, datasets=["birch"])
         methods = set(t.column("method"))
         assert methods == {"List Index", "CH Index", "R-tree", "Quadtree"}
+
+
+class TestFig6Batched:
+    def test_batched_sweep_rows(self, small):
+        t = fig6_dc_sweep_batched(**small, datasets=["s1"])
+        assert set(t.columns) >= {
+            "dataset", "method", "n_dcs", "batched_seconds", "sequential_seconds", "speedup"
+        }
+        assert len(t) >= 4  # one row per method
+        for r in t.rows:
+            assert r["batched_seconds"] > 0
+            assert r["n_dcs"] >= 2
 
 
 class TestFig7:

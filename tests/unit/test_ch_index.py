@@ -4,10 +4,52 @@ import numpy as np
 import pytest
 
 from repro.core.baseline import naive_quantities
+from repro.geometry.distance import get_metric
 from repro.indexes.ch_index import CHIndex
 from repro.indexes.list_index import ListIndex
+from repro.indexes.rn_list import RNCHIndex
 
 from tests.conftest import assert_quantities_equal, safe_dc
+
+
+def adversarial_edge_pair(seed=0):
+    """A (w, dc, d) triple where the *quotient* claims dc sits on a bin edge
+    (``dc / w`` is exactly integral) but the *stored* edge ``fl(w·t)`` is a
+    different float, and the metric realises a distance ``d`` exactly between
+    the two — so trusting the bin value flips a strict ``dist < dc`` count.
+    """
+    rng = np.random.default_rng(seed)
+    metric = get_metric("euclidean")
+    while True:
+        w = float(rng.uniform(0.05, 2.0))
+        t = int(rng.integers(1, 40))
+        edge = w * t
+        for dc in (float(np.nextafter(edge, np.inf)), float(np.nextafter(edge, -np.inf))):
+            if dc <= 0 or w * t == dc or dc / w != float(t):
+                continue
+            d = min(dc, edge)
+            probe = np.array([[0.0, 0.0], [d, 0.0]])
+            if metric.cross(probe[:1], probe[1:])[0, 0] == d:
+                return w, dc, d
+
+
+def adversarial_last_edge_pair(seed=0):
+    """A (w, dc) pair where dc equals the farthest neighbour's distance AND
+    the stored *last* bin edge ``fl(w·k)``, while ``floor(dc/w) == k-1`` —
+    so the histogram has exactly ``k`` bins and a careless "dc beyond the
+    last bin" shortcut would count the tie at ``dist == dc``.
+    """
+    rng = np.random.default_rng(seed)
+    metric = get_metric("euclidean")
+    while True:
+        w = float(rng.uniform(0.05, 2.0))
+        k = int(rng.integers(2, 40))
+        dc = w * k
+        if dc <= 0 or int(np.floor(dc / w)) != k - 1:
+            continue
+        probe = np.array([[0.0, 0.0], [dc, 0.0]])
+        if metric.cross(probe[:1], probe[1:])[0, 0] == dc:
+            return w, dc
 
 
 @pytest.fixture
@@ -44,9 +86,27 @@ class TestHistogramConstruction:
 
     def test_auto_bin_width(self, blobs):
         index = CHIndex(default_bins=64).fit(blobs)
-        assert index.bin_width is not None and index.bin_width > 0
+        # Configured width stays None (auto); the fit resolves bin_width_.
+        assert index.bin_width is None
+        assert index.bin_width_ is not None and index.bin_width_ > 0
         diameter = index.neighbor_dists[:, -1].max()
-        assert index.bin_width == pytest.approx(diameter / 64)
+        assert index.bin_width_ == pytest.approx(diameter / 64)
+
+    def test_auto_bin_width_re_resolved_on_refit(self, blobs):
+        """Refitting on different data must not reuse the first fit's w."""
+        index = CHIndex(default_bins=64).fit(blobs)
+        w_first = index.bin_width_
+        index.fit(blobs * 40.0)  # 40x the diameter => 40x the auto width
+        assert index.bin_width is None
+        assert index.bin_width_ == pytest.approx(w_first * 40.0)
+        base = naive_quantities(blobs * 40.0, 12.0)
+        np.testing.assert_array_equal(index.rho_all(12.0), base.rho)
+
+    def test_explicit_bin_width_survives_refit(self, blobs):
+        index = CHIndex(bin_width=0.8).fit(blobs)
+        index.fit(blobs * 3.0)
+        assert index.bin_width == 0.8
+        assert index.bin_width_ == 0.8
 
     def test_smaller_w_means_more_bins(self, blobs):
         coarse = CHIndex(bin_width=1.0).fit(blobs)
@@ -85,10 +145,48 @@ class TestRhoQuery:
     def test_dc_beyond_last_bin(self, blobs, fitted):
         assert (fitted.rho_all(1e9) == len(blobs) - 1).all()
 
+    def test_astronomical_dc_answers_fast(self, blobs, fitted):
+        """dc/w past 2^52 must stay O(1) (regression: the ulp-correction
+        loop in resolve_bin walked the gap one w at a time and hung)."""
+        for dc in (1.234e30, 1e200, float(np.finfo(np.float64).max)):
+            assert (fitted.rho_all(dc) == len(blobs) - 1).all()
+
     def test_dc_in_first_bin(self, blobs):
         index = CHIndex(bin_width=5.0).fit(blobs)  # everything in bin 0
         base = naive_quantities(blobs, 0.5).rho
         np.testing.assert_array_equal(index.rho_all(0.5), base)
+
+    @pytest.mark.parametrize("seed", [0, 7, 21])
+    def test_bin_edge_fp_mismatch_regression(self, seed):
+        """dc/w exactly integral must not shortcut to the bin value unless
+        the stored edge reproduces dc bit-for-bit (strict dist < dc)."""
+        w, dc, d = adversarial_edge_pair(seed)
+        pts = np.array(
+            [
+                [0.0, 0.0],
+                [d, 0.0],  # exactly between dc and the stored edge fl(w·t)
+                [-3.0 * dc, 0.1],
+                [d + 3.0 * dc, -0.2],
+                [2.0 * dc, 5.0 * dc],
+            ]
+        )
+        base = naive_quantities(pts, dc)
+        ch = CHIndex(bin_width=w).fit(pts)
+        np.testing.assert_array_equal(ch.rho_all(dc), base.rho)
+        rnch = RNCHIndex(tau=20.0 * dc, bin_width=w).fit(pts)
+        np.testing.assert_array_equal(rnch.rho_all(dc), base.rho)
+
+    @pytest.mark.parametrize("seed", [0, 11])
+    def test_dc_at_stored_last_edge_excludes_ties(self, seed):
+        """dc == fl(w·n_bins) with a neighbour at exactly that distance:
+        the full-list shortcut must not swallow the strict dist < dc tie."""
+        w, dc = adversarial_last_edge_pair(seed)
+        pts = np.array([[0.0, 0.0], [dc, 0.0], [dc / 2.0, 0.0]])
+        base = naive_quantities(pts, dc)
+        ch = CHIndex(bin_width=w).fit(pts)
+        np.testing.assert_array_equal(ch.rho_all(dc), base.rho)
+        rnch = RNCHIndex(tau=2.0 * dc, bin_width=w).fit(pts)
+        np.testing.assert_array_equal(rnch.rho_all(dc), base.rho)
 
     def test_searches_smaller_sections_than_list(self, blobs):
         """The whole point of CH: far fewer objects touched per ρ query."""

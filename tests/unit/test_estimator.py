@@ -78,6 +78,38 @@ class TestRefit:
             DensityPeakClustering().refit(0.5)
 
 
+class TestRefitMany:
+    def test_matches_sequential_refits(self, blobs):
+        dcs = [0.2, 0.5, 1.1]
+        for index in ("list", "ch", "rtree"):
+            model = DensityPeakClustering(index=index, dc=0.3, n_centers=3).fit(blobs)
+            batched = model.refit_many(dcs)
+            assert len(batched) == len(dcs)
+            twin = DensityPeakClustering(index=index, dc=0.3, n_centers=3).fit(blobs)
+            for dc, result in zip(dcs, batched):
+                twin.refit(dc)
+                assert result.dc == dc
+                np.testing.assert_array_equal(result.labels, twin.labels_)
+                np.testing.assert_array_equal(result.centers, twin.centers_)
+
+    def test_estimator_points_at_last_dc(self, blobs):
+        model = DensityPeakClustering(index="kdtree", dc=0.2, n_centers=3).fit(blobs)
+        results = model.refit_many([0.4, 0.9])
+        assert model.dc_ == 0.9
+        np.testing.assert_array_equal(model.labels_, results[-1].labels)
+
+    def test_halo_propagates(self, blobs):
+        model = DensityPeakClustering(
+            index="kdtree", dc=0.3, n_centers=3, halo=True
+        ).fit(blobs)
+        for result in model.refit_many([0.3, 0.6]):
+            assert result.halo is not None and result.halo.dtype == bool
+
+    def test_refit_many_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="before refit_many"):
+            DensityPeakClustering().refit_many([0.5])
+
+
 class TestAccessors:
     def test_unfitted_accessors_raise(self):
         model = DensityPeakClustering()

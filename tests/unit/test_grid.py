@@ -34,7 +34,26 @@ class TestStructure:
 
     def test_auto_cell_size(self, blobs):
         index = GridIndex(target_occupancy=8).fit(blobs)
-        assert index.cell_size > 0
+        assert index.cell_size is None  # configured stays auto
+        assert index.cell_size_ > 0
+
+    def test_auto_cell_size_re_resolved_on_refit(self, blobs):
+        index = GridIndex(target_occupancy=8).fit(blobs)
+        first = index.cell_size_
+        index.fit(blobs * 25.0)
+        assert index.cell_size_ == pytest.approx(first * 25.0)
+
+    @pytest.mark.parametrize("axis", [0, 1])
+    def test_auto_cell_size_on_collinear_data(self, axis):
+        """Degenerate extent must not explode the cell grid (regression:
+        the pure-area formula produced ~1e-150 cells and an overflow)."""
+        pts = np.zeros((40, 2))
+        pts[:, axis] = np.arange(40, dtype=float)
+        pts[:, 1 - axis] = 3.25
+        index = GridIndex().fit(pts)
+        nx, ny = index._shape
+        assert nx * ny <= len(pts)
+        assert_quantities_equal(naive_quantities(pts, 2.5), index.quantities(2.5))
 
     def test_invalid_params(self):
         with pytest.raises(ValueError, match="cell_size"):

@@ -65,3 +65,30 @@ class TestHalo:
     def test_length_validation(self):
         with pytest.raises(ValueError, match="equal length"):
             halo_mask(np.zeros((3, 2)), np.zeros(2, dtype=int), np.zeros(3, dtype=int), 1.0)
+
+    def test_float_densities_not_truncated(self):
+        """Gaussian-kernel/kNN variants produce real-valued ρ; an int cast
+        here used to zero the fractional parts and corrupt the border
+        thresholds (regression)."""
+        rng = np.random.default_rng(8)
+        pts = np.concatenate(
+            [rng.normal([0, 0], 0.5, (100, 2)), rng.normal([1.9, 0], 0.5, (100, 2))]
+        )
+        q = naive_quantities(pts, 0.4)
+        labels = assign_labels(q, select_centers_top_k(q, 2), points=pts)
+        rho_int = q.rho.astype(np.int64)
+        # Sub-integer offsets must influence the halo exactly as any other
+        # float densities would — scaling ρ into (0, 1) makes an int cast
+        # collapse everything to zero, so the two must now differ in general
+        # but agree when the float values are integral.
+        np.testing.assert_array_equal(
+            halo_mask(pts, labels, rho_int, 0.4),
+            halo_mask(pts, labels, rho_int.astype(np.float64), 0.4),
+        )
+        rho_frac = rho_int.astype(np.float64) / (rho_int.max() + 1.0)
+        frac_halo = halo_mask(pts, labels, rho_frac, 0.4)
+        # The threshold comparison is scale-invariant, so the fractional
+        # densities must reproduce the integer-density halo — the truncating
+        # cast instead returned all-False (rho_border == 0 everywhere).
+        np.testing.assert_array_equal(frac_halo, halo_mask(pts, labels, rho_int, 0.4))
+        assert frac_halo.any()

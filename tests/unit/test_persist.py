@@ -49,6 +49,27 @@ def test_list_state_restored_not_rebuilt(blobs, tmp_path):
     assert restored.build_seconds == original.build_seconds  # copied, not re-timed
 
 
+@pytest.mark.parametrize(
+    "factory",
+    [
+        pytest.param(lambda: CHIndex(), id="ch-auto-w"),
+        pytest.param(lambda: RNCHIndex(tau=2.0), id="rn-ch-auto-w"),
+    ],
+)
+def test_auto_bin_width_roundtrip(factory, blobs, tmp_path):
+    """Auto-w histograms were built with the *resolved* width; a restored
+    index must query with that width, while the configured value stays
+    auto so a later refit re-resolves it."""
+    path = str(tmp_path / "auto.npz")
+    original = factory().fit(blobs)
+    save_index(original, path)
+    restored = load_index(path)
+    assert restored.bin_width is None
+    assert restored.bin_width_ == original.bin_width_
+    for dc in (0.3, 0.9):
+        assert_quantities_equal(original.quantities(dc), restored.quantities(dc))
+
+
 def test_params_roundtrip(blobs, tmp_path):
     path = str(tmp_path / "rt.npz")
     original = RTreeIndex(max_entries=6, packing="dynamic", frontier="stack").fit(blobs)

@@ -127,7 +127,8 @@ class TestRNCH:
 
     def test_auto_bin_width_covers_tau(self, blobs, tau):
         rnch = RNCHIndex(tau=tau, default_bins=16).fit(blobs)
-        assert rnch.bin_width == pytest.approx(tau / 16)
+        assert rnch.bin_width is None  # configured stays auto
+        assert rnch.bin_width_ == pytest.approx(tau / 16)
 
     def test_memory_exceeds_plain_rnlist(self, blobs, tau):
         rn = RNListIndex(tau=tau).fit(blobs)

@@ -97,6 +97,16 @@ class TestStatsBookkeeping:
         index.reset_stats()
         assert index.stats().total_work() == 0
 
+    def test_refit_resets_stats(self, blobs):
+        """Probe counters are per-fit epochs; a refit must not accumulate
+        work from the previous dataset (regression — the Theorem 1-4
+        complexity checks silently double-counted across re-fits)."""
+        index = RTreeIndex().fit(blobs)
+        index.quantities(0.5)
+        assert index.stats().total_work() > 0
+        index.fit(blobs * 2.0)
+        assert index.stats().total_work() == 0
+
     def test_stats_dict_keys(self, blobs):
         index = RTreeIndex().fit(blobs)
         index.quantities(0.5)
