@@ -1,10 +1,15 @@
 """Object-to-cluster assignment (paper Section 2, step 4).
 
 After centres are chosen, every remaining object joins the cluster of its
-nearest higher-density neighbour μ.  Processing objects densest-first
-guarantees μ's label is already known when an object is visited, so the whole
-step is a single O(n) pass — the paper notes this step is cheap and reused
-verbatim from the original algorithm.
+nearest higher-density neighbour μ.  The classic formulation processes
+objects densest-first so μ's label is already known when an object is
+visited; here the same O(n) pass is evaluated as **depth-grouped parent
+propagation**: round ``k`` labels every object whose μ-chain reaches a
+labelled root in ``k`` hops, so the Python-level loop runs once per μ-forest
+depth level (a handful of vectorised rounds) instead of once per object.
+Labels and error behaviour are identical to the sequential pass — a μ edge
+pointing at an equal-or-lower-density object is reported for exactly the
+object the densest-first loop would have tripped on.
 """
 
 from __future__ import annotations
@@ -14,7 +19,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.quantities import NO_NEIGHBOR, DPCQuantities
-from repro.geometry.distance import Metric, distances_to_point
+from repro.geometry.distance import Metric, get_metric
 
 __all__ = ["assign_labels"]
 
@@ -39,8 +44,9 @@ def assign_labels(
         Only needed for the corner case of an *unselected peak*: an object
         with ``μ = NO_NEIGHBOR`` that is not a centre (possible under
         ``TieBreak.STRICT``, or with an approximate index whose τ hid every
-        denser neighbour).  Such objects join the nearest centre by distance;
-        without ``points`` this raises instead of guessing.
+        denser neighbour).  Such objects join the nearest centre by distance
+        (one batched cross over all of them); without ``points`` this raises
+        instead of guessing.
 
     Returns
     -------
@@ -58,25 +64,52 @@ def assign_labels(
     labels = np.full(n, -1, dtype=np.int64)
     labels[centers] = np.arange(len(centers))
 
-    mu = quantities.mu
-    for p in quantities.density_order.order:
-        if labels[p] != -1:
-            continue
-        parent = mu[p]
-        if parent == NO_NEIGHBOR:
-            if points is None:
-                raise ValueError(
-                    f"object {p} is a peak (mu = NO_NEIGHBOR) but not a selected "
-                    "center; pass points= so it can join the nearest center"
-                )
-            d = distances_to_point(points[centers], points[p], metric)
-            labels[p] = int(np.argmin(d))
-        else:
-            if labels[parent] == -1:
-                # Can only happen if mu points to an equal-or-lower-density
-                # object, i.e. the quantities are inconsistent with the order.
-                raise ValueError(
-                    f"mu chain broken at object {p}: neighbor {parent} not yet labeled"
-                )
-            labels[p] = labels[parent]
+    mu = np.asarray(quantities.mu, dtype=np.int64)
+    rank = quantities.density_order.rank
+    pending = np.flatnonzero(labels == -1)
+    has_parent = mu[pending] != NO_NEIGHBOR
+    orphans = pending[~has_parent]  # unselected peaks
+    chained = pending[has_parent]
+
+    # Identical error behaviour to the densest-first sequential pass: it
+    # trips on the *first* offending object in density order — either an
+    # unselected peak with no points to fall back on, or an object whose μ
+    # points at an equal-or-lower-density object (labels[mu] is then still
+    # unset when the object is visited — unless that object is a centre,
+    # labelled from the start).  Valid chains always step to a strictly
+    # smaller rank, so induction over the order labels every earlier
+    # object first.
+    is_center = np.zeros(n, dtype=bool)
+    is_center[centers] = True
+    parents = mu[chained]
+    bad = chained[(rank[parents] >= rank[chained]) & ~is_center[parents]]
+    first_bad = int(bad[np.argmin(rank[bad])]) if len(bad) else None
+    if points is None and len(orphans):
+        first_orphan = int(orphans[np.argmin(rank[orphans])])
+        if first_bad is None or rank[first_orphan] < rank[first_bad]:
+            raise ValueError(
+                f"object {first_orphan} is a peak (mu = NO_NEIGHBOR) but not a selected "
+                "center; pass points= so it can join the nearest center"
+            )
+    if first_bad is not None:
+        raise ValueError(
+            f"mu chain broken at object {first_bad}: neighbor {int(mu[first_bad])} "
+            "not yet labeled"
+        )
+
+    if len(orphans):
+        # One batched cross instead of a distances_from call per peak; ties
+        # resolve to the first (lowest-index) centre, like the scalar argmin.
+        m = get_metric(metric)
+        pts = np.ascontiguousarray(points, dtype=np.float64)
+        d = m.cross(pts[orphans], pts[centers])
+        labels[orphans] = d.argmin(axis=1)
+
+    # Depth-grouped propagation: each round labels the objects whose parent
+    # was labelled in an earlier round (round k = μ-forest depth k).
+    while len(chained):
+        parent_label = labels[mu[chained]]
+        ready = parent_label != -1
+        labels[chained[ready]] = parent_label[ready]
+        chained = chained[~ready]
     return labels

@@ -103,3 +103,64 @@ class TestEndToEnd:
         # The three dense blobs (known generator layout) dominate the labels.
         sizes = np.bincount(labels)
         assert sorted(sizes, reverse=True)[0] >= 100
+
+
+class TestDepthGroupedPropagation:
+    """The vectorized rounds must mirror the sequential densest-first pass."""
+
+    def test_multiple_unselected_peaks_batched_fallback(self):
+        points = np.array([[0.0, 0.0], [10.0, 0.0], [0.1, 0.0], [9.9, 0.0]])
+        q = make_quantities(
+            rho=[5, 5, 1, 1],
+            mu=[NO_NEIGHBOR, NO_NEIGHBOR, 0, 1],
+        )
+        # Object 1 is a second peak under strict-style quantities; both it
+        # and its chain land on the nearest centre.
+        labels = assign_labels(q, centers=np.array([0]), points=points)
+        np.testing.assert_array_equal(labels, [0, 0, 0, 0])
+
+    def test_error_order_matches_density_order(self):
+        # Object 1 (denser) is an unselected peak; object 2 has a broken
+        # edge.  The sequential pass trips on object 1 first.
+        q = make_quantities(rho=[9, 8, 7, 1], mu=[NO_NEIGHBOR, NO_NEIGHBOR, 3, 2])
+        with pytest.raises(ValueError, match="object 1 is a peak"):
+            assign_labels(q, centers=np.array([0]))
+
+    def test_broken_edge_before_peak_in_density_order(self):
+        # Object 1 has the broken edge and is denser than the peak at 2.
+        q = make_quantities(rho=[9, 8, 7, 1], mu=[NO_NEIGHBOR, 3, NO_NEIGHBOR, 2])
+        with pytest.raises(ValueError, match="mu chain broken at object 1"):
+            assign_labels(q, centers=np.array([0]))
+
+    def test_self_loop_mu_detected(self):
+        q = make_quantities(rho=[5, 3], mu=[NO_NEIGHBOR, 1])
+        with pytest.raises(ValueError, match="mu chain broken at object 1"):
+            assign_labels(q, centers=np.array([0]))
+
+    def test_matches_naive_end_to_end_order(self, blobs):
+        from repro.core.decision import select_centers_top_k
+
+        q = naive_quantities(blobs, 0.5)
+        centers = select_centers_top_k(q, 3)
+        labels = assign_labels(q, centers, points=blobs)
+        # Sequential reference reimplemented inline for comparison.
+        ref = np.full(len(blobs), -1, dtype=np.int64)
+        ref[centers] = np.arange(len(centers))
+        for p in q.density_order.order:
+            if ref[p] != -1:
+                continue
+            ref[p] = ref[q.mu[p]]
+        np.testing.assert_array_equal(labels, ref)
+
+    def test_backward_mu_edge_to_center_is_valid(self):
+        # mu may point at an equal-or-lower-density object when that object
+        # is a centre (labelled from the start) — the sequential pass
+        # assigned the label without error (code-review regression).
+        q = make_quantities(rho=[5, 3], mu=[1, NO_NEIGHBOR])
+        labels = assign_labels(q, centers=np.array([1]))
+        np.testing.assert_array_equal(labels, [0, 0])
+
+    def test_backward_mu_edge_to_non_center_still_raises(self):
+        q = make_quantities(rho=[5, 3, 1], mu=[2, NO_NEIGHBOR, NO_NEIGHBOR])
+        with pytest.raises(ValueError, match="mu chain broken at object 0"):
+            assign_labels(q, centers=np.array([1]))
