@@ -34,6 +34,7 @@ __all__ = [
     "register_metric",
     "pairwise_distances",
     "pairwise_blocks",
+    "cross_blocks",
     "distances_to_point",
     "rect_bounds_many",
 ]
@@ -448,6 +449,32 @@ def pairwise_blocks(
     for start in range(0, n, block_rows):
         stop = min(start + block_rows, n)
         yield start, stop, m.cross(points[start:stop], points)
+
+
+def cross_blocks(
+    a: np.ndarray,
+    b: np.ndarray,
+    metric: "str | Metric" = "euclidean",
+    block_elems: int = 4_000_000,
+) -> Iterator[Tuple[int, int, np.ndarray]]:
+    """Yield ``(start, stop, block)`` slabs of ``metric.cross(a, b)``.
+
+    The rectangular analogue of :func:`pairwise_blocks`: ``block`` holds the
+    distances from rows ``start:stop`` of ``a`` to every row of ``b``, with
+    row-block size chosen so no slab exceeds ``block_elems`` elements.  The
+    batched δ kernels use it to sweep a handful of query rows (global peaks,
+    unselected-peak fallbacks) against the full point set without ever
+    materialising an ``O(len(a) · len(b))`` matrix.
+    """
+    if block_elems <= 0:
+        raise ValueError(f"block_elems must be positive, got {block_elems}")
+    m = get_metric(metric)
+    a = np.ascontiguousarray(a, dtype=np.float64)
+    b = np.ascontiguousarray(b, dtype=np.float64)
+    rows = max(1, block_elems // max(len(b), 1))
+    for start in range(0, len(a), rows):
+        stop = min(start + rows, len(a))
+        yield start, stop, m.cross(a[start:stop], b)
 
 
 def pairwise_distances(

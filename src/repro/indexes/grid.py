@@ -34,6 +34,7 @@ import numpy as np
 from repro.core.quantities import NO_NEIGHBOR, DensityOrder
 from repro.geometry.distance import Metric, rect_bounds_many
 from repro.indexes.base import DPCIndex
+from repro.indexes.kernels import peak_delta_sweep
 
 __all__ = ["GridIndex"]
 
@@ -203,15 +204,13 @@ class GridIndex(DPCIndex):
 
         delta = np.empty(n, dtype=np.float64)
         mu = np.full(n, NO_NEIGHBOR, dtype=np.int64)
-        peaks = set(int(p) for p in order.global_peaks())
-        for p in range(n):
-            if p in peaks:
-                d = self.metric.distances_from(points, points[p])
-                self._stats.distance_evals += n
-                delta[p] = float(d.max())
-                mu[p] = NO_NEIGHBOR
-            else:
-                delta[p], mu[p] = self._delta_one(p, order)
+        # δ of the densest object(s): one blocked cross over all peak rows.
+        peaks = order.global_peaks()
+        delta[peaks] = peak_delta_sweep(points, peaks, self.metric, self._stats)
+        is_peak = np.zeros(n, dtype=bool)
+        is_peak[peaks] = True
+        for p in np.flatnonzero(~is_peak):
+            delta[p], mu[p] = self._delta_one(int(p), order)
         return delta, mu
 
     def _delta_one(self, p: int, order: DensityOrder) -> Tuple[float, int]:

@@ -37,6 +37,7 @@ from repro.core.quantities import NO_NEIGHBOR, DensityOrder, TieBreak
 from repro.geometry.distance import Metric, rect_bounds_many
 from repro.geometry.rect import Rect
 from repro.indexes.base import DPCIndex
+from repro.indexes.kernels import peak_delta_sweep
 
 __all__ = ["TreeNode", "TreeIndexBase"]
 
@@ -281,18 +282,16 @@ class TreeIndexBase(DPCIndex):
         mindist, _maxdist, q_of = self._bound_fns()
         delta = np.empty(n, dtype=np.float64)
         mu = np.full(n, NO_NEIGHBOR, dtype=np.int64)
-        peaks = set(int(p) for p in order.global_peaks())
+        # Paper convention for the densest object(s): δ = max_q dist(p, q);
+        # one exact blocked cross over all peak rows replaces the per-peak
+        # distances_from loop and the per-object membership test.
+        peaks = order.global_peaks()
+        delta[peaks] = peak_delta_sweep(points, peaks, self.metric, self._stats)
+        is_peak = np.zeros(n, dtype=bool)
+        is_peak[peaks] = True
         one = self._delta_one_heap if self.frontier == "heap" else self._delta_one_stack
-        for p in range(n):
-            if p in peaks:
-                # Paper convention for the densest object(s):
-                # δ = max_q dist(p, q); a single exact sweep.
-                d = self.metric.distances_from(points, points[p])
-                self._stats.distance_evals += n
-                delta[p] = float(d.max())
-                mu[p] = NO_NEIGHBOR
-            else:
-                delta[p], mu[p] = one(p, order, mindist, q_of)
+        for p in np.flatnonzero(~is_peak):
+            delta[p], mu[p] = one(int(p), order, mindist, q_of)
         return delta, mu
 
     def _leaf_best(
