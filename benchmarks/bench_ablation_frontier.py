@@ -12,7 +12,7 @@ from repro.core.quantities import DensityOrder
 from repro.indexes.rtree import RTreeIndex
 
 
-@pytest.mark.parametrize("frontier", ["heap", "stack"])
+@pytest.mark.parametrize("frontier", ["batched", "heap", "stack"])
 def test_ablation_delta_frontier(benchmark, birch, frontier):
     ds = birch
     dc = ds.params.dc_default
@@ -29,7 +29,10 @@ def test_frontiers_agree(birch):
     dc = ds.params.dc_default
     import numpy as np
 
+    batched = RTreeIndex(frontier="batched").fit(ds.points).quantities(dc)
     heap = RTreeIndex(frontier="heap").fit(ds.points).quantities(dc)
     stack = RTreeIndex(frontier="stack").fit(ds.points).quantities(dc)
     np.testing.assert_array_equal(heap.delta, stack.delta)
     np.testing.assert_array_equal(heap.mu, stack.mu)
+    np.testing.assert_array_equal(heap.delta, batched.delta)
+    np.testing.assert_array_equal(heap.mu, batched.mu)

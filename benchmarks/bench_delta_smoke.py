@@ -1,0 +1,148 @@
+"""δ-engine benchmark smoke: ρ-vs-δ phase split, batched vs per-object.
+
+Runs ``quantities()`` for every tree/grid index at one dataset size and
+records per-phase wall clock (ρ, δ, assignment) for both the batched δ
+engine and the per-object reference path, writing the result to
+``BENCH_delta.json``.  This is the perf trajectory file this PR and future
+PRs append to — CI runs it at a tiny ``--quick`` size purely to keep the
+harness from rotting; the committed numbers come from ``--n 20000``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_delta_smoke.py --quick
+    PYTHONPATH=src python benchmarks/bench_delta_smoke.py --n 20000 --repeats 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.core.quantities import DensityOrder
+from repro.datasets.loaders import load_dataset
+from repro.harness.runner import time_cluster
+from repro.indexes.grid import GridIndex
+from repro.indexes.kdtree import KDTreeIndex
+from repro.indexes.quadtree import QuadtreeIndex
+from repro.indexes.rtree import RTreeIndex
+
+#: index name -> (batched factory, per-object reference factory)
+METHODS: Dict[str, tuple] = {
+    "rtree": (lambda: RTreeIndex(), lambda: RTreeIndex(frontier="heap")),
+    "quadtree": (lambda: QuadtreeIndex(), lambda: QuadtreeIndex(frontier="heap")),
+    "kdtree": (lambda: KDTreeIndex(), lambda: KDTreeIndex(frontier="heap")),
+    "grid": (lambda: GridIndex(), lambda: GridIndex(delta_mode="scalar")),
+}
+
+
+def _best_of(repeats: int, fn: Callable[[], float]) -> float:
+    return min(fn() for _ in range(repeats))
+
+
+def run(
+    n: int = 20000,
+    dataset: str = "s1",
+    dc: "float | None" = None,
+    repeats: int = 1,
+    seed: int = 0,
+) -> dict:
+    """Measure every method; returns the BENCH_delta.json payload."""
+    ds = load_dataset(dataset, n=n, seed=seed)
+    # Default to the smallest dc of the dataset's grid: the δ query is then
+    # the dominant phase (the regime this PR targets — ρ shrinks with dc,
+    # the per-object δ search does not).
+    dc = float(dc) if dc is not None else float(min(ds.params.dc_grid))
+    report = {
+        "benchmark": "delta_engine_phase_split",
+        "dataset": ds.name,
+        "n": int(ds.n),
+        "dc": dc,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "methods": {},
+    }
+    for name, (batched_factory, reference_factory) in METHODS.items():
+        batched = batched_factory().fit(ds.points)
+        reference = reference_factory().fit(ds.points)
+        rho = batched.rho_all(dc)
+        order = DensityOrder(rho)
+
+        def rho_time() -> float:
+            t = time.perf_counter()
+            batched.rho_all(dc)
+            return time.perf_counter() - t
+
+        def delta_batched_time() -> float:
+            t = time.perf_counter()
+            batched.delta_all(order)
+            return time.perf_counter() - t
+
+        def delta_reference_time() -> float:
+            t = time.perf_counter()
+            reference.delta_all(order)
+            return time.perf_counter() - t
+
+        d_new, m_new = batched.delta_all(order)
+        d_ref, m_ref = reference.delta_all(order)
+        np.testing.assert_array_equal(d_new, d_ref)
+        np.testing.assert_array_equal(m_new, m_ref)
+
+        rho_s = _best_of(repeats, rho_time)
+        delta_s = _best_of(repeats, delta_batched_time)
+        delta_ref_s = _best_of(repeats, delta_reference_time)
+        _, cluster_timing = time_cluster(batched, dc, n_centers=5)
+        report["methods"][name] = {
+            "rho_seconds": rho_s,
+            "delta_seconds": delta_s,
+            "delta_reference_seconds": delta_ref_s,
+            "assign_seconds": cluster_timing.assign_seconds,
+            "delta_speedup": delta_ref_s / delta_s if delta_s > 0 else float("inf"),
+            "quantities_speedup_vs_reference": (rho_s + delta_ref_s)
+            / (rho_s + delta_s),
+        }
+    return report
+
+
+def main(argv=None) -> str:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=20000)
+    parser.add_argument("--dataset", default="s1")
+    parser.add_argument("--dc", type=float, default=None)
+    parser.add_argument("--repeats", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="BENCH_delta.json")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny CI smoke size (n=1500, one repeat)",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.n = min(args.n, 1500)
+        args.repeats = 1
+    report = run(
+        n=args.n, dataset=args.dataset, dc=args.dc,
+        repeats=args.repeats, seed=args.seed,
+    )
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    for name, row in report["methods"].items():
+        print(
+            f"{name:10s} rho {row['rho_seconds']:.3f}s  "
+            f"delta {row['delta_seconds']:.3f}s "
+            f"(reference {row['delta_reference_seconds']:.3f}s, "
+            f"{row['delta_speedup']:.1f}x)  "
+            f"quantities {row['quantities_speedup_vs_reference']:.1f}x"
+        )
+    print(f"wrote {args.out}")
+    return args.out
+
+
+if __name__ == "__main__":
+    main()

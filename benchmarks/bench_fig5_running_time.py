@@ -20,6 +20,14 @@ def _query_run(index, dc):
     return q
 
 
+def _record_phase_split(benchmark, index, dc):
+    """One extra measured run so the ρ-vs-δ split lands in the JSON output."""
+    _, timing = time_quantities(index, dc)
+    benchmark.extra_info.update(
+        rho_seconds=timing.rho_seconds, delta_seconds=timing.delta_seconds
+    )
+
+
 @pytest.mark.parametrize("dataset_name", ["s1", "query"])
 class BenchSmallDatasets:
     """Datasets where the full list indexes fit (paper: S1, Query)."""
@@ -46,6 +54,35 @@ def test_fig5_small(benchmark, request, dataset_name, method):
     index = factory().fit(ds.points)
     benchmark.extra_info.update(dataset=ds.name, n=ds.n, method=method)
     benchmark(_query_run, index, dc)
+    _record_phase_split(benchmark, index, dc)
+
+
+@pytest.mark.parametrize("dataset_name", ["s1", "query"])
+@pytest.mark.parametrize("method", ["rtree", "quadtree", "kdtree", "grid"])
+@pytest.mark.parametrize("delta_path", ["batched", "reference"])
+def test_fig5_delta_engine(benchmark, request, dataset_name, method, delta_path):
+    """Batched δ engine vs the per-object reference, same index and dc."""
+    from repro.indexes.grid import GridIndex
+    from repro.indexes.kdtree import KDTreeIndex
+
+    ds = request.getfixturevalue(dataset_name)
+    dc = ds.params.dc_default
+    factory = {
+        ("rtree", "batched"): lambda: RTreeIndex(),
+        ("rtree", "reference"): lambda: RTreeIndex(frontier="heap"),
+        ("quadtree", "batched"): lambda: QuadtreeIndex(),
+        ("quadtree", "reference"): lambda: QuadtreeIndex(frontier="heap"),
+        ("kdtree", "batched"): lambda: KDTreeIndex(),
+        ("kdtree", "reference"): lambda: KDTreeIndex(frontier="heap"),
+        ("grid", "batched"): lambda: GridIndex(),
+        ("grid", "reference"): lambda: GridIndex(delta_mode="scalar"),
+    }[(method, delta_path)]
+    index = factory().fit(ds.points)
+    benchmark.extra_info.update(
+        dataset=ds.name, n=ds.n, method=method, delta_path=delta_path
+    )
+    benchmark(_query_run, index, dc)
+    _record_phase_split(benchmark, index, dc)
 
 
 @pytest.mark.parametrize("dataset_name", ["s1", "query"])

@@ -36,6 +36,7 @@ __all__ = [
     "pairwise_blocks",
     "cross_blocks",
     "distances_to_point",
+    "paired_distances",
     "rect_bounds_many",
 ]
 
@@ -62,9 +63,18 @@ class Metric:
         Whether the rectangle bounds are exact; tree indexes require this.
     rect_mindist_many / rect_maxdist_many:
         ``f(points, lo, hi) -> (n,) float64`` — the same bounds evaluated
-        for every row of ``points`` against one box.  ``None`` means the
-        metric has no native batched form; callers fall back to the scalar
-        functions via :func:`rect_bounds_many`.
+        for every row of ``points``, either against one box or against
+        per-row ``(n, d)`` ``lo``/``hi`` boxes (the built-ins' per-axis
+        formulas broadcast both ways; the batched δ engine relies on the
+        per-row form for its flattened ``(query, node)`` pair arrays).
+        ``None`` means the metric has no native batched form; callers fall
+        back to the scalar functions via :func:`rect_bounds_many`.
+    pair_dists:
+        ``f(a, b) -> (n,) float64`` — elementwise distances between row
+        pairs ``(a[i], b[i])``, bit-identical to ``cross(a, b)`` diagonal
+        entries / per-row ``distances_from`` (same subtract-and-reduce
+        arithmetic).  ``None`` falls back to a scalar row loop in
+        :func:`paired_distances`.
     """
 
     name: str
@@ -75,6 +85,7 @@ class Metric:
     supports_rect_bounds: bool = True
     rect_mindist_many: "Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray] | None" = None
     rect_maxdist_many: "Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray] | None" = None
+    pair_dists: "Callable[[np.ndarray, np.ndarray], np.ndarray] | None" = None
 
     def __call__(self, p: np.ndarray, q: np.ndarray) -> float:
         """Distance between two single points."""
@@ -110,14 +121,21 @@ def _box_axis_reach(q: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> np.ndarray
     return np.maximum(np.abs(q - lo), np.abs(q - hi))
 
 
+# The scalar box bounds reduce with einsum, NOT np.dot: BLAS dot may fuse
+# multiply-adds (FMA), drifting one ulp from the einsum-based distance
+# kernels.  A bound that differs from an exactly-equal point distance in the
+# last ulp breaks the δ query's equality-keeps-ties pruning invariant
+# (observed: a duplicate-point tie pruned away, μ resolved to a larger id).
+
+
 def _euclidean_rect_min(q: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> float:
     gaps = _box_axis_gaps(q, lo, hi)
-    return float(np.sqrt(np.dot(gaps, gaps)))
+    return float(np.sqrt(np.einsum("i,i->", gaps, gaps)))
 
 
 def _euclidean_rect_max(q: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> float:
     reach = _box_axis_reach(q, lo, hi)
-    return float(np.sqrt(np.dot(reach, reach)))
+    return float(np.sqrt(np.einsum("i,i->", reach, reach)))
 
 
 # Batched box bounds: `points` is (n, d), `lo`/`hi` one box.  The per-axis
@@ -155,12 +173,12 @@ def _sqeuclidean_cross(a: np.ndarray, b: np.ndarray) -> np.ndarray:
 
 def _sqeuclidean_rect_min(q, lo, hi) -> float:
     gaps = _box_axis_gaps(q, lo, hi)
-    return float(np.dot(gaps, gaps))
+    return float(np.einsum("i,i->", gaps, gaps))  # einsum, not dot: see above
 
 
 def _sqeuclidean_rect_max(q, lo, hi) -> float:
     reach = _box_axis_reach(q, lo, hi)
-    return float(np.dot(reach, reach))
+    return float(np.einsum("i,i->", reach, reach))
 
 
 def _sqeuclidean_rect_min_many(points, lo, hi) -> np.ndarray:
@@ -251,6 +269,17 @@ def _haversine_cross(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return out
 
 
+def _haversine_pair(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    # Same operations as _haversine_from, with the fixed point replaced by a
+    # per-row counterpart (bit-identical elementwise).
+    lat1, lon1 = np.radians(a[:, 0]), np.radians(a[:, 1])
+    lat2, lon2 = np.radians(b[:, 0]), np.radians(b[:, 1])
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = np.sin(dlat / 2.0) ** 2 + np.cos(lat1) * np.cos(lat2) * np.sin(dlon / 2.0) ** 2
+    return 2.0 * _EARTH_RADIUS_KM * np.arcsin(np.sqrt(np.clip(h, 0.0, 1.0)))
+
+
 def _haversine_rect_unsupported(q, lo, hi) -> float:
     raise NotImplementedError("haversine has no exact rectangle bounds")
 
@@ -271,14 +300,6 @@ def make_minkowski(p: float) -> Metric:
     def _cross(a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return (np.abs(a[:, None, :] - b[None, :, :]) ** p).sum(axis=2) ** (1.0 / p)
 
-    def _rect_min(q, lo, hi) -> float:
-        gaps = _box_axis_gaps(q, lo, hi)
-        return float((gaps**p).sum() ** (1.0 / p))
-
-    def _rect_max(q, lo, hi) -> float:
-        reach = _box_axis_reach(q, lo, hi)
-        return float((reach**p).sum() ** (1.0 / p))
-
     def _rect_min_many(points, lo, hi) -> np.ndarray:
         gaps = _box_axis_gaps(points, lo, hi)
         return (gaps**p).sum(axis=1) ** (1.0 / p)
@@ -286,6 +307,18 @@ def make_minkowski(p: float) -> Metric:
     def _rect_max_many(points, lo, hi) -> np.ndarray:
         reach = _box_axis_reach(points, lo, hi)
         return (reach**p).sum(axis=1) ** (1.0 / p)
+
+    # Scalar bounds route through the array kernels: numpy's *scalar*
+    # ``** (1/p)`` and the array power ufunc can disagree in the last ulp,
+    # and a bound one ulp above an exactly-tied distance breaks the δ
+    # query's equality-keeps-ties pruning (same failure mode as the
+    # np.dot-vs-einsum euclidean case above).
+
+    def _rect_min(q, lo, hi) -> float:
+        return float(_rect_min_many(np.asarray(q)[None, :], lo, hi)[0])
+
+    def _rect_max(q, lo, hi) -> float:
+        return float(_rect_max_many(np.asarray(q)[None, :], lo, hi)[0])
 
     return Metric(
         name=f"minkowski[p={p:g}]",
@@ -295,6 +328,7 @@ def make_minkowski(p: float) -> Metric:
         rect_maxdist=_rect_max,
         rect_mindist_many=_rect_min_many,
         rect_maxdist_many=_rect_max_many,
+        pair_dists=_from,
     )
 
 
@@ -320,6 +354,7 @@ register_metric(
         _euclidean_rect_max,
         rect_mindist_many=_euclidean_rect_min_many,
         rect_maxdist_many=_euclidean_rect_max_many,
+        pair_dists=_euclidean_from,  # elementwise formula broadcasts row pairs
     )
 )
 register_metric(
@@ -331,6 +366,7 @@ register_metric(
         _sqeuclidean_rect_max,
         rect_mindist_many=_sqeuclidean_rect_min_many,
         rect_maxdist_many=_sqeuclidean_rect_max_many,
+        pair_dists=_sqeuclidean_from,
     )
 )
 register_metric(
@@ -342,6 +378,7 @@ register_metric(
         _manhattan_rect_max,
         rect_mindist_many=_manhattan_rect_min_many,
         rect_maxdist_many=_manhattan_rect_max_many,
+        pair_dists=_manhattan_from,
     )
 )
 register_metric(
@@ -353,6 +390,7 @@ register_metric(
         _chebyshev_rect_max,
         rect_mindist_many=_chebyshev_rect_min_many,
         rect_maxdist_many=_chebyshev_rect_max_many,
+        pair_dists=_chebyshev_from,
     )
 )
 register_metric(
@@ -363,6 +401,7 @@ register_metric(
         _haversine_rect_unsupported,
         _haversine_rect_unsupported,
         supports_rect_bounds=False,
+        pair_dists=_haversine_pair,
     )
 )
 
@@ -449,6 +488,30 @@ def pairwise_blocks(
     for start in range(0, n, block_rows):
         stop = min(start + block_rows, n)
         yield start, stop, m.cross(points[start:stop], points)
+
+
+def paired_distances(
+    a: np.ndarray, b: np.ndarray, metric: "str | Metric" = "euclidean"
+) -> np.ndarray:
+    """Elementwise distances between row pairs ``(a[i], b[i])``.
+
+    The gather-friendly form of ``metric.cross`` used by the batched δ
+    engine: each engine pair carries its *own* candidate row, so a dense
+    cross matrix would waste ``O(n·m)`` work where only the ``n`` paired
+    entries are needed.  Uses the metric's native ``pair_dists`` kernel
+    (bit-identical arithmetic to ``cross``/``distances_from``); metrics
+    registered without one fall back to a scalar row loop.
+    """
+    m = get_metric(metric)
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"paired rows differ in shape: {a.shape} vs {b.shape}")
+    if m.pair_dists is not None:
+        return m.pair_dists(a, b)
+    return np.array(  # pragma: no cover - exercised via custom metrics
+        [m(a[i], b[i]) for i in range(len(a))], dtype=np.float64
+    )
 
 
 def cross_blocks(

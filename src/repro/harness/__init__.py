@@ -3,11 +3,13 @@
 from repro.harness.tables import Table
 from repro.harness.runner import (
     DEFAULT_MEMORY_BUDGET_MB,
+    ClusterTiming,
     MethodSpec,
     QueryTiming,
     full_list_bytes,
     list_index_fits,
     paper_methods,
+    time_cluster,
     time_naive,
     time_quantities,
 )
@@ -43,11 +45,13 @@ __all__ = [
     "ablation_pruning",
     "ablation_rtree_packing",
     "DEFAULT_MEMORY_BUDGET_MB",
+    "ClusterTiming",
     "MethodSpec",
     "QueryTiming",
     "full_list_bytes",
     "list_index_fits",
     "paper_methods",
+    "time_cluster",
     "time_naive",
     "time_quantities",
     "EXPERIMENTS",

@@ -36,15 +36,21 @@ def ablation_frontier(
     seed: int = 0,
     datasets: Optional[Sequence[str]] = None,
 ) -> Table:
-    """Stack (Algorithm 6) vs priority-queue frontier for the δ query."""
+    """δ-query frontier: batched engine vs per-object stack/heap references.
+
+    ``"stack"`` is the paper's Algorithm 6, ``"heap"`` the priority-queue
+    replacement it suggests, ``"batched"`` the frontier-batched engine of
+    :mod:`repro.indexes.kernels` (note its ``nodes_visited`` counts per
+    block-visit over a different traversal schedule).
+    """
     table = Table(
-        "Ablation — delta-query frontier (stack vs heap)",
+        "Ablation — delta-query frontier (batched vs stack vs heap)",
         ["dataset", "n", "index", "frontier", "delta_seconds", "nodes_visited"],
     )
     for name in datasets or ("birch", "gowalla"):
         ds = load_dataset(name, profile=profile, seed=seed)
         for cls in (RTreeIndex, QuadtreeIndex):
-            for frontier in ("heap", "stack"):
+            for frontier in ("batched", "heap", "stack"):
                 index = cls(frontier=frontier).fit(ds.points)
                 _, timing = time_quantities(index, ds.params.dc_default)
                 table.add_row(

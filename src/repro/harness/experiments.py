@@ -75,7 +75,7 @@ def fig5_running_time(
     """
     table = Table(
         "Figure 5 — running time (s), one (rho+delta) run at the dataset's dc",
-        ["dataset", "n", "dc", "method", "seconds", "note"],
+        ["dataset", "n", "dc", "method", "seconds", "rho_seconds", "delta_seconds", "note"],
     )
     for ds in _datasets(datasets, profile, seed, PAPER_DATASETS):
         dc = ds.params.dc_default
@@ -94,6 +94,8 @@ def fig5_running_time(
                 table.add_row(
                     dataset=ds.name, n=ds.n, dc=dc, method=method.label,
                     seconds=timing.total_seconds,
+                    rho_seconds=timing.rho_seconds,
+                    delta_seconds=timing.delta_seconds,
                     note="approx (tau*)" if method.approximate else None,
                 )
     return table

@@ -21,7 +21,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.baseline import naive_quantities
-from repro.core.quantities import DensityOrder, DPCQuantities, TieBreak
+from repro.core.quantities import DensityOrder, DPCQuantities, DPCResult, TieBreak
 from repro.datasets.base import Dataset
 from repro.indexes.base import DPCIndex
 from repro.indexes.ch_index import CHIndex
@@ -32,8 +32,10 @@ from repro.indexes.rtree import RTreeIndex
 
 __all__ = [
     "QueryTiming",
+    "ClusterTiming",
     "time_quantities",
     "time_quantities_multi",
+    "time_cluster",
     "time_naive",
     "full_list_bytes",
     "list_index_fits",
@@ -55,6 +57,29 @@ class QueryTiming:
     @property
     def total_seconds(self) -> float:
         return self.rho_seconds + self.delta_seconds
+
+
+@dataclass(frozen=True)
+class ClusterTiming:
+    """Phase split of a full clustering run: ρ vs δ vs assignment.
+
+    ``assign_seconds`` covers everything after the two index queries —
+    centre selection, the μ-chain label propagation, and the optional halo.
+    This is the decomposition the δ-engine benchmarks record, so a perf PR's
+    effect on each phase stays visible in the numbers.
+    """
+
+    rho_seconds: float
+    delta_seconds: float
+    assign_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.rho_seconds + self.delta_seconds + self.assign_seconds
+
+    @property
+    def query(self) -> QueryTiming:
+        return QueryTiming(self.rho_seconds, self.delta_seconds)
 
 
 def time_quantities(
@@ -83,6 +108,30 @@ def time_quantities_multi(
     t0 = time.perf_counter()
     qs = index.quantities_multi(dcs, tie_break)
     return qs, time.perf_counter() - t0
+
+
+def time_cluster(
+    index: DPCIndex,
+    dc: float,
+    n_centers: Optional[int] = None,
+    rho_min: Optional[float] = None,
+    delta_min: Optional[float] = None,
+    tie_break: "str | TieBreak" = TieBreak.ID,
+    halo: bool = False,
+) -> Tuple["DPCResult", ClusterTiming]:
+    """Run a full clustering on ``index`` with a per-phase timing split."""
+    t0 = time.perf_counter()
+    rho = index.rho_all(float(dc))
+    t1 = time.perf_counter()
+    order = DensityOrder(rho, tie_break)
+    delta, mu = index.delta_all(order)
+    t2 = time.perf_counter()
+    q = DPCQuantities(dc=float(dc), rho=rho, delta=delta, mu=mu, density_order=order)
+    result = index._finish_cluster(q, n_centers, rho_min, delta_min, halo)
+    t3 = time.perf_counter()
+    return result, ClusterTiming(
+        rho_seconds=t1 - t0, delta_seconds=t2 - t1, assign_seconds=t3 - t2
+    )
 
 
 def time_naive(points: np.ndarray, dc: float) -> Tuple[DPCQuantities, float]:

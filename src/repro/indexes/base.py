@@ -218,6 +218,17 @@ class DPCIndex(abc.ABC):
         dcs = self._validate_dcs(dcs)
         return np.stack([self.rho_all(float(dc)) for dc in dcs])
 
+    def delta_all_multi(self, orders) -> "list[Tuple[np.ndarray, np.ndarray]]":
+        """``delta_all`` for a sequence of density orders, in input order.
+
+        Element ``i`` equals ``delta_all(orders[i])`` exactly.  The base
+        class loops; the tree-family and grid indexes override this with one
+        batched-engine traversal shared by the whole sweep
+        (:mod:`repro.indexes.kernels`).
+        """
+        self._require_fitted()
+        return [self.delta_all(order) for order in orders]
+
     def quantities_multi(
         self, dcs, tie_break: "str | TieBreak" = TieBreak.ID
     ) -> "list[DPCQuantities]":
@@ -230,14 +241,12 @@ class DPCIndex(abc.ABC):
         self._require_fitted()
         dcs = self._validate_dcs(dcs)
         rhos = self.rho_all_multi(dcs)
-        out = []
-        for dc, rho in zip(dcs, rhos):
-            order = DensityOrder(rho, tie_break)
-            delta, mu = self.delta_all(order)
-            out.append(
-                DPCQuantities(dc=float(dc), rho=rho, delta=delta, mu=mu, density_order=order)
-            )
-        return out
+        orders = [DensityOrder(rho, tie_break) for rho in rhos]
+        deltas = self.delta_all_multi(orders)
+        return [
+            DPCQuantities(dc=float(dc), rho=rho, delta=delta, mu=mu, density_order=order)
+            for dc, rho, order, (delta, mu) in zip(dcs, rhos, orders, deltas)
+        ]
 
     def cluster_multi(
         self,

@@ -6,7 +6,13 @@ granularity.  This index keeps the grid idea but stays **exact**: cells are
 just containers over which the same contained / discarded / intersected
 classification of Observation 1 runs, and the δ query expands outward ring
 by ring with the density pruning of Lemma 1 and the distance pruning of
-Lemma 2 applied per cell.
+Lemma 2 applied per cell.  The default ``delta_mode="batched"`` runs the δ
+expansion through :func:`repro.indexes.kernels.grid_delta_batched`: all
+still-unresolved queries advance one ring outward per Python step, each
+ring's candidate cells expanding into one flat ``(query, cell)`` pair array
+that is pruned and resolved in single vectorised passes;
+``delta_mode="scalar"`` keeps the per-object reference expansion the
+batched path is property-tested against.
 
 The ρ query is evaluated cell-batched: query points are grouped by home
 cell and every candidate cell is classified for the whole group with the
@@ -27,14 +33,18 @@ dataset re-resolves the automatic sizing.
 
 from __future__ import annotations
 
-from typing import ClassVar, Optional, Tuple
+from typing import ClassVar, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.quantities import NO_NEIGHBOR, DensityOrder
 from repro.geometry.distance import Metric, rect_bounds_many
 from repro.indexes.base import DPCIndex
-from repro.indexes.kernels import peak_delta_sweep
+from repro.indexes.kernels import (
+    delta_multi_from_orders,
+    grid_delta_batched,
+    peak_delta_sweep,
+)
 
 __all__ = ["GridIndex"]
 
@@ -50,6 +60,11 @@ class GridIndex(DPCIndex):
         resolved per-fit value is ``cell_size_``.
     target_occupancy:
         Mean objects per cell for the automatic sizing.
+    delta_mode:
+        ``"batched"`` (default) — cell-batched expanding-ring δ via
+        :func:`repro.indexes.kernels.grid_delta_batched`; ``"scalar"`` —
+        the per-object reference expansion.  Both produce bit-identical
+        (δ, μ).
     """
 
     name: ClassVar[str] = "grid"
@@ -60,6 +75,7 @@ class GridIndex(DPCIndex):
         metric: "str | Metric" = "euclidean",
         cell_size: Optional[float] = None,
         target_occupancy: int = 16,
+        delta_mode: str = "batched",
     ):
         super().__init__(metric)
         if not self.metric.supports_rect_bounds:
@@ -70,8 +86,13 @@ class GridIndex(DPCIndex):
             raise ValueError(f"cell_size must be positive, got {cell_size}")
         if target_occupancy < 1:
             raise ValueError(f"target_occupancy must be >= 1, got {target_occupancy}")
+        if delta_mode not in ("batched", "scalar"):
+            raise ValueError(
+                f"delta_mode must be 'batched' or 'scalar', got {delta_mode!r}"
+            )
         self.cell_size = cell_size
         self.target_occupancy = target_occupancy
+        self.delta_mode = delta_mode
         self.cell_size_: Optional[float] = None  # resolved per fit
         self._lo: Optional[np.ndarray] = None
         self._shape: Tuple[int, int] = (0, 0)
@@ -190,18 +211,28 @@ class GridIndex(DPCIndex):
 
     # -- δ query --------------------------------------------------------------------
 
+    def _annotate_cell_maxrho(self, rho_rows: np.ndarray) -> np.ndarray:
+        """Per-cell density bounds, one scatter pass per density order.
+
+        ``rho_rows`` is ``(n_orders, n)``; returns ``(n_orders, ncells)``.
+        The grid analogue of the trees' maxrho annotation.
+        """
+        nx, ny = self._shape
+        maxrho = np.full((len(rho_rows), nx * ny), -np.inf, dtype=np.float64)
+        for row, rho in zip(maxrho, rho_rows):
+            np.maximum.at(row, self._cell_of, rho.astype(np.float64, copy=False))
+        return maxrho
+
     def delta_all(self, order: DensityOrder) -> Tuple[np.ndarray, np.ndarray]:
+        if self.delta_mode == "batched":
+            return self.delta_all_multi([order])[0]
         points = self._require_fitted()
         n = len(points)
         if len(order) != n:
             raise ValueError(f"order has {len(order)} objects, index has {n}")
-        # Per-cell density bound (the grid analogue of maxrho annotation),
-        # scattered in one vectorised pass.
-        nx, ny = self._shape
-        maxrho = np.full(nx * ny, -np.inf, dtype=np.float64)
-        np.maximum.at(maxrho, self._cell_of, order.rho.astype(np.float64, copy=False))
-        self._cell_maxrho = maxrho
-
+        self._cell_maxrho = self._annotate_cell_maxrho(
+            np.asarray(order.rho)[None, :]
+        )[0]
         delta = np.empty(n, dtype=np.float64)
         mu = np.full(n, NO_NEIGHBOR, dtype=np.int64)
         # δ of the densest object(s): one blocked cross over all peak rows.
@@ -212,6 +243,49 @@ class GridIndex(DPCIndex):
         for p in np.flatnonzero(~is_peak):
             delta[p], mu[p] = self._delta_one(int(p), order)
         return delta, mu
+
+    def delta_all_multi(
+        self, orders: "Sequence[DensityOrder]"
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """δ/μ for several density orders over the one built grid.
+
+        With the default batched mode, the whole sweep shares one cell-maxrho
+        annotation per order and one home-cell-grouped ring schedule —
+        element ``i`` is bit-identical to ``delta_all(orders[i])``.
+        """
+        points = self._require_fitted()
+        n = len(points)
+        orders = list(orders)
+        for order in orders:
+            if len(order) != n:
+                raise ValueError(f"order has {len(order)} objects, index has {n}")
+        if self.delta_mode != "batched":
+            return [self.delta_all(order) for order in orders]
+        if not orders:
+            return []
+
+        def run_engine(qid, qord, rho_rows, key_rows):
+            # Annotate every order in one pass; traverse per order (the
+            # single-order gather paths beat one interleaved union run).
+            cell_maxrho = self._annotate_cell_maxrho(rho_rows)
+            self._cell_maxrho = cell_maxrho[-1]
+            delta = np.empty(len(qid), dtype=np.float64)
+            mu = np.empty(len(qid), dtype=np.int64)
+            for o in range(len(rho_rows)):
+                sel = qord == o
+                delta[sel], mu[sel] = grid_delta_batched(
+                    points, qid[sel], np.zeros(int(sel.sum()), dtype=np.int64),
+                    rho_rows[o : o + 1], key_rows[o : o + 1],
+                    cell_maxrho[o : o + 1],
+                    self._offsets, self._ids, self._cell_of,
+                    self._lo, float(self.cell_size_), self._shape,
+                    self.metric, self._stats,
+                )
+            return delta, mu
+
+        return delta_multi_from_orders(
+            points, orders, run_engine, self.metric, self._stats
+        )
 
     def _delta_one(self, p: int, order: DensityOrder) -> Tuple[float, int]:
         q = self.points[p]

@@ -44,7 +44,7 @@ class KDTreeIndex(TreeIndexBase):
         leaf_size: int = 32,
         density_pruning: bool = True,
         distance_pruning: bool = True,
-        frontier: str = "heap",
+        frontier: str = "batched",
     ):
         super().__init__(metric, density_pruning, distance_pruning, frontier)
         if leaf_size < 1:

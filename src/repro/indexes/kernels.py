@@ -22,6 +22,9 @@ provides the batched, array-level building blocks the indexes now share:
 * :func:`ch_rho_from_histograms` — Algorithm 4's ρ lookup (bin → section →
   bounded search) for all objects at once, with the FP-safe bin-edge
   handling described below.
+* :func:`tree_delta_batched` / :func:`grid_delta_batched` /
+  :func:`peak_delta_sweep` — the **batched δ engine** (Algorithm 6 and its
+  grid analogue), described below.
 
 Exactness contract
 ------------------
@@ -30,6 +33,53 @@ scalar code it replaced, so results stay bit-for-bit identical to
 ``naive_quantities`` and the :class:`~repro.indexes.base.IndexStats`
 counters keep their seed semantics (a binary search per object, a scanned
 entry per examined list slot, ...).
+
+The batched δ engine (frontier-batched best-first search)
+---------------------------------------------------------
+:func:`tree_delta_batched` replaces the per-object best-first search of
+Algorithm 6 with a *level-synchronous* traversal over a flattened
+(structure-of-arrays) tree image (:func:`flatten_tree`): the frontier is a
+flat array of unresolved ``(query, node)`` pairs, advanced one tree level
+per Python step — child expansion, rectangle bounds, and both prunings are
+single vectorised operations over the whole pair array (per-row boxes
+through the metric's ``rect_*_many`` kernels).  Pruning stays exactly the
+paper's two lemmas, applied element-wise over the pairs:
+
+* **Lemma 1 (density)** — drop ``(query, child)`` pairs with
+  ``maxrho < ρ(p)`` (equality kept, so id tie-breaking stays exact);
+* **Lemma 2 (distance)** — drop pairs whose ``mindist`` strictly exceeds
+  the query's pruning radius.  The radius is ``min(best_d, ub)`` where
+  ``best_d`` is the best leaf candidate so far and ``ub`` is a sound upper
+  bound gathered top-down: any node with ``maxrho`` *strictly above* ρ(p)
+  certainly contains a denser object, so its ``maxdist`` bounds δ(p) before
+  a single leaf has been scanned.  Pruning uses strict ``>`` against the
+  radius, hence a subtree that could still *tie* the best distance (and win
+  the smaller-id tie-break) is never discarded — results are bit-identical
+  to the per-object reference traversal.
+
+Leaves (and grid cells) resolve through one paired-distance evaluation
+(:func:`repro.geometry.distance.paired_distances` — bit-identical
+arithmetic to ``cross``) over the expanded ``(query, member)`` pairs,
+followed by segment ``minimum.reduceat`` reductions that reproduce the
+reference's ``np.lexsort((cand, d))[0]`` smaller-id tie-break exactly.
+Queries carry an ``order row`` index, so one engine invocation *can*
+advance the queries of several density orders at once; the production
+multi-``dc`` sweep (``delta_all_multi``) shares the flattened image, one
+vectorised all-orders ``maxrho`` annotation (:func:`flat_tree_maxrho`, one
+``reduceat`` per tree level) and a deduplicated peak sweep, but runs the
+traversal per order — smaller pair arrays and the single-order gather
+fast paths measured faster than one interleaved union traversal.
+
+**Counter semantics in batched mode:** the engine counts per *block-visit*
+element — ``nodes_visited`` increments by the number of queries in the
+block that actually visit the node, ``nodes_pruned_density`` /
+``nodes_pruned_distance`` by the number of pruned ``(query, node)`` pairs,
+``objects_scanned`` by ``block × leaf`` pairs and ``distance_evals`` by the
+exact number of distances computed.  These are the same per-object totals
+the paper's figures aggregate, but the traversal *schedule* differs from
+the scalar reference (level-synchronous vs depth-first), so per-object
+counter values are not reproduced term-for-term — use the ``"heap"`` /
+``"stack"`` reference frontiers when the scalar schedule itself matters.
 """
 
 from __future__ import annotations
@@ -39,7 +89,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.core.quantities import NO_NEIGHBOR
-from repro.geometry.distance import cross_blocks
+from repro.geometry.distance import cross_blocks, get_metric, paired_distances
 
 __all__ = [
     "bounded_searchsorted",
@@ -50,6 +100,14 @@ __all__ = [
     "resolve_bin",
     "ch_rho_from_histograms",
     "peak_delta_sweep",
+    "density_order_key",
+    "delta_multi_from_orders",
+    "FlatTree",
+    "flatten_tree",
+    "flat_tree_maxrho",
+    "tree_rho_batched",
+    "tree_delta_batched",
+    "grid_delta_batched",
 ]
 
 
@@ -379,6 +437,11 @@ def ch_rho_from_histograms(
     return rho, int(section.sum()), int(np.count_nonzero(section))
 
 
+# ---------------------------------------------------------------------------
+# Batched δ engine (Algorithm 6, frontier-batched — see module docstring)
+# ---------------------------------------------------------------------------
+
+
 def peak_delta_sweep(
     points: np.ndarray,
     peaks: np.ndarray,
@@ -407,3 +470,711 @@ def peak_delta_sweep(
             stats.distance_evals += block.size
         out[start:stop] = block.max(axis=1)
     return out
+
+
+def density_order_key(order) -> np.ndarray:
+    """Total-order key of a :class:`~repro.core.quantities.DensityOrder`.
+
+    ``q`` is denser than ``p``  ⟺  ``key[q] < key[p]``: the ``rank``
+    permutation under the ID tie-break, ``-ρ`` under STRICT (ties then
+    compare equal, exactly Eq. 2's strict reading).
+    """
+    from repro.core.quantities import TieBreak
+
+    if order.tie_break is TieBreak.ID:
+        return order.rank
+    return -order.rho
+
+
+def delta_multi_from_orders(
+    points: np.ndarray,
+    orders,
+    run_engine,
+    metric,
+    stats,
+):
+    """Shared multi-order δ scaffolding for the batched engines.
+
+    Builds the flattened non-peak query arrays over every density order,
+    calls ``run_engine(qid, qord, rho_rows, key_rows) -> (delta_q, mu_q)``
+    once for the whole sweep, resolves every distinct global peak with one
+    blocked :func:`peak_delta_sweep`, and scatters the results back into
+    per-order ``(delta, mu)`` pairs (element ``i`` bit-identical to a
+    single-order run of ``orders[i]``).
+    """
+    n = len(points)
+    rho_rows = np.asarray([order.rho for order in orders])
+    key_rows = np.asarray([density_order_key(order) for order in orders])
+    qid_parts, qord_parts, peak_parts = [], [], []
+    for o, order in enumerate(orders):
+        peaks = order.global_peaks()
+        is_peak = np.zeros(n, dtype=bool)
+        is_peak[peaks] = True
+        qid_parts.append(np.flatnonzero(~is_peak))
+        qord_parts.append(np.full(len(qid_parts[-1]), o, dtype=np.int64))
+        peak_parts.append(peaks)
+    delta_q, mu_q = run_engine(
+        np.concatenate(qid_parts), np.concatenate(qord_parts), rho_rows, key_rows
+    )
+    all_peaks = np.concatenate(peak_parts)
+    uniq_peaks, inverse = np.unique(all_peaks, return_inverse=True)
+    peak_delta = peak_delta_sweep(points, uniq_peaks, metric, stats)
+
+    out = []
+    pos = 0
+    peak_pos = 0
+    for o in range(len(orders)):
+        delta = np.empty(n, dtype=np.float64)
+        mu = np.full(n, NO_NEIGHBOR, dtype=np.int64)
+        ids = qid_parts[o]
+        delta[ids] = delta_q[pos : pos + len(ids)]
+        mu[ids] = mu_q[pos : pos + len(ids)]
+        pos += len(ids)
+        peaks = peak_parts[o]
+        delta[peaks] = peak_delta[inverse[peak_pos : peak_pos + len(peaks)]]
+        peak_pos += len(peaks)
+        out.append((delta, mu))
+    return out
+
+
+def _expand_csr(starts: np.ndarray, sizes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Gather indices for variable-length CSR segments, concatenated.
+
+    Returns ``(flat, seg_off)``: ``flat`` enumerates
+    ``starts[i] .. starts[i] + sizes[i]`` for every segment back to back,
+    ``seg_off[i]`` is where segment ``i`` begins inside ``flat`` (the
+    ``reduceat`` boundaries).
+    """
+    sizes = np.asarray(sizes, dtype=np.int64)
+    total = int(sizes.sum())
+    seg_off = np.cumsum(sizes) - sizes
+    pos = np.arange(total, dtype=np.int64) - np.repeat(seg_off, sizes)
+    return np.repeat(np.asarray(starts, dtype=np.int64), sizes) + pos, seg_off
+
+
+def _pair_rect_bounds(metric):
+    """(mindist, maxdist) callables over per-row ``(n, d)`` boxes.
+
+    The native ``rect_*_many`` kernels broadcast per-row boxes directly
+    (their per-axis formulas are elementwise); metrics registered without
+    them fall back to a scalar row loop so any exact-rect-bounds metric
+    works in the batched engine.
+    """
+    m = get_metric(metric)
+    if not m.supports_rect_bounds:
+        raise ValueError(f"metric {m.name!r} has no exact rectangle bounds")
+    mind = m.rect_mindist_many
+    maxd = m.rect_maxdist_many
+    if mind is None:
+        scalar_min = m.rect_mindist
+
+        def mind(points, lo, hi):  # pragma: no cover - custom metrics only
+            return np.array(
+                [scalar_min(points[i], lo[i], hi[i]) for i in range(len(points))],
+                dtype=np.float64,
+            )
+
+    if maxd is None:
+        scalar_max = m.rect_maxdist
+
+        def maxd(points, lo, hi):  # pragma: no cover - custom metrics only
+            return np.array(
+                [scalar_max(points[i], lo[i], hi[i]) for i in range(len(points))],
+                dtype=np.float64,
+            )
+
+    return mind, maxd
+
+
+class FlatTree:
+    """Structure-of-arrays image of a ``TreeNode`` hierarchy (BFS order).
+
+    Node 0 is the root; the children of any node occupy a contiguous id
+    range ``child_start .. child_start + child_count`` and every level is a
+    contiguous id range (recorded in ``levels``), which is what lets the
+    batched engine advance whole ``(query, node)`` pair arrays one level per
+    Python step and annotate ``maxrho`` bottom-up with one ``reduceat`` per
+    level.  ``root`` keeps the source node so index re-fits invalidate the
+    cached flattening by identity.
+    """
+
+    __slots__ = (
+        "root", "lo", "hi", "nc", "child_start", "child_count", "parent",
+        "leaf_start", "leaf_size", "leaf_ids", "leaf_node_of",
+        "levels", "n_nodes",
+    )
+
+    def nbytes(self) -> int:
+        """Resident size of the flat arrays (for index memory accounting)."""
+        return sum(
+            getattr(self, name).nbytes
+            for name in (
+                "lo", "hi", "nc", "child_start", "child_count", "parent",
+                "leaf_start", "leaf_size", "leaf_ids", "leaf_node_of",
+            )
+        )
+
+
+def flatten_tree(root) -> FlatTree:
+    """Flatten a ``TreeNode`` tree into :class:`FlatTree` arrays (one pass)."""
+    nodes = [root]
+    levels = []
+    start, stop = 0, 1
+    while start < stop:
+        levels.append((start, stop))
+        for i in range(start, stop):
+            children = nodes[i].children
+            if children is not None:
+                nodes.extend(children)
+        start, stop = stop, len(nodes)
+    n_nodes = len(nodes)
+    dim = len(root.lo)
+    flat = FlatTree()
+    flat.root = root
+    flat.n_nodes = n_nodes
+    flat.levels = levels
+    flat.lo = np.empty((n_nodes, dim), dtype=np.float64)
+    flat.hi = np.empty((n_nodes, dim), dtype=np.float64)
+    flat.nc = np.empty(n_nodes, dtype=np.int64)
+    flat.child_start = np.zeros(n_nodes, dtype=np.int64)
+    flat.child_count = np.zeros(n_nodes, dtype=np.int64)
+    flat.leaf_start = np.zeros(n_nodes, dtype=np.int64)
+    flat.leaf_size = np.zeros(n_nodes, dtype=np.int64)
+    leaf_parts = []
+    child_pos = 1  # node 0 is the root; its children start right after it
+    leaf_pos = 0
+    flat.parent = np.zeros(n_nodes, dtype=np.int64)  # root points at itself
+    for i, node in enumerate(nodes):
+        flat.lo[i] = node.lo
+        flat.hi[i] = node.hi
+        flat.nc[i] = node.nc
+        if node.children is not None:
+            flat.child_start[i] = child_pos
+            flat.child_count[i] = len(node.children)
+            flat.parent[child_pos : child_pos + len(node.children)] = i
+            child_pos += len(node.children)
+        elif node.ids is not None and len(node.ids):
+            flat.leaf_start[i] = leaf_pos
+            flat.leaf_size[i] = len(node.ids)
+            leaf_pos += len(node.ids)
+            leaf_parts.append(np.asarray(node.ids, dtype=np.int64))
+    flat.leaf_ids = (
+        np.concatenate(leaf_parts) if leaf_parts else np.empty(0, dtype=np.int64)
+    )
+    # Inverse of the leaf partition: the leaf node holding each object.
+    # Seeds every δ query with its own leaf, the tree analogue of the grid's
+    # home cell (the traversal then starts with a near-final radius).
+    flat.leaf_node_of = np.empty(len(flat.leaf_ids), dtype=np.int64)
+    leafy = np.flatnonzero(flat.leaf_size > 0)
+    flat.leaf_node_of[flat.leaf_ids] = np.repeat(leafy, flat.leaf_size[leafy])
+    return flat
+
+
+def flat_tree_maxrho(flat: FlatTree, rho_rows: np.ndarray) -> np.ndarray:
+    """Per-node subtree-max densities for every density order at once.
+
+    The vectorised analogue of the per-node ``maxrho`` annotation pass:
+    leaves reduce their member densities with one ``maximum.reduceat`` over
+    the concatenated leaf ids, then each level folds its children bottom-up
+    with one ``reduceat`` per level (children of a level's internal nodes
+    are contiguous by BFS construction).  Returns ``(n_orders, n_nodes)``.
+    """
+    rho_rows = np.asarray(rho_rows, dtype=np.float64)
+    maxrho = np.full((len(rho_rows), flat.n_nodes), -np.inf, dtype=np.float64)
+    nonempty = flat.leaf_size > 0
+    if nonempty.any():
+        vals = rho_rows[:, flat.leaf_ids]
+        maxrho[:, nonempty] = np.maximum.reduceat(
+            vals, flat.leaf_start[nonempty], axis=1
+        )
+    for level_start, level_stop in reversed(flat.levels[:-1]):
+        counts = flat.child_count[level_start:level_stop]
+        internal = np.flatnonzero(counts > 0)
+        if len(internal) == 0:
+            continue
+        parents = internal + level_start
+        starts = flat.child_start[parents]
+        first = int(starts[0])
+        last = int(starts[-1] + flat.child_count[parents[-1]])
+        maxrho[:, parents] = np.maximum.reduceat(
+            maxrho[:, first:last], starts - first, axis=1
+        )
+    return maxrho
+
+
+def _resolve_pairs(
+    rows: np.ndarray,
+    starts: np.ndarray,
+    sizes: np.ndarray,
+    ids_flat: np.ndarray,
+    points: np.ndarray,
+    qpts: np.ndarray,
+    qord: np.ndarray,
+    key_q: np.ndarray,
+    key_rows: np.ndarray,
+    pair_fn,
+    stats,
+    best_d: np.ndarray,
+    best_id: np.ndarray,
+    radius: np.ndarray,
+) -> None:
+    """Resolve a batch of (query, leaf/cell) pairs in place.
+
+    Each pair scans its candidate segment ``ids_flat[starts:starts+sizes]``
+    for the lexicographically smallest ``(distance, id)`` among *denser*
+    objects — the reference path's ``np.lexsort((cand, d))[0]`` — and merges
+    per query into ``(best_d, best_id)``, tightening ``radius`` alongside.
+    """
+    nz = sizes > 0
+    if not nz.all():
+        rows, starts, sizes = rows[nz], starts[nz], sizes[nz]
+    if len(rows) == 0:
+        return
+    flat, seg_off = _expand_csr(starts, sizes)
+    cand = ids_flat[flat]
+    rflat = np.repeat(rows, sizes)
+    if len(key_rows) == 1:  # single density order: skip the qord gather
+        denser = key_rows[0, cand] < key_q[rflat]
+    else:
+        denser = key_rows[qord[rflat], cand] < key_q[rflat]
+    stats.objects_scanned += len(cand)
+    # Distances only for denser candidates (the reference's candidate
+    # filter); segments re-based on the surviving counts.
+    kept = np.add.reduceat(denser.astype(np.int64), seg_off)
+    found = kept > 0
+    if not found.any():
+        return
+    cand, rflat = cand[denser], rflat[denser]
+    rows, sizes = rows[found], kept[found]
+    seg_off = np.cumsum(sizes) - sizes
+    d = pair_fn(qpts[rflat], points[cand])
+    stats.distance_evals += len(cand)
+    dmin = np.minimum.reduceat(d, seg_off)
+    # Ids tied at the segment minimum, reduced to the smallest.
+    cand_at_min = np.where(d == np.repeat(dmin, sizes), cand, len(points))
+    idmin = np.minimum.reduceat(cand_at_min, seg_off)
+    # Several pairs may serve one query in the same batch: keep the
+    # lexicographic (distance, id) minimum per query.
+    order = np.lexsort((idmin, dmin, rows))
+    rows, dmin, idmin = rows[order], dmin[order], idmin[order]
+    first = np.ones(len(rows), dtype=bool)
+    first[1:] = rows[1:] != rows[:-1]
+    rows, dmin, idmin = rows[first], dmin[first], idmin[first]
+    upd = (dmin < best_d[rows]) | ((dmin == best_d[rows]) & (idmin < best_id[rows]))
+    if upd.any():
+        rows, dmin, idmin = rows[upd], dmin[upd], idmin[upd]
+        best_d[rows] = dmin
+        best_id[rows] = idmin
+        radius[rows] = np.minimum(radius[rows], dmin)
+
+
+def tree_delta_batched(
+    flat: FlatTree,
+    points: np.ndarray,
+    qid: np.ndarray,
+    qord: np.ndarray,
+    rho_rows: np.ndarray,
+    key_rows: np.ndarray,
+    metric,
+    stats,
+    density_pruning: bool = True,
+    distance_pruning: bool = True,
+    maxrho: "np.ndarray | None" = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Frontier-batched best-first δ search over a flattened spatial tree.
+
+    Parameters
+    ----------
+    flat:
+        :func:`flatten_tree` image of the index's root (cached per fit).
+    qid, qord:
+        ``(m,)`` query object ids and, per query, the density-order row it
+        belongs to — one engine run can serve a whole multi-``dc`` sweep.
+        Global peaks must be excluded (handled by :func:`peak_delta_sweep`).
+    rho_rows:
+        ``(n_orders, n)`` densities (Lemma-1 pruning against ``maxrho``).
+    key_rows:
+        ``(n_orders, n)`` total-order keys: ``q`` is denser than ``p`` iff
+        ``key[q] < key[p]`` (:func:`density_order_key`).
+    metric, stats:
+        The index's :class:`~repro.geometry.distance.Metric` and its
+        :class:`~repro.indexes.base.IndexStats` (batched counter semantics —
+        module docstring).
+    density_pruning, distance_pruning:
+        Lemma 1 / Lemma 2 ablation knobs; disabling changes *work*, never
+        results.
+    maxrho:
+        Optional precomputed :func:`flat_tree_maxrho` rows aligned with
+        ``rho_rows`` — a multi-``dc`` sweep annotates every order in one
+        pass and hands each engine run its row.  Computed here when absent.
+
+    Returns
+    -------
+    ``(delta, mu)`` of shape ``(m,)``, aligned with ``qid`` — bit-identical
+    to running the per-object reference search per query.
+    """
+    qid = np.asarray(qid, dtype=np.int64)
+    qord = np.asarray(qord, dtype=np.int64)
+    m = len(qid)
+    best_d = np.full(m, np.inf, dtype=np.float64)
+    best_id = np.full(m, NO_NEIGHBOR, dtype=np.int64)
+    if m == 0:
+        return best_d, best_id
+    if maxrho is None:
+        maxrho = flat_tree_maxrho(flat, rho_rows)
+    mind_pairs, maxd_pairs = _pair_rect_bounds(metric)
+
+    def pair_fn(a, b):
+        return paired_distances(a, b, metric)
+
+    qpts = points[qid]
+    rho_q = rho_rows[qord, qid]
+    key_q = key_rows[qord, qid]
+    # Pruning radius per query: min(best candidate so far, ub), where ub is
+    # the sound upper bound from nodes whose maxrho is *strictly* above ρ(p)
+    # (they certainly contain a denser object, so their maxdist bounds δ).
+    # Pruning always compares with strict '>', so equal-distance candidates
+    # stay reachable for the smaller-id tie-break.
+    radius = np.full(m, np.inf, dtype=np.float64)
+
+    own_leaf = None
+    if distance_pruning:
+        # Seed every query with its own containing leaf: most objects find
+        # their nearest denser neighbour inside it, so the traversal starts
+        # with a near-final radius and Lemma 2 collapses the upper levels.
+        # The traversal skips the seeded leaf (already fully resolved).
+        own_leaf = flat.leaf_node_of[qid]
+        _resolve_pairs(
+            np.arange(m, dtype=np.int64),
+            flat.leaf_start[own_leaf], flat.leaf_size[own_leaf],
+            flat.leaf_ids, points, qpts, qord, key_q, key_rows,
+            pair_fn, stats, best_d, best_id, radius,
+        )
+        # Queries densest within their own leaf still have an infinite
+        # radius and would cascade through the whole upper tree; a second
+        # hop over the leaf's (leaf-)siblings resolves almost all of them.
+        need = np.flatnonzero(np.isinf(radius))
+        seeded_parent = None
+        if len(need):
+            sib_parent = flat.parent[own_leaf[need]]
+            counts = flat.child_count[sib_parent]
+            sibling, _ = _expand_csr(flat.child_start[sib_parent], counts)
+            sib_row = np.repeat(need, counts)
+            fresh = (flat.child_count[sibling] == 0) & (
+                sibling != own_leaf[sib_row]
+            )
+            _resolve_pairs(
+                sib_row[fresh],
+                flat.leaf_start[sibling[fresh]], flat.leaf_size[sibling[fresh]],
+                flat.leaf_ids, points, qpts, qord, key_q, key_rows,
+                pair_fn, stats, best_d, best_id, radius,
+            )
+            # The traversal must not re-scan the leaf siblings resolved
+            # here; remember the seeded parent per query.
+            seeded_parent = np.full(m, -1, dtype=np.int64)
+            seeded_parent[need] = sib_parent
+
+    pair_node = np.zeros(m, dtype=np.int64)  # everyone starts at the root
+    pair_row = np.arange(m, dtype=np.int64)
+    pair_dmin = np.zeros(m, dtype=np.float64)
+    while len(pair_node):
+        if distance_pruning:
+            # Re-check on arrival: the radius may have tightened since the
+            # pair was enqueued (Lemma 2, the reference's stale-entry check).
+            keep = pair_dmin <= radius[pair_row]
+            stats.nodes_pruned_distance += int(len(keep) - keep.sum())
+            pair_node = pair_node[keep]
+            pair_row = pair_row[keep]
+            pair_dmin = pair_dmin[keep]
+            if len(pair_node) == 0:
+                break
+        stats.nodes_visited += len(pair_node)
+        is_leaf = flat.child_count[pair_node] == 0
+        if is_leaf.any():
+            leaf_node = pair_node[is_leaf]
+            leaf_row = pair_row[is_leaf]
+            leaf_dmin = pair_dmin[is_leaf]
+            if own_leaf is not None:  # seeded leaves are already resolved
+                fresh = leaf_node != own_leaf[leaf_row]
+                if seeded_parent is not None:
+                    fresh &= flat.parent[leaf_node] != seeded_parent[leaf_row]
+                leaf_node = leaf_node[fresh]
+                leaf_row = leaf_row[fresh]
+                leaf_dmin = leaf_dmin[fresh]
+            if distance_pruning and len(leaf_node):
+                # Wave-based resolution emulates the reference's best-first
+                # ordering: each wave resolves every query's nearest
+                # still-unresolved leaf, then re-prunes its remaining leaves
+                # with the tightened radius.  A few waves kill almost all
+                # surviving pairs; the small remainder resolves in one go.
+                order = np.lexsort((leaf_dmin, leaf_row))
+                leaf_node = leaf_node[order]
+                leaf_row = leaf_row[order]
+                leaf_dmin = leaf_dmin[order]
+                for _wave in range(3):
+                    if len(leaf_node) == 0:
+                        break
+                    nearest = np.ones(len(leaf_row), dtype=bool)
+                    nearest[1:] = leaf_row[1:] != leaf_row[:-1]
+                    _resolve_pairs(
+                        leaf_row[nearest],
+                        flat.leaf_start[leaf_node[nearest]],
+                        flat.leaf_size[leaf_node[nearest]],
+                        flat.leaf_ids, points, qpts, qord, key_q, key_rows,
+                        pair_fn, stats, best_d, best_id, radius,
+                    )
+                    rest = ~nearest
+                    keep = leaf_dmin[rest] <= radius[leaf_row[rest]]
+                    stats.nodes_pruned_distance += int(len(keep) - keep.sum())
+                    leaf_node = leaf_node[rest][keep]
+                    leaf_row = leaf_row[rest][keep]
+                    leaf_dmin = leaf_dmin[rest][keep]
+            _resolve_pairs(
+                leaf_row,
+                flat.leaf_start[leaf_node], flat.leaf_size[leaf_node],
+                flat.leaf_ids, points, qpts, qord, key_q, key_rows,
+                pair_fn, stats, best_d, best_id, radius,
+            )
+        pair_node, pair_row = pair_node[~is_leaf], pair_row[~is_leaf]
+        if len(pair_node) == 0:
+            break
+        # Expand every pair to its children (contiguous ids by construction).
+        counts = flat.child_count[pair_node]
+        child_node, _ = _expand_csr(flat.child_start[pair_node], counts)
+        child_row = np.repeat(pair_row, counts)
+        if len(maxrho) == 1:  # single density order: skip the qord gather
+            child_maxrho = maxrho[0, child_node]
+        else:
+            child_maxrho = maxrho[qord[child_row], child_node]
+        child_rho = rho_q[child_row]
+        child_dmin = mind_pairs(
+            qpts[child_row], flat.lo[child_node], flat.hi[child_node]
+        )
+        # Both lemmas evaluated on the full pair array, one filter pass
+        # (cheap vector arithmetic beats repeated boolean gathers).
+        keep = None
+        if density_pruning:
+            alive = child_maxrho >= child_rho  # Lemma 1
+            stats.nodes_pruned_density += int(len(alive) - alive.sum())
+            keep = alive
+        if distance_pruning:
+            ok = child_dmin <= radius[child_row]  # Lemma 2
+            if keep is None:
+                stats.nodes_pruned_distance += int(len(ok) - ok.sum())
+                keep = ok
+            else:
+                # Reference ordering: distance pruning only examines the
+                # density survivors.
+                stats.nodes_pruned_distance += int((keep & ~ok).sum())
+                keep &= ok
+        if keep is not None:
+            child_node = child_node[keep]
+            child_row = child_row[keep]
+            child_dmin = child_dmin[keep]
+        if distance_pruning:
+            sure = child_maxrho[keep] > child_rho[keep] if keep is not None else (
+                child_maxrho > child_rho
+            )
+            if sure.any():
+                sure_row = child_row[sure]
+                dmax = maxd_pairs(
+                    qpts[sure_row], flat.lo[child_node[sure]], flat.hi[child_node[sure]]
+                )
+                np.minimum.at(radius, sure_row, dmax)
+        pair_node, pair_row, pair_dmin = child_node, child_row, child_dmin
+    return best_d, best_id
+
+
+def grid_delta_batched(
+    points: np.ndarray,
+    qid: np.ndarray,
+    qord: np.ndarray,
+    rho_rows: np.ndarray,
+    key_rows: np.ndarray,
+    cell_maxrho_rows: np.ndarray,
+    offsets: np.ndarray,
+    ids_sorted: np.ndarray,
+    cell_of: np.ndarray,
+    grid_lo: np.ndarray,
+    cell_w: float,
+    shape: Tuple[int, int],
+    metric,
+    stats,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Expanding-ring cell-batched δ search over a uniform grid.
+
+    The grid analogue of :func:`tree_delta_batched`, ring-synchronous: every
+    iteration advances *all* still-unresolved queries one ring outward.  The
+    ring-``r`` candidate cells of every query are expanded into one flat
+    ``(query, cell)`` pair array, pruned with Lemma 1 (per-cell ``maxrho``
+    rows) and Lemma 2 (vectorised cell ``mindist`` against each query's
+    current best), and the survivors resolve their cell members through the
+    same paired-distance segment reduction the tree leaves use.  A query
+    leaves the schedule exactly when the scalar reference would stop its
+    ring loop — ``(r - 1)·w`` exceeding its candidate δ, or its ring lying
+    entirely outside the grid — so results (δ, μ, smaller-id ties) are
+    bit-identical.
+
+    Parameters mirror :class:`~repro.indexes.grid.GridIndex` internals: CSR
+    ``(offsets, ids_sorted)`` cell membership, ``cell_of`` flat home cells,
+    ``grid_lo`` / ``cell_w`` / ``shape`` geometry, and ``cell_maxrho_rows``
+    of shape ``(n_orders, nx · ny)``.
+    """
+    qid = np.asarray(qid, dtype=np.int64)
+    qord = np.asarray(qord, dtype=np.int64)
+    m = len(qid)
+    best_d = np.full(m, np.inf, dtype=np.float64)
+    best_id = np.full(m, NO_NEIGHBOR, dtype=np.int64)
+    if m == 0:
+        return best_d, best_id
+    mind_pairs, _maxd_pairs = _pair_rect_bounds(metric)
+
+    def pair_fn(a, b):
+        return paired_distances(a, b, metric)
+
+    nx, ny = shape
+    w = float(cell_w)
+    sizes_all = np.diff(offsets)
+    qpts = points[qid]
+    rho_q = rho_rows[qord, qid]
+    key_q = key_rows[qord, qid]
+    home = cell_of[qid]
+    hx, hy = home // ny, home % ny
+    max_ring = max(nx, ny)
+
+    active = np.arange(m, dtype=np.int64)
+    for r in range(max_ring + 1):
+        if r > 0:
+            bd = best_d[active]
+            # Ring-level Lemma 2: any ring-r cell is at least (r-1)·w away.
+            done = (bd < np.inf) & ((r - 1) * w > bd)
+            # A ring entirely outside the grid ends the reference loop too.
+            outside = (
+                (hx[active] - r < 0) & (hx[active] + r >= nx)
+                & (hy[active] - r < 0) & (hy[active] + r >= ny)
+            )
+            active = active[~(done | outside)]
+            if len(active) == 0:
+                break
+        if r == 0:
+            dx = np.zeros(1, dtype=np.int64)
+            dy = np.zeros(1, dtype=np.int64)
+        else:
+            span = np.arange(-r, r + 1, dtype=np.int64)
+            inner = np.arange(-r + 1, r, dtype=np.int64)
+            dx = np.concatenate(
+                [span, span, np.full(len(inner), -r), np.full(len(inner), r)]
+            )
+            dy = np.concatenate(
+                [np.full(len(span), -r), np.full(len(span), r), inner, inner]
+            )
+        qrep = np.repeat(active, len(dx))
+        cx = hx[qrep] + np.tile(dx, len(active))
+        cy = hy[qrep] + np.tile(dy, len(active))
+        in_bounds = (cx >= 0) & (cx < nx) & (cy >= 0) & (cy < ny)
+        qrep, cx, cy = qrep[in_bounds], cx[in_bounds], cy[in_bounds]
+        if len(qrep) == 0:
+            continue
+        cell = cx * ny + cy
+        occupied = sizes_all[cell] > 0
+        qrep, cell, cx, cy = qrep[occupied], cell[occupied], cx[occupied], cy[occupied]
+        if len(qrep) == 0:
+            continue
+        if len(cell_maxrho_rows) == 1:
+            alive = cell_maxrho_rows[0, cell] >= rho_q[qrep]  # Lemma 1
+        else:
+            alive = cell_maxrho_rows[qord[qrep], cell] >= rho_q[qrep]  # Lemma 1
+        stats.nodes_pruned_density += int(len(alive) - alive.sum())
+        qrep, cell, cx, cy = qrep[alive], cell[alive], cx[alive], cy[alive]
+        if len(qrep) == 0:
+            continue
+        # Same box arithmetic as GridIndex._cell_box, per pair.
+        clo = grid_lo[None, :] + np.stack([cx, cy], axis=1) * w
+        ok = mind_pairs(qpts[qrep], clo, clo + w) <= best_d[qrep]  # Lemma 2
+        stats.nodes_pruned_distance += int(len(ok) - ok.sum())
+        qrep, cell = qrep[ok], cell[ok]
+        if len(qrep) == 0:
+            continue
+        stats.nodes_visited += len(qrep)
+        _resolve_pairs(
+            qrep, offsets[cell], sizes_all[cell], ids_sorted,
+            points, qpts, qord, key_q, key_rows,
+            pair_fn, stats, best_d, best_id, best_d,
+        )
+    return best_d, best_id
+
+
+def tree_rho_batched(
+    flat: FlatTree,
+    points: np.ndarray,
+    dc: float,
+    metric,
+    stats,
+) -> np.ndarray:
+    """Batched Algorithm 5 (ρ query) over a flattened spatial tree.
+
+    The level-synchronous counterpart of :func:`tree_delta_batched`: all
+    ``(query, node)`` pairs of a tree level classify against Observation 1
+    in single vectorised passes — *discarded* (``dmin ≥ dc``), *fully
+    contained* (``dmax < dc``, the subtree count ``nc`` is added wholesale)
+    or *intersected* (expand / scan the leaf).  Every pair performs exactly
+    the per-point classification of the scalar traversal, so counts and the
+    probe counters match the per-object formulation.
+    """
+    dc = float(dc)
+    n = len(points)
+    counts = np.zeros(n, dtype=np.int64)
+    mind_pairs, maxd_pairs = _pair_rect_bounds(metric)
+
+    def pair_fn(a, b):
+        return paired_distances(a, b, metric)
+
+    pair_node = np.zeros(n, dtype=np.int64)  # every object queries the root
+    pair_row = np.arange(n, dtype=np.int64)
+    while len(pair_node):
+        stats.nodes_visited += len(pair_node)
+        alive = mind_pairs(points[pair_row], flat.lo[pair_node], flat.hi[pair_node]) < dc
+        pair_node, pair_row = pair_node[alive], pair_row[alive]
+        if len(pair_node) == 0:
+            break
+        contained = (
+            maxd_pairs(points[pair_row], flat.lo[pair_node], flat.hi[pair_node]) < dc
+        )
+        if contained.any():
+            stats.nodes_contained += int(contained.sum())
+            counts += np.rint(
+                np.bincount(
+                    pair_row[contained],
+                    weights=flat.nc[pair_node[contained]],
+                    minlength=n,
+                )
+            ).astype(np.int64)
+            pair_node, pair_row = pair_node[~contained], pair_row[~contained]
+            if len(pair_node) == 0:
+                break
+        is_leaf = flat.child_count[pair_node] == 0
+        if is_leaf.any():
+            leaf_node = pair_node[is_leaf]
+            leaf_row = pair_row[is_leaf]
+            sizes = flat.leaf_size[leaf_node]
+            nz = sizes > 0
+            if nz.any():
+                leaf_row, sizes = leaf_row[nz], sizes[nz]
+                flat_idx, seg_off = _expand_csr(flat.leaf_start[leaf_node[nz]], sizes)
+                cand = flat.leaf_ids[flat_idx]
+                d = pair_fn(points[np.repeat(leaf_row, sizes)], points[cand])
+                stats.distance_evals += len(cand)
+                within = np.add.reduceat((d < dc).astype(np.int64), seg_off)
+                counts += np.rint(
+                    np.bincount(leaf_row, weights=within, minlength=n)
+                ).astype(np.int64)
+        pair_node, pair_row = pair_node[~is_leaf], pair_row[~is_leaf]
+        if len(pair_node) == 0:
+            break
+        child_count = flat.child_count[pair_node]
+        pair_node, _ = _expand_csr(flat.child_start[pair_node], child_count)
+        pair_row = np.repeat(pair_row, child_count)
+    # Every object was counted inside its own query circle (dist 0 < dc);
+    # Eq. 1 excludes the object itself.
+    counts -= 1
+    return counts

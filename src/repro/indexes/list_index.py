@@ -37,6 +37,7 @@ from repro.core.quantities import NO_NEIGHBOR, DensityOrder, DPCQuantities, TieB
 from repro.geometry.distance import Metric
 from repro.indexes.base import DPCIndex
 from repro.indexes.kernels import (
+    density_order_key,
     prefetch_scan_block,
     row_searchsorted,
     scan_first_denser,
@@ -44,12 +45,10 @@ from repro.indexes.kernels import (
 
 __all__ = ["ListIndex"]
 
-
-def _order_key(order: DensityOrder) -> np.ndarray:
-    """Density total order as a minimising key: denser ⟺ smaller key."""
-    if order.tie_break is TieBreak.ID:
-        return order.rank
-    return -order.rho
+# Kept as the historical private name; the shared implementation lives with
+# the batched kernels so every index family encodes the density total order
+# identically.
+_order_key = density_order_key
 
 
 def sweep_quantities(index, dcs, offsets, ids, dists, tie_break) -> "list[DPCQuantities]":

@@ -64,6 +64,7 @@ def _constructor_params(index: DPCIndex) -> Dict[str, Any]:
         "leaf_size",
         "cell_size",
         "target_occupancy",
+        "delta_mode",
         "density_pruning",
         "distance_pruning",
         "frontier",

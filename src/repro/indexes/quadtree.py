@@ -48,7 +48,7 @@ class QuadtreeIndex(TreeIndexBase):
         max_depth: int = 32,
         density_pruning: bool = True,
         distance_pruning: bool = True,
-        frontier: str = "heap",
+        frontier: str = "batched",
     ):
         super().__init__(metric, density_pruning, distance_pruning, frontier)
         if capacity < 1:

@@ -66,7 +66,7 @@ class RTreeIndex(TreeIndexBase):
         packing: str = "str",
         density_pruning: bool = True,
         distance_pruning: bool = True,
-        frontier: str = "heap",
+        frontier: str = "batched",
     ):
         super().__init__(metric, density_pruning, distance_pruning, frontier)
         if max_entries < 2:

@@ -9,35 +9,50 @@ nodes expose a bounding box, a child list / leaf id array, an object count
 * the ρ query of Algorithm 5 — classify each node against the query circle
   as *discarded* (``dmin ≥ dc``), *fully contained* (``dmax < dc``, add
   ``nc`` wholesale) or *intersected* (recurse) — Observation 1.  The
-  traversal is *batched*: one stack entry carries a whole block of query
-  points, node bounds are evaluated for the block with the vectorised
-  rectangle bounds of :func:`repro.geometry.distance.rect_bounds_many`, and
-  each point follows exactly the per-point classification of the scalar
-  algorithm (results and probe counters are identical — the per-object
-  Python loop is gone);
+  traversal is *batched* level-synchronously over the flattened tree
+  (:func:`repro.indexes.kernels.tree_rho_batched`): all surviving
+  ``(query, node)`` pairs of a level classify in single vectorised passes,
+  and each point follows exactly the per-point classification of the
+  scalar algorithm (results and probe counters are identical — the
+  per-object Python loop is gone);
 * the δ query of Algorithm 6 — best-first search with **density pruning**
   (Lemma 1: skip nodes with ``maxrho < ρ(p)``; equality is kept so id
   tie-breaking stays exact) and **distance pruning** (Lemma 2: skip nodes
-  with ``dmin`` beyond the candidate δ).
+  with ``dmin`` beyond the candidate δ).  The default ``frontier="batched"``
+  runs it through the frontier-batched engine of
+  :func:`repro.indexes.kernels.tree_delta_batched` — whole blocks of
+  unresolved query points advance through the tree per Python step, and a
+  multi-``dc`` sweep (``delta_all_multi``) shares one maxrho annotation and
+  one traversal schedule across all of its density orders.
 
 Ablation knobs (DESIGN.md §3): both prunings can be disabled and the
-best-first frontier can be a heap (the paper's "a priority queue can be used
-to replace the stack") or the paper's original ordered stack.
+best-first frontier can be the batched engine (default), a per-object heap
+(the paper's "a priority queue can be used to replace the stack") or the
+paper's original per-object ordered stack.  ``"heap"``/``"stack"`` are the
+verbatim per-object reference paths the batched engine is property-tested
+against.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
-from typing import Callable, ClassVar, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.quantities import NO_NEIGHBOR, DensityOrder, TieBreak
-from repro.geometry.distance import Metric, rect_bounds_many
+from repro.core.quantities import NO_NEIGHBOR, DensityOrder
+from repro.geometry.distance import Metric
 from repro.geometry.rect import Rect
 from repro.indexes.base import DPCIndex
-from repro.indexes.kernels import peak_delta_sweep
+from repro.indexes.kernels import (
+    delta_multi_from_orders,
+    flat_tree_maxrho,
+    flatten_tree,
+    peak_delta_sweep,
+    tree_delta_batched,
+    tree_rho_batched,
+)
 
 __all__ = ["TreeNode", "TreeIndexBase"]
 
@@ -121,9 +136,11 @@ class TreeIndexBase(DPCIndex):
         for the ablation benchmarks — disabling them changes *work*, never
         *results*).
     frontier:
-        ``"heap"`` — best-first via priority queue; ``"stack"`` — the paper's
+        ``"batched"`` (default) — the frontier-batched engine of
+        :func:`repro.indexes.kernels.tree_delta_batched`; ``"heap"`` —
+        per-object best-first via priority queue; ``"stack"`` — the paper's
         Algorithm 6 ordered stack (children pushed best-last so the nearest
-        is popped first).
+        is popped first).  All three produce bit-identical (δ, μ).
     """
 
     def __init__(
@@ -131,7 +148,7 @@ class TreeIndexBase(DPCIndex):
         metric: "str | Metric" = "euclidean",
         density_pruning: bool = True,
         distance_pruning: bool = True,
-        frontier: str = "heap",
+        frontier: str = "batched",
     ):
         super().__init__(metric)
         if not self.metric.supports_rect_bounds:
@@ -139,12 +156,22 @@ class TreeIndexBase(DPCIndex):
                 f"metric {self.metric.name!r} has no exact rectangle bounds; "
                 "tree indexes cannot prune with it (use a list-based index)"
             )
-        if frontier not in ("heap", "stack"):
-            raise ValueError(f"frontier must be 'heap' or 'stack', got {frontier!r}")
+        if frontier not in ("batched", "heap", "stack"):
+            raise ValueError(
+                f"frontier must be 'batched', 'heap' or 'stack', got {frontier!r}"
+            )
         self.density_pruning = density_pruning
         self.distance_pruning = distance_pruning
         self.frontier = frontier
         self._root: Optional[TreeNode] = None
+        self._flat = None  # lazy FlatTree cache, keyed on root identity
+
+    def fit(self, points: np.ndarray) -> "TreeIndexBase":
+        # Drop the flattened image of the previous tree immediately: keeping
+        # it until the next query would pin the old TreeNode graph (and its
+        # flat arrays) in memory across the refit.
+        self._flat = None
+        return super().fit(points)
 
     # -- bound-function selection -------------------------------------------------
 
@@ -215,6 +242,10 @@ class TreeIndexBase(DPCIndex):
 
         Dtype-agnostic: integer ρ (Eq. 1 counts) and real-valued ρ (the
         kernel/kNN variants in :mod:`repro.extras.variants`) both work.
+        Serves the per-object reference frontiers; the batched engine runs
+        the same reduction over the flattened tree
+        (:func:`repro.indexes.kernels.flat_tree_maxrho`) so a multi-``dc``
+        sweep annotates every order in one vectorised pass.
         """
         root = self._root
         stack: List[Tuple[TreeNode, bool]] = [(root, False)]
@@ -228,52 +259,34 @@ class TreeIndexBase(DPCIndex):
                 stack.append((node, True))
                 stack.extend((child, False) for child in node.children)
 
+    def _flat_tree(self):
+        """The cached :class:`~repro.indexes.kernels.FlatTree` of this fit.
+
+        Re-fits build a fresh root, so the cache is keyed on root identity.
+        """
+        root = self.root
+        if self._flat is None or self._flat.root is not root:
+            self._flat = flatten_tree(root)
+        return self._flat
+
     # -- ρ query (Algorithm 5 / Observation 1) -------------------------------------
 
     def rho_all(self, dc: float) -> np.ndarray:
-        points = self._require_fitted()
-        dc = float(dc)
-        n = len(points)
-        mind_many, maxd_many = rect_bounds_many(self.metric)
-        cross = self.metric.cross
-        stats = self._stats
-        counts = np.zeros(n, dtype=np.int64)
-        # Batched Algorithm 5: each stack entry is (node, query-point block).
-        # Every point classifies the node exactly as the scalar traversal
-        # did — discarded / contained / intersected — so per-point counts
-        # and the probe counters match the per-object formulation.
-        stack: List[Tuple[TreeNode, np.ndarray]] = [(self._root, np.arange(n))]
-        while stack:
-            node, idx = stack.pop()
-            stats.nodes_visited += len(idx)
-            pts = points[idx]
-            alive = mind_many(pts, node.lo, node.hi) < dc
-            if not alive.any():
-                continue  # discarded for every point in the block: R ∩ Q = ∅
-            idx = idx[alive]
-            pts = pts[alive]
-            contained = maxd_many(pts, node.lo, node.hi) < dc
-            if contained.any():
-                counts[idx[contained]] += node.nc  # fully contained: R ⊂ Q
-                stats.nodes_contained += int(contained.sum())
-            rest = idx[~contained]
-            if len(rest) == 0:
-                continue
-            if node.is_leaf:
-                d = cross(pts[~contained], points[node.ids])
-                stats.distance_evals += d.size
-                counts[rest] += (d < dc).sum(axis=1)
-            else:
-                for child in node.children:
-                    stack.append((child, rest))
-        # Every object was counted inside its own query circle (dist 0 < dc);
-        # Eq. 1 excludes the object itself.
-        counts -= 1
-        return counts
+        # Batched Algorithm 5 over the flattened tree: every (query, node)
+        # pair of a level classifies against Observation 1 — discarded /
+        # contained / intersected — in single vectorised passes, with the
+        # same per-point decisions (hence counts and probe counters) as the
+        # per-object formulation.
+        self._require_fitted()
+        return tree_rho_batched(
+            self._flat_tree(), self.points, float(dc), self.metric, self._stats
+        )
 
     # -- δ query (Algorithm 6) --------------------------------------------------------
 
     def delta_all(self, order: DensityOrder) -> Tuple[np.ndarray, np.ndarray]:
+        if self.frontier == "batched":
+            return self.delta_all_multi([order])[0]
         points = self._require_fitted()
         n = len(points)
         if len(order) != n:
@@ -283,8 +296,7 @@ class TreeIndexBase(DPCIndex):
         delta = np.empty(n, dtype=np.float64)
         mu = np.full(n, NO_NEIGHBOR, dtype=np.int64)
         # Paper convention for the densest object(s): δ = max_q dist(p, q);
-        # one exact blocked cross over all peak rows replaces the per-peak
-        # distances_from loop and the per-object membership test.
+        # one exact blocked cross over all peak rows.
         peaks = order.global_peaks()
         delta[peaks] = peak_delta_sweep(points, peaks, self.metric, self._stats)
         is_peak = np.zeros(n, dtype=bool)
@@ -293,6 +305,55 @@ class TreeIndexBase(DPCIndex):
         for p in np.flatnonzero(~is_peak):
             delta[p], mu[p] = one(int(p), order, mindist, q_of)
         return delta, mu
+
+    def delta_all_multi(
+        self, orders: "Sequence[DensityOrder]"
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """δ/μ for several density orders over the one built tree.
+
+        With the default batched frontier, the sweep shares the flattened
+        tree image, a single vectorised ``maxrho`` annotation pass over all
+        orders, and one deduplicated global-peak sweep; each order then
+        runs one frontier-batched traversal (measured faster than a single
+        interleaved multi-order traversal — smaller pair arrays and the
+        single-order gather fast paths win).  Element ``i`` is
+        bit-identical to ``delta_all(orders[i])``.
+        """
+        points = self._require_fitted()
+        n = len(points)
+        orders = list(orders)
+        for order in orders:
+            if len(order) != n:
+                raise ValueError(f"order has {len(order)} objects, index has {n}")
+        if self.frontier != "batched":
+            return [self.delta_all(order) for order in orders]
+        if not orders:
+            return []
+        flat = self._flat_tree()
+
+        def run_engine(qid, qord, rho_rows, key_rows):
+            # One vectorised maxrho pass annotates every order of the
+            # sweep; the traversal itself runs per order — single-order
+            # engine runs keep the fast gather paths and smaller pair
+            # arrays, which measures faster than one interleaved union.
+            maxrho = flat_tree_maxrho(flat, rho_rows)
+            delta = np.empty(len(qid), dtype=np.float64)
+            mu = np.empty(len(qid), dtype=np.int64)
+            for o in range(len(rho_rows)):
+                sel = qord == o
+                delta[sel], mu[sel] = tree_delta_batched(
+                    flat, points, qid[sel], np.zeros(int(sel.sum()), dtype=np.int64),
+                    rho_rows[o : o + 1], key_rows[o : o + 1],
+                    self.metric, self._stats,
+                    density_pruning=self.density_pruning,
+                    distance_pruning=self.distance_pruning,
+                    maxrho=maxrho[o : o + 1],
+                )
+            return delta, mu
+
+        return delta_multi_from_orders(
+            points, orders, run_engine, self.metric, self._stats
+        )
 
     def _leaf_best(
         self, node: TreeNode, p: int, q: np.ndarray, order: DensityOrder
@@ -397,7 +458,8 @@ class TreeIndexBase(DPCIndex):
         return self.root.height()
 
     def memory_bytes(self) -> int:
-        """Boxes + child pointers + leaf id arrays, per node."""
+        """Boxes + child pointers + leaf id arrays, per node — plus the
+        flattened engine image once a query has materialised it."""
         if self._root is None:
             return 0
         total = 0
@@ -408,4 +470,6 @@ class TreeIndexBase(DPCIndex):
                 total += node.ids.nbytes
             if node.children is not None:
                 total += 8 * len(node.children)
+        if self._flat is not None:
+            total += self._flat.nbytes()
         return total

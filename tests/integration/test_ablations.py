@@ -16,9 +16,9 @@ def small():
 
 
 class TestFrontier:
-    def test_both_frontiers_covered(self, small):
+    def test_all_frontiers_covered(self, small):
         t = ablation_frontier(**small, datasets=["birch"])
-        assert {r["frontier"] for r in t.rows} == {"heap", "stack"}
+        assert {r["frontier"] for r in t.rows} == {"batched", "heap", "stack"}
         assert {r["index"] for r in t.rows} == {"rtree", "quadtree"}
 
     def test_heap_visits_no_more_nodes(self, small):

@@ -1,0 +1,35 @@
+"""The δ benchmark smoke must run end to end and write a sane phase split."""
+
+import json
+import sys
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def smoke_module():
+    sys.path.insert(0, "benchmarks")
+    try:
+        import bench_delta_smoke
+    finally:
+        sys.path.pop(0)
+    return bench_delta_smoke
+
+
+def test_run_produces_phase_split(smoke_module):
+    report = smoke_module.run(n=300, repeats=1)
+    assert set(report["methods"]) == {"rtree", "quadtree", "kdtree", "grid"}
+    for row in report["methods"].values():
+        assert row["rho_seconds"] > 0.0
+        assert row["delta_seconds"] > 0.0
+        assert row["delta_reference_seconds"] > 0.0
+        assert row["assign_seconds"] >= 0.0
+
+
+def test_main_writes_json(smoke_module, tmp_path):
+    out = tmp_path / "BENCH_delta.json"
+    smoke_module.main(["--quick", "--n", "300", "--out", str(out)])
+    report = json.loads(out.read_text())
+    assert report["benchmark"] == "delta_engine_phase_split"
+    assert report["n"] == 300
+    assert "rtree" in report["methods"]

@@ -1,0 +1,235 @@
+"""Property tests for the batched δ engine (PR: batched δ engine).
+
+Contract: for every registered index, the batched δ path is **bit-identical**
+(δ, μ, and therefore labels) to the per-object reference traversal — across
+both reference frontier modes, every rect-capable metric, duplicate-heavy
+point sets, and adversarial ρ-tie layouts — and ``delta_all_multi`` matches
+element-wise the single-order calls it batches.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.baseline import naive_quantities
+from repro.core.quantities import DensityOrder
+from repro.geometry.distance import pairwise_distances
+from repro.indexes.grid import GridIndex
+from repro.indexes.kdtree import KDTreeIndex
+from repro.indexes.quadtree import QuadtreeIndex
+from repro.indexes.rtree import RTreeIndex
+
+from tests.conftest import assert_quantities_equal
+
+#: (name, batched factory, reference factory) — reference is the verbatim
+#: per-object traversal the engine must reproduce bit-for-bit.
+ENGINE_PAIRS = [
+    (
+        "quadtree-vs-stack",
+        lambda: QuadtreeIndex(capacity=4),
+        lambda: QuadtreeIndex(capacity=4, frontier="stack"),
+    ),
+    (
+        "rtree-vs-stack",
+        lambda: RTreeIndex(max_entries=4),
+        lambda: RTreeIndex(max_entries=4, frontier="stack"),
+    ),
+    (
+        "rtree-vs-heap",
+        lambda: RTreeIndex(max_entries=4),
+        lambda: RTreeIndex(max_entries=4, frontier="heap"),
+    ),
+    (
+        "kdtree-vs-stack",
+        lambda: KDTreeIndex(leaf_size=3),
+        lambda: KDTreeIndex(leaf_size=3, frontier="stack"),
+    ),
+    (
+        "kdtree-vs-heap",
+        lambda: KDTreeIndex(leaf_size=3),
+        lambda: KDTreeIndex(leaf_size=3, frontier="heap"),
+    ),
+    (
+        "grid-vs-scalar",
+        lambda: GridIndex(target_occupancy=4),
+        lambda: GridIndex(target_occupancy=4, delta_mode="scalar"),
+    ),
+]
+
+RECT_METRICS = ["euclidean", "sqeuclidean", "manhattan", "chebyshev", "minkowski[p=3]"]
+
+
+@st.composite
+def lattice_points_and_dc(draw, min_n=5, max_n=60):
+    """Duplicate-heavy lattice points + an FP-safe dc (tie-adversarial)."""
+    n = draw(st.integers(min_n, max_n))
+    coords = draw(
+        st.lists(
+            st.tuples(st.integers(0, 12), st.integers(0, 12)),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    points = np.asarray(coords, dtype=np.float64) * 0.7310585786300049
+    d = pairwise_distances(points)
+    iu = np.triu_indices(len(points), k=1)
+    uniq = np.unique(d[iu])
+    uniq = uniq[uniq > 0.0]
+    if len(uniq) < 2:
+        dc = 1.0
+    else:
+        idx = draw(st.integers(0, len(uniq) - 2))
+        dc = float((uniq[idx] + uniq[idx + 1]) / 2.0)
+    return points, dc
+
+
+@pytest.mark.parametrize(
+    "name,batched,reference", ENGINE_PAIRS, ids=[p[0] for p in ENGINE_PAIRS]
+)
+@given(case=lattice_points_and_dc())
+@settings(max_examples=25, deadline=None)
+def test_batched_delta_bit_identical_to_reference(name, batched, reference, case):
+    points, dc = case
+    got = batched().fit(points).quantities(dc)
+    ref = reference().fit(points).quantities(dc)
+    assert_quantities_equal(ref, got)
+
+
+@pytest.mark.parametrize(
+    "name,batched,reference",
+    [ENGINE_PAIRS[1], ENGINE_PAIRS[3], ENGINE_PAIRS[5]],
+    ids=["rtree", "kdtree", "grid"],
+)
+@given(case=lattice_points_and_dc())
+@settings(max_examples=15, deadline=None)
+def test_batched_delta_strict_ties(name, batched, reference, case):
+    points, dc = case
+    got = batched().fit(points).quantities(dc, tie_break="strict")
+    ref = reference().fit(points).quantities(dc, tie_break="strict")
+    assert_quantities_equal(ref, got)
+    assert_quantities_equal(naive_quantities(points, dc, tie_break="strict"), got)
+
+
+@pytest.mark.parametrize("metric", RECT_METRICS)
+@given(case=lattice_points_and_dc(max_n=40))
+@settings(max_examples=10, deadline=None)
+def test_batched_delta_all_rect_metrics(metric, case):
+    """Every rect-capable metric: engine vs per-object reference vs naive."""
+    points, dc = case
+    for batched, reference in (
+        (
+            RTreeIndex(max_entries=4, metric=metric),
+            RTreeIndex(max_entries=4, metric=metric, frontier="stack"),
+        ),
+        (
+            KDTreeIndex(leaf_size=3, metric=metric),
+            KDTreeIndex(leaf_size=3, metric=metric, frontier="stack"),
+        ),
+        (
+            GridIndex(target_occupancy=4, metric=metric),
+            GridIndex(target_occupancy=4, metric=metric, delta_mode="scalar"),
+        ),
+    ):
+        got = batched.fit(points).quantities(dc)
+        ref = reference.fit(points).quantities(dc)
+        assert_quantities_equal(ref, got)
+        assert_quantities_equal(naive_quantities(points, dc, metric=metric), got)
+
+
+@pytest.mark.parametrize(
+    "name,batched,reference",
+    [ENGINE_PAIRS[1], ENGINE_PAIRS[5]],
+    ids=["rtree", "grid"],
+)
+@given(case=lattice_points_and_dc(), extra=st.integers(2, 5))
+@settings(max_examples=15, deadline=None)
+def test_delta_all_multi_matches_singles(name, batched, reference, case, extra):
+    """One engine run over several density orders == per-order runs."""
+    points, dc = case
+    dcs = [dc * f for f in np.linspace(0.5, 2.0, extra)]
+    index = batched().fit(points)
+    rhos = [index.rho_all(float(v)) for v in dcs]
+    orders = [DensityOrder(rho) for rho in rhos]
+    multi = index.delta_all_multi(orders)
+    ref_index = reference().fit(points)
+    for order, (delta, mu) in zip(orders, multi):
+        ref_delta, ref_mu = ref_index.delta_all(order)
+        np.testing.assert_array_equal(ref_delta, delta)
+        np.testing.assert_array_equal(ref_mu, mu)
+
+
+def test_duplicate_points_resolve_to_smaller_id():
+    """All-coincident and pairwise-duplicated points: μ ties break by id."""
+    points = np.array([[1.0, 1.0]] * 7)
+    for factory in (
+        lambda: RTreeIndex(max_entries=2),
+        lambda: KDTreeIndex(leaf_size=2),
+        lambda: QuadtreeIndex(capacity=2),
+        lambda: GridIndex(cell_size=0.5),
+    ):
+        got = factory().fit(points).quantities(1.0)
+        assert_quantities_equal(naive_quantities(points, 1.0), got)
+        # Object k's nearest denser neighbour is the smallest id (0 .. k-1
+        # all tie at distance 0; id order resolves).
+        np.testing.assert_array_equal(got.mu, [-1, 0, 0, 0, 0, 0, 0])
+
+
+def test_rect_bound_tie_is_not_pruned_regression():
+    """Regression: scalar rect bounds once reduced with BLAS ``np.dot``,
+    whose fused multiply-adds drift one ulp from the einsum distance
+    kernels — an exactly-tied duplicate cluster then got pruned and μ
+    resolved to a larger id in the per-object reference path."""
+    s = 0.7310585786300049
+    points = np.array([[0, 0], [0, 0], [0, 0], [0, 0], [1 * s, 5 * s]])
+    for metric in ("euclidean", "sqeuclidean"):
+        base = naive_quantities(points, 1.0, metric=metric)
+        np.testing.assert_array_equal(base.mu, [-1, 0, 0, 0, 0])
+        for frontier in ("batched", "heap", "stack"):
+            got = (
+                RTreeIndex(max_entries=4, metric=metric, frontier=frontier)
+                .fit(points)
+                .quantities(1.0)
+            )
+            assert_quantities_equal(base, got)
+
+
+def test_minkowski_scalar_pow_tie_is_not_pruned_regression():
+    """Regression: numpy's *scalar* ``** (1/p)`` and the array power ufunc
+    can disagree in the last ulp, so the Minkowski scalar rect bound sat
+    one ulp above an exactly-tied candidate distance and the reference δ
+    path pruned the smaller-id leaf (μ = 11 instead of 9)."""
+    s = 0.7310585786300049
+    pts = np.array([[0, 0]] * 8 + [[5 * s, 0], [9 * s, 0], [9 * s, 0], [1 * s, 0]],
+                   dtype=float)
+    dc = 1.8276464465750122
+    base = naive_quantities(pts, dc, metric="minkowski[p=3]")
+    assert base.mu[8] == 9
+    for factory in (
+        lambda f: RTreeIndex(max_entries=4, metric="minkowski[p=3]", frontier=f),
+        lambda f: KDTreeIndex(leaf_size=3, metric="minkowski[p=3]", frontier=f),
+    ):
+        for frontier in ("batched", "heap", "stack"):
+            got = factory(frontier).fit(pts).quantities(dc)
+            assert_quantities_equal(base, got)
+    for mode in ("batched", "scalar"):
+        got = (
+            GridIndex(target_occupancy=4, metric="minkowski[p=3]", delta_mode=mode)
+            .fit(pts)
+            .quantities(dc)
+        )
+        assert_quantities_equal(base, got)
+
+
+def test_pruning_knobs_do_not_change_results():
+    """Disabling Lemma 1 / Lemma 2 changes work, never (δ, μ)."""
+    rng = np.random.default_rng(11)
+    points = np.round(rng.uniform(0, 10, (120, 2)) * 4) / 4
+    base = naive_quantities(points, 0.9)
+    for density in (True, False):
+        for distance in (True, False):
+            got = (
+                RTreeIndex(density_pruning=density, distance_pruning=distance)
+                .fit(points)
+                .quantities(0.9)
+            )
+            assert_quantities_equal(base, got)

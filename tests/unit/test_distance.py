@@ -134,3 +134,74 @@ class TestHaversine:
         pts = np.column_stack([rng.uniform(-60, 60, 10), rng.uniform(-170, 170, 10)])
         d = get_metric("haversine").cross(pts, pts)
         np.testing.assert_allclose(d, d.T, atol=1e-9)
+
+
+class TestPairedDistances:
+    def test_matches_cross_diagonal_bitwise(self):
+        from repro.geometry.distance import get_metric, paired_distances
+
+        rng = np.random.default_rng(9)
+        for metric in ("euclidean", "sqeuclidean", "manhattan", "chebyshev",
+                       "minkowski[p=3]", "haversine"):
+            for d in (2,) if metric == "haversine" else (2, 3, 5):
+                a = rng.normal(size=(40, d))
+                b = rng.normal(size=(40, d))
+                m = get_metric(metric)
+                pair = paired_distances(a, b, m)
+                full = m.cross(a, b)
+                np.testing.assert_array_equal(pair, np.diagonal(full))
+
+    def test_matches_distances_from_bitwise(self):
+        from repro.geometry.distance import get_metric, paired_distances
+
+        rng = np.random.default_rng(10)
+        a = rng.normal(size=(30, 2))
+        q = rng.normal(size=2)
+        m = get_metric("euclidean")
+        pair = paired_distances(a, np.broadcast_to(q, a.shape), m)
+        np.testing.assert_array_equal(pair, m.distances_from(a, q))
+
+    def test_shape_mismatch_rejected(self):
+        from repro.geometry.distance import paired_distances
+
+        with pytest.raises(ValueError, match="differ in shape"):
+            paired_distances(np.zeros((3, 2)), np.zeros((4, 2)))
+
+
+class TestCrossBlocks:
+    def test_reassembles_full_cross(self):
+        from repro.geometry.distance import cross_blocks, get_metric
+
+        rng = np.random.default_rng(11)
+        a = rng.normal(size=(17, 2))
+        b = rng.normal(size=(9, 2))
+        m = get_metric("euclidean")
+        out = np.empty((17, 9))
+        for start, stop, block in cross_blocks(a, b, m, block_elems=30):
+            out[start:stop] = block
+        np.testing.assert_array_equal(out, m.cross(a, b))
+
+    def test_invalid_block_elems(self):
+        from repro.geometry.distance import cross_blocks
+
+        with pytest.raises(ValueError, match="block_elems"):
+            next(cross_blocks(np.zeros((2, 2)), np.zeros((2, 2)), block_elems=0))
+
+
+class TestRectBoundsRowwiseBoxes:
+    def test_many_bounds_accept_per_row_boxes(self):
+        """The batched δ engine relies on rect_*_many broadcasting per-row
+        (n, d) lo/hi boxes exactly like n scalar calls."""
+        from repro.geometry.distance import get_metric
+
+        rng = np.random.default_rng(12)
+        for metric in ("euclidean", "sqeuclidean", "manhattan", "chebyshev"):
+            m = get_metric(metric)
+            pts = rng.normal(size=(25, 2))
+            lo = rng.normal(size=(25, 2))
+            hi = lo + rng.uniform(0.1, 2.0, size=(25, 2))
+            got_min = m.rect_mindist_many(pts, lo, hi)
+            got_max = m.rect_maxdist_many(pts, lo, hi)
+            for i in range(len(pts)):
+                assert got_min[i] == m.rect_mindist(pts[i], lo[i], hi[i])
+                assert got_max[i] == m.rect_maxdist(pts[i], lo[i], hi[i])

@@ -122,3 +122,28 @@ class TestPaperMethods:
         spec = MethodSpec("DPC", None)
         with pytest.raises(ValueError, match="naive baseline"):
             spec.build(np.zeros((3, 2)))
+
+
+class TestClusterTiming:
+    def test_time_cluster_phase_split(self, blobs):
+        from repro.harness.runner import time_cluster
+
+        index = KDTreeIndex().fit(blobs)
+        result, timing = time_cluster(index, 0.5, n_centers=3)
+        assert result.n_clusters == 3
+        assert timing.rho_seconds >= 0.0
+        assert timing.delta_seconds > 0.0
+        assert timing.assign_seconds > 0.0
+        assert timing.total_seconds == pytest.approx(
+            timing.rho_seconds + timing.delta_seconds + timing.assign_seconds
+        )
+        assert timing.query.total_seconds < timing.total_seconds
+
+    def test_time_cluster_matches_cluster(self, blobs):
+        from repro.harness.runner import time_cluster
+
+        index = KDTreeIndex().fit(blobs)
+        result, _ = time_cluster(index, 0.5, n_centers=3)
+        direct = KDTreeIndex().fit(blobs).cluster(0.5, n_centers=3)
+        np.testing.assert_array_equal(result.labels, direct.labels)
+        np.testing.assert_array_equal(result.centers, direct.centers)

@@ -215,3 +215,186 @@ class TestChRhoFromHistograms:
             ]
             np.testing.assert_array_equal(rho, expected, err_msg=f"dc={dc}")
             assert scanned >= 0 and searches >= 0
+
+
+class TestPeakDeltaSweep:
+    def test_hand_computed_maxima(self):
+        from repro.geometry.distance import get_metric
+        from repro.indexes.base import IndexStats
+        from repro.indexes.kernels import peak_delta_sweep
+
+        points = np.array([[0.0, 0.0], [3.0, 4.0], [6.0, 8.0], [0.0, 1.0]])
+        stats = IndexStats()
+        out = peak_delta_sweep(points, np.array([0, 2]), get_metric("euclidean"), stats)
+        # Farthest from (0,0) is (6,8) at 10; farthest from (6,8) is (0,0).
+        np.testing.assert_allclose(out, [10.0, 10.0])
+        assert stats.distance_evals == 2 * 4
+
+    def test_empty_and_blocked(self):
+        from repro.geometry.distance import get_metric
+        from repro.indexes.kernels import peak_delta_sweep
+
+        points = np.arange(20, dtype=np.float64).reshape(10, 2)
+        assert len(peak_delta_sweep(points, np.array([], dtype=np.int64),
+                                    get_metric("euclidean"))) == 0
+        # Tiny block size forces multiple cross slabs; same values.
+        full = peak_delta_sweep(points, np.arange(10), get_metric("euclidean"))
+        tiny = peak_delta_sweep(points, np.arange(10), get_metric("euclidean"),
+                                block_elems=4)
+        np.testing.assert_array_equal(full, tiny)
+
+
+class TestFlatTree:
+    def _two_leaf_tree(self):
+        from repro.indexes.treebase import TreeNode
+
+        left = TreeNode(np.array([0.0, 0.0]), np.array([1.0, 1.0]),
+                        ids=np.array([0, 1]))
+        right = TreeNode(np.array([4.0, 0.0]), np.array([5.0, 1.0]),
+                         ids=np.array([2, 3]))
+        root = TreeNode(np.array([0.0, 0.0]), np.array([5.0, 1.0]),
+                        children=[left, right])
+        root.finalize_counts()
+        return root
+
+    def test_flatten_layout(self):
+        from repro.indexes.kernels import flatten_tree
+
+        flat = flatten_tree(self._two_leaf_tree())
+        assert flat.n_nodes == 3
+        assert flat.levels == [(0, 1), (1, 3)]
+        np.testing.assert_array_equal(flat.child_count, [2, 0, 0])
+        assert flat.child_start[0] == 1
+        np.testing.assert_array_equal(flat.nc, [4, 2, 2])
+        np.testing.assert_array_equal(flat.leaf_ids, [0, 1, 2, 3])
+        np.testing.assert_array_equal(flat.leaf_node_of, [1, 1, 2, 2])
+
+    def test_flat_maxrho_hand_computed(self):
+        from repro.indexes.kernels import flat_tree_maxrho, flatten_tree
+
+        flat = flatten_tree(self._two_leaf_tree())
+        rho_rows = np.array([[5, 1, 7, 2], [1, 1, 1, 9]], dtype=np.int64)
+        maxrho = flat_tree_maxrho(flat, rho_rows)
+        np.testing.assert_array_equal(maxrho, [[7, 5, 7], [9, 1, 9]])
+
+
+class TestTreeDeltaBatched:
+    def test_hand_computed_two_leaf_tree(self):
+        from repro.geometry.distance import get_metric
+        from repro.indexes.base import IndexStats
+        from repro.indexes.kernels import flatten_tree, tree_delta_batched
+
+        from repro.indexes.treebase import TreeNode
+
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [4.0, 0.0], [5.0, 0.0]])
+        left = TreeNode(pts[0], pts[1], ids=np.array([0, 1]))
+        right = TreeNode(pts[2], pts[3], ids=np.array([2, 3]))
+        root = TreeNode(pts[0], pts[3], children=[left, right])
+        root.finalize_counts()
+        flat = flatten_tree(root)
+        rho = np.array([4, 3, 2, 1])
+        order = DensityOrder(rho)
+        delta, mu = tree_delta_batched(
+            flat, pts,
+            np.array([1, 2, 3]), np.zeros(3, dtype=np.int64),
+            rho[None, :], order.rank[None, :],
+            get_metric("euclidean"), IndexStats(),
+        )
+        # 1 -> 0 (dist 1); 2 -> 1 (dist 3); 3 -> 2 (dist 1).
+        np.testing.assert_array_equal(mu, [0, 1, 2])
+        np.testing.assert_allclose(delta, [1.0, 3.0, 1.0])
+
+    def test_distance_tie_resolves_to_smaller_id(self):
+        from repro.geometry.distance import get_metric
+        from repro.indexes.base import IndexStats
+        from repro.indexes.kernels import flatten_tree, tree_delta_batched
+        from repro.indexes.treebase import TreeNode
+
+        # Object 2 sits exactly between denser objects 0 and 1, one per leaf.
+        pts = np.array([[0.0, 0.0], [2.0, 0.0], [1.0, 0.0]])
+        left = TreeNode(np.array([0.0, 0.0]), np.array([1.0, 0.0]),
+                        ids=np.array([0, 2]))
+        right = TreeNode(np.array([2.0, 0.0]), np.array([2.0, 0.0]),
+                         ids=np.array([1]))
+        root = TreeNode(np.array([0.0, 0.0]), np.array([2.0, 0.0]),
+                        children=[left, right])
+        root.finalize_counts()
+        rho = np.array([5, 5, 1])
+        order = DensityOrder(rho)
+        delta, mu = tree_delta_batched(
+            flatten_tree(root), pts,
+            np.array([1, 2]), np.zeros(2, dtype=np.int64),
+            rho[None, :], order.rank[None, :],
+            get_metric("euclidean"), IndexStats(),
+        )
+        # Results align with qid = [1, 2]: row 0 is object 1, row 1 object 2.
+        assert mu[0] == 0 and delta[0] == 2.0   # tie on rho: smaller id denser
+        assert mu[1] == 0 and delta[1] == 1.0   # equidistant: smaller id wins
+
+    def test_multi_order_rows_are_independent(self):
+        from repro.geometry.distance import get_metric
+        from repro.indexes.base import IndexStats
+        from repro.indexes.kernels import flatten_tree, tree_delta_batched
+        from repro.indexes.treebase import TreeNode
+
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [3.0, 0.0]])
+        leaf = TreeNode(pts[0], pts[2], ids=np.array([0, 1, 2]))
+        leaf.finalize_counts()
+        flat = flatten_tree(leaf)
+        rho_rows = np.array([[3, 2, 1], [1, 2, 3]])
+        orders = [DensityOrder(r) for r in rho_rows]
+        key_rows = np.stack([o.rank for o in orders])
+        delta, mu = tree_delta_batched(
+            flat, pts,
+            np.array([1, 2, 0, 1]), np.array([0, 0, 1, 1]),
+            rho_rows, key_rows, get_metric("euclidean"), IndexStats(),
+        )
+        # Order 0 (densest first): 1 -> 0, 2 -> 1.  Order 1 (reversed):
+        # 0 -> 1, 1 -> 2.
+        np.testing.assert_array_equal(mu, [0, 1, 1, 2])
+        np.testing.assert_allclose(delta, [1.0, 2.0, 1.0, 2.0])
+
+
+class TestGridDeltaBatched:
+    def test_matches_scalar_reference_on_blobs(self):
+        from repro.core.baseline import naive_quantities
+        from repro.indexes.grid import GridIndex
+
+        rng = np.random.default_rng(3)
+        pts = np.round(rng.uniform(0, 6, (150, 2)) * 3) / 3
+        base = naive_quantities(pts, 0.8)
+        got = GridIndex(cell_size=0.7).fit(pts).quantities(0.8)
+        np.testing.assert_array_equal(base.delta, got.delta)
+        np.testing.assert_array_equal(base.mu, got.mu)
+
+    def test_single_occupied_cell(self):
+        from repro.indexes.grid import GridIndex
+
+        pts = np.array([[1.0, 1.0], [1.0, 1.0], [1.0, 1.0]])
+        q = GridIndex(cell_size=5.0).fit(pts).quantities(1.0)
+        # Coincident ties all resolve to the smallest denser id.
+        np.testing.assert_array_equal(q.mu, [NO_NEIGHBOR, 0, 0])
+
+
+class TestTreeRhoBatched:
+    def test_contained_node_adds_wholesale(self):
+        from repro.geometry.distance import get_metric
+        from repro.indexes.base import IndexStats
+        from repro.indexes.kernels import flatten_tree, tree_rho_batched
+        from repro.indexes.treebase import TreeNode
+
+        pts = np.array([[0.0, 0.0], [0.1, 0.0], [0.0, 0.1], [9.0, 9.0]])
+        left = TreeNode(np.array([0.0, 0.0]), np.array([0.1, 0.1]),
+                        ids=np.array([0, 1, 2]))
+        right = TreeNode(pts[3], pts[3], ids=np.array([3]))
+        root = TreeNode(np.array([0.0, 0.0]), np.array([9.0, 9.0]),
+                        children=[left, right])
+        root.finalize_counts()
+        stats = IndexStats()
+        counts = tree_rho_batched(
+            flatten_tree(root), pts, 1.0, get_metric("euclidean"), stats
+        )
+        np.testing.assert_array_equal(counts, [2, 2, 2, 0])
+        # Objects 0-2 fully contain the left leaf in their query circle;
+        # object 3 fully contains the (degenerate) right leaf.
+        assert stats.nodes_contained == 4

@@ -48,11 +48,33 @@ class TestMaxrhoAnnotation:
             assert node.maxrho == rho[ids].max()
 
     def test_reannotation_per_dc(self, blobs):
-        index = QuadtreeIndex().fit(blobs)
+        # The per-object reference frontiers annotate TreeNode.maxrho; the
+        # batched engine keeps its annotation in the FlatTree arrays.
+        index = QuadtreeIndex(frontier="heap").fit(blobs)
         index.quantities(0.2)
         small = index.root.maxrho
         index.quantities(2.0)
         assert index.root.maxrho > small
+
+    def test_flat_annotation_matches_node_annotation(self, blobs):
+        from repro.indexes.kernels import flat_tree_maxrho
+
+        index = QuadtreeIndex().fit(blobs)
+        rho = index.rho_all(0.5)
+        index._annotate_maxrho(rho)
+        flat = index._flat_tree()
+        flat_rows = flat_tree_maxrho(flat, rho[None, :])
+        # Node 0 of the flat image is the root; spot-check the whole BFS
+        # order against the per-node annotation.
+        nodes = [index.root]
+        start, stop = 0, 1
+        while start < stop:
+            for i in range(start, stop):
+                if nodes[i].children is not None:
+                    nodes.extend(nodes[i].children)
+            start, stop = stop, len(nodes)
+        for i, node in enumerate(nodes):
+            assert flat_rows[0, i] == node.maxrho
 
 
 class TestBoundFns:
@@ -129,3 +151,22 @@ class TestStatsBookkeeping:
     def test_root_before_fit_raises(self):
         with pytest.raises(RuntimeError, match="not fitted"):
             RTreeIndex().root
+
+
+class TestFlatTreeLifecycle:
+    def test_memory_bytes_counts_flat_image(self, blobs):
+        index = RTreeIndex().fit(blobs)
+        before = index.memory_bytes()
+        index.quantities(0.5)  # materialises the FlatTree
+        after = index.memory_bytes()
+        assert after > before
+        assert after - before == index._flat.nbytes()
+
+    def test_refit_drops_flat_cache(self, blobs):
+        index = RTreeIndex().fit(blobs)
+        index.quantities(0.5)
+        assert index._flat is not None
+        index.fit(blobs * 2.0)
+        assert index._flat is None  # old tree not pinned across refits
+        index.quantities(0.5)
+        assert index._flat.root is index.root
