@@ -1,0 +1,169 @@
+"""Worker-scaling benchmark for the sharded execution backends.
+
+For every tree/grid index at one dataset size, measures end-to-end
+``quantities()`` (ρ + δ) on the serial backend and on the shared-memory
+``process`` backend at increasing worker counts, verifying bit-identity of
+(ρ, δ, μ) along the way, and **appends** a record to ``BENCH_parallel.json``
+(a list of records — the perf trajectory file this PR and future PRs grow).
+
+The record carries ``cpu_count``/``usable_cpus`` so a reader can tell real
+multi-core scaling from a core-starved CI box: on one visible core the
+process backend can only show its overhead, and the committed numbers say
+so rather than pretending.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_scaling.py --quick
+    PYTHONPATH=src python benchmarks/bench_parallel_scaling.py --n 20000 --jobs 2,4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.datasets.loaders import load_dataset
+from repro.indexes.grid import GridIndex
+from repro.indexes.kdtree import KDTreeIndex
+from repro.indexes.quadtree import QuadtreeIndex
+from repro.indexes.rtree import RTreeIndex
+
+METHODS: Dict[str, Callable] = {
+    "kdtree": KDTreeIndex,
+    "quadtree": QuadtreeIndex,
+    "rtree": RTreeIndex,
+    "grid": GridIndex,
+}
+
+
+def _best_of(repeats: int, fn: Callable[[], float]) -> float:
+    return min(fn() for _ in range(repeats))
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def run(
+    n: int = 20000,
+    dataset: str = "s1",
+    dc: "float | None" = None,
+    jobs: "tuple[int, ...]" = (2, 4),
+    repeats: int = 1,
+    seed: int = 0,
+    chunk_size: "int | None" = None,
+    indexes: "tuple[str, ...] | None" = None,
+) -> dict:
+    """Measure every method; returns one BENCH_parallel.json record."""
+    ds = load_dataset(dataset, n=n, seed=seed)
+    dc = float(dc) if dc is not None else float(min(ds.params.dc_grid))
+    record = {
+        "benchmark": "parallel_scaling",
+        "dataset": ds.name,
+        "n": int(ds.n),
+        "dc": dc,
+        "repeats": repeats,
+        "chunk_size": chunk_size,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "usable_cpus": _usable_cpus(),
+        "methods": {},
+    }
+    for name in indexes or tuple(METHODS):
+        factory = METHODS[name]
+        index = factory().fit(ds.points)
+        reference = index.quantities(dc)
+
+        def quantities_time() -> float:
+            t = time.perf_counter()
+            index.quantities(dc)
+            return time.perf_counter() - t
+
+        serial_seconds = _best_of(repeats, quantities_time)
+        row = {"serial_seconds": serial_seconds, "parallel": {}}
+        for n_jobs in jobs:
+            index.set_execution(
+                backend="process", n_jobs=n_jobs, chunk_size=chunk_size
+            )
+            q = index.quantities(dc)  # warm-up: fork pool + publish the image
+            np.testing.assert_array_equal(q.rho, reference.rho)
+            np.testing.assert_array_equal(q.delta, reference.delta)
+            np.testing.assert_array_equal(q.mu, reference.mu)
+            par_seconds = _best_of(repeats, quantities_time)
+            row["parallel"][str(n_jobs)] = {
+                "seconds": par_seconds,
+                "speedup": serial_seconds / par_seconds if par_seconds > 0 else None,
+            }
+            index.release_execution()
+            index.set_execution(backend="serial")
+        record["methods"][name] = row
+    return record
+
+
+def append_record(record: dict, path: str) -> None:
+    """Append ``record`` to the JSON list at ``path`` (created if missing;
+    a legacy single-object file is wrapped into a list)."""
+    records = []
+    if os.path.exists(path):
+        with open(path) as fh:
+            existing = json.load(fh)
+        records = existing if isinstance(existing, list) else [existing]
+    records.append(record)
+    with open(path, "w") as fh:
+        json.dump(records, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def main(argv=None) -> str:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=20000)
+    parser.add_argument("--dataset", default="s1")
+    parser.add_argument("--dc", type=float, default=None)
+    parser.add_argument("--jobs", default="2,4", help="comma-separated worker counts")
+    parser.add_argument("--repeats", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--chunk-size", type=int, default=None)
+    parser.add_argument(
+        "--indexes", default=None, help="comma-separated subset of " + ",".join(METHODS)
+    )
+    parser.add_argument("--out", default="BENCH_parallel.json")
+    parser.add_argument(
+        "--quick", action="store_true", help="tiny CI smoke size (n=1200, jobs=2)"
+    )
+    args = parser.parse_args(argv)
+    jobs = tuple(int(j) for j in args.jobs.split(","))
+    if args.quick:
+        args.n = min(args.n, 1200)
+        args.repeats = 1
+        jobs = (2,)
+    indexes = tuple(args.indexes.split(",")) if args.indexes else None
+    record = run(
+        n=args.n, dataset=args.dataset, dc=args.dc, jobs=jobs,
+        repeats=args.repeats, seed=args.seed, chunk_size=args.chunk_size,
+        indexes=indexes,
+    )
+    append_record(record, args.out)
+    for name, row in record["methods"].items():
+        scaling = "  ".join(
+            f"x{j}: {cell['seconds']:.3f}s ({cell['speedup']:.2f}x)"
+            for j, cell in row["parallel"].items()
+        )
+        print(f"{name:10s} serial {row['serial_seconds']:.3f}s  {scaling}")
+    print(
+        f"wrote {args.out} (cpu_count={record['cpu_count']}, "
+        f"usable={record['usable_cpus']})"
+    )
+    return args.out
+
+
+if __name__ == "__main__":
+    main()

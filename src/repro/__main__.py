@@ -42,6 +42,12 @@ def _index_params(args) -> dict:
         params["tau"] = args.tau
     if args.bin_width is not None:
         params["bin_width"] = args.bin_width
+    if args.backend != "serial":
+        params["backend"] = args.backend
+    if args.n_jobs is not None:
+        params["n_jobs"] = args.n_jobs
+    if args.chunk_size is not None:
+        params["chunk_size"] = args.chunk_size
     return params
 
 
@@ -103,6 +109,20 @@ def main(argv=None) -> int:
     cluster.add_argument("--halo", action="store_true", help="flag border/noise objects")
     cluster.add_argument("--tau", type=float, default=None, help="RN-List threshold (rn-* indexes)")
     cluster.add_argument("--bin-width", type=float, default=None, help="CH bin width")
+    cluster.add_argument(
+        "--backend",
+        default="serial",
+        choices=("serial", "threads", "process"),
+        help="query execution backend (results are bit-identical)",
+    )
+    cluster.add_argument(
+        "--n-jobs", type=int, default=None,
+        help="worker count for threads/process backends (default: all cores)",
+    )
+    cluster.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="queries per shard task (default: ~4 chunks per worker)",
+    )
     cluster.add_argument("--out", default=None, help="write labels (one per row) here")
     cluster.add_argument("--seed", type=int, default=0)
     cluster.set_defaults(func=cmd_cluster)

@@ -39,6 +39,13 @@ def main(argv=None) -> int:
         default=DEFAULT_MEMORY_BUDGET_MB,
         help="budget deciding where full list indexes are feasible",
     )
+    parser.add_argument(
+        "--n-jobs",
+        type=int,
+        default=1,
+        help="add multi-core columns (sharded process backend) to the "
+        "experiments that support them (fig5, fig6-batched)",
+    )
     parser.add_argument("--csv", default=None, help="also write the table as CSV")
     parser.add_argument(
         "--chart",
@@ -53,6 +60,8 @@ def main(argv=None) -> int:
         kwargs = {"profile": args.profile, "seed": args.seed, "datasets": args.datasets}
         if "memory_budget_mb" in func.__code__.co_varnames:
             kwargs["memory_budget_mb"] = args.memory_budget_mb
+        if "n_jobs" in func.__code__.co_varnames:
+            kwargs["n_jobs"] = args.n_jobs
         started = time.perf_counter()
         table = func(**kwargs)
         elapsed = time.perf_counter() - started

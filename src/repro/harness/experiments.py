@@ -67,15 +67,21 @@ def fig5_running_time(
     seed: int = 0,
     memory_budget_mb: float = DEFAULT_MEMORY_BUDGET_MB,
     datasets: Optional[Sequence[str]] = None,
+    n_jobs: int = 1,
 ) -> Table:
     """Figure 5: query (ρ+δ) running time of every method on every dataset.
 
     List/CH/DPC rows are absent for datasets whose full N-List (or distance
     matrix) exceeds the memory budget — the paper's missing bars.
+
+    ``n_jobs > 1`` adds multi-core columns: the same (ρ+δ) run re-timed on
+    the sharded ``process`` backend (:mod:`repro.indexes.parallel`), whose
+    results are bit-identical to the serial columns by contract.
     """
     table = Table(
         "Figure 5 — running time (s), one (rho+delta) run at the dataset's dc",
-        ["dataset", "n", "dc", "method", "seconds", "rho_seconds", "delta_seconds", "note"],
+        ["dataset", "n", "dc", "method", "seconds", "rho_seconds", "delta_seconds",
+         "par_seconds", "par_speedup", "note"],
     )
     for ds in _datasets(datasets, profile, seed, PAPER_DATASETS):
         dc = ds.params.dc_default
@@ -91,11 +97,27 @@ def fig5_running_time(
             else:
                 index = method.build(ds.points)
                 _, timing = time_quantities(index, dc)
+                par_seconds = par_speedup = None
+                if n_jobs > 1:
+                    index.set_execution(backend="process", n_jobs=n_jobs)
+                    try:
+                        # Warm-up: fork the pool and publish the shard image
+                        # once, so the column reports steady-state query
+                        # latency rather than one-time start-up cost.
+                        index.quantities(dc)
+                        _, par = time_quantities(index, dc)
+                        par_seconds = par.total_seconds
+                        if par_seconds > 0:
+                            par_speedup = timing.total_seconds / par_seconds
+                    finally:
+                        index.set_execution(backend="serial")
                 table.add_row(
                     dataset=ds.name, n=ds.n, dc=dc, method=method.label,
                     seconds=timing.total_seconds,
                     rho_seconds=timing.rho_seconds,
                     delta_seconds=timing.delta_seconds,
+                    par_seconds=par_seconds,
+                    par_speedup=par_speedup,
                     note="approx (tau*)" if method.approximate else None,
                 )
     return table
@@ -192,6 +214,7 @@ def fig6_dc_sweep_batched(
     seed: int = 0,
     memory_budget_mb: float = DEFAULT_MEMORY_BUDGET_MB,
     datasets: Optional[Sequence[str]] = None,
+    n_jobs: int = 1,
 ) -> Table:
     """The Figure 6 dc grid evaluated as one batched ``quantities_multi`` pass.
 
@@ -199,10 +222,15 @@ def fig6_dc_sweep_batched(
     clustering process which probably involves trying many dc can be
     substantially shortened") measured end to end: per method, the whole
     dc grid against the one built index, batched vs. the per-dc loop.
+
+    ``n_jobs > 1`` adds a multi-core column: the same batched sweep on the
+    sharded ``process`` backend, which shards the full ``(dc, chunk)`` task
+    grid over workers (results bit-identical to the serial sweep).
     """
     table = Table(
         "Figure 6 (batched) — whole dc grid per method, one quantities_multi pass",
-        ["dataset", "n", "n_dcs", "method", "batched_seconds", "sequential_seconds", "speedup"],
+        ["dataset", "n", "n_dcs", "method", "batched_seconds", "sequential_seconds",
+         "speedup", "par_seconds", "par_speedup"],
     )
     for ds in _datasets(datasets, profile, seed, PAPER_DATASETS):
         methods = paper_methods(ds, memory_budget_mb, include_naive=False)
@@ -214,10 +242,23 @@ def fig6_dc_sweep_batched(
             for dc in dcs:
                 _, timing = time_quantities(index, dc)
                 sequential += timing.total_seconds
+            par_seconds = par_speedup = None
+            if n_jobs > 1:
+                index.set_execution(backend="process", n_jobs=n_jobs)
+                try:
+                    # Warm-up (pool fork + shard-image publication) so the
+                    # column is steady-state latency, not start-up cost.
+                    index.quantities(dcs[0])
+                    _, par_seconds = time_quantities_multi(index, dcs)
+                    if par_seconds > 0:
+                        par_speedup = batched / par_seconds
+                finally:
+                    index.set_execution(backend="serial")
             table.add_row(
                 dataset=ds.name, n=ds.n, n_dcs=len(dcs), method=method.label,
                 batched_seconds=batched, sequential_seconds=sequential,
                 speedup=sequential / batched if batched > 0 else float("inf"),
+                par_seconds=par_seconds, par_speedup=par_speedup,
             )
     return table
 

@@ -1,6 +1,7 @@
 """Index structures for DPC: list-based, histogram, approximate, and trees."""
 
 from repro.indexes.base import DPCIndex, IndexStats
+from repro.indexes.parallel import ExecutionBackend, plan_chunks
 from repro.indexes.list_index import ListIndex
 from repro.indexes.ch_index import CHIndex
 from repro.indexes.rn_list import RNListIndex, RNCHIndex
@@ -14,6 +15,8 @@ from repro.indexes.registry import available_indexes, make_index
 __all__ = [
     "DPCIndex",
     "IndexStats",
+    "ExecutionBackend",
+    "plan_chunks",
     "ListIndex",
     "CHIndex",
     "RNListIndex",

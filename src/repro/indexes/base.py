@@ -113,11 +113,38 @@ class DPCIndex(abc.ABC):
     #: Required dimensionality (None = any).
     required_ndim: ClassVar[Optional[int]] = None
 
-    def __init__(self, metric: "str | Metric" = "euclidean"):
+    def __init__(
+        self,
+        metric: "str | Metric" = "euclidean",
+        backend: "str | Any" = "serial",
+        n_jobs: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ):
         self.metric = get_metric(metric)
         self.points: Optional[np.ndarray] = None
         self.build_seconds: float = float("nan")
         self._stats = IndexStats()
+        # Execution policy (repro.indexes.parallel): how the batched ρ/δ
+        # kernels are sharded over query chunks.  `backend` is a kind name
+        # ("serial" | "threads" | "process") or a shared ExecutionBackend
+        # instance; results are bit-identical across all of them.  Runtime
+        # configuration only — never serialised with the index (persist.py).
+        self.backend = backend
+        self.n_jobs = n_jobs
+        self.chunk_size = chunk_size
+        self._execution_ = None  # resolved ExecutionBackend (lazy)
+        self._shard_pack = None  # published fit-time shared-memory pack
+        self._validate_backend(backend)
+
+    @staticmethod
+    def _validate_backend(backend) -> None:
+        from repro.indexes.parallel import BACKENDS, ExecutionBackend
+
+        if not isinstance(backend, ExecutionBackend) and backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS} or an ExecutionBackend, "
+                f"got {backend!r}"
+            )
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -126,8 +153,11 @@ class DPCIndex(abc.ABC):
 
         Re-fitting starts a fresh measurement epoch: the probe counters are
         reset so Theorem 1–4 complexity checks never mix work from a
-        previous dataset.
+        previous dataset.  Any published shard state (shared-memory image,
+        chunk plans) from a previous fit is invalidated first — workers must
+        never see a stale index image for the new dataset.
         """
+        self._release_shards()
         points = np.ascontiguousarray(points, dtype=np.float64)
         if points.ndim != 2 or len(points) == 0:
             raise ValueError(
@@ -305,6 +335,141 @@ class DPCIndex(abc.ABC):
         if halo:
             result.halo = halo_mask(points, labels, q.rho, q.dc, metric=self.metric)
         return result
+
+    # -- execution backend (repro.indexes.parallel) -------------------------------
+
+    def _execution(self):
+        """The resolved :class:`~repro.indexes.parallel.ExecutionBackend`."""
+        from repro.indexes.parallel import ExecutionBackend
+
+        if self._execution_ is None:
+            if isinstance(self.backend, ExecutionBackend):
+                self._execution_ = self.backend
+            else:
+                self._execution_ = ExecutionBackend(
+                    self.backend, n_jobs=self.n_jobs, chunk_size=self.chunk_size
+                )
+        return self._execution_
+
+    def set_execution(
+        self,
+        backend: "str | Any | None" = None,
+        n_jobs: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> "DPCIndex":
+        """Reconfigure how queries are sharded, without re-fitting.
+
+        Any published shard state and a previously owned worker pool are
+        released; fitted structures (and therefore results) are untouched —
+        results are bit-identical across backends by contract.
+        """
+        if backend is not None:
+            self._validate_backend(backend)
+        # Release BEFORE reassigning: the ownership check inside
+        # release_execution compares against the *old* self.backend —
+        # reassigning first would make a shared pool look index-owned and
+        # shut it down under the other indexes using it.
+        self.release_execution()
+        if backend is not None:
+            self.backend = backend
+        if n_jobs is not None:
+            self.n_jobs = n_jobs
+        if chunk_size is not None:
+            self.chunk_size = chunk_size
+        return self
+
+    def _release_shards(self) -> None:
+        """Unlink this fit's shared-memory image (chunk plans die with it)."""
+        if self._shard_pack is not None:
+            self._shard_pack.close()
+            self._shard_pack = None
+
+    def release_execution(self) -> None:
+        """Release shard state and shut down an index-owned worker pool.
+
+        A pool passed in as a shared ``ExecutionBackend`` instance is left
+        running (other indexes may be using it).  Idempotent; queries after
+        a release lazily recreate whatever they need.
+        """
+        self._release_shards()
+        if self._execution_ is not None:
+            if self._execution_ is not self.backend:
+                self._execution_.shutdown()
+            self._execution_ = None
+
+    def _shard_arrays(self) -> Dict[str, np.ndarray]:
+        """Fit-time arrays the sharded kernel tasks read (per-family)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not define a sharded kernel image"
+        )
+
+    def _shard_meta(self) -> Dict[str, Any]:
+        """Small picklable facts accompanying :meth:`_shard_arrays`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not define a sharded kernel image"
+        )
+
+    def _dispatch(self, fn, payloads, run_arrays=None):
+        """Run sharded kernel tasks through the execution backend.
+
+        Results come back in payload order; worker probe-counter deltas are
+        folded into this index's :class:`IndexStats` (integer sums, so the
+        totals equal a serial run exactly).
+        """
+        from repro.indexes.parallel import run_index_tasks
+
+        return run_index_tasks(self, fn, payloads, run_arrays)
+
+    def _sharded_rho(self, task, dcs) -> "list[np.ndarray]":
+        """ρ for every ``dc`` in ``dcs`` as one sharded ``(dc, chunk)`` grid.
+
+        Shared by the tree and grid families: all ``len(dcs) × n_chunks``
+        tasks are submitted in one wave, so a multi-``dc`` sweep keeps every
+        worker busy even when a single cut-off has fewer chunks than
+        workers.  Row ``i`` of the result is bit-identical to a serial
+        ``rho_all(dcs[i])``.
+        """
+        chunks = self._execution().plan(self.n)
+        payloads = [
+            {"dc": float(dc), "start": start, "stop": stop}
+            for dc in dcs
+            for start, stop in chunks
+        ]
+        outs = self._dispatch(task, payloads)
+        per_dc = len(chunks)
+        return [
+            np.concatenate(
+                [outs[i * per_dc + j]["rho"] for j in range(per_dc)]
+            ).astype(np.int64, copy=False)
+            for i in range(len(dcs))
+        ]
+
+    def _sharded_delta_engine(self, task, qid, qord, n_orders, run_arrays):
+        """Shard a sweep's batched δ engine runs into ``(order, chunk)`` tasks.
+
+        ``qid``/``qord`` come from
+        :func:`~repro.indexes.kernels.delta_multi_from_orders`, whose
+        per-order query segments are contiguous; every chunk of every
+        segment becomes one task and all tasks go out in a single wave.
+        Shared by the tree family and the grid (same schedule, different
+        task function).
+        """
+        ex = self._execution()
+        payloads = []
+        for o in range(n_orders):
+            seg = np.flatnonzero(qord == o)
+            base = int(seg[0]) if len(seg) else 0
+            payloads.extend(
+                {"order": o, "a": base + start, "b": base + stop}
+                for start, stop in ex.plan(len(seg))
+            )
+        outs = self._dispatch(task, payloads, run_arrays)
+        delta = np.empty(len(qid), dtype=np.float64)
+        mu = np.empty(len(qid), dtype=np.int64)
+        for payload, out in zip(payloads, outs):
+            delta[payload["a"] : payload["b"]] = out["delta"]
+            mu[payload["a"] : payload["b"]] = out["mu"]
+        return delta, mu
 
     # -- instrumentation ---------------------------------------------------------
 

@@ -37,7 +37,8 @@ from typing import ClassVar, Optional
 import numpy as np
 
 from repro.geometry.distance import Metric
-from repro.indexes.kernels import build_row_histograms, ch_rho_from_histograms
+from repro.indexes import parallel
+from repro.indexes.kernels import build_row_histograms
 from repro.indexes.list_index import ListIndex
 
 __all__ = ["CumulativeHistogramMixin", "CHIndex"]
@@ -70,6 +71,27 @@ class CumulativeHistogramMixin:
             return float(self.bin_width)
         raise RuntimeError(f"{type(self).__name__} has no resolved bin width; fit first")
 
+    def _ch_rho_wave(self, dcs) -> "list":
+        """Algorithm 4 for several cut-offs as one sharded ``(dc, chunk)``
+        task wave — no synchronization barrier between the cut-offs of a
+        sweep.  The global largest histogram pins the resolved target bin
+        so every chunk decides exactly like a whole-table call.
+        """
+        max_bins = int(np.diff(self._hist_offsets).max())
+        w = self._resolved_bin_width()
+        chunks = self._execution().plan(self.n)
+        payloads = [
+            {"start": start, "stop": stop, "dc": float(dc), "w": w, "max_bins": max_bins}
+            for dc in dcs
+            for start, stop in chunks
+        ]
+        outs = self._dispatch(parallel.ch_rho_task, payloads)
+        per_dc = len(chunks)
+        return [
+            np.concatenate([outs[i * per_dc + j]["rho"] for j in range(per_dc)])
+            for i in range(len(dcs))
+        ]
+
 
 class CHIndex(CumulativeHistogramMixin, ListIndex):
     """Exact CH Index: N-Lists plus per-object cumulative histograms.
@@ -95,8 +117,18 @@ class CHIndex(CumulativeHistogramMixin, ListIndex):
         default_bins: int = 128,
         build_block_rows: int = 512,
         scan_block: int = 32,
+        backend: "str" = "serial",
+        n_jobs: Optional[int] = None,
+        chunk_size: Optional[int] = None,
     ):
-        super().__init__(metric, build_block_rows, scan_block)
+        super().__init__(
+            metric,
+            build_block_rows,
+            scan_block,
+            backend=backend,
+            n_jobs=n_jobs,
+            chunk_size=chunk_size,
+        )
         self._init_bin_width(bin_width, default_bins)
         self._hist_offsets: Optional[np.ndarray] = None  # (n+1,) int64 CSR offsets
         self._hist_values: Optional[np.ndarray] = None  # flat int64 bin densities
@@ -130,27 +162,25 @@ class CHIndex(CumulativeHistogramMixin, ListIndex):
         self._hist_offsets = offsets
         self._hist_values = values
 
+    # -- sharded-execution image (adds the histograms to the N-List image) -------
+
+    def _shard_arrays(self):
+        arrays = super()._shard_arrays()
+        arrays["hist_offsets"] = self._hist_offsets
+        arrays["hist_values"] = self._hist_values
+        return arrays
+
     # -- ρ query (Algorithm 4) ----------------------------------------------------
 
     def rho_all(self, dc: float) -> np.ndarray:
         self._require_fitted()
-        rho, scanned, searches = ch_rho_from_histograms(
-            self._hist_offsets,
-            self._hist_values,
-            self._neighbor_dists.reshape(-1),
-            self._row_offsets()[:-1],
-            float(dc),
-            self._resolved_bin_width(),
-        )
-        self._stats.objects_scanned += scanned
-        self._stats.binary_searches += searches
-        return rho
+        return self._ch_rho_wave([float(dc)])[0]
 
     def rho_all_multi(self, dcs) -> np.ndarray:
-        """Histogram-guided ρ per cut-off (each already one batched pass)."""
+        """Histogram-guided ρ for the whole grid in one ``(dc, chunk)`` wave."""
         self._require_fitted()
         dcs = self._validate_dcs(dcs)
-        return np.stack([self.rho_all(float(dc)) for dc in dcs])
+        return np.stack(self._ch_rho_wave([float(dc) for dc in dcs]))
 
     # δ query inherited from ListIndex (identical by design; see module doc).
 

@@ -38,11 +38,11 @@ from typing import ClassVar, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.quantities import NO_NEIGHBOR, DensityOrder
-from repro.geometry.distance import Metric, rect_bounds_many
+from repro.geometry.distance import Metric
+from repro.indexes import parallel
 from repro.indexes.base import DPCIndex
 from repro.indexes.kernels import (
     delta_multi_from_orders,
-    grid_delta_batched,
     peak_delta_sweep,
 )
 
@@ -76,8 +76,11 @@ class GridIndex(DPCIndex):
         cell_size: Optional[float] = None,
         target_occupancy: int = 16,
         delta_mode: str = "batched",
+        backend: "str" = "serial",
+        n_jobs: Optional[int] = None,
+        chunk_size: Optional[int] = None,
     ):
-        super().__init__(metric)
+        super().__init__(metric, backend=backend, n_jobs=n_jobs, chunk_size=chunk_size)
         if not self.metric.supports_rect_bounds:
             raise ValueError(
                 f"metric {self.metric.name!r} has no exact rectangle bounds"
@@ -150,64 +153,62 @@ class GridIndex(DPCIndex):
         lo = self._lo + np.array([ix * w, iy * w])
         return lo, lo + w
 
+    # -- sharded-execution image (repro.indexes.parallel) ----------------------------
+
+    def _shard_arrays(self):
+        return {
+            "points": self.points,
+            "offsets": self._offsets,
+            "ids": self._ids,
+            "cell_of": self._cell_of,
+            "grid_lo": self._lo,
+        }
+
+    def _shard_meta(self):
+        return {"shape": self._shape, "w": float(self.cell_size_)}
+
     # -- ρ query -------------------------------------------------------------------
 
     def rho_all(self, dc: float) -> np.ndarray:
-        points = self._require_fitted()
-        n = len(points)
-        dc = float(dc)
-        w = float(self.cell_size_)
-        lo = self._lo
-        nx, ny = self._shape
-        offsets = self._offsets
-        ids_sorted = self._ids
-        stats = self._stats
-        mind_many, maxd_many = rect_bounds_many(self.metric)
-        cross = self.metric.cross
+        # Cell-batched Observation-1 classification, moved to
+        # :func:`repro.indexes.kernels.grid_rho_batched` and sharded over
+        # query chunks by the execution backend (bit-identical across
+        # backends — each query's candidate cells and classification
+        # sequence depend only on the query itself).
+        self._require_fitted()
+        return self._sharded_rho(parallel.grid_rho_task, [float(dc)])[0]
 
-        # Per-point candidate cell ranges — the same floor arithmetic the
-        # scalar query used, evaluated for all points at once.
-        ix0 = np.maximum((points[:, 0] - dc - lo[0]) // w, 0).astype(np.int64)
-        ix1 = np.minimum((points[:, 0] + dc - lo[0]) // w, nx - 1).astype(np.int64)
-        iy0 = np.maximum((points[:, 1] - dc - lo[1]) // w, 0).astype(np.int64)
-        iy1 = np.minimum((points[:, 1] + dc - lo[1]) // w, ny - 1).astype(np.int64)
+    def rho_all_multi(self, dcs) -> np.ndarray:
+        """ρ for a whole cut-off grid as one sharded ``(dc, chunk)`` wave."""
+        self._require_fitted()
+        dcs = self._validate_dcs(dcs)
+        return np.stack(self._sharded_rho(parallel.grid_rho_task, dcs))
 
-        counts = np.zeros(n, dtype=np.int64)
-        occupied = np.flatnonzero(np.diff(offsets) > 0)
-        for home in occupied:
-            members = ids_sorted[offsets[home] : offsets[home + 1]]
-            mx0, mx1 = ix0[members], ix1[members]
-            my0, my1 = iy0[members], iy1[members]
-            for fx in range(int(mx0.min()), int(mx1.max()) + 1):
-                base = fx * ny
-                for fy in range(int(my0.min()), int(my1.max()) + 1):
-                    flat = base + fy
-                    start, stop = offsets[flat], offsets[flat + 1]
-                    if start == stop:
-                        continue
-                    sel = (mx0 <= fx) & (fx <= mx1) & (my0 <= fy) & (fy <= my1)
-                    if not sel.any():
-                        continue
-                    rows = members[sel]
-                    stats.nodes_visited += len(rows)
-                    clo, chi = self._cell_box(fx, fy)
-                    rpts = points[rows]
-                    alive = mind_many(rpts, clo, chi) < dc
-                    if not alive.any():
-                        continue
-                    rows = rows[alive]
-                    rpts = rpts[alive]
-                    contained = maxd_many(rpts, clo, chi) < dc
-                    if contained.any():
-                        counts[rows[contained]] += int(stop - start)
-                        stats.nodes_contained += int(contained.sum())
-                    rest = rows[~contained]
-                    if len(rest):
-                        d = cross(rpts[~contained], points[ids_sorted[start:stop]])
-                        stats.distance_evals += d.size
-                        counts[rest] += (d < dc).sum(axis=1)
-        counts -= 1  # remove the self-count, as in the tree indexes
-        return counts
+    def _sharded_rho(self, task, dcs) -> "list[np.ndarray]":
+        """Cell-locality override of the generic ``(dc, chunk)`` sharding.
+
+        Chunks slice the *cell-sorted* id array (``self._ids``) rather than
+        raw id ranges, so each shard walks only its own contiguous run of
+        home cells — an id-range shard would re-sweep every occupied cell
+        per task.  Any partition of the queries is bit-identical; this one
+        is just the cache- and loop-friendly partition.  Counts scatter
+        back into object-id order here.
+        """
+        chunks = self._execution().plan(self.n)
+        payloads = [
+            {"dc": float(dc), "start": start, "stop": stop}
+            for dc in dcs
+            for start, stop in chunks
+        ]
+        outs = self._dispatch(task, payloads)
+        per_dc = len(chunks)
+        rows = []
+        for i in range(len(dcs)):
+            rho = np.empty(self.n, dtype=np.int64)
+            for j, (start, stop) in enumerate(chunks):
+                rho[self._ids[start:stop]] = outs[i * per_dc + j]["rho"]
+            rows.append(rho)
+        return rows
 
     # -- δ query --------------------------------------------------------------------
 
@@ -265,23 +266,24 @@ class GridIndex(DPCIndex):
             return []
 
         def run_engine(qid, qord, rho_rows, key_rows):
-            # Annotate every order in one pass; traverse per order (the
-            # single-order gather paths beat one interleaved union run).
+            # Annotate every order in one pass; traverse per (order, chunk)
+            # task — the single-order gather paths beat one interleaved
+            # union run, and the chunks are what the execution backend
+            # shards over workers.
             cell_maxrho = self._annotate_cell_maxrho(rho_rows)
             self._cell_maxrho = cell_maxrho[-1]
-            delta = np.empty(len(qid), dtype=np.float64)
-            mu = np.empty(len(qid), dtype=np.int64)
-            for o in range(len(rho_rows)):
-                sel = qord == o
-                delta[sel], mu[sel] = grid_delta_batched(
-                    points, qid[sel], np.zeros(int(sel.sum()), dtype=np.int64),
-                    rho_rows[o : o + 1], key_rows[o : o + 1],
-                    cell_maxrho[o : o + 1],
-                    self._offsets, self._ids, self._cell_of,
-                    self._lo, float(self.cell_size_), self._shape,
-                    self.metric, self._stats,
-                )
-            return delta, mu
+            return self._sharded_delta_engine(
+                parallel.grid_delta_task,
+                qid,
+                qord,
+                len(rho_rows),
+                {
+                    "qid": qid,
+                    "rho_rows": rho_rows,
+                    "key_rows": key_rows,
+                    "cell_maxrho": cell_maxrho,
+                },
+            )
 
         return delta_multi_from_orders(
             points, orders, run_engine, self.metric, self._stats

@@ -45,8 +45,14 @@ class KDTreeIndex(TreeIndexBase):
         density_pruning: bool = True,
         distance_pruning: bool = True,
         frontier: str = "batched",
+        backend: str = "serial",
+        n_jobs: "int | None" = None,
+        chunk_size: "int | None" = None,
     ):
-        super().__init__(metric, density_pruning, distance_pruning, frontier)
+        super().__init__(
+            metric, density_pruning, distance_pruning, frontier,
+            backend=backend, n_jobs=n_jobs, chunk_size=chunk_size,
+        )
         if leaf_size < 1:
             raise ValueError(f"leaf_size must be >= 1, got {leaf_size}")
         self.leaf_size = leaf_size

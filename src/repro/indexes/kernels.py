@@ -89,7 +89,12 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.core.quantities import NO_NEIGHBOR
-from repro.geometry.distance import cross_blocks, get_metric, paired_distances
+from repro.geometry.distance import (
+    cross_blocks,
+    get_metric,
+    paired_distances,
+    rect_bounds_many,
+)
 
 __all__ = [
     "bounded_searchsorted",
@@ -107,6 +112,7 @@ __all__ = [
     "flat_tree_maxrho",
     "tree_rho_batched",
     "tree_delta_batched",
+    "grid_rho_batched",
     "grid_delta_batched",
 ]
 
@@ -238,11 +244,17 @@ def prefetch_scan_block(
     row's end are masked by ``valid``.  A sweep over many ``dc`` values can
     gather this once and hand it to every :func:`scan_first_denser` call —
     the candidate layout does not depend on the density ordering.
+
+    ``width`` is honoured exactly (never clamped to the batch's longest
+    row): the scan's column boundaries must depend only on the requested
+    geometry, so a sharded run over row subsets examines precisely the
+    slots the whole-batch run would — the execution-backend bit-identity
+    contract (:mod:`repro.indexes.parallel`).
     """
     offsets = np.asarray(offsets, dtype=np.int64)
     n = len(offsets) - 1
     lengths = np.diff(offsets)
-    width = min(int(width), int(lengths.max()) if n else 0)
+    width = int(width)
     cols = np.arange(width, dtype=np.int64)
     valid = cols[None, :] < lengths[:, None]
     flat = np.where(valid, offsets[:-1, None] + cols[None, :], 0)
@@ -262,6 +274,7 @@ def scan_first_denser(
     key: np.ndarray,
     block: int = 32,
     prefetch: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None,
+    qid: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
     """Blockwise near-to-far scan for the first denser neighbour per row.
 
@@ -270,6 +283,13 @@ def scan_first_denser(
     :data:`~repro.core.quantities.TieBreak.ID`, ``-order.rho`` for STRICT).
     Rows are the CSR rows of ``(offsets, ids, dists)`` — each sorted
     near-to-far, Algorithm 2 lines 7-13.
+
+    ``qid`` gives the global object id of each CSR row (default: row ``i``
+    is object ``i``).  Passing a row *subset* plus its ids is how the
+    execution backends shard the scan: every row examines exactly the slots
+    it would in a whole-table run because the column strides below are
+    absolute (fixed ``block`` boundaries, never adapted to the longest row
+    of the batch).
 
     Returns ``(delta, mu, resolved, scanned)``: per row the distance and id
     of the first denser neighbour (undefined ``delta`` and
@@ -285,6 +305,7 @@ def scan_first_denser(
     offsets = np.asarray(offsets, dtype=np.int64)
     n = len(offsets) - 1
     lengths = np.diff(offsets)
+    key_q = key if qid is None else key[np.asarray(qid, dtype=np.int64)]
     delta = np.empty(n, dtype=np.float64)
     mu = np.full(n, NO_NEIGHBOR, dtype=np.int64)
     scanned = 0
@@ -295,7 +316,7 @@ def scan_first_denser(
     if prefetch is not None and n:
         cand, dmat, valid = prefetch
         width = cand.shape[1]
-        denser = (key[cand] < key[:, None]) & valid
+        denser = (key[cand] < key_q[:, None]) & valid
         scanned += int(valid.sum())
         found = denser.any(axis=1)
         if found.any():
@@ -308,13 +329,19 @@ def scan_first_denser(
         col = width
 
     while len(unresolved) and col < max_len:
-        width = min(block, max_len - col)
+        # Fixed absolute stride: always a full `block` of columns, with the
+        # row-length mask trimming slots past each row's end.  Clipping the
+        # stride to the batch's max length would only drop always-invalid
+        # columns, but it would make the per-row scanned-slot count depend
+        # on which other rows share the batch — sharded runs must reproduce
+        # the whole-table counters exactly.
+        width = block
         rows = unresolved
         cols = np.arange(col, col + width, dtype=np.int64)
         valid = cols[None, :] < lengths[rows][:, None]
         flat = np.where(valid, offsets[rows][:, None] + cols[None, :], 0)
         cand = ids[flat] if len(ids) else np.zeros_like(flat)
-        denser = (key[cand] < key[rows, None]) & valid
+        denser = (key[cand] < key_q[rows, None]) & valid
         scanned += int(valid.sum())
         found = denser.any(axis=1)
         if found.any():
@@ -374,6 +401,7 @@ def ch_rho_from_histograms(
     row_starts: np.ndarray,
     dc: float,
     w: float,
+    max_bins: Optional[int] = None,
 ) -> Tuple[np.ndarray, int, int]:
     """Algorithm 4's ρ query for every object at once.
 
@@ -382,6 +410,13 @@ def ch_rho_from_histograms(
     ``row_starts[p]``.  Returns ``(rho, objects_scanned, binary_searches)``
     — the two counters matching the seed's per-object accounting (a section
     is scanned/searched only when its two bounding bins differ).
+
+    ``hist_offsets`` may be a contiguous *slice* of the full offsets array
+    (the execution backends shard rows this way): the stored values are
+    absolute positions into ``hist_values``, so a row subset needs no
+    re-basing.  ``max_bins`` then pins :func:`resolve_bin`'s cap to the
+    whole table's largest histogram so the resolved target bin — and hence
+    every per-row decision — matches the unsharded call exactly.
 
     The ``dc`` exactly-on-a-bin-edge fast path only fires when the *stored*
     edge reproduces ``dc`` bit-for-bit (``fl(w·target) == dc``); a quotient
@@ -393,7 +428,9 @@ def ch_rho_from_histograms(
     row_starts = np.asarray(row_starts, dtype=np.int64)
     n = len(hist_offsets) - 1
     sizes = np.diff(hist_offsets)
-    target = resolve_bin(dc, w, max_bins=int(sizes.max()) if n else 0)
+    if max_bins is None:
+        max_bins = int(sizes.max()) if n else 0
+    target = resolve_bin(dc, w, max_bins=int(max_bins))
     rho = np.empty(n, dtype=np.int64)
 
     # Strictly past the last bin (target > size): every stored entry is
@@ -604,15 +641,40 @@ class FlatTree:
         "levels", "n_nodes",
     )
 
+    #: The array-valued slots, in a fixed order (shared-memory export).
+    ARRAY_FIELDS = (
+        "lo", "hi", "nc", "child_start", "child_count", "parent",
+        "leaf_start", "leaf_size", "leaf_ids", "leaf_node_of",
+    )
+
     def nbytes(self) -> int:
         """Resident size of the flat arrays (for index memory accounting)."""
-        return sum(
-            getattr(self, name).nbytes
-            for name in (
-                "lo", "hi", "nc", "child_start", "child_count", "parent",
-                "leaf_start", "leaf_size", "leaf_ids", "leaf_node_of",
-            )
-        )
+        return sum(getattr(self, name).nbytes for name in self.ARRAY_FIELDS)
+
+    def as_arrays(self) -> dict:
+        """The flat image as a plain ``{field: ndarray}`` dict.
+
+        This is what the process execution backend publishes into shared
+        memory: the whole tree crosses the process boundary as ten numpy
+        buffers plus the tiny ``levels`` list (picklable metadata), never as
+        the linked ``TreeNode`` graph.
+        """
+        return {name: getattr(self, name) for name in self.ARRAY_FIELDS}
+
+    @classmethod
+    def from_arrays(cls, arrays, levels, n_nodes: int) -> "FlatTree":
+        """Rebuild a :class:`FlatTree` from :meth:`as_arrays` output.
+
+        ``root`` is left ``None`` — a reconstructed image has no source
+        ``TreeNode`` graph (worker processes never need one).
+        """
+        flat = cls()
+        flat.root = None
+        flat.levels = [tuple(level) for level in levels]
+        flat.n_nodes = int(n_nodes)
+        for name in cls.ARRAY_FIELDS:
+            setattr(flat, name, arrays[name])
+        return flat
 
 
 def flatten_tree(root) -> FlatTree:
@@ -1104,12 +1166,114 @@ def grid_delta_batched(
     return best_d, best_id
 
 
+def grid_rho_batched(
+    points: np.ndarray,
+    qid: "np.ndarray | None",
+    dc: float,
+    w: float,
+    grid_lo: np.ndarray,
+    shape: Tuple[int, int],
+    offsets: np.ndarray,
+    ids_sorted: np.ndarray,
+    cell_of: np.ndarray,
+    metric,
+    stats,
+) -> np.ndarray:
+    """Cell-batched Observation-1 ρ over a uniform grid.
+
+    The grid analogue of :func:`tree_rho_batched`: query points are grouped
+    by home cell, every candidate cell classifies for the whole group with
+    the batched rectangle bounds — per-point classifications (results *and*
+    probe counters) are identical to the scalar formulation.
+
+    ``qid`` restricts the evaluation to a query subset (default: all
+    objects); counts come back aligned with it.  Each query's candidate
+    cell range, classification sequence and counter contributions depend
+    only on the query itself, so sharding over ``qid`` chunks is
+    bit-identical to one whole-table call — the execution-backend contract.
+
+    Parameters mirror :class:`~repro.indexes.grid.GridIndex` internals: CSR
+    ``(offsets, ids_sorted)`` cell membership and the ``grid_lo`` /
+    ``w`` / ``shape`` geometry.
+    """
+    n = len(points)
+    dc = float(dc)
+    w = float(w)
+    nx, ny = shape
+    offsets = np.asarray(offsets, dtype=np.int64)
+    mind_many, maxd_many = rect_bounds_many(metric)
+    cross = get_metric(metric).cross
+
+    # Per-point candidate cell ranges — the same floor arithmetic the
+    # scalar query used, evaluated for all points at once.
+    lo = grid_lo
+    ix0 = np.maximum((points[:, 0] - dc - lo[0]) // w, 0).astype(np.int64)
+    ix1 = np.minimum((points[:, 0] + dc - lo[0]) // w, nx - 1).astype(np.int64)
+    iy0 = np.maximum((points[:, 1] - dc - lo[1]) // w, 0).astype(np.int64)
+    iy1 = np.minimum((points[:, 1] + dc - lo[1]) // w, ny - 1).astype(np.int64)
+
+    # Restricting to a query subset visits only the subset's own home
+    # cells (cell-sorted chunks touch a contiguous cell range, so a shard
+    # pays for its cells alone, not a full occupied-cell sweep).
+    in_sel = None
+    if qid is not None:
+        qid = np.asarray(qid, dtype=np.int64)
+        in_sel = np.zeros(n, dtype=bool)
+        in_sel[qid] = True
+        occupied = np.unique(cell_of[qid])
+    else:
+        occupied = np.flatnonzero(np.diff(offsets) > 0)
+
+    counts = np.zeros(n, dtype=np.int64)
+    for home in occupied:
+        members = ids_sorted[offsets[home] : offsets[home + 1]]
+        if in_sel is not None:
+            members = members[in_sel[members]]
+            if len(members) == 0:
+                continue
+        mx0, mx1 = ix0[members], ix1[members]
+        my0, my1 = iy0[members], iy1[members]
+        for fx in range(int(mx0.min()), int(mx1.max()) + 1):
+            base = fx * ny
+            for fy in range(int(my0.min()), int(my1.max()) + 1):
+                flat = base + fy
+                start, stop = offsets[flat], offsets[flat + 1]
+                if start == stop:
+                    continue
+                sel = (mx0 <= fx) & (fx <= mx1) & (my0 <= fy) & (fy <= my1)
+                if not sel.any():
+                    continue
+                rows = members[sel]
+                stats.nodes_visited += len(rows)
+                # Same box arithmetic as GridIndex._cell_box.
+                clo = lo + np.array([fx * w, fy * w])
+                chi = clo + w
+                rpts = points[rows]
+                alive = mind_many(rpts, clo, chi) < dc
+                if not alive.any():
+                    continue
+                rows = rows[alive]
+                rpts = rpts[alive]
+                contained = maxd_many(rpts, clo, chi) < dc
+                if contained.any():
+                    counts[rows[contained]] += int(stop - start)
+                    stats.nodes_contained += int(contained.sum())
+                rest = rows[~contained]
+                if len(rest):
+                    d = cross(rpts[~contained], points[ids_sorted[start:stop]])
+                    stats.distance_evals += d.size
+                    counts[rest] += (d < dc).sum(axis=1)
+    counts -= 1  # remove the self-count, as in the tree indexes
+    return counts if qid is None else counts[qid]
+
+
 def tree_rho_batched(
     flat: FlatTree,
     points: np.ndarray,
     dc: float,
     metric,
     stats,
+    qid: "np.ndarray | None" = None,
 ) -> np.ndarray:
     """Batched Algorithm 5 (ρ query) over a flattened spatial tree.
 
@@ -1120,25 +1284,35 @@ def tree_rho_batched(
     or *intersected* (expand / scan the leaf).  Every pair performs exactly
     the per-point classification of the scalar traversal, so counts and the
     probe counters match the per-object formulation.
+
+    ``qid`` restricts the traversal to a query subset (default: all
+    objects), returning counts aligned with it — each query's
+    classification sequence is untouched by which other queries share the
+    batch, which is what lets the execution backends shard this function
+    over chunks with bit-identical results and counter totals.
     """
     dc = float(dc)
-    n = len(points)
-    counts = np.zeros(n, dtype=np.int64)
+    if qid is None:
+        qpts = points
+    else:
+        qpts = points[np.asarray(qid, dtype=np.int64)]
+    m = len(qpts)
+    counts = np.zeros(m, dtype=np.int64)
     mind_pairs, maxd_pairs = _pair_rect_bounds(metric)
 
     def pair_fn(a, b):
         return paired_distances(a, b, metric)
 
-    pair_node = np.zeros(n, dtype=np.int64)  # every object queries the root
-    pair_row = np.arange(n, dtype=np.int64)
+    pair_node = np.zeros(m, dtype=np.int64)  # every query starts at the root
+    pair_row = np.arange(m, dtype=np.int64)
     while len(pair_node):
         stats.nodes_visited += len(pair_node)
-        alive = mind_pairs(points[pair_row], flat.lo[pair_node], flat.hi[pair_node]) < dc
+        alive = mind_pairs(qpts[pair_row], flat.lo[pair_node], flat.hi[pair_node]) < dc
         pair_node, pair_row = pair_node[alive], pair_row[alive]
         if len(pair_node) == 0:
             break
         contained = (
-            maxd_pairs(points[pair_row], flat.lo[pair_node], flat.hi[pair_node]) < dc
+            maxd_pairs(qpts[pair_row], flat.lo[pair_node], flat.hi[pair_node]) < dc
         )
         if contained.any():
             stats.nodes_contained += int(contained.sum())
@@ -1146,7 +1320,7 @@ def tree_rho_batched(
                 np.bincount(
                     pair_row[contained],
                     weights=flat.nc[pair_node[contained]],
-                    minlength=n,
+                    minlength=m,
                 )
             ).astype(np.int64)
             pair_node, pair_row = pair_node[~contained], pair_row[~contained]
@@ -1162,11 +1336,11 @@ def tree_rho_batched(
                 leaf_row, sizes = leaf_row[nz], sizes[nz]
                 flat_idx, seg_off = _expand_csr(flat.leaf_start[leaf_node[nz]], sizes)
                 cand = flat.leaf_ids[flat_idx]
-                d = pair_fn(points[np.repeat(leaf_row, sizes)], points[cand])
+                d = pair_fn(qpts[np.repeat(leaf_row, sizes)], points[cand])
                 stats.distance_evals += len(cand)
                 within = np.add.reduceat((d < dc).astype(np.int64), seg_off)
                 counts += np.rint(
-                    np.bincount(leaf_row, weights=within, minlength=n)
+                    np.bincount(leaf_row, weights=within, minlength=m)
                 ).astype(np.int64)
         pair_node, pair_row = pair_node[~is_leaf], pair_row[~is_leaf]
         if len(pair_node) == 0:
@@ -1174,7 +1348,7 @@ def tree_rho_batched(
         child_count = flat.child_count[pair_node]
         pair_node, _ = _expand_csr(flat.child_start[pair_node], child_count)
         pair_row = np.repeat(pair_row, child_count)
-    # Every object was counted inside its own query circle (dist 0 < dc);
+    # Every query was counted inside its own query circle (dist 0 < dc);
     # Eq. 1 excludes the object itself.
     counts -= 1
     return counts

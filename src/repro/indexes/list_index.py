@@ -35,13 +35,9 @@ import numpy as np
 
 from repro.core.quantities import NO_NEIGHBOR, DensityOrder, DPCQuantities, TieBreak
 from repro.geometry.distance import Metric
+from repro.indexes import parallel
 from repro.indexes.base import DPCIndex
-from repro.indexes.kernels import (
-    density_order_key,
-    prefetch_scan_block,
-    row_searchsorted,
-    scan_first_denser,
-)
+from repro.indexes.kernels import density_order_key
 
 __all__ = ["ListIndex"]
 
@@ -51,27 +47,56 @@ __all__ = ["ListIndex"]
 _order_key = density_order_key
 
 
-def sweep_quantities(index, dcs, offsets, ids, dists, tie_break) -> "list[DPCQuantities]":
+def sweep_quantities(index, dcs, tie_break) -> "list[DPCQuantities]":
     """Shared batched-sweep assembly for the list-family indexes.
 
-    ``index`` supplies ``rho_all_multi`` and ``_delta_from_order``; the CSR
-    triple ``(offsets, ids, dists)`` is the index's neighbour storage.  One
-    ρ pass answers the whole grid, and the δ scans share one pre-gathered
-    first block — a narrow one: it still resolves the overwhelming majority
-    of rows (Theorem 1) while keeping the per-``dc`` key-compare cheap, and
-    the scan continues in ``scan_block`` strides for the stragglers.
+    ``index`` supplies ``rho_all_multi`` and ``_delta_sweep``.  One sharded
+    ρ pass answers the whole grid, then the δ scans run as one
+    ``(dc, chunk)`` task grid; each chunk gathers its own narrow prefetch
+    block — narrow because it still resolves the overwhelming majority of
+    rows (Theorem 1) while keeping the per-``dc`` key-compare cheap, with
+    the scan continuing in ``scan_block`` strides for the stragglers.
     """
     dcs = index._validate_dcs(dcs)
     rhos = index.rho_all_multi(dcs)
-    prefetch = prefetch_scan_block(offsets, ids, dists, min(8, index.scan_block))
-    out = []
-    for dc, rho in zip(dcs, rhos):
-        order = DensityOrder(rho, tie_break)
-        delta, mu = index._delta_from_order(order, prefetch=prefetch)
-        out.append(
-            DPCQuantities(dc=float(dc), rho=rho, delta=delta, mu=mu, density_order=order)
-        )
-    return out
+    orders = [DensityOrder(rho, tie_break) for rho in rhos]
+    deltas = index._delta_sweep(orders, prefetch_width=min(8, index.scan_block))
+    return [
+        DPCQuantities(dc=float(dc), rho=rho, delta=delta, mu=mu, density_order=order)
+        for dc, rho, order, (delta, mu) in zip(dcs, rhos, orders, deltas)
+    ]
+
+
+def sharded_delta_scan(index, orders, prefetch_width: int):
+    """δ/μ per density order via the sharded near-to-far CSR scan.
+
+    The chunked task grid shared by the N-List and RN-List indexes: one
+    task per row chunk, each scanning *all* density orders of the sweep
+    against one shared prefetch gather (the candidate layout is
+    ``dc``-independent, so a per-order regather would multiply the
+    dominant gather by the sweep width).  Unresolved rows
+    (``mu == NO_NEIGHBOR``) are handed back to the index's
+    ``_finish_unresolved`` hook — the peak convention differs between the
+    exact and truncated lists.
+    """
+    keys = np.stack([_order_key(order) for order in orders])
+    payloads = [
+        {
+            "start": start,
+            "stop": stop,
+            "block": index.scan_block,
+            "prefetch_width": prefetch_width,
+        }
+        for start, stop in index._execution().plan(index.n)
+    ]
+    outs = index._dispatch(parallel.scan_delta_task, payloads, {"keys": keys})
+    results = []
+    for o in range(len(orders)):
+        delta = np.concatenate([out["delta"][o] for out in outs])
+        mu = np.concatenate([out["mu"][o] for out in outs])
+        index._finish_unresolved(delta, mu)
+        results.append((delta, mu))
+    return results
 
 
 class ListIndex(DPCIndex):
@@ -88,6 +113,9 @@ class ListIndex(DPCIndex):
         Column-block width of the vectorised δ scan.  Small blocks waste
         Python overhead, large blocks waste probes; 32 is a good default for
         the expected-constant-probe regime.
+    backend, n_jobs, chunk_size:
+        Query-execution policy (:mod:`repro.indexes.parallel`): both queries
+        shard over row chunks; results are bit-identical across backends.
     """
 
     name: ClassVar[str] = "list"
@@ -97,8 +125,11 @@ class ListIndex(DPCIndex):
         metric: "str | Metric" = "euclidean",
         build_block_rows: int = 512,
         scan_block: int = 32,
+        backend: "str" = "serial",
+        n_jobs: "int | None" = None,
+        chunk_size: "int | None" = None,
     ):
-        super().__init__(metric)
+        super().__init__(metric, backend=backend, n_jobs=n_jobs, chunk_size=chunk_size)
         if build_block_rows <= 0:
             raise ValueError(f"build_block_rows must be positive, got {build_block_rows}")
         if scan_block <= 0:
@@ -139,25 +170,42 @@ class ListIndex(DPCIndex):
         n, m = self._neighbor_dists.shape
         return np.arange(n + 1, dtype=np.int64) * m
 
+    # -- sharded-execution image (repro.indexes.parallel) ------------------------
+
+    def _shard_arrays(self):
+        return {
+            "ids": self._neighbor_ids,
+            "dists": self._neighbor_dists,
+            "offsets": self._row_offsets(),
+        }
+
+    def _shard_meta(self):
+        n, m = self._neighbor_dists.shape
+        return {"n": n, "row_len": m}
+
     # -- ρ query (Algorithm 2, lines 2-6) --------------------------------------
 
     def rho_all(self, dc: float) -> np.ndarray:
         self._require_fitted()
-        dists = self._neighbor_dists
         # searchsorted(side="left") == index of farthest object with
         # dist < dc, which *is* ρ(p) (Example 1 of the paper); one batched
-        # binary search per object.
-        rho = row_searchsorted(dists, float(dc)).astype(np.int64, copy=False)
-        self._stats.binary_searches += len(dists)
-        return rho
+        # binary search per object, sharded over row chunks.
+        return self._list_rho(float(dc))
 
     def rho_all_multi(self, dcs) -> np.ndarray:
-        """All objects × all cut-offs in a single batched binary search."""
+        """All objects × all cut-offs in one sharded batched binary search."""
         self._require_fitted()
         dcs = self._validate_dcs(dcs)
-        pos = row_searchsorted(self._neighbor_dists, dcs[None, :])
-        self._stats.binary_searches += pos.size
+        pos = self._list_rho([float(dc) for dc in dcs])
         return np.ascontiguousarray(pos.T).astype(np.int64, copy=False)
+
+    def _list_rho(self, needles):
+        payloads = [
+            {"start": start, "stop": stop, "needles": needles}
+            for start, stop in self._execution().plan(self.n)
+        ]
+        outs = self._dispatch(parallel.list_rho_task, payloads)
+        return np.concatenate([o["rho"] for o in outs]).astype(np.int64, copy=False)
 
     # -- δ query (Algorithm 2, lines 7-13) --------------------------------------
 
@@ -167,46 +215,29 @@ class ListIndex(DPCIndex):
             raise ValueError(
                 f"order has {len(order)} objects, index has {len(self._neighbor_ids)}"
             )
-        return self._delta_from_order(order)
+        return self._delta_sweep([order], prefetch_width=0)[0]
 
-    def _delta_from_order(
-        self, order: DensityOrder, prefetch=None
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        ids = self._neighbor_ids
-        dists = self._neighbor_dists
-        delta, mu, resolved, scanned = scan_first_denser(
-            self._row_offsets(),
-            ids.reshape(-1),
-            dists.reshape(-1),
-            _order_key(order),
-            block=self.scan_block,
-            prefetch=prefetch,
-        )
-        self._stats.objects_scanned += scanned
-        # Whatever is left has no denser object at all: the single global
-        # peak under TieBreak.ID, every maximal-density object under STRICT.
-        # Paper convention: δ = max_q dist(p, q) = last N-List entry.
-        peaks = np.flatnonzero(~resolved)
-        delta[peaks] = dists[peaks, -1]
-        mu[peaks] = NO_NEIGHBOR
-        return delta, mu
+    def _delta_sweep(self, orders, prefetch_width: int = 0):
+        """Sharded near-to-far scans, one ``(order, chunk)`` task grid."""
+        return sharded_delta_scan(self, orders, prefetch_width)
+
+    def _finish_unresolved(self, delta: np.ndarray, mu: np.ndarray) -> None:
+        # Whatever the scan left has no denser object at all: the single
+        # global peak under TieBreak.ID, every maximal-density object under
+        # STRICT.  Paper convention: δ = max_q dist(p, q) = last list entry.
+        peaks = np.flatnonzero(mu == NO_NEIGHBOR)
+        delta[peaks] = self._neighbor_dists[peaks, -1]
 
     # -- multi-dc sweep -----------------------------------------------------------
 
     def quantities_multi(
         self, dcs, tie_break: "str | TieBreak" = TieBreak.ID
     ) -> "list[DPCQuantities]":
-        """Batched sweep: one ρ search for the whole grid, δ scans sharing
-        one pre-gathered first block (its layout is ``dc``-independent)."""
+        """Batched sweep: one sharded ρ search for the whole grid, then the
+        δ scans as one ``(dc, chunk)`` task grid (each chunk gathering its
+        ``dc``-independent prefetch block)."""
         self._require_fitted()
-        return sweep_quantities(
-            self,
-            dcs,
-            self._row_offsets(),
-            self._neighbor_ids.reshape(-1),
-            self._neighbor_dists.reshape(-1),
-            tie_break,
-        )
+        return sweep_quantities(self, dcs, tie_break)
 
     # -- bookkeeping -------------------------------------------------------------
 

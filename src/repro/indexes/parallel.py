@@ -1,0 +1,657 @@
+"""Sharded parallel execution backends for the batched ρ/δ kernels.
+
+Parallel execution
+------------------
+PR 1 and PR 2 rewrote every per-object query loop onto the batched kernel
+layer (:mod:`repro.indexes.kernels`); this module shards those kernels over
+*query chunks* and runs the chunks on worker pools.  The work is exactly the
+shape the parallel-DPC literature exploits ("Faster Parallel Exact Density
+Peaks Clustering", Huang / Yu / Shun): every query's ρ count and δ search is
+independent of every other query's, so a chunk of queries is an embarrassingly
+parallel task over the frozen index image.
+
+Three backends share one chunk-planning code path (:func:`plan_chunks`):
+
+* ``"serial"`` — the default: one chunk covering all queries, executed
+  inline.  Zero overhead over the pre-backend code path.
+* ``"threads"`` — a :class:`~concurrent.futures.ThreadPoolExecutor`; useful
+  for kernel sections that release the GIL (BLAS/einsum reductions) and for
+  exercising the chunked path without process machinery.
+* ``"process"`` — a :class:`~concurrent.futures.ProcessPoolExecutor` over
+  **shared-memory** views of the index image: the point array, the FlatTree
+  structure-of-arrays image, the grid CSR arrays, or the N-List rows are
+  published once per fit into :class:`multiprocessing.shared_memory` segments
+  (:class:`ShmPack`), and workers attach by name — no index is ever pickled
+  per task.  Per-run inputs (density rows, order keys, ``maxrho``
+  annotations) travel through a second, ephemeral pack that is unlinked the
+  moment the run's futures settle.
+
+Backend selection hangs off every index: ``DPCIndex(...,
+backend="process", n_jobs=4, chunk_size=2048)`` or, after construction,
+``index.set_execution(backend="process", n_jobs=4)``.  Multi-``dc`` sweeps
+shard the full ``(dc, chunk)`` — respectively ``(order, chunk)`` — task
+grid, so a sweep keeps every worker busy even when one cut-off has fewer
+chunks than workers.
+
+Bit-identity contract
+---------------------
+Results (ρ, δ, μ — and therefore labels and halo) and the
+:class:`~repro.indexes.base.IndexStats` probe counters are **bit-identical**
+across backends, worker counts and chunk sizes, ties and smaller-id μ
+included.  Three properties make this hold:
+
+* every kernel decision for query ``p`` reads only ``p``'s own state (its
+  pruning radius, its candidate segments), never another query's;
+* the distance kernels are elementwise (einsum over per-element
+  differences, never shape-dependent BLAS reductions), so a row computed in
+  a chunk of 7 equals the row computed in a chunk of 70 000;
+* kernel scan strides use absolute column boundaries
+  (:func:`repro.indexes.kernels.scan_first_denser`), so per-query counter
+  contributions do not depend on which rows share a batch.
+
+Workers accumulate probe counters into a private
+:class:`~repro.indexes.base.IndexStats` and return the deltas; the parent
+folds them into the index's counters.  Counter totals are integer sums, so
+merge order is irrelevant and the seed counter semantics survive sharding.
+
+Failure / cleanup contract
+--------------------------
+An exception raised inside a worker chunk (e.g. a metric that rejects its
+input) is re-raised in the parent with its original type and message;
+pending chunk futures are cancelled and awaited first, and ephemeral
+shared-memory segments are unlinked in a ``finally`` block, so a failed run
+leaks nothing.  Fit-time packs live until the index is re-fitted
+(``fit`` invalidates shard plans and unlinks the pack — stale images can
+never serve a new dataset), explicitly released
+(``index.release_execution()``), or garbage-collected (a
+``weakref.finalize`` guard unlinks the segment even on abandoned indexes).
+"""
+
+from __future__ import annotations
+
+import os
+import uuid
+import weakref
+from collections import OrderedDict
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import multiprocessing
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.geometry.distance import get_metric
+from repro.indexes.base import IndexStats
+from repro.indexes.kernels import (
+    FlatTree,
+    bounded_searchsorted,
+    ch_rho_from_histograms,
+    grid_delta_batched,
+    grid_rho_batched,
+    prefetch_scan_block,
+    row_searchsorted,
+    scan_first_denser,
+    tree_delta_batched,
+    tree_rho_batched,
+)
+
+__all__ = [
+    "BACKENDS",
+    "SHM_PREFIX",
+    "ExecutionBackend",
+    "ShmPack",
+    "plan_chunks",
+    "resolve_n_jobs",
+    "metric_token",
+    "metric_from_token",
+    "run_index_tasks",
+]
+
+#: Recognised backend kinds (one chunk-planning code path for all three).
+BACKENDS = ("serial", "threads", "process")
+
+#: Shared-memory segment name prefix — recognisable in /dev/shm, so leak
+#: checks (tests, ops) can assert nothing of ours is left behind.
+SHM_PREFIX = "repro_shard"
+
+
+def resolve_n_jobs(n_jobs: Optional[int]) -> int:
+    """Worker count: ``None``/``0``/negative mean "all visible cores"."""
+    if n_jobs is None or n_jobs <= 0:
+        return max(1, os.cpu_count() or 1)
+    return int(n_jobs)
+
+
+def plan_chunks(
+    n: int, chunk_size: Optional[int], n_jobs: int
+) -> List[Tuple[int, int]]:
+    """Split ``n`` queries into contiguous ``(start, stop)`` chunks.
+
+    The single planning code path shared by all backends.  ``chunk_size``
+    wins when given (values ``>= n`` collapse to one chunk, ``1`` is legal);
+    otherwise serial execution gets one chunk and parallel execution aims
+    for ~4 chunks per worker so stragglers rebalance without drowning the
+    run in per-task overhead.  Chunk boundaries never affect results or
+    probe counters — only scheduling.
+    """
+    if n <= 0:
+        return []
+    if chunk_size is not None:
+        size = max(1, int(chunk_size))
+    elif n_jobs <= 1:
+        size = n
+    else:
+        size = max(1, -(-n // (4 * n_jobs)))
+    return [(start, min(start + size, n)) for start in range(0, n, size)]
+
+
+def metric_token(metric) -> Tuple[str, Any]:
+    """A picklable reference to ``metric`` for worker processes.
+
+    Registered (or name-materialisable, e.g. ``minkowski[p=3]``) metrics
+    travel by name and are re-resolved in the worker; unregistered custom
+    metrics travel as the :class:`~repro.geometry.distance.Metric` object
+    itself, which pickles whenever its kernel functions are module-level.
+    """
+    m = get_metric(metric)
+    try:
+        get_metric(m.name)
+    except KeyError:
+        return ("obj", m)
+    return ("name", m.name)
+
+
+def metric_from_token(token: Tuple[str, Any]):
+    kind, value = token
+    return value if kind == "obj" else get_metric(value)
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory packs
+# ---------------------------------------------------------------------------
+
+_ALIGN = 64  # cache-line alignment for each array inside a segment
+
+
+def _destroy_segment(shm: shared_memory.SharedMemory) -> None:
+    try:
+        shm.close()
+    except OSError:  # pragma: no cover - already closed
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - already unlinked
+        pass
+
+
+class ShmPack:
+    """Several named arrays published into one shared-memory segment.
+
+    The publisher (the parent process) owns the segment: :meth:`close`
+    unlinks it, and a :func:`weakref.finalize` guard unlinks it at garbage
+    collection even if nobody calls :meth:`close`.  :attr:`handle` is the
+    small picklable descriptor workers use to attach
+    (:func:`attach_pack_views`).
+    """
+
+    def __init__(self, arrays: Dict[str, np.ndarray]):
+        specs: Dict[str, Tuple[str, Tuple[int, ...], int]] = {}
+        offset = 0
+        prepared: Dict[str, np.ndarray] = {}
+        for key, value in arrays.items():
+            arr = np.ascontiguousarray(value)
+            prepared[key] = arr
+            offset = -(-offset // _ALIGN) * _ALIGN
+            specs[key] = (arr.dtype.str, arr.shape, offset)
+            offset += arr.nbytes
+        name = f"{SHM_PREFIX}_{os.getpid()}_{uuid.uuid4().hex[:12]}"
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=max(1, offset), name=name
+        )
+        for key, arr in prepared.items():
+            dtype, shape, off = specs[key]
+            view = np.ndarray(shape, dtype=dtype, buffer=self._shm.buf, offset=off)
+            view[...] = arr
+        #: (segment name, per-array (dtype, shape, offset)) — picklable.
+        self.handle: Tuple[str, Dict[str, Tuple[str, Tuple[int, ...], int]]] = (
+            name,
+            specs,
+        )
+        self._finalizer = weakref.finalize(self, _destroy_segment, self._shm)
+
+    @property
+    def name(self) -> str:
+        return self.handle[0]
+
+    def close(self) -> None:
+        """Unlink the segment (idempotent).  Workers already attached keep
+        their mappings; new attaches fail, which is the point — a released
+        pack must never serve another task."""
+        self._finalizer()
+
+
+# Worker-side cache of attached packs, keyed by segment name.  Names are
+# unique per pack (uuid), so a cached entry can never alias a different
+# pack; the cap bounds mapping growth across many runs/fits.  True LRU:
+# hits refresh recency, so the fit-time pack — touched by every task —
+# can never become the eviction victim while ephemeral run packs churn.
+_ATTACHED: "OrderedDict[str, Tuple[shared_memory.SharedMemory, Dict[str, np.ndarray]]]" = (
+    OrderedDict()
+)
+_ATTACH_CAP = 16
+
+#: Start method of the pool this worker belongs to (set by _worker_init).
+_WORKER_START_METHOD: Optional[str] = None
+
+
+def _worker_init(start_method: str) -> None:
+    global _WORKER_START_METHOD
+    _WORKER_START_METHOD = start_method
+
+
+def attach_pack_views(handle) -> Dict[str, np.ndarray]:
+    """Attach (or fetch from cache) the arrays behind a pack handle."""
+    name, specs = handle
+    cached = _ATTACHED.get(name)
+    if cached is not None:
+        _ATTACHED.move_to_end(name)
+        return cached[1]
+    shm = shared_memory.SharedMemory(name=name)
+    # The worker only *attaches* — the parent owns the segment's lifetime.
+    # Forked workers share the parent's resource-tracker process, whose
+    # per-name set dedupes the attach-time registration (the parent's
+    # unlink balances it exactly — an extra unregister here would make the
+    # tracker complain about a name it no longer knows).  Spawned workers
+    # get a *private* tracker that would unlink the parent's segment at
+    # worker exit, so there the attach-time registration must be undone.
+    if _WORKER_START_METHOD != "fork":
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals vary
+            pass
+    views = {
+        key: np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=off)
+        for key, (dtype, shape, off) in specs.items()
+    }
+    if len(_ATTACHED) >= _ATTACH_CAP:
+        oldest = next(iter(_ATTACHED))
+        old_shm, _ = _ATTACHED.pop(oldest)
+        try:
+            old_shm.close()
+        except (OSError, BufferError):  # pragma: no cover - views still alive
+            # A lingering external reference to the evicted views keeps the
+            # mapping exported; dropping our handles is enough — the mmap is
+            # reclaimed when the last view dies, and eviction must never
+            # fail the task that triggered it.
+            pass
+    _ATTACHED[name] = (shm, views)
+    return views
+
+
+# ---------------------------------------------------------------------------
+# Task execution
+# ---------------------------------------------------------------------------
+
+
+def _run_with_stats(fn, arrays, meta, payload):
+    stats = IndexStats()
+    result = fn(arrays, meta, payload, stats)
+    return result, stats.as_dict()
+
+
+def _worker_exec(fn, handles, meta, payload):
+    """Process-pool entry point: resolve pack handles, run one chunk."""
+    arrays: Dict[str, np.ndarray] = {}
+    for handle in handles:
+        arrays.update(attach_pack_views(handle))
+    return _run_with_stats(fn, arrays, meta, payload)
+
+
+def _merge_stats(stats: IndexStats, delta: Dict[str, int]) -> None:
+    for key, value in delta.items():
+        setattr(stats, key, getattr(stats, key) + value)
+
+
+class ExecutionBackend:
+    """A configured execution policy plus its lazily created worker pool.
+
+    One instance can be shared by several indexes (pass it as the
+    ``backend=`` argument); the pool spins up on first use and is torn down
+    by :meth:`shutdown` (or interpreter exit).  The object itself is
+    stateless with respect to any particular index — fit-time shard packs
+    belong to the index, per-run packs to the run.
+    """
+
+    def __init__(
+        self,
+        kind: str = "serial",
+        n_jobs: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ):
+        if kind not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {kind!r}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.kind = kind
+        self.n_jobs = 1 if kind == "serial" else resolve_n_jobs(n_jobs)
+        self.chunk_size = chunk_size
+        self._pool = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ExecutionBackend({self.kind!r}, n_jobs={self.n_jobs}, "
+            f"chunk_size={self.chunk_size})"
+        )
+
+    # -- planning ------------------------------------------------------------
+
+    def plan(self, n: int) -> List[Tuple[int, int]]:
+        """Chunk boundaries for ``n`` queries under this policy."""
+        return plan_chunks(n, self.chunk_size, self.n_jobs)
+
+    # -- pool lifecycle --------------------------------------------------------
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            if self.kind == "threads":
+                self._pool = ThreadPoolExecutor(max_workers=self.n_jobs)
+            elif self.kind == "process":
+                # fork (where available) keeps pool start-up cheap and lets
+                # workers inherit registered metrics; the shared-memory
+                # protocol itself is start-method agnostic.
+                methods = multiprocessing.get_all_start_methods()
+                start_method = "fork" if "fork" in methods else methods[0]
+                ctx = multiprocessing.get_context(start_method)
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.n_jobs,
+                    mp_context=ctx,
+                    initializer=_worker_init,
+                    initargs=(start_method,),
+                )
+        return self._pool
+
+    def shutdown(self) -> None:
+        """Tear down the worker pool (a later run recreates it)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    # -- execution -------------------------------------------------------------
+
+    def _gather(self, futures: "List[Future]"):
+        try:
+            return [f.result() for f in futures]
+        except BaseException:
+            # First failure wins; stop handing out new chunks and wait for
+            # in-flight ones so nothing touches a pack we are about to free.
+            for f in futures:
+                f.cancel()
+            wait(futures)
+            raise
+
+    def map_local(self, fn, arrays, meta, payloads):
+        """Serial/threads execution over in-process array references."""
+        if self.kind == "serial" or len(payloads) <= 1:
+            return [_run_with_stats(fn, arrays, meta, p) for p in payloads]
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(_run_with_stats, fn, arrays, meta, p) for p in payloads
+        ]
+        return self._gather(futures)
+
+    def map_process(self, fn, handles, meta, payloads):
+        """Process execution over shared-memory pack handles."""
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(_worker_exec, fn, handles, meta, p) for p in payloads
+        ]
+        return self._gather(futures)
+
+
+def run_index_tasks(
+    index,
+    fn: Callable,
+    payloads: Sequence[dict],
+    run_arrays: Optional[Dict[str, np.ndarray]] = None,
+) -> List[dict]:
+    """Execute one sharded kernel call for ``index`` and merge its counters.
+
+    ``fn`` is a module-level task function ``fn(arrays, meta, payload,
+    stats) -> dict`` (one of the ``*_task`` functions below).  ``arrays``
+    unions the index's fit-time shard arrays (``index._shard_arrays()``)
+    with the per-run ``run_arrays``; ``meta`` is the index's picklable
+    ``_shard_meta()`` plus the metric token.  Under the process backend the
+    fit arrays are published once per fit (and reused by every later call),
+    the run arrays once per call; the run pack is unlinked in a ``finally``
+    whatever happens to the futures.
+
+    Returns the per-payload result dicts in payload order; each task's
+    counter deltas are folded into ``index._stats``.
+    """
+    backend: ExecutionBackend = index._execution()
+    meta = dict(index._shard_meta())
+    meta["metric"] = metric_token(index.metric)
+    if backend.kind != "process":
+        arrays = dict(index._shard_arrays())
+        if run_arrays:
+            arrays.update(run_arrays)
+        pairs = backend.map_local(fn, arrays, meta, payloads)
+    else:
+        if index._shard_pack is None:
+            index._shard_pack = ShmPack(index._shard_arrays())
+        handles = [index._shard_pack.handle]
+        run_pack = None
+        try:
+            if run_arrays:
+                run_pack = ShmPack(run_arrays)
+                handles.append(run_pack.handle)
+            pairs = backend.map_process(fn, handles, meta, payloads)
+        finally:
+            if run_pack is not None:
+                run_pack.close()
+    results = []
+    for result, stats_delta in pairs:
+        _merge_stats(index._stats, stats_delta)
+        results.append(result)
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Task functions (module-level: picklable by reference)
+# ---------------------------------------------------------------------------
+#
+# Every task reads its inputs from `arrays` (fit pack ∪ run pack), static
+# facts from `meta`, chunk coordinates from `payload`, and accumulates probe
+# counters into the fresh `stats` it was handed.  Payloads carry only plain
+# scalars, so a task pickles in a few dozen bytes.
+
+
+def list_rho_task(arrays, meta, payload, stats):
+    """Row-sharded N-List ρ: one batched binary search per chunk row.
+
+    ``needles`` is a scalar ``dc`` or a list of them (the multi-``dc``
+    grid); the result rows are chunk-local and re-assembled by the caller.
+    """
+    start, stop = payload["start"], payload["stop"]
+    n, m = meta["n"], meta["row_len"]
+    rows = arrays["dists"].reshape(n, m)[start:stop]
+    needles = payload["needles"]
+    if isinstance(needles, (list, tuple)):
+        pos = row_searchsorted(rows, np.asarray(needles, dtype=np.float64)[None, :])
+    else:
+        pos = row_searchsorted(rows, float(needles))
+    stats.binary_searches += pos.size
+    return {"rho": pos}
+
+
+def csr_rho_task(arrays, meta, payload, stats):
+    """Row-sharded RN-List ρ: bounded binary searches over CSR rows."""
+    start, stop = payload["start"], payload["stop"]
+    offsets = arrays["offsets"]
+    needles = payload["needles"]
+    if isinstance(needles, (list, tuple)):
+        grid = np.asarray(needles, dtype=np.float64)
+        pos = bounded_searchsorted(
+            arrays["dists"],
+            offsets[start:stop, None],
+            offsets[start + 1 : stop + 1, None],
+            grid[None, :],
+        )
+        rho = pos - offsets[start:stop, None]
+        stats.binary_searches += (stop - start) * len(grid)
+    else:
+        pos = bounded_searchsorted(
+            arrays["dists"],
+            offsets[start:stop],
+            offsets[start + 1 : stop + 1],
+            float(needles),
+        )
+        rho = pos - offsets[start:stop]
+        stats.binary_searches += stop - start
+    return {"rho": rho}
+
+
+def ch_rho_task(arrays, meta, payload, stats):
+    """Row-sharded CH ρ (Algorithm 4) over the histogram CSR slice.
+
+    ``max_bins`` pins the bin resolution to the whole table's largest
+    histogram so the chunk resolves exactly the bin the unsharded call
+    would (see :func:`repro.indexes.kernels.ch_rho_from_histograms`).
+    """
+    start, stop = payload["start"], payload["stop"]
+    offsets = arrays["offsets"]
+    rho, scanned, searches = ch_rho_from_histograms(
+        arrays["hist_offsets"][start : stop + 1],
+        arrays["hist_values"],
+        arrays["dists"].reshape(-1),
+        offsets[start:stop],
+        payload["dc"],
+        payload["w"],
+        max_bins=payload["max_bins"],
+    )
+    stats.objects_scanned += scanned
+    stats.binary_searches += searches
+    return {"rho": rho}
+
+
+def scan_delta_task(arrays, meta, payload, stats):
+    """Row-sharded near-to-far δ scans over N-List / RN-List CSR rows.
+
+    One task covers rows ``[start, stop)`` for *every* density order of the
+    sweep (rows of ``arrays["keys"]``): the candidate layout — and hence
+    the prefetch block — is ``dc``-independent, so gathering it once per
+    chunk and reusing it across all orders keeps the seed sweep's
+    gather-once economics while the chunks carry the parallelism.
+    Returns ``(n_orders, stop - start)`` result rows.
+    """
+    start, stop = payload["start"], payload["stop"]
+    keys = arrays["keys"]
+    offsets = arrays["offsets"][start : stop + 1]
+    ids = arrays["ids"].reshape(-1)
+    dists = arrays["dists"].reshape(-1)
+    qid = np.arange(start, stop, dtype=np.int64)
+    prefetch = None
+    width = payload["prefetch_width"]
+    if width:
+        prefetch = prefetch_scan_block(offsets, ids, dists, width)
+    deltas, mus = [], []
+    for key in keys:
+        delta, mu, _resolved, scanned = scan_first_denser(
+            offsets, ids, dists, key, block=payload["block"], prefetch=prefetch, qid=qid
+        )
+        stats.objects_scanned += scanned
+        deltas.append(delta)
+        mus.append(mu)
+    return {"delta": np.stack(deltas), "mu": np.stack(mus)}
+
+
+def _flat_from_arrays(arrays, meta) -> FlatTree:
+    return FlatTree.from_arrays(arrays, meta["levels"], meta["n_nodes"])
+
+
+def tree_rho_task(arrays, meta, payload, stats):
+    """Query-sharded Algorithm 5 over the shared flattened tree image."""
+    start, stop = payload["start"], payload["stop"]
+    counts = tree_rho_batched(
+        _flat_from_arrays(arrays, meta),
+        arrays["points"],
+        payload["dc"],
+        metric_from_token(meta["metric"]),
+        stats,
+        qid=np.arange(start, stop, dtype=np.int64),
+    )
+    return {"rho": counts}
+
+
+def tree_delta_task(arrays, meta, payload, stats):
+    """One ``(order, chunk)`` cell of the sharded frontier-batched δ engine.
+
+    ``arrays["qid"]`` holds the sweep's concatenated non-peak query ids
+    (per-order segments contiguous); the chunk covers absolute positions
+    ``[a, b)`` of it, all belonging to order ``payload["order"]``.
+    """
+    a, b, o = payload["a"], payload["b"], payload["order"]
+    qid = arrays["qid"][a:b]
+    delta, mu = tree_delta_batched(
+        _flat_from_arrays(arrays, meta),
+        arrays["points"],
+        qid,
+        np.zeros(len(qid), dtype=np.int64),
+        arrays["rho_rows"][o : o + 1],
+        arrays["key_rows"][o : o + 1],
+        metric_from_token(meta["metric"]),
+        stats,
+        density_pruning=meta["density_pruning"],
+        distance_pruning=meta["distance_pruning"],
+        maxrho=arrays["maxrho"][o : o + 1],
+    )
+    return {"delta": delta, "mu": mu}
+
+
+def grid_rho_task(arrays, meta, payload, stats):
+    """Cell-locality-sharded Observation-1 ρ over the shared grid arrays.
+
+    The chunk is a slice of the *cell-sorted* id array, so each task walks
+    a contiguous run of home cells instead of re-sweeping every occupied
+    cell; the caller scatters the counts back into object-id order.
+    """
+    start, stop = payload["start"], payload["stop"]
+    qid = arrays["ids"][start:stop]
+    counts = grid_rho_batched(
+        arrays["points"],
+        qid,
+        payload["dc"],
+        meta["w"],
+        arrays["grid_lo"],
+        tuple(meta["shape"]),
+        arrays["offsets"],
+        arrays["ids"],
+        arrays["cell_of"],
+        metric_from_token(meta["metric"]),
+        stats,
+    )
+    return {"rho": counts}
+
+
+def grid_delta_task(arrays, meta, payload, stats):
+    """One ``(order, chunk)`` cell of the sharded expanding-ring δ engine."""
+    a, b, o = payload["a"], payload["b"], payload["order"]
+    qid = arrays["qid"][a:b]
+    delta, mu = grid_delta_batched(
+        arrays["points"],
+        qid,
+        np.zeros(len(qid), dtype=np.int64),
+        arrays["rho_rows"][o : o + 1],
+        arrays["key_rows"][o : o + 1],
+        arrays["cell_maxrho"][o : o + 1],
+        arrays["offsets"],
+        arrays["ids"],
+        arrays["cell_of"],
+        arrays["grid_lo"],
+        meta["w"],
+        tuple(meta["shape"]),
+        metric_from_token(meta["metric"]),
+        stats,
+    )
+    return {"delta": delta, "mu": mu}

@@ -47,8 +47,21 @@ def _state_attrs(index: DPCIndex):
     return ()
 
 
+#: Runtime execution configuration (repro.indexes.parallel) is machine
+#: state, not index state: a payload built on a 64-core box must restore
+#: cleanly on a laptop, and results are bit-identical across backends
+#: anyway.  These keys are never written and are dropped defensively when
+#: found in a (hand-edited / future-version) file.
+_EXECUTION_PARAMS = ("backend", "n_jobs", "chunk_size")
+
+
 def _constructor_params(index: DPCIndex) -> Dict[str, Any]:
-    """Keyword arguments that recreate ``index`` (metric by name)."""
+    """Keyword arguments that recreate ``index`` (metric by name).
+
+    Deliberately a fixed allowlist — in particular the execution-backend
+    knobs (``backend``/``n_jobs``/``chunk_size``) exist on every index but
+    must never be serialised (see :data:`_EXECUTION_PARAMS`).
+    """
     params: Dict[str, Any] = {"metric": index.metric.name}
     for attr in (
         "build_block_rows",
@@ -124,6 +137,8 @@ def load_index(path: str) -> DPCIndex:
             raise ValueError(f"file holds unknown index type {name!r}")
         cls = INDEX_CLASSES[name]
         params = dict(meta["params"])
+        for key in _EXECUTION_PARAMS:
+            params.pop(key, None)
         points = data["points"]
         state_attrs = meta.get("state_attrs", [])
         state = {attr: data[f"state{attr}"] for attr in state_attrs}

@@ -49,8 +49,14 @@ class QuadtreeIndex(TreeIndexBase):
         density_pruning: bool = True,
         distance_pruning: bool = True,
         frontier: str = "batched",
+        backend: str = "serial",
+        n_jobs: "int | None" = None,
+        chunk_size: "int | None" = None,
     ):
-        super().__init__(metric, density_pruning, distance_pruning, frontier)
+        super().__init__(
+            metric, density_pruning, distance_pruning, frontier,
+            backend=backend, n_jobs=n_jobs, chunk_size=chunk_size,
+        )
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         if max_depth < 1:

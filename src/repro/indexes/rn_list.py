@@ -35,15 +35,11 @@ import numpy as np
 
 from repro.core.quantities import NO_NEIGHBOR, DensityOrder, DPCQuantities, TieBreak
 from repro.geometry.distance import Metric
+from repro.indexes import parallel
 from repro.indexes.base import DPCIndex
-from repro.indexes.kernels import (
-    bounded_searchsorted,
-    build_row_histograms,
-    ch_rho_from_histograms,
-    scan_first_denser,
-)
+from repro.indexes.kernels import build_row_histograms
 from repro.indexes.ch_index import CumulativeHistogramMixin
-from repro.indexes.list_index import _order_key, sweep_quantities
+from repro.indexes.list_index import sharded_delta_scan, sweep_quantities
 
 __all__ = ["RNListIndex", "RNCHIndex"]
 
@@ -69,8 +65,11 @@ class RNListIndex(DPCIndex):
         metric: "str | Metric" = "euclidean",
         build_block_rows: int = 512,
         scan_block: int = 32,
+        backend: "str" = "serial",
+        n_jobs: Optional[int] = None,
+        chunk_size: Optional[int] = None,
     ):
-        super().__init__(metric)
+        super().__init__(metric, backend=backend, n_jobs=n_jobs, chunk_size=chunk_size)
         if tau <= 0:
             raise ValueError(f"tau must be positive, got {tau}")
         if build_block_rows <= 0:
@@ -128,38 +127,44 @@ class RNListIndex(DPCIndex):
         self._require_fitted()
         return np.diff(self._offsets)
 
+    # -- sharded-execution image (repro.indexes.parallel) -------------------------
+
+    def _shard_arrays(self):
+        return {"ids": self._ids, "dists": self._dists, "offsets": self._offsets}
+
+    def _shard_meta(self):
+        return {"n": self.n}
+
     # -- ρ query -------------------------------------------------------------------
 
     def rho_all(self, dc: float) -> np.ndarray:
         self._require_fitted()
-        offsets = self._offsets
         if dc > self.tau:
             # Paper 5.3.1: beyond τ no search happens; the truncated length is
             # the (approximate) answer.
-            return np.diff(offsets)
-        pos = bounded_searchsorted(self._dists, offsets[:-1], offsets[1:], float(dc))
-        self._stats.binary_searches += self.n
-        return pos - offsets[:-1]
+            return np.diff(self._offsets)
+        return self._csr_rho(float(dc))
+
+    def _csr_rho(self, needles):
+        payloads = [
+            {"start": start, "stop": stop, "needles": needles}
+            for start, stop in self._execution().plan(self.n)
+        ]
+        outs = self._dispatch(parallel.csr_rho_task, payloads)
+        return np.concatenate([o["rho"] for o in outs]).astype(np.int64, copy=False)
 
     def rho_all_multi(self, dcs) -> np.ndarray:
-        """One batched binary search for every ``dc ≤ τ`` of the grid."""
+        """One sharded batched binary search for every ``dc ≤ τ`` of the grid."""
         self._require_fitted()
         dcs = self._validate_dcs(dcs)
-        offsets = self._offsets
         rho = np.empty((len(dcs), self.n), dtype=np.int64)
         beyond = dcs > self.tau
         if beyond.any():
-            rho[beyond] = np.diff(offsets)[None, :]
+            rho[beyond] = np.diff(self._offsets)[None, :]
         within = np.flatnonzero(~beyond)
         if len(within):
-            pos = bounded_searchsorted(
-                self._dists,
-                offsets[:-1, None],
-                offsets[1:, None],
-                dcs[within][None, :],
-            )
-            rho[within] = (pos - offsets[:-1, None]).T
-            self._stats.binary_searches += self.n * len(within)
+            pos = self._csr_rho([float(dc) for dc in dcs[within]])
+            rho[within] = pos.T
         return rho
 
     # -- δ query ---------------------------------------------------------------------
@@ -168,29 +173,23 @@ class RNListIndex(DPCIndex):
         self._require_fitted()
         if len(order) != self.n:
             raise ValueError(f"order has {len(order)} objects, index has {self.n}")
-        return self._delta_from_order(order)
+        return self._delta_sweep([order], prefetch_width=0)[0]
 
-    def _delta_from_order(
-        self, order: DensityOrder, prefetch=None
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        n = self.n
-        offsets, ids, dists = self._offsets, self._ids, self._dists
-        # Vectorised near-to-far scan over the CSR rows (Algorithm 2 lines
-        # 7-13 restricted to the stored τ-neighbourhood).
-        delta, mu, resolved, scanned = scan_first_denser(
-            offsets, ids, dists, _order_key(order), block=self.scan_block, prefetch=prefetch
-        )
-        self._stats.objects_scanned += scanned
+    def _delta_sweep(self, orders, prefetch_width: int = 0):
+        """Sharded near-to-far scans over the stored τ-neighbourhoods."""
+        return sharded_delta_scan(self, orders, prefetch_width)
 
+    def _finish_unresolved(self, delta: np.ndarray, mu: np.ndarray) -> None:
         # No denser neighbour within τ.  Two cases:
+        n = self.n
+        offsets, dists = self._offsets, self._dists
         lengths = np.diff(offsets)
-        for p in np.flatnonzero(~resolved):
+        for p in np.flatnonzero(mu == NO_NEIGHBOR):
             if lengths[p] == n - 1:
                 # Complete row ⇒ p is a true peak; exact convention applies.
                 delta[p] = dists[offsets[p + 1] - 1]
             else:
                 delta[p] = self._big_delta
-        return delta, mu
 
     # -- multi-dc sweep ----------------------------------------------------------------
 
@@ -198,9 +197,7 @@ class RNListIndex(DPCIndex):
         self, dcs, tie_break: "str | TieBreak" = TieBreak.ID
     ) -> "list[DPCQuantities]":
         self._require_fitted()
-        return sweep_quantities(
-            self, dcs, self._offsets, self._ids, self._dists, tie_break
-        )
+        return sweep_quantities(self, dcs, tie_break)
 
     # -- bookkeeping --------------------------------------------------------------------
 
@@ -231,8 +228,19 @@ class RNCHIndex(CumulativeHistogramMixin, RNListIndex):
         default_bins: int = 64,
         build_block_rows: int = 512,
         scan_block: int = 32,
+        backend: "str" = "serial",
+        n_jobs: Optional[int] = None,
+        chunk_size: Optional[int] = None,
     ):
-        super().__init__(tau, metric, build_block_rows, scan_block)
+        super().__init__(
+            tau,
+            metric,
+            build_block_rows,
+            scan_block,
+            backend=backend,
+            n_jobs=n_jobs,
+            chunk_size=chunk_size,
+        )
         self._init_bin_width(bin_width, default_bins)
         self._hist_offsets: Optional[np.ndarray] = None
         self._hist_values: Optional[np.ndarray] = None
@@ -255,27 +263,33 @@ class RNCHIndex(CumulativeHistogramMixin, RNListIndex):
         self._hist_offsets = hist_offsets
         self._hist_values = values
 
+    def _shard_arrays(self):
+        arrays = super()._shard_arrays()
+        arrays["hist_offsets"] = self._hist_offsets
+        arrays["hist_values"] = self._hist_values
+        return arrays
+
     def rho_all(self, dc: float) -> np.ndarray:
         self._require_fitted()
         if dc > self.tau:
             return super().rho_all(dc)
-        rho, scanned, searches = ch_rho_from_histograms(
-            self._hist_offsets,
-            self._hist_values,
-            self._dists,
-            self._offsets[:-1],
-            float(dc),
-            self._resolved_bin_width(),
-        )
-        self._stats.objects_scanned += scanned
-        self._stats.binary_searches += searches
-        return rho
+        return self._ch_rho_wave([float(dc)])[0]
 
     def rho_all_multi(self, dcs) -> np.ndarray:
-        """Histogram-guided ρ per cut-off (each already one batched pass)."""
+        """Histogram-guided ρ for every ``dc ≤ τ`` in one ``(dc, chunk)``
+        wave; cut-offs beyond τ take the no-search truncated-length answer."""
         self._require_fitted()
         dcs = self._validate_dcs(dcs)
-        return np.stack([self.rho_all(float(dc)) for dc in dcs])
+        rho = np.empty((len(dcs), self.n), dtype=np.int64)
+        beyond = dcs > self.tau
+        if beyond.any():
+            rho[beyond] = np.diff(self._offsets)[None, :]
+        within = np.flatnonzero(~beyond)
+        if len(within):
+            rows = self._ch_rho_wave([float(dcs[i]) for i in within])
+            for i, row in zip(within, rows):
+                rho[i] = row
+        return rho
 
     def histogram_memory_bytes(self) -> int:
         if self._hist_values is None:

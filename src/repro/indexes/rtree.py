@@ -67,8 +67,14 @@ class RTreeIndex(TreeIndexBase):
         density_pruning: bool = True,
         distance_pruning: bool = True,
         frontier: str = "batched",
+        backend: str = "serial",
+        n_jobs: int | None = None,
+        chunk_size: int | None = None,
     ):
-        super().__init__(metric, density_pruning, distance_pruning, frontier)
+        super().__init__(
+            metric, density_pruning, distance_pruning, frontier,
+            backend=backend, n_jobs=n_jobs, chunk_size=chunk_size,
+        )
         if max_entries < 2:
             raise ValueError(f"max_entries must be >= 2, got {max_entries}")
         if packing not in ("str", "dynamic"):

@@ -44,14 +44,13 @@ import numpy as np
 from repro.core.quantities import NO_NEIGHBOR, DensityOrder
 from repro.geometry.distance import Metric
 from repro.geometry.rect import Rect
+from repro.indexes import parallel
 from repro.indexes.base import DPCIndex
 from repro.indexes.kernels import (
     delta_multi_from_orders,
     flat_tree_maxrho,
     flatten_tree,
     peak_delta_sweep,
-    tree_delta_batched,
-    tree_rho_batched,
 )
 
 __all__ = ["TreeNode", "TreeIndexBase"]
@@ -141,6 +140,11 @@ class TreeIndexBase(DPCIndex):
         per-object best-first via priority queue; ``"stack"`` — the paper's
         Algorithm 6 ordered stack (children pushed best-last so the nearest
         is popped first).  All three produce bit-identical (δ, μ).
+    backend, n_jobs, chunk_size:
+        Query-execution policy (:mod:`repro.indexes.parallel`).  The ρ
+        query and the batched δ frontier shard over query chunks against
+        the shared flattened tree image; the per-object reference frontiers
+        always run serially.  Results are bit-identical across backends.
     """
 
     def __init__(
@@ -149,8 +153,11 @@ class TreeIndexBase(DPCIndex):
         density_pruning: bool = True,
         distance_pruning: bool = True,
         frontier: str = "batched",
+        backend: "str" = "serial",
+        n_jobs: Optional[int] = None,
+        chunk_size: Optional[int] = None,
     ):
-        super().__init__(metric)
+        super().__init__(metric, backend=backend, n_jobs=n_jobs, chunk_size=chunk_size)
         if not self.metric.supports_rect_bounds:
             raise ValueError(
                 f"metric {self.metric.name!r} has no exact rectangle bounds; "
@@ -269,6 +276,22 @@ class TreeIndexBase(DPCIndex):
             self._flat = flatten_tree(root)
         return self._flat
 
+    # -- sharded-execution image (repro.indexes.parallel) ---------------------------
+
+    def _shard_arrays(self):
+        arrays = self._flat_tree().as_arrays()
+        arrays["points"] = self.points
+        return arrays
+
+    def _shard_meta(self):
+        flat = self._flat_tree()
+        return {
+            "levels": flat.levels,
+            "n_nodes": flat.n_nodes,
+            "density_pruning": self.density_pruning,
+            "distance_pruning": self.distance_pruning,
+        }
+
     # -- ρ query (Algorithm 5 / Observation 1) -------------------------------------
 
     def rho_all(self, dc: float) -> np.ndarray:
@@ -276,11 +299,18 @@ class TreeIndexBase(DPCIndex):
         # pair of a level classifies against Observation 1 — discarded /
         # contained / intersected — in single vectorised passes, with the
         # same per-point decisions (hence counts and probe counters) as the
-        # per-object formulation.
+        # per-object formulation.  Sharded over query chunks by the
+        # execution backend (bit-identical across backends).
         self._require_fitted()
-        return tree_rho_batched(
-            self._flat_tree(), self.points, float(dc), self.metric, self._stats
-        )
+        self._flat_tree()  # materialise before the shard image is published
+        return self._sharded_rho(parallel.tree_rho_task, [float(dc)])[0]
+
+    def rho_all_multi(self, dcs) -> np.ndarray:
+        """ρ for a whole cut-off grid as one sharded ``(dc, chunk)`` wave."""
+        self._require_fitted()
+        dcs = self._validate_dcs(dcs)
+        self._flat_tree()
+        return np.stack(self._sharded_rho(parallel.tree_rho_task, dcs))
 
     # -- δ query (Algorithm 6) --------------------------------------------------------
 
@@ -333,23 +363,24 @@ class TreeIndexBase(DPCIndex):
 
         def run_engine(qid, qord, rho_rows, key_rows):
             # One vectorised maxrho pass annotates every order of the
-            # sweep; the traversal itself runs per order — single-order
-            # engine runs keep the fast gather paths and smaller pair
-            # arrays, which measures faster than one interleaved union.
+            # sweep; the traversal itself runs per (order, chunk) task —
+            # single-order engine runs keep the fast gather paths and
+            # smaller pair arrays, which measures faster than one
+            # interleaved union, and chunks of one order's queries are the
+            # unit the execution backend shards over workers.
             maxrho = flat_tree_maxrho(flat, rho_rows)
-            delta = np.empty(len(qid), dtype=np.float64)
-            mu = np.empty(len(qid), dtype=np.int64)
-            for o in range(len(rho_rows)):
-                sel = qord == o
-                delta[sel], mu[sel] = tree_delta_batched(
-                    flat, points, qid[sel], np.zeros(int(sel.sum()), dtype=np.int64),
-                    rho_rows[o : o + 1], key_rows[o : o + 1],
-                    self.metric, self._stats,
-                    density_pruning=self.density_pruning,
-                    distance_pruning=self.distance_pruning,
-                    maxrho=maxrho[o : o + 1],
-                )
-            return delta, mu
+            return self._sharded_delta_engine(
+                parallel.tree_delta_task,
+                qid,
+                qord,
+                len(rho_rows),
+                {
+                    "qid": qid,
+                    "rho_rows": rho_rows,
+                    "key_rows": key_rows,
+                    "maxrho": maxrho,
+                },
+            )
 
         return delta_multi_from_orders(
             points, orders, run_engine, self.metric, self._stats

@@ -33,3 +33,34 @@ def test_main_writes_json(smoke_module, tmp_path):
     assert report["benchmark"] == "delta_engine_phase_split"
     assert report["n"] == 300
     assert "rtree" in report["methods"]
+
+
+@pytest.fixture(scope="module")
+def parallel_module():
+    sys.path.insert(0, "benchmarks")
+    try:
+        import bench_parallel_scaling
+    finally:
+        sys.path.pop(0)
+    return bench_parallel_scaling
+
+
+def test_parallel_scaling_record_shape(parallel_module):
+    record = parallel_module.run(n=250, jobs=(2,), indexes=("kdtree", "grid"))
+    assert record["benchmark"] == "parallel_scaling"
+    assert record["cpu_count"] >= 1 and record["usable_cpus"] >= 1
+    assert set(record["methods"]) == {"kdtree", "grid"}
+    for row in record["methods"].values():
+        assert row["serial_seconds"] > 0.0
+        cell = row["parallel"]["2"]
+        assert cell["seconds"] > 0.0 and cell["speedup"] > 0.0
+
+
+def test_parallel_scaling_appends_records(parallel_module, tmp_path):
+    out = tmp_path / "BENCH_parallel.json"
+    argv = ["--quick", "--n", "250", "--indexes", "kdtree", "--out", str(out)]
+    parallel_module.main(argv)
+    parallel_module.main(argv)
+    records = json.loads(out.read_text())
+    assert isinstance(records, list) and len(records) == 2
+    assert all(r["benchmark"] == "parallel_scaling" for r in records)

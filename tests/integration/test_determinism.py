@@ -5,6 +5,7 @@ import numpy as np
 from repro.core.dpc import DensityPeakClustering
 from repro.datasets.loaders import load_dataset
 from repro.harness import ABLATIONS, EXPERIMENTS
+from repro.indexes.registry import make_index
 
 
 class TestSeedDeterminism:
@@ -30,6 +31,53 @@ class TestSeedDeterminism:
         a = fig9b_tau_memory(profile="test", seed=0, datasets=["birch"])
         b = fig9b_tau_memory(profile="test", seed=0, datasets=["birch"])
         assert a.rows == b.rows  # memory numbers carry no timing noise
+
+
+class TestParallelDeterminism:
+    """Worker count and chunk size are scheduling knobs, not semantics: the
+    same seed must yield bit-identical ``quantities_multi`` output *and*
+    bit-identical probe counters whatever the execution geometry."""
+
+    CONFIGS = (
+        {"backend": "serial"},
+        {"backend": "process", "n_jobs": 1, "chunk_size": 5},
+        {"backend": "process", "n_jobs": 2, "chunk_size": 13},
+        {"backend": "threads", "n_jobs": 3, "chunk_size": 37},
+    )
+
+    def _sweep(self, index_name, config, extra=None):
+        ds = load_dataset("birch", profile="test", seed=17)
+        dcs = [0.25, 0.5, 1.0, 4.0]
+        index = make_index(index_name, **(extra or {}), **config).fit(ds.points)
+        qs = index.quantities_multi(dcs)
+        stats = dict(index.stats().as_dict())
+        index.release_execution()
+        return [(q.rho.copy(), q.delta.copy(), q.mu.copy()) for q in qs], stats
+
+    def test_quantities_multi_invariant_across_execution_geometry(self):
+        for index_name, extra in (
+            ("kdtree", None),
+            ("grid", None),
+            ("list", None),
+            ("rn-ch", {"tau": 2.0}),
+        ):
+            reference, ref_stats = self._sweep(index_name, self.CONFIGS[0], extra)
+            for config in self.CONFIGS[1:]:
+                got, got_stats = self._sweep(index_name, config, extra)
+                for (r0, d0, m0), (r1, d1, m1) in zip(reference, got):
+                    np.testing.assert_array_equal(r0, r1, err_msg=(index_name, config))
+                    np.testing.assert_array_equal(d0, d1, err_msg=(index_name, config))
+                    np.testing.assert_array_equal(m0, m1, err_msg=(index_name, config))
+                assert got_stats == ref_stats, (index_name, config)
+
+    def test_repeat_runs_same_geometry_identical(self):
+        a = self._sweep("quadtree", {"backend": "process", "n_jobs": 2, "chunk_size": 19})
+        b = self._sweep("quadtree", {"backend": "process", "n_jobs": 2, "chunk_size": 19})
+        for (r0, d0, m0), (r1, d1, m1) in zip(a[0], b[0]):
+            np.testing.assert_array_equal(r0, r1)
+            np.testing.assert_array_equal(d0, d1)
+            np.testing.assert_array_equal(m0, m1)
+        assert a[1] == b[1]
 
 
 class TestRegistryCompleteness:

@@ -1,0 +1,242 @@
+"""Execution-backend bit-identity properties (repro.indexes.parallel).
+
+The sharded backends promise *bit-identical* results — ρ, δ, μ, labels and
+halo, ties and smaller-id μ included — and identical probe-counter totals,
+for every index, every rect-capable metric, any chunk size and any worker
+count.  The corpora here are the adversarial ones where a sharding bug
+would actually show:
+
+* **duplicates** — many exactly coincident points, so δ ties at distance 0
+  and the smaller-id μ contract does the tie-breaking;
+* **rho-ties** — an integer lattice with heavy ρ ties, exercising both
+  tie-break conventions' order keys across chunk boundaries;
+* **mixed** — blobs + duplicates + lattice, the general case.
+
+One process pool and one thread pool are shared module-wide (pools are
+index-agnostic by design); odd chunk geometries get their own short-lived
+backends.
+"""
+
+import numpy as np
+import pytest
+
+from repro.indexes.parallel import ExecutionBackend
+from repro.indexes.registry import make_index
+
+from tests.conftest import safe_dc
+
+#: Constructor extras per index (small structures so chunk counts > 1).
+INDEX_SPECS = {
+    "list": {},
+    "ch": {"default_bins": 16},
+    "rn-list": {"tau": 3.0},
+    "rn-ch": {"tau": 3.0},
+    "kdtree": {"leaf_size": 8},
+    "quadtree": {"capacity": 8},
+    "rtree": {"max_entries": 6},
+    "grid": {"target_occupancy": 4},
+}
+
+#: Every metric with exact rectangle bounds (usable by all eight indexes);
+#: the minkowski entry also exercises name-based metric shipping to workers.
+RECT_METRICS = (
+    "euclidean",
+    "sqeuclidean",
+    "manhattan",
+    "chebyshev",
+    "minkowski[p=3]",
+)
+
+CORPORA = ("duplicates", "rho-ties", "mixed")
+
+
+def corpus(name: str) -> np.ndarray:
+    r = np.random.default_rng(hash(name) % (2**32))
+    if name == "duplicates":
+        base = r.normal(0.0, 1.0, size=(24, 2))
+        return np.concatenate([base, base, base[:12], r.normal(2.0, 1.0, size=(20, 2))])
+    if name == "rho-ties":
+        return r.integers(0, 5, size=(80, 2)).astype(np.float64)
+    if name == "mixed":
+        blob = r.normal(0.0, 0.6, size=(40, 2))
+        dup = np.round(r.normal(3.0, 0.5, size=(20, 2)), 1)
+        lattice = r.integers(-2, 2, size=(20, 2)).astype(np.float64)
+        return np.concatenate([blob, dup, dup[:10], lattice])
+    raise KeyError(name)
+
+
+@pytest.fixture(scope="module")
+def process_backend():
+    backend = ExecutionBackend("process", n_jobs=2, chunk_size=13)
+    yield backend
+    backend.shutdown()
+
+
+@pytest.fixture(scope="module")
+def thread_backend():
+    backend = ExecutionBackend("threads", n_jobs=2, chunk_size=13)
+    yield backend
+    backend.shutdown()
+
+
+def build_pair(index_name, metric, backend):
+    serial = make_index(index_name, metric=metric, **INDEX_SPECS[index_name])
+    sharded = make_index(
+        index_name, metric=metric, backend=backend, **INDEX_SPECS[index_name]
+    )
+    return serial, sharded
+
+
+def assert_identical_quantities(qa, qb, context=""):
+    np.testing.assert_array_equal(qa.rho, qb.rho, err_msg=f"rho differs {context}")
+    np.testing.assert_array_equal(qa.delta, qb.delta, err_msg=f"delta differs {context}")
+    np.testing.assert_array_equal(qa.mu, qb.mu, err_msg=f"mu differs {context}")
+
+
+class TestBackendBitIdentity:
+    """serial vs threads vs process on every (index, rect metric) pair."""
+
+    @pytest.mark.parametrize("metric", RECT_METRICS)
+    @pytest.mark.parametrize("index_name", sorted(INDEX_SPECS))
+    def test_process_backend_matches_serial(
+        self, index_name, metric, process_backend
+    ):
+        points = corpus("mixed")
+        dc = safe_dc(points)
+        serial, sharded = build_pair(index_name, metric, process_backend)
+        serial.fit(points)
+        sharded.fit(points)
+        try:
+            for tie_break in ("id", "strict"):
+                assert_identical_quantities(
+                    serial.quantities(dc, tie_break=tie_break),
+                    sharded.quantities(dc, tie_break=tie_break),
+                    context=f"[{index_name}/{metric}/{tie_break}]",
+                )
+            assert serial.stats().as_dict() == sharded.stats().as_dict()
+        finally:
+            sharded.release_execution()
+
+    @pytest.mark.parametrize("corpus_name", CORPORA)
+    @pytest.mark.parametrize("index_name", sorted(INDEX_SPECS))
+    def test_thread_backend_matches_serial_on_corpora(
+        self, index_name, corpus_name, thread_backend
+    ):
+        points = corpus(corpus_name)
+        dc = safe_dc(points)
+        serial, sharded = build_pair(index_name, "euclidean", thread_backend)
+        serial.fit(points)
+        sharded.fit(points)
+        assert_identical_quantities(
+            serial.quantities(dc), sharded.quantities(dc),
+            context=f"[{index_name}/{corpus_name}]",
+        )
+        assert serial.stats().as_dict() == sharded.stats().as_dict()
+
+    @pytest.mark.parametrize("corpus_name", ("duplicates", "rho-ties"))
+    @pytest.mark.parametrize("index_name", sorted(INDEX_SPECS))
+    def test_process_backend_labels_and_halo(
+        self, index_name, corpus_name, process_backend
+    ):
+        points = corpus(corpus_name)
+        dc = safe_dc(points)
+        serial, sharded = build_pair(index_name, "euclidean", process_backend)
+        serial.fit(points)
+        sharded.fit(points)
+        try:
+            a = serial.cluster(dc, n_centers=3, halo=True)
+            b = sharded.cluster(dc, n_centers=3, halo=True)
+            np.testing.assert_array_equal(a.centers, b.centers)
+            np.testing.assert_array_equal(a.labels, b.labels)
+            np.testing.assert_array_equal(a.halo, b.halo)
+        finally:
+            sharded.release_execution()
+
+
+class TestMultiDcSharding:
+    """The (dc, chunk) task grid of quantities_multi, vs the serial sweep."""
+
+    @pytest.mark.parametrize("index_name", sorted(INDEX_SPECS))
+    def test_multi_dc_sweep_matches_serial(self, index_name, process_backend):
+        points = corpus("mixed")
+        base = safe_dc(points)
+        # Include a dc beyond tau for the truncated indexes (their
+        # no-search fast path must shard-degrade identically).
+        dcs = [base * f for f in (0.3, 1.0, 2.5, 20.0)]
+        serial, sharded = build_pair(index_name, "euclidean", process_backend)
+        serial.fit(points)
+        sharded.fit(points)
+        try:
+            for tie_break in ("id", "strict"):
+                qa = serial.quantities_multi(dcs, tie_break=tie_break)
+                qb = sharded.quantities_multi(dcs, tie_break=tie_break)
+                for x, y in zip(qa, qb):
+                    assert_identical_quantities(
+                        x, y, context=f"[{index_name}/dc={x.dc}/{tie_break}]"
+                    )
+            assert serial.stats().as_dict() == sharded.stats().as_dict()
+        finally:
+            sharded.release_execution()
+
+
+class TestChunkGeometry:
+    """Odd chunk sizes and degenerate worker counts change nothing."""
+
+    @pytest.mark.parametrize("index_name", sorted(INDEX_SPECS))
+    def test_odd_chunk_sizes(self, index_name):
+        points = corpus("duplicates")
+        n = len(points)
+        dc = safe_dc(points)
+        serial = make_index(index_name, **INDEX_SPECS[index_name]).fit(points)
+        reference = serial.quantities(dc)
+        ref_stats = serial.stats().as_dict()
+        for chunk_size in (1, n - 1, n + 50):
+            sharded = make_index(
+                index_name,
+                backend="threads",
+                n_jobs=2,
+                chunk_size=chunk_size,
+                **INDEX_SPECS[index_name],
+            ).fit(points)
+            assert_identical_quantities(
+                reference, sharded.quantities(dc),
+                context=f"[{index_name}/chunk={chunk_size}]",
+            )
+            assert sharded.stats().as_dict() == ref_stats
+            sharded.release_execution()
+
+    @pytest.mark.parametrize("index_name", ("list", "kdtree", "grid"))
+    def test_process_chunk_of_one(self, index_name):
+        points = corpus("rho-ties")[:40]
+        dc = safe_dc(points)
+        serial = make_index(index_name, **INDEX_SPECS[index_name]).fit(points)
+        sharded = make_index(
+            index_name, backend="process", n_jobs=2, chunk_size=1,
+            **INDEX_SPECS[index_name],
+        ).fit(points)
+        try:
+            assert_identical_quantities(
+                serial.quantities(dc), sharded.quantities(dc),
+                context=f"[{index_name}/chunk=1]",
+            )
+            assert serial.stats().as_dict() == sharded.stats().as_dict()
+        finally:
+            sharded.release_execution()
+
+    @pytest.mark.parametrize("index_name", sorted(INDEX_SPECS))
+    def test_process_single_worker(self, index_name):
+        points = corpus("mixed")
+        dc = safe_dc(points)
+        serial = make_index(index_name, **INDEX_SPECS[index_name]).fit(points)
+        sharded = make_index(
+            index_name, backend="process", n_jobs=1, chunk_size=11,
+            **INDEX_SPECS[index_name],
+        ).fit(points)
+        try:
+            assert_identical_quantities(
+                serial.quantities(dc), sharded.quantities(dc),
+                context=f"[{index_name}/n_jobs=1]",
+            )
+            assert serial.stats().as_dict() == sharded.stats().as_dict()
+        finally:
+            sharded.release_execution()

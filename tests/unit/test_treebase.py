@@ -170,3 +170,29 @@ class TestFlatTreeLifecycle:
         assert index._flat is None  # old tree not pinned across refits
         index.quantities(0.5)
         assert index._flat.root is index.root
+
+    def test_refit_drops_shard_pack_with_flat_cache(self, blobs):
+        """Regression: the FlatTree cache is counted by memory_bytes and was
+        invalidated on refit, but the *published* copy of it — the
+        shared-memory shard image workers read — survived a second fit,
+        leaving process-backend queries answering from the old dataset's
+        tree.  Both caches must die together."""
+        index = RTreeIndex(backend="process", n_jobs=2, chunk_size=17).fit(blobs)
+        try:
+            first = index.quantities(0.5)
+            assert index._shard_pack is not None
+            stale_pack = index._shard_pack
+            index.fit(blobs * 2.0)
+            assert index._flat is None
+            assert index._shard_pack is None
+            assert stale_pack._finalizer.alive is False  # unlinked, not leaked
+            got = index.quantities(0.5)
+            ref = RTreeIndex().fit(blobs * 2.0).quantities(0.5)
+            import numpy as np
+
+            np.testing.assert_array_equal(ref.rho, got.rho)
+            np.testing.assert_array_equal(ref.delta, got.delta)
+            np.testing.assert_array_equal(ref.mu, got.mu)
+            assert not np.array_equal(first.rho, got.rho) or len(first.rho) != len(got.rho)
+        finally:
+            index.release_execution()
