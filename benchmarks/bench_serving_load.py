@@ -1,0 +1,194 @@
+"""Closed-loop load benchmark for the serving layer (serial vs coalesced).
+
+For each benchmarked index, publishes one snapshot into a
+:class:`~repro.serving.service.ClusteringService` and drives it with
+``--clients`` closed-loop threads issuing ``cluster`` requests drawn from a
+``dc`` grid — once with per-request **serial** dispatch, once with
+**coalesced** dispatch through the batched multi-``dc`` kernels — recording
+throughput and p50/p95/p99 latency, then **appends** a record to
+``BENCH_serving.json`` (a list of records, the perf trajectory file).
+
+The dispatch rounds run with the result cache *disabled* so they measure
+the engine path, not memoisation; a third warm-cache round is recorded
+separately for observability.  Bit-identity of a sample of served results
+against direct index calls is asserted along the way.
+
+Honesty note: the record carries ``cpu_count``/``usable_cpus``.  Unlike
+worker scaling, coalescing does **not** need multiple cores to win — it
+replaces N engine runs with one batched run — so single-core gains here are
+real, but absolute numbers from a starved CI box are still just smoke.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving_load.py --quick
+    PYTHONPATH=src python benchmarks/bench_serving_load.py --n 20000 --clients 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+
+import numpy as np
+
+from repro.datasets.loaders import load_dataset
+from repro.indexes.registry import make_index
+from repro.serving.loadgen import run_load
+from repro.serving.service import ClusteringService
+
+#: Tree/grid families only by default: the O(n²)-space list indexes don't fit
+#: a 20k-point run in modest memory (pass --indexes ch,... explicitly for
+#: small n; the --quick smoke and unit tests cover them there).
+METHODS = ("kdtree", "quadtree", "rtree", "grid")
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _verify_exactness(service: ClusteringService, index_name: str, points, dc: float) -> None:
+    served = service.cluster("bench", dc, n_centers=4, use_cache=False).value
+    reference = make_index(index_name).fit(points).cluster(dc, n_centers=4)
+    np.testing.assert_array_equal(served.rho, reference.rho)
+    np.testing.assert_array_equal(served.delta, reference.delta)
+    np.testing.assert_array_equal(served.labels, reference.labels)
+
+
+def run(
+    n: int = 20000,
+    dataset: str = "s1",
+    clients: int = 8,
+    requests_per_client: int = 24,
+    dc_count: int = 8,
+    linger_ms: float = 2.0,
+    max_batch: int = 64,
+    seed: int = 0,
+    indexes: "tuple[str, ...] | None" = None,
+) -> dict:
+    """Measure every method; returns one BENCH_serving.json record."""
+    ds = load_dataset(dataset, n=n, seed=seed)
+    grid = [float(v) for v in ds.params.dc_grid]
+    lo, hi = min(grid), max(grid)
+    dcs = [float(v) for v in np.linspace(lo, hi, dc_count)]
+    record = {
+        "benchmark": "serving_load",
+        "dataset": ds.name,
+        "n": int(ds.n),
+        "dcs": dcs,
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "linger_ms": linger_ms,
+        "max_batch": max_batch,
+        "op": "cluster",
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "usable_cpus": _usable_cpus(),
+        "methods": {},
+    }
+    for name in indexes or METHODS:
+        row: dict = {}
+        for dispatch in ("serial", "coalesce"):
+            with ClusteringService(
+                dispatch=dispatch,
+                cache_entries=0,  # dispatch rounds measure the engine path
+                max_batch=max_batch,
+                linger_ms=linger_ms,
+            ) as service:
+                service.fit_snapshot("bench", ds.points, index=name)
+                _verify_exactness(service, name, ds.points, dcs[0])
+                report = run_load(
+                    service, "bench", dcs,
+                    clients=clients, requests_per_client=requests_per_client,
+                    op="cluster", use_cache=False,
+                    cluster_params={"n_centers": 4}, seed=seed,
+                )
+            row[dispatch] = report.as_record()
+        # Warm-cache round: the whole dc grid is cached after one pass, so
+        # this measures the memoised ceiling, recorded separately.
+        with ClusteringService(dispatch="coalesce", linger_ms=linger_ms) as service:
+            service.fit_snapshot("bench", ds.points, index=name)
+            for dc in dcs:  # warm every grid entry
+                service.cluster("bench", dc, n_centers=4)
+            report = run_load(
+                service, "bench", dcs,
+                clients=clients, requests_per_client=requests_per_client,
+                op="cluster", use_cache=True,
+                cluster_params={"n_centers": 4}, seed=seed,
+            )
+            row["warm_cache"] = report.as_record()
+        serial_rps = row["serial"]["throughput_rps"]
+        coalesce_rps = row["coalesce"]["throughput_rps"]
+        row["coalesce_speedup"] = coalesce_rps / serial_rps if serial_rps > 0 else None
+        record["methods"][name] = row
+    return record
+
+
+def append_record(record: dict, path: str) -> None:
+    """Append ``record`` to the JSON list at ``path`` (created if missing)."""
+    records = []
+    if os.path.exists(path):
+        with open(path) as fh:
+            existing = json.load(fh)
+        records = existing if isinstance(existing, list) else [existing]
+    records.append(record)
+    with open(path, "w") as fh:
+        json.dump(records, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def main(argv=None) -> str:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=20000)
+    parser.add_argument("--dataset", default="s1")
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--requests", type=int, default=24, help="requests per client")
+    parser.add_argument("--dc-count", type=int, default=8, help="distinct dc values in the grid")
+    parser.add_argument("--linger-ms", type=float, default=2.0)
+    parser.add_argument("--max-batch", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--indexes", default=None, help="comma-separated subset of " + ",".join(METHODS)
+    )
+    parser.add_argument("--out", default="BENCH_serving.json")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="tiny CI smoke size (n=1500, 4 clients x 6 requests, kdtree+grid)",
+    )
+    args = parser.parse_args(argv)
+    indexes = tuple(args.indexes.split(",")) if args.indexes else None
+    if args.quick:
+        args.n = min(args.n, 1500)
+        args.clients = min(args.clients, 4)
+        args.requests = min(args.requests, 6)
+        indexes = indexes or ("kdtree", "grid")
+    record = run(
+        n=args.n, dataset=args.dataset, clients=args.clients,
+        requests_per_client=args.requests, dc_count=args.dc_count,
+        linger_ms=args.linger_ms, max_batch=args.max_batch, seed=args.seed,
+        indexes=indexes,
+    )
+    append_record(record, args.out)
+    for name, row in record["methods"].items():
+        serial, coalesce, warm = row["serial"], row["coalesce"], row["warm_cache"]
+        print(
+            f"{name:10s} serial {serial['throughput_rps']:8.1f} rps "
+            f"(p99 {serial['latency_ms']['p99']:7.1f} ms)   "
+            f"coalesce {coalesce['throughput_rps']:8.1f} rps "
+            f"(p99 {coalesce['latency_ms']['p99']:7.1f} ms)   "
+            f"speedup {row['coalesce_speedup']:.2f}x   "
+            f"warm-cache {warm['throughput_rps']:8.1f} rps"
+        )
+    print(
+        f"wrote {args.out} (cpu_count={record['cpu_count']}, "
+        f"usable={record['usable_cpus']})"
+    )
+    return args.out
+
+
+if __name__ == "__main__":
+    main()

@@ -4,12 +4,18 @@ Usage::
 
     python -m repro cluster --dataset s1 --index ch --dc 30000 --n-centers 15
     python -m repro cluster --input points.csv --index rtree --out labels.csv
+    python -m repro serve --dataset s1 --index kdtree --port 8030
     python -m repro info
 
 ``cluster`` reads 2-column (or wider) numeric CSV, runs the index-accelerated
 DPC pipeline, writes one label per row, and prints a summary + the top of the
 decision graph.  Omitting ``--dc`` estimates it with the Rodriguez–Laio rule
 of thumb; omitting centre options uses the automatic γ-gap reading.
+
+``serve`` publishes one fitted index as a named snapshot and answers
+HTTP/JSON queries against it (:mod:`repro.serving`): concurrent requests
+coalesce into the batched multi-``dc`` kernels and exact results are cached
+per snapshot fingerprint.
 """
 
 from __future__ import annotations
@@ -81,10 +87,61 @@ def cmd_cluster(args) -> int:
     return 0
 
 
+def build_server(args):
+    """Construct the (service, server) pair for ``serve`` (test seam)."""
+    from repro.serving import ClusteringService, make_server
+
+    service = ClusteringService(
+        dispatch=args.dispatch,
+        cache_entries=args.cache_entries,
+        cache_ttl=args.cache_ttl,
+        max_batch=args.max_batch,
+        linger_ms=args.linger_ms,
+    )
+    if args.load is not None:
+        if args.input is not None or args.dataset is not None:
+            raise SystemExit("--load replaces --input/--dataset; pass only one")
+        snapshot = service.load_snapshot(args.snapshot, args.load)
+        # Execution config is machine state, never serialised (persist.py
+        # drops it) — re-apply the CLI flags to the restored index so
+        # --backend/--n-jobs/--chunk-size aren't silently ignored.
+        snapshot.index.set_execution(
+            backend=args.backend if args.backend != "serial" else None,
+            n_jobs=args.n_jobs,
+            chunk_size=args.chunk_size,
+        )
+    else:
+        snapshot = service.fit_snapshot(
+            args.snapshot, _load_points(args), index=args.index, **_index_params(args)
+        )
+    server = make_server(service, host=args.host, port=args.port, verbose=args.verbose)
+    return service, server, snapshot
+
+
+def cmd_serve(args) -> int:
+    service, server, snapshot = build_server(args)
+    host, port = server.server_address
+    print(f"snapshot {snapshot.name!r}: index={snapshot.index.name} n={snapshot.n} "
+          f"fingerprint={snapshot.fingerprint[:12]}…")
+    print(f"serving on http://{host}:{port}  (dispatch={service.dispatch})")
+    print(f"  curl http://{host}:{port}/healthz")
+    print(f"  curl -X POST http://{host}:{port}/v1/query -d "
+          f"'{{\"snapshot\": \"{snapshot.name}\", \"op\": \"cluster\", \"dc\": 0.5}}'")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server.server_close()
+        service.close()
+    return 0
+
+
 def cmd_info(_args) -> int:
     print("indexes:", ", ".join(available_indexes()))
     print("datasets:", ", ".join(available_datasets()))
     print("experiments: python -m repro.harness --help")
+    print("serving: python -m repro serve --help")
     return 0
 
 
@@ -126,6 +183,44 @@ def main(argv=None) -> int:
     cluster.add_argument("--out", default=None, help="write labels (one per row) here")
     cluster.add_argument("--seed", type=int, default=0)
     cluster.set_defaults(func=cmd_cluster)
+
+    serve = sub.add_parser(
+        "serve", help="serve exact DPC queries over HTTP (repro.serving)"
+    )
+    serve.add_argument("--input", help="CSV of numeric rows (one point per line)")
+    serve.add_argument("--delimiter", default=",")
+    serve.add_argument("--dataset", choices=sorted(available_datasets()))
+    serve.add_argument("--n", type=int, default=None, help="dataset size override")
+    serve.add_argument("--profile", default="bench", choices=("test", "bench", "large"))
+    serve.add_argument(
+        "--load", default=None,
+        help="publish a persisted index (.npz from repro.indexes.persist) "
+        "instead of fitting --input/--dataset",
+    )
+    serve.add_argument("--index", default="ch", choices=sorted(available_indexes()))
+    serve.add_argument("--snapshot", default="default", help="snapshot name to publish")
+    serve.add_argument("--tau", type=float, default=None, help="RN-List threshold (rn-* indexes)")
+    serve.add_argument("--bin-width", type=float, default=None, help="CH bin width")
+    serve.add_argument("--backend", default="serial", choices=("serial", "threads", "process"))
+    serve.add_argument("--n-jobs", type=int, default=None)
+    serve.add_argument("--chunk-size", type=int, default=None)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8030, help="0 picks a free port")
+    serve.add_argument(
+        "--dispatch", default="coalesce", choices=("coalesce", "serial"),
+        help="batch concurrent requests through the multi-dc kernels, or "
+        "run one engine call per request",
+    )
+    serve.add_argument("--max-batch", type=int, default=64, help="requests per dispatch cycle")
+    serve.add_argument(
+        "--linger-ms", type=float, default=2.0,
+        help="how long a dispatch cycle waits for more requests to coalesce",
+    )
+    serve.add_argument("--cache-entries", type=int, default=256, help="result-cache capacity (0 disables)")
+    serve.add_argument("--cache-ttl", type=float, default=None, help="result-cache TTL seconds (default: none)")
+    serve.add_argument("--verbose", action="store_true", help="log every HTTP request")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.set_defaults(func=cmd_serve)
 
     info = sub.add_parser("info", help="list available indexes and datasets")
     info.set_defaults(func=cmd_info)

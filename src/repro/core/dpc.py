@@ -202,6 +202,15 @@ class DensityPeakClustering:
         return self._require_result().n_clusters
 
     @property
+    def index_fingerprint_(self) -> str:
+        """Content fingerprint of the fitted index (see
+        :meth:`repro.indexes.DPCIndex.fingerprint`) — the key under which
+        the serving layer caches this estimator's results."""
+        if self.index_ is None:
+            raise RuntimeError("estimator is not fitted; call fit(points) first")
+        return self.index_.fingerprint()
+
+    @property
     def decision_graph_(self) -> DecisionGraph:
         return DecisionGraph.from_quantities(self._require_result().quantities)
 

@@ -63,7 +63,33 @@ class StreamingDPC:
         self._index: Optional[DPCIndex] = None
         self._indexed: Optional[np.ndarray] = None
         self._buffer: list = []
+        self._rebuild_subscribers: list = []
         self.rebuild_count: int = 0
+
+    @property
+    def index(self) -> Optional[DPCIndex]:
+        """The index over the stream as of the last rebuild (None before
+        the first arrival).  Each rebuild produces a *fresh* index object —
+        a handle obtained here is never refit in place, so snapshot readers
+        keep a consistent view across rebuilds."""
+        return self._index
+
+    def subscribe_rebuild(self, callback: Callable[[DPCIndex], None]) -> Callable[[], None]:
+        """Call ``callback(new_index)`` after every amortised rebuild.
+
+        This is how the serving layer keeps a hot snapshot of a stream:
+        :meth:`repro.serving.service.ClusteringService.attach_stream`
+        registers a callback that atomically publishes the rebuilt index
+        (and invalidates the replaced snapshot's cache entries).  Returns
+        an unsubscribe function.
+        """
+        self._rebuild_subscribers.append(callback)
+
+        def unsubscribe() -> None:
+            if callback in self._rebuild_subscribers:
+                self._rebuild_subscribers.remove(callback)
+
+        return unsubscribe
 
     # -- stream ingestion -----------------------------------------------------
 
@@ -115,6 +141,8 @@ class StreamingDPC:
         self._indexed = all_points
         self._buffer = []
         self.rebuild_count += 1
+        for callback in tuple(self._rebuild_subscribers):
+            callback(self._index)
 
     # -- exact queries over index + buffer -------------------------------------
 

@@ -48,6 +48,7 @@ __all__ = [
     "fig9a_w_memory",
     "fig9b_tau_memory",
     "fig10_quality",
+    "serving_throughput",
     "EXPERIMENTS",
 ]
 
@@ -411,6 +412,62 @@ def fig10_quality(
     return table
 
 
+def serving_throughput(
+    profile: str = "bench",
+    seed: int = 0,
+    datasets: Optional[Sequence[str]] = None,
+    indexes: Sequence[str] = ("kdtree", "grid"),
+    clients: int = 8,
+    requests_per_client: int = 16,
+) -> Table:
+    """Serving-layer dispatch comparison (not a paper figure — a scale-up).
+
+    Closed-loop clients issue ``cluster`` requests drawn from the dataset's
+    ``dc`` grid against a :class:`~repro.serving.service.ClusteringService`,
+    once with per-request serial dispatch and once with coalesced dispatch
+    through the multi-``dc`` kernels; the cache is disabled so the numbers
+    measure dispatch, not memoisation.  Expected shape: coalescing wins
+    whenever concurrency > 1, because a batch of distinct cut-offs shares
+    one flattened-image engine run.
+    """
+    from repro.serving.loadgen import run_load
+    from repro.serving.service import ClusteringService
+
+    table = Table(
+        "Serving — closed-loop throughput, serial vs coalesced dispatch",
+        [
+            "dataset", "n", "index", "dispatch", "clients", "requests",
+            "rps", "p50_ms", "p95_ms", "p99_ms", "speedup",
+        ],
+    )
+    for ds in _datasets(datasets, profile, seed, ("s1",)):
+        dcs = [float(v) for v in ds.params.dc_grid]
+        for index_name in indexes:
+            serial_rps = None
+            for dispatch in ("serial", "coalesce"):
+                with ClusteringService(dispatch=dispatch, cache_entries=0) as service:
+                    service.fit_snapshot("bench", ds.points, index=index_name)
+                    report = run_load(
+                        service, "bench", dcs,
+                        clients=clients, requests_per_client=requests_per_client,
+                        op="cluster", use_cache=False, seed=seed,
+                    )
+                if dispatch == "serial":
+                    serial_rps = report.throughput_rps
+                table.add_row(
+                    dataset=ds.name, n=ds.n, index=index_name, dispatch=dispatch,
+                    clients=clients, requests=report.requests,
+                    rps=report.throughput_rps,
+                    p50_ms=report.latency_ms["p50"],
+                    p95_ms=report.latency_ms["p95"],
+                    p99_ms=report.latency_ms["p99"],
+                    speedup=(
+                        None if serial_rps is None else report.throughput_rps / serial_rps
+                    ),
+                )
+    return table
+
+
 #: CLI name → experiment function (ablations are appended on import to
 #: avoid a circular dependency with repro.harness.ablations).
 EXPERIMENTS = {
@@ -424,4 +481,5 @@ EXPERIMENTS = {
     "fig9a": fig9a_w_memory,
     "fig9b": fig9b_tau_memory,
     "fig10": fig10_quality,
+    "serving": serving_throughput,
 }

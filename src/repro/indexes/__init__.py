@@ -9,7 +9,7 @@ from repro.indexes.quadtree import QuadtreeIndex
 from repro.indexes.rtree import RTreeIndex
 from repro.indexes.kdtree import KDTreeIndex
 from repro.indexes.grid import GridIndex
-from repro.indexes.persist import load_index, save_index
+from repro.indexes.persist import index_fingerprint, load_index, save_index
 from repro.indexes.registry import available_indexes, make_index
 
 __all__ = [
@@ -29,4 +29,5 @@ __all__ = [
     "make_index",
     "save_index",
     "load_index",
+    "index_fingerprint",
 ]

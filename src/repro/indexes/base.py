@@ -134,6 +134,7 @@ class DPCIndex(abc.ABC):
         self.chunk_size = chunk_size
         self._execution_ = None  # resolved ExecutionBackend (lazy)
         self._shard_pack = None  # published fit-time shared-memory pack
+        self._fingerprint_ = None  # cached content fingerprint (lazy)
         self._validate_backend(backend)
 
     @staticmethod
@@ -158,6 +159,7 @@ class DPCIndex(abc.ABC):
         never see a stale index image for the new dataset.
         """
         self._release_shards()
+        self._fingerprint_ = None  # new data ⇒ new identity for result caches
         points = np.ascontiguousarray(points, dtype=np.float64)
         if points.ndim != 2 or len(points) == 0:
             raise ValueError(
@@ -187,6 +189,23 @@ class DPCIndex(abc.ABC):
     @property
     def n(self) -> int:
         return len(self._require_fitted())
+
+    def fingerprint(self) -> str:
+        """Stable content fingerprint of this fitted index (cached).
+
+        Delegates to :func:`repro.indexes.persist.index_fingerprint`: a
+        SHA-256 over the index family, constructor + fit-resolved params and
+        the exact point bytes.  Equal fingerprints ⇒ bit-identical answers
+        to every query, which is what the serving result cache keys on.
+        The cache is cleared by :meth:`fit`, so a refit on new data can
+        never be mistaken for the old snapshot.
+        """
+        self._require_fitted()
+        if self._fingerprint_ is None:
+            from repro.indexes.persist import index_fingerprint
+
+            self._fingerprint_ = index_fingerprint(self)
+        return self._fingerprint_
 
     # -- subclass responsibilities -------------------------------------------
 
@@ -308,6 +327,31 @@ class DPCIndex(abc.ABC):
         """
         self._require_fitted()
         q = self.quantities(dc, tie_break)
+        return self._finish_cluster(q, n_centers, rho_min, delta_min, halo)
+
+    def cluster_from_quantities(
+        self,
+        q: DPCQuantities,
+        n_centers: Optional[int] = None,
+        rho_min: Optional[float] = None,
+        delta_min: Optional[float] = None,
+        halo: bool = False,
+    ) -> DPCResult:
+        """Steps 3–4 (centre selection + assignment + halo) on precomputed
+        quantities.
+
+        ``cluster(dc, ...)`` is exactly ``quantities(dc)`` followed by this,
+        so a caller holding a cached :class:`DPCQuantities` (the serving
+        layer, a coalesced batch answering several selection configs for one
+        ``dc``) reproduces ``cluster`` bit-for-bit without re-running ρ/δ.
+        ``q`` must come from this index's data: the assignment and halo
+        steps read ``self.points``.
+        """
+        self._require_fitted()
+        if len(q) != self.n:
+            raise ValueError(
+                f"quantities are for {len(q)} objects but the index holds {self.n}"
+            )
         return self._finish_cluster(q, n_centers, rho_min, delta_min, halo)
 
     def _finish_cluster(

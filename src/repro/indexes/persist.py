@@ -15,6 +15,7 @@ like the one that was saved.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any, Dict
 
@@ -26,9 +27,14 @@ from repro.indexes.list_index import ListIndex
 from repro.indexes.registry import INDEX_CLASSES
 from repro.indexes.rn_list import RNCHIndex, RNListIndex
 
-__all__ = ["save_index", "load_index"]
+__all__ = ["save_index", "load_index", "index_fingerprint"]
 
 _FORMAT_VERSION = 1
+
+#: Version of the fingerprint *recipe*; bumping it retires every cached
+#: result keyed on older fingerprints (the serving cache keys on the
+#: fingerprint string, so a recipe change must never collide with old keys).
+_FINGERPRINT_VERSION = 1
 
 #: Index classes whose heavy arrays are persisted (vs rebuilt on load).
 _ARRAY_STATE = {
@@ -87,6 +93,43 @@ def _constructor_params(index: DPCIndex) -> Dict[str, Any]:
     return params
 
 
+def _resolved_params(index: DPCIndex) -> Dict[str, float]:
+    """Fit-resolved values (configured params may be None = auto)."""
+    return {
+        attr: float(getattr(index, attr))
+        for attr in ("bin_width_", "cell_size_")
+        if getattr(index, attr, None) is not None
+    }
+
+
+def index_fingerprint(index: DPCIndex) -> str:
+    """Stable content fingerprint of a fitted index.
+
+    SHA-256 over the index family, its constructor parameters, the
+    fit-resolved parameters and the exact point bytes.  Two indexes with
+    equal fingerprints answer every ``quantities``/``cluster`` query
+    identically (same family + same params + same points ⇒ deterministic
+    build ⇒ identical answers), so the serving layer keys its result cache
+    on this string.  Execution-backend configuration is deliberately
+    excluded (results are bit-identical across backends); the fingerprint
+    survives a :func:`save_index`/:func:`load_index` round trip unchanged.
+    """
+    if not index.is_fitted:
+        raise ValueError("cannot fingerprint an unfitted index; call fit(points) first")
+    points = index.points
+    head = {
+        "fingerprint_version": _FINGERPRINT_VERSION,
+        "index": index.name,
+        "params": _constructor_params(index),
+        "resolved": _resolved_params(index),
+        "dtype": str(points.dtype),
+        "shape": list(points.shape),
+    }
+    digest = hashlib.sha256(json.dumps(head, sort_keys=True).encode())
+    digest.update(np.ascontiguousarray(points).tobytes())
+    return digest.hexdigest()
+
+
 def save_index(index: DPCIndex, path: str) -> None:
     """Serialise a fitted index to ``path`` (a ``.npz`` file)."""
     if not index.is_fitted:
@@ -96,15 +139,14 @@ def save_index(index: DPCIndex, path: str) -> None:
         "index_name": index.name,
         "params": _constructor_params(index),
         "build_seconds": index.build_seconds,
+        "fingerprint": index_fingerprint(index),
+        "fingerprint_version": _FINGERPRINT_VERSION,
     }
-    # Fit-resolved values (configured params may be None = auto): the CH
-    # histograms were built with the *resolved* bin width, so a restored
-    # index must query with it, not re-resolve.
-    resolved = {
-        attr: float(getattr(index, attr))
-        for attr in ("bin_width_",)
-        if getattr(index, attr, None) is not None
-    }
+    # The CH histograms were built with the *resolved* bin width, so a
+    # restored index must query with it, not re-resolve.  (Indexes that
+    # rebuild from points on load re-resolve deterministically and ignore
+    # this; it must stay in lockstep with the fingerprint recipe.)
+    resolved = _resolved_params(index)
     if resolved:
         meta["resolved"] = resolved
     arrays = {"points": index.points}
@@ -156,4 +198,19 @@ def load_index(path: str) -> DPCIndex:
         index.build_seconds = float(meta.get("build_seconds", float("nan")))
     else:
         index.fit(points)
+    stored = meta.get("fingerprint")
+    if stored is not None and meta.get("fingerprint_version") == _FINGERPRINT_VERSION:
+        # (A payload from an older/newer recipe skips verification; its
+        # fingerprint is simply recomputed lazily under the current recipe.)
+        # Integrity check: the restored index must hash to what was saved —
+        # a mismatch means the file was edited or the recipe drifted, and a
+        # serving cache keyed on the stale string would silently miss (or,
+        # worse, a hand-edited payload could impersonate another snapshot).
+        actual = index_fingerprint(index)
+        if actual != stored:
+            raise ValueError(
+                f"fingerprint mismatch for {path!r}: stored {stored[:12]}…, "
+                f"recomputed {actual[:12]}… — file corrupt or hand-edited"
+            )
+        index._fingerprint_ = stored
     return index

@@ -1,0 +1,173 @@
+"""LRU + TTL cache for exact served results, keyed on snapshot fingerprints.
+
+Because every index is *exact* and deterministic, a result computed once for
+``(fingerprint, dc, density-order params, selection params)`` is the answer
+forever — the only thing that can invalidate it is the snapshot being
+replaced.  So the cache policy is simple: bounded LRU for capacity, optional
+TTL for operators who want bounded staleness even against their own bugs,
+and **mandatory** fingerprint invalidation wired to
+:meth:`repro.serving.snapshots.SnapshotStore.subscribe`.
+
+The subtle part is the *swap race*: a batch computed against snapshot v1 may
+still be in flight when v2 is published and v1's entries are purged.  If
+that batch inserted its results afterwards, stale data would outlive the
+invalidation.  :meth:`put` therefore takes a ``guard`` callable that is
+evaluated **under the cache lock**, after the insert would otherwise happen;
+the serving layer passes ``lambda: store.is_current(snapshot)``, closing the
+window (unit-tested in ``tests/unit/test_serving_snapshots.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+
+__all__ = ["CacheStats", "ResultCache", "result_key"]
+
+
+def result_key(
+    fingerprint: str,
+    op: str,
+    dc: float,
+    tie_break: str,
+    n_centers: Optional[int] = None,
+    rho_min: Optional[float] = None,
+    delta_min: Optional[float] = None,
+    halo: bool = False,
+) -> Tuple:
+    """The canonical cache key for a served request.
+
+    The fingerprint pins the data + index config; ``op`` separates
+    ``quantities`` from ``cluster``; the remaining fields are exactly the
+    arguments that can change the answer.  ``dc`` is coerced to float so
+    ``1`` and ``1.0`` share an entry (they produce bit-identical results),
+    and the selection/halo params are normalised away for ``quantities``
+    (they don't affect the answer, so stray values must not fragment the
+    cache into duplicate entries).
+    """
+    if op == "quantities":
+        n_centers = rho_min = delta_min = None
+        halo = False
+    return (
+        fingerprint,
+        op,
+        float(dc),
+        str(tie_break),
+        None if n_centers is None else int(n_centers),
+        None if rho_min is None else float(rho_min),
+        None if delta_min is None else float(delta_min),
+        bool(halo),
+    )
+
+
+class CacheStats:
+    """Monotonic counters (read without the lock; written under it)."""
+
+    __slots__ = ("hits", "misses", "evictions", "expirations", "invalidations", "rejected_puts")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+        self.invalidations = 0
+        self.rejected_puts = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class ResultCache:
+    """Thread-safe LRU+TTL store mapping :func:`result_key` → result object.
+
+    ``max_entries <= 0`` disables caching entirely (every get misses, every
+    put is dropped) — handy for benchmarks that must measure dispatch, not
+    memoisation.  ``ttl_seconds=None`` means entries never age out.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 256,
+        ttl_seconds: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError(f"ttl_seconds must be positive or None, got {ttl_seconds}")
+        self.max_entries = int(max_entries)
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, Tuple[float, Any]]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The cached value, freshened to most-recently-used; None on miss.
+
+        Expired entries are dropped on touch (and only count as
+        ``expirations``, not ``evictions``).
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            inserted_at, value = entry
+            if self.ttl_seconds is not None and self._clock() - inserted_at > self.ttl_seconds:
+                del self._entries[key]
+                self.stats.expirations += 1
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any, guard: Optional[Callable[[], bool]] = None) -> bool:
+        """Insert ``value``; returns False if rejected.
+
+        ``guard`` is evaluated under the cache lock immediately before the
+        insert; a False return (e.g. "the snapshot this was computed for is
+        no longer live") drops the value, keeping swap-invalidation airtight
+        against slow in-flight computations.
+        """
+        if self.max_entries <= 0:
+            return False
+        with self._lock:
+            if guard is not None and not guard():
+                self.stats.rejected_puts += 1
+                return False
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = (self._clock(), value)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+            return True
+
+    def invalidate_fingerprint(self, fingerprint: str) -> int:
+        """Drop every entry keyed on ``fingerprint``; returns the count."""
+        with self._lock:
+            doomed = [key for key in self._entries if key[0] == fingerprint]
+            for key in doomed:
+                del self._entries[key]
+            self.stats.invalidations += len(doomed)
+            return len(doomed)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def describe(self) -> Dict[str, Any]:
+        with self._lock:
+            size = len(self._entries)
+        return {
+            "entries": size,
+            "max_entries": self.max_entries,
+            "ttl_seconds": self.ttl_seconds,
+            **self.stats.as_dict(),
+        }

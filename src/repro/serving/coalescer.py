@@ -1,0 +1,242 @@
+"""Coalesce concurrent requests into the batched multi-``dc`` kernels.
+
+A naive server answers each request with one ``index.cluster(dc)`` call; N
+concurrent clients cost N full engine runs.  But PR 1–3 made the engine
+*batch-shaped*: ``quantities_multi`` answers a whole grid of cut-offs
+against one fitted structure far cheaper than per-``dc`` serial calls (one
+flattened-tree image, one all-orders annotation pass, one sharded task
+wave).  The :class:`RequestCoalescer` exploits that: requests queue up, a
+single dispatcher thread drains them in small time windows (``linger_ms``),
+groups them by (snapshot, tie-break), deduplicates the cut-offs and runs
+**one** ``quantities_multi`` per group.  ``cluster`` requests then finish
+with :meth:`~repro.indexes.base.DPCIndex.cluster_from_quantities` — the
+exact tail of ``cluster()`` — so every response is bit-identical to the
+direct per-request call, which is the serving contract
+(``tests/properties/test_prop_serving.py``).
+
+A single dispatcher thread is also what makes the engine safe to share:
+index probe counters and lazy per-fit caches are only ever touched from one
+thread, regardless of how many clients are blocked on futures.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.quantities import TieBreak
+from repro.serving.snapshots import Snapshot
+
+__all__ = ["ServeRequest", "RequestCoalescer"]
+
+#: Request operations the engine knows how to batch.
+OPS = ("quantities", "cluster")
+
+
+@dataclass
+class ServeRequest:
+    """One in-flight request, resolved against a specific snapshot.
+
+    The snapshot handle (not its name) rides along: whatever the store does
+    while this request queues, it is answered from the index it resolved —
+    point-in-time consistency, no torn reads across a hot swap.
+    """
+
+    snapshot: Snapshot
+    op: str
+    dc: float
+    tie_break: TieBreak = TieBreak.ID
+    n_centers: Optional[int] = None
+    rho_min: Optional[float] = None
+    delta_min: Optional[float] = None
+    halo: bool = False
+    future: Future = field(default_factory=Future)
+    enqueued_at: float = field(default_factory=time.perf_counter)
+
+    def __post_init__(self) -> None:
+        if self.op not in OPS:
+            raise ValueError(f"op must be one of {OPS}, got {self.op!r}")
+        self.dc = float(self.dc)
+        # Validate at admission: the engine would reject a bad dc too, but
+        # only after the whole coalesced batch reached quantities_multi —
+        # one malformed request must never fail its batch-mates.
+        if not self.dc > 0:  # "not >" also catches NaN
+            raise ValueError(f"dc must be positive, got {self.dc}")
+        self.tie_break = TieBreak.coerce(self.tie_break)
+
+    def group_key(self) -> Tuple:
+        """Requests sharing this key can ride one ``quantities_multi`` call."""
+        return (id(self.snapshot), self.tie_break.value)
+
+
+class RequestCoalescer:
+    """Single-threaded batching dispatcher over the multi-``dc`` engine.
+
+    Parameters
+    ----------
+    max_batch:
+        Upper bound on requests drained per dispatch cycle.  ``1`` degrades
+        to per-request serial dispatch — same thread, same queue overhead,
+        no batching — which is exactly the honest baseline the load
+        benchmark compares against.
+    linger_ms:
+        After the first request of a cycle arrives, how long to keep the
+        window open for more.  ``0`` only picks up requests that are
+        *already* queued (pure backlog coalescing, no added latency).
+    """
+
+    def __init__(self, max_batch: int = 64, linger_ms: float = 2.0) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if linger_ms < 0:
+            raise ValueError(f"linger_ms must be >= 0, got {linger_ms}")
+        self.max_batch = int(max_batch)
+        self.linger_ms = float(linger_ms)
+        self._queue: "queue.SimpleQueue[Optional[ServeRequest]]" = queue.SimpleQueue()
+        self._lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+        # observability (written only by the dispatcher thread)
+        self.stats: Dict[str, int] = {
+            "requests": 0,
+            "batches": 0,
+            "engine_calls": 0,
+            "coalesced_requests": 0,
+            "deduped_dcs": 0,
+            "largest_batch": 0,
+        }
+
+    # -- client side ----------------------------------------------------------
+
+    def submit(self, request: ServeRequest) -> Future:
+        """Enqueue; the returned future resolves to ``(value, meta)``.
+
+        ``value`` is a :class:`~repro.core.quantities.DPCQuantities` or
+        :class:`~repro.core.quantities.DPCResult`; ``meta`` records the
+        batch this request rode in.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("coalescer is closed")
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._run, name="repro-serve-dispatch", daemon=True
+                )
+                self._thread.start()
+            # Enqueue under the lock: close() also holds it to set _closed
+            # and append the shutdown sentinel, so a request can never land
+            # behind the sentinel in a dead queue (its future would hang).
+            self._queue.put(request)
+        return request.future
+
+    def close(self) -> None:
+        """Stop the dispatcher; queued-but-unprocessed requests error out."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            thread = self._thread
+            self._queue.put(None)
+        if thread is not None:
+            thread.join(timeout=10.0)
+
+    def __enter__(self) -> "RequestCoalescer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- dispatcher side ------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            first = self._queue.get()
+            if first is None:
+                self._drain_after_close()
+                return
+            batch = [first]
+            deadline = time.perf_counter() + self.linger_ms / 1000.0
+            stop = False
+            while len(batch) < self.max_batch:
+                remaining = deadline - time.perf_counter()
+                try:
+                    item = (
+                        self._queue.get_nowait()
+                        if remaining <= 0
+                        else self._queue.get(timeout=remaining)
+                    )
+                except queue.Empty:
+                    break
+                if item is None:
+                    stop = True
+                    break
+                batch.append(item)
+            self._dispatch(batch)
+            if stop:
+                self._drain_after_close()
+                return
+
+    def _drain_after_close(self) -> None:
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if item is not None and not item.future.cancelled():
+                item.future.set_exception(RuntimeError("coalescer closed"))
+
+    def _dispatch(self, batch: List[ServeRequest]) -> None:
+        self.stats["requests"] += len(batch)
+        self.stats["batches"] += 1
+        self.stats["largest_batch"] = max(self.stats["largest_batch"], len(batch))
+        if len(batch) > 1:
+            self.stats["coalesced_requests"] += len(batch)
+        groups: "Dict[Tuple, List[ServeRequest]]" = {}
+        for request in batch:
+            groups.setdefault(request.group_key(), []).append(request)
+        for group in groups.values():
+            self._dispatch_group(group)
+
+    def _dispatch_group(self, group: List[ServeRequest]) -> None:
+        """One engine call for every distinct ``dc`` in the group."""
+        index = group[0].snapshot.index
+        tie_break = group[0].tie_break
+        dcs = list(dict.fromkeys(request.dc for request in group))
+        self.stats["engine_calls"] += 1
+        self.stats["deduped_dcs"] += len(group) - len(dcs)
+        try:
+            quantities = index.quantities_multi(dcs, tie_break)
+        except BaseException as exc:  # propagate engine errors to every waiter
+            for request in group:
+                if not request.future.cancelled():
+                    request.future.set_exception(exc)
+            return
+        by_dc = dict(zip(dcs, quantities))
+        meta = {
+            "batch_size": len(group),
+            "batch_dcs": len(dcs),
+            "coalesced": len(group) > 1,
+        }
+        for request in group:
+            if request.future.cancelled():
+                continue
+            try:
+                q = by_dc[request.dc]
+                if request.op == "cluster":
+                    value: Any = index.cluster_from_quantities(
+                        q,
+                        n_centers=request.n_centers,
+                        rho_min=request.rho_min,
+                        delta_min=request.delta_min,
+                        halo=request.halo,
+                    )
+                else:
+                    value = q
+            except BaseException as exc:  # bad per-request selection params
+                request.future.set_exception(exc)
+            else:
+                request.future.set_result((value, dict(meta)))

@@ -1,0 +1,234 @@
+"""Thin stdlib HTTP/JSON front-end over :class:`ClusteringService`.
+
+No framework, no third-party deps: a ``ThreadingHTTPServer`` whose handler
+translates JSON requests into service calls.  Numeric fidelity note: arrays
+go out via :mod:`json`, whose float encoding is ``repr``-based shortest
+round-trip — a float64 parsed back with ``json.loads`` is *bit-identical*
+to the served value (``±Infinity`` included, via Python's permissive JSON
+dialect), so even HTTP clients keep the exactness contract.
+
+Routes
+------
+* ``GET  /healthz`` — liveness + snapshot count.
+* ``GET  /v1/snapshots`` — published snapshots (name, fingerprint, version…).
+* ``POST /v1/snapshots/<name>`` — publish: body ``{"points": [[…]…],
+  "index": "ch", "params": {…}}`` fits in-process; ``{"path": "…"}`` loads
+  a persisted index (fingerprint-verified) instead.
+* ``DELETE /v1/snapshots/<name>`` — drop a snapshot (and its cache entries).
+* ``POST /v1/query`` — body ``{"snapshot": …, "op": "quantities"|"cluster",
+  "dc": …, "tie_break"?, "n_centers"?, "rho_min"?, "delta_min"?, "halo"?,
+  "use_cache"?}``; responds with the arrays plus the serving ``meta``
+  (fingerprint, cache_hit, batch_size, …).
+* ``GET  /v1/stats`` — store / cache / coalescer counters.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.quantities import DPCQuantities, DPCResult
+from repro.serving.service import ClusteringService
+
+__all__ = ["ClusteringServer", "make_server", "serialize_value"]
+
+_MAX_BODY_BYTES = 256 * 1024 * 1024  # refuse absurd uploads outright
+
+
+def serialize_value(value: Any) -> Dict[str, Any]:
+    """JSON-friendly payload for a served DPCQuantities / DPCResult."""
+    if isinstance(value, DPCResult):
+        payload = serialize_value(value.quantities)
+        payload.update(
+            centers=value.centers.tolist(),
+            labels=value.labels.tolist(),
+            n_clusters=int(value.n_clusters),
+            halo=None if value.halo is None else value.halo.tolist(),
+        )
+        return payload
+    if isinstance(value, DPCQuantities):
+        return {
+            "dc": float(value.dc),
+            "rho": value.rho.tolist(),
+            "delta": value.delta.tolist(),
+            "mu": value.mu.tolist(),
+        }
+    raise TypeError(f"cannot serialise {type(value).__name__}")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -------------------------------------------------------------
+
+    @property
+    def service(self) -> ClusteringService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):  # pragma: no cover - opt-in
+            super().log_message(format, *args)
+
+    def _send_json(
+        self, status: int, payload: Dict[str, Any], close: bool = False
+    ) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if close:
+            # Sets self.close_connection too (stdlib special-cases this
+            # header), ending the keep-alive session after the response.
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str, close: bool = False) -> None:
+        self._send_json(status, {"error": message}, close=close)
+
+    def _read_body(self) -> Optional[Dict[str, Any]]:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = 0
+        if length <= 0 or length > _MAX_BODY_BYTES:
+            # The body (absent, chunked, or refused-oversized) was never
+            # consumed — under HTTP/1.1 keep-alive its bytes would be parsed
+            # as the next request line, so this connection must die with the
+            # error instead of desyncing.
+            self._error(400, "a JSON body with Content-Length is required", close=True)
+            return None
+        try:
+            payload = json.loads(self.rfile.read(length))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self._error(400, f"invalid JSON body: {exc}")
+            return None
+        if not isinstance(payload, dict):
+            self._error(400, "the JSON body must be an object")
+            return None
+        return payload
+
+    # -- routes ---------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib contract
+        if self.path == "/healthz":
+            self._send_json(
+                200, {"status": "ok", "snapshots": len(self.service.store)}
+            )
+        elif self.path == "/v1/snapshots":
+            self._send_json(200, {"snapshots": self.service.store.describe()})
+        elif self.path == "/v1/stats":
+            self._send_json(200, self.service.stats())
+        else:
+            self._error(404, f"no route GET {self.path}")
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib contract
+        name = self._snapshot_name()
+        if name is None:
+            return
+        if name not in self.service.store:
+            self._error(404, f"no snapshot named {name!r}")
+            return
+        self.service.drop_snapshot(name)
+        self._send_json(200, {"dropped": name})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib contract
+        if self.path == "/v1/query":
+            self._handle_query()
+            return
+        name = self._snapshot_name()
+        if name is None:
+            return
+        self._handle_publish(name)
+
+    def _snapshot_name(self) -> Optional[str]:
+        prefix = "/v1/snapshots/"
+        if not self.path.startswith(prefix) or not self.path[len(prefix):]:
+            self._error(404, f"no route {self.command} {self.path}")
+            return None
+        return self.path[len(prefix):]
+
+    def _handle_publish(self, name: str) -> None:
+        body = self._read_body()
+        if body is None:
+            return
+        try:
+            if "path" in body:
+                snapshot = self.service.load_snapshot(name, str(body["path"]))
+            elif "points" in body:
+                points = np.asarray(body["points"], dtype=np.float64)
+                snapshot = self.service.fit_snapshot(
+                    name,
+                    points,
+                    index=str(body.get("index", "ch")),
+                    **dict(body.get("params") or {}),
+                )
+            else:
+                self._error(400, 'publish needs "points" (fit) or "path" (load)')
+                return
+        except (ValueError, TypeError, KeyError, OSError) as exc:
+            self._error(400, str(exc))
+            return
+        except Exception as exc:  # never drop the socket without a status
+            self._error(500, f"{type(exc).__name__}: {exc}")
+            return
+        self._send_json(200, {"published": snapshot.info()})
+
+    def _handle_query(self) -> None:
+        body = self._read_body()
+        if body is None:
+            return
+        name = body.get("snapshot")
+        if not isinstance(name, str):
+            self._error(400, 'the query body needs a "snapshot" name')
+            return
+        if "dc" not in body:
+            self._error(400, 'the query body needs a "dc" cut-off')
+            return
+        try:
+            result = self.service.submit(
+                name,
+                op=str(body.get("op", "cluster")),
+                dc=body["dc"],
+                tie_break=body.get("tie_break", "id"),
+                n_centers=body.get("n_centers"),
+                rho_min=body.get("rho_min"),
+                delta_min=body.get("delta_min"),
+                halo=bool(body.get("halo", False)),
+                use_cache=bool(body.get("use_cache", True)),
+            ).result()
+        except KeyError as exc:
+            self._error(404, str(exc.args[0]) if exc.args else str(exc))
+            return
+        except (ValueError, TypeError) as exc:
+            self._error(400, str(exc))
+            return
+        except Exception as exc:  # e.g. coalescer closed mid-shutdown -> 500
+            self._error(500, f"{type(exc).__name__}: {exc}")
+            return
+        payload = serialize_value(result.value)
+        payload["op"] = result.meta["op"]
+        payload["meta"] = result.meta
+        self._send_json(200, payload)
+
+
+class ClusteringServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`ClusteringService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: ClusteringService, verbose: bool = False):
+        super().__init__(address, _Handler)
+        self.service = service
+        self.verbose = verbose
+
+
+def make_server(
+    service: ClusteringService, host: str = "127.0.0.1", port: int = 0, verbose: bool = False
+) -> ClusteringServer:
+    """Bind (``port=0`` picks a free one; read ``server.server_address``)."""
+    return ClusteringServer((host, port), service, verbose=verbose)

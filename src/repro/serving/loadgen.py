@@ -1,0 +1,150 @@
+"""Closed-loop load generator for the serving layer.
+
+Shared by ``benchmarks/bench_serving_load.py`` and the harness ``serving``
+experiment so both report from one measurement path.  *Closed-loop* means
+each simulated client issues its next request only after the previous one
+returned — throughput and latency respond to the service, never to an
+open-loop arrival schedule outrunning it.
+
+Each client draws its cut-offs from the same ``dcs`` grid with a
+deterministic per-client RNG, so runs are reproducible and the dispatch
+modes are compared on identical request sequences.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.serving.service import ClusteringService
+
+__all__ = ["LoadReport", "run_load"]
+
+
+@dataclass
+class LoadReport:
+    """Aggregate of one closed-loop run (latencies in milliseconds).
+
+    ``requests`` counts every request issued; ``errors`` the failed subset.
+    ``throughput_rps`` and ``latency_ms`` cover **successful** requests
+    only — a run where half the requests error instantly must not report
+    doubled throughput and flattering percentiles.
+    """
+
+    dispatch: str
+    op: str
+    clients: int
+    requests: int
+    errors: int
+    elapsed_seconds: float
+    throughput_rps: float
+    latency_ms: Dict[str, float]
+    cache_hits: int
+    coalescer: Dict[str, int] = field(default_factory=dict)
+
+    def as_record(self) -> Dict[str, Any]:
+        return {
+            "dispatch": self.dispatch,
+            "op": self.op,
+            "clients": self.clients,
+            "requests": self.requests,
+            "errors": self.errors,
+            "elapsed_seconds": self.elapsed_seconds,
+            "throughput_rps": self.throughput_rps,
+            "latency_ms": dict(self.latency_ms),
+            "cache_hits": self.cache_hits,
+            "coalescer": dict(self.coalescer),
+        }
+
+
+def _percentiles(latencies_ms: np.ndarray) -> Dict[str, float]:
+    p50, p95, p99 = np.percentile(latencies_ms, (50, 95, 99))
+    return {
+        "mean": float(latencies_ms.mean()),
+        "p50": float(p50),
+        "p95": float(p95),
+        "p99": float(p99),
+        "max": float(latencies_ms.max()),
+    }
+
+
+def run_load(
+    service: ClusteringService,
+    snapshot: str,
+    dcs: Sequence[float],
+    clients: int = 8,
+    requests_per_client: int = 24,
+    op: str = "cluster",
+    use_cache: bool = False,
+    cluster_params: Optional[Dict[str, Any]] = None,
+    seed: int = 0,
+) -> LoadReport:
+    """Drive ``clients`` closed-loop threads against one snapshot.
+
+    ``use_cache=False`` (the default) measures *dispatch*: every request
+    reaches the engine, which is the serial-vs-coalesced comparison the
+    benchmark is after.  ``use_cache=True`` measures the full service
+    including memoisation.
+    """
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    dcs = [float(dc) for dc in dcs]
+    if not dcs:
+        raise ValueError("dcs must be non-empty")
+    params = dict(cluster_params or {})
+    latencies: List[List[float]] = [[] for _ in range(clients)]
+    errors = [0] * clients
+    cache_hits = [0] * clients
+    barrier = threading.Barrier(clients + 1)
+
+    def client(slot: int) -> None:
+        rng = np.random.default_rng(seed * 10_007 + slot)
+        draws = rng.integers(0, len(dcs), size=requests_per_client)
+        barrier.wait()
+        for draw in draws:
+            started = time.perf_counter()
+            try:
+                result = service.submit(
+                    snapshot, op, dcs[int(draw)], use_cache=use_cache, **params
+                ).result()
+            except Exception:
+                errors[slot] += 1
+            else:
+                if result.meta.get("cache_hit"):
+                    cache_hits[slot] += 1
+                latencies[slot].append((time.perf_counter() - started) * 1e3)
+
+    threads = [
+        threading.Thread(target=client, args=(slot,), name=f"loadgen-{slot}")
+        for slot in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+
+    flat = np.asarray([value for bucket in latencies for value in bucket])
+    succeeded = int(flat.size)
+    failed = int(sum(errors))
+    return LoadReport(
+        dispatch=service.dispatch,
+        op=op,
+        clients=clients,
+        requests=succeeded + failed,
+        errors=failed,
+        elapsed_seconds=float(elapsed),
+        throughput_rps=float(succeeded / elapsed) if elapsed > 0 else float("inf"),
+        latency_ms=_percentiles(flat) if succeeded else {
+            "mean": float("nan"), "p50": float("nan"), "p95": float("nan"),
+            "p99": float("nan"), "max": float("nan"),
+        },
+        cache_hits=int(sum(cache_hits)),
+        coalescer=dict(service.coalescer.stats),
+    )

@@ -1,0 +1,293 @@
+"""The clustering service: snapshots + coalescing dispatch + result cache.
+
+:class:`ClusteringService` is the one object a front-end (HTTP, CLI, a
+benchmark harness) talks to.  Its contract, property-tested in
+``tests/properties/test_prop_serving.py``:
+
+* **Exactness** — every response (cache hit, coalesced batch, serial
+  dispatch alike) is bit-identical to a direct ``index.quantities(dc)`` /
+  ``index.cluster(dc, ...)`` call on the snapshot's data.
+* **Point-in-time consistency** — a request is answered entirely from the
+  snapshot it resolved at admission; a hot swap mid-flight never mixes old
+  and new data in one response.
+* **No stale serving** — after a snapshot swap (refit, streaming rebuild),
+  no response derived from the replaced data is served to *new* requests:
+  they resolve the new snapshot, whose fingerprint keys different cache
+  entries; the old fingerprint's entries are purged on swap, and in-flight
+  computations for the old snapshot are barred from re-inserting them
+  (the ``guard`` handshake with :meth:`ResultCache.put`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.core.quantities import TieBreak
+from repro.serving.cache import ResultCache, result_key
+from repro.serving.coalescer import OPS, RequestCoalescer, ServeRequest
+from repro.serving.snapshots import Snapshot, SnapshotStore
+
+__all__ = ["ServeResult", "ClusteringService"]
+
+#: Dispatch policies: "serial" = one engine call per request (max_batch=1),
+#: "coalesce" = batch concurrent requests through the multi-dc kernels.
+DISPATCH_MODES = ("serial", "coalesce")
+
+
+@dataclass
+class ServeResult:
+    """A served value plus how it was produced.
+
+    ``value`` is a :class:`~repro.core.quantities.DPCQuantities` (op
+    ``"quantities"``) or :class:`~repro.core.quantities.DPCResult` (op
+    ``"cluster"``); ``meta`` holds ``fingerprint``, ``snapshot_version``,
+    ``cache_hit``, ``batch_size``/``batch_dcs``/``coalesced`` (engine
+    dispatches only) and ``elapsed_ms``.
+    """
+
+    value: Any
+    meta: Dict[str, Any]
+
+
+class ClusteringService:
+    """Keeps fitted indexes hot and serves exact DPC queries against them."""
+
+    def __init__(
+        self,
+        store: Optional[SnapshotStore] = None,
+        cache: Optional[ResultCache] = None,
+        coalescer: Optional[RequestCoalescer] = None,
+        dispatch: str = "coalesce",
+        cache_entries: int = 256,
+        cache_ttl: Optional[float] = None,
+        max_batch: int = 64,
+        linger_ms: float = 2.0,
+    ) -> None:
+        if dispatch not in DISPATCH_MODES:
+            raise ValueError(f"dispatch must be one of {DISPATCH_MODES}, got {dispatch!r}")
+        self.dispatch = dispatch
+        self.store = store if store is not None else SnapshotStore()
+        self.cache = cache if cache is not None else ResultCache(cache_entries, cache_ttl)
+        if coalescer is not None:
+            self.coalescer = coalescer
+        elif dispatch == "serial":
+            self.coalescer = RequestCoalescer(max_batch=1, linger_ms=0.0)
+        else:
+            self.coalescer = RequestCoalescer(max_batch=max_batch, linger_ms=linger_ms)
+        self._unsubscribe = self.store.subscribe(self._on_swap)
+        self._streams: Dict[str, Any] = {}
+
+    # -- snapshot lifecycle ---------------------------------------------------
+
+    def fit_snapshot(
+        self, name: str, points: np.ndarray, index: str = "ch", **index_params: Any
+    ) -> Snapshot:
+        """Fit an index over ``points`` in-process and publish it."""
+        return self.store.fit(name, points, index=index, **index_params)
+
+    def load_snapshot(self, name: str, path: str) -> Snapshot:
+        """Load a persisted index from ``path`` and publish it."""
+        return self.store.load(name, path)
+
+    def drop_snapshot(self, name: str) -> None:
+        """Remove a snapshot; a stream attached under ``name`` is detached
+        first, so a later rebuild cannot resurrect the dropped name."""
+        self.detach_stream(name)
+        self.store.drop(name)
+
+    def attach_stream(self, name: str, stream: Any) -> Snapshot:
+        """Serve a :class:`~repro.extras.streaming.StreamingDPC` under ``name``.
+
+        Every amortised rebuild of the stream atomically publishes the fresh
+        index as the new snapshot (and, through the swap subscription,
+        invalidates the replaced fingerprint's cache entries).  The snapshot
+        always reflects the stream *as of its last rebuild* — the buffered
+        suffix joins at the next rebuild, exactly the freshness the
+        amortised-rebuild scheme already promises for ``cluster()`` calls.
+
+        Returns the initially published snapshot; the stream must have
+        rebuilt at least once (i.e. hold at least one point).  Re-attaching
+        a name replaces the previous stream; :meth:`drop_snapshot` and
+        :meth:`close` detach.
+        """
+        if stream.index is None:
+            raise ValueError("cannot attach an empty stream; add points first")
+        self.detach_stream(name)  # a replaced stream must stop publishing
+
+        # Monotonic, detachable publisher.  The initial publish below and
+        # the rebuild callbacks (which fire on the producer's thread) race;
+        # ordering by the stream's rebuild counter guarantees an older index
+        # can never overwrite a newer snapshot (rebuild_count is read BEFORE
+        # the index, so a rebuild landing between the reads can only make
+        # the published index newer than the count claims, never older).
+        # The same lock gates detachment: once detach flips `active`, no
+        # already-captured callback can republish a name after
+        # drop_snapshot removed it.
+        guard = threading.Lock()
+        latest = -1
+        active = True
+
+        def publish(index: Any, count: int) -> Optional[Snapshot]:
+            nonlocal latest
+            with guard:
+                if not active or count <= latest:
+                    return None
+                latest = count
+                return self.store.publish(name, index)
+
+        unsubscribe = stream.subscribe_rebuild(
+            lambda rebuilt: publish(rebuilt, stream.rebuild_count)
+        )
+
+        def detach() -> None:
+            nonlocal active
+            with guard:
+                active = False
+            unsubscribe()
+
+        self._streams[name] = detach
+        count = stream.rebuild_count
+        snapshot = publish(stream.index, count)
+        return snapshot if snapshot is not None else self.store.get(name)
+
+    def detach_stream(self, name: str) -> None:
+        """Stop an attached stream from publishing under ``name`` (no-op if
+        none is attached); the current snapshot stays served."""
+        unsubscribe = self._streams.pop(name, None)
+        if unsubscribe is not None:
+            unsubscribe()
+
+    def _on_swap(self, name: str, new: Optional[Snapshot], old: Optional[Snapshot]) -> None:
+        if old is None:
+            return
+        # Same fingerprint ⇒ same answers ⇒ the warm entries stay valid;
+        # likewise when another live snapshot (any name) still serves the
+        # replaced content — keys are content-addressed, so those entries
+        # remain exactly right for it.
+        if new is not None and new.fingerprint == old.fingerprint:
+            return
+        if self.store.holds_fingerprint(old.fingerprint):
+            return
+        self.cache.invalidate_fingerprint(old.fingerprint)
+
+    # -- request path ---------------------------------------------------------
+
+    def submit(
+        self,
+        name: str,
+        op: str,
+        dc: float,
+        tie_break: "str | TieBreak" = TieBreak.ID,
+        n_centers: Optional[int] = None,
+        rho_min: Optional[float] = None,
+        delta_min: Optional[float] = None,
+        halo: bool = False,
+        use_cache: bool = True,
+    ) -> "Future[ServeResult]":
+        """Admit one request; returns a future resolving to a :class:`ServeResult`.
+
+        The snapshot is resolved *now* — this request is answered from it
+        even if a swap lands before the engine runs.
+        """
+        if op not in OPS:
+            raise ValueError(f"op must be one of {OPS}, got {op!r}")
+        snapshot = self.store.get(name)
+        tie_break = TieBreak.coerce(tie_break)
+        started = time.perf_counter()
+        key = result_key(
+            snapshot.fingerprint, op, dc, tie_break.value,
+            n_centers=n_centers, rho_min=rho_min, delta_min=delta_min, halo=halo,
+        )
+        outer: "Future[ServeResult]" = Future()
+        base_meta = {
+            "snapshot": name,
+            "fingerprint": snapshot.fingerprint,
+            "snapshot_version": snapshot.version,
+            "op": op,
+        }
+        if use_cache:
+            cached = self.cache.get(key)
+            if cached is not None:
+                outer.set_result(
+                    ServeResult(
+                        cached,
+                        {
+                            **base_meta,
+                            "cache_hit": True,
+                            "elapsed_ms": (time.perf_counter() - started) * 1e3,
+                        },
+                    )
+                )
+                return outer
+        request = ServeRequest(
+            snapshot=snapshot,
+            op=op,
+            dc=dc,
+            tie_break=tie_break,
+            n_centers=n_centers,
+            rho_min=rho_min,
+            delta_min=delta_min,
+            halo=halo,
+        )
+
+        def finish(inner: Future) -> None:
+            exc = inner.exception()
+            if exc is not None:
+                outer.set_exception(exc)
+                return
+            value, batch_meta = inner.result()
+            if use_cache:
+                # guard: refuse the insert if the snapshot was swapped while
+                # we computed — the invalidation already happened and must win.
+                self.cache.put(key, value, guard=lambda: self.store.is_current(snapshot))
+            outer.set_result(
+                ServeResult(
+                    value,
+                    {
+                        **base_meta,
+                        **batch_meta,
+                        "cache_hit": False,
+                        "elapsed_ms": (time.perf_counter() - started) * 1e3,
+                    },
+                )
+            )
+
+        self.coalescer.submit(request).add_done_callback(finish)
+        return outer
+
+    def quantities(self, name: str, dc: float, **kwargs: Any) -> ServeResult:
+        """Blocking ``quantities`` request (see :meth:`submit`)."""
+        return self.submit(name, "quantities", dc, **kwargs).result()
+
+    def cluster(self, name: str, dc: float, **kwargs: Any) -> ServeResult:
+        """Blocking ``cluster`` request (see :meth:`submit`)."""
+        return self.submit(name, "cluster", dc, **kwargs).result()
+
+    # -- observability / lifecycle --------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "dispatch": self.dispatch,
+            "snapshots": self.store.describe(),
+            "cache": self.cache.describe(),
+            "coalescer": dict(self.coalescer.stats),
+        }
+
+    def close(self) -> None:
+        """Stop the dispatcher, detach streams and store hooks (idempotent)."""
+        self.coalescer.close()
+        for name in list(self._streams):
+            self.detach_stream(name)
+        self._unsubscribe()
+
+    def __enter__(self) -> "ClusteringService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

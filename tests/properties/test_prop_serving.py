@@ -1,0 +1,171 @@
+"""Serving-layer exactness properties.
+
+The contract (ISSUE 4 acceptance): every served response — cache hits and
+coalesced batches included — is **bit-identical** to a direct
+``DPCIndex.quantities()``/``cluster()`` (and therefore
+``DensityPeakClustering``) call on the same data.  Exercised across index
+families, the adversarial corpora where an aggregation bug would show
+(exact duplicates ⇒ δ ties at distance 0; integer lattices ⇒ heavy ρ ties),
+and genuinely concurrent clients hammering one service.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core.dpc import DensityPeakClustering
+from repro.indexes.registry import make_index
+from repro.serving.service import ClusteringService
+
+from tests.conftest import safe_dc
+
+#: ≥3 index families: one list-based exact, one cumulative-histogram, two
+#: tree-based, the uniform grid.
+FAMILIES = {
+    "ch": {"default_bins": 16},
+    "kdtree": {"leaf_size": 8},
+    "quadtree": {"capacity": 8},
+    "grid": {"target_occupancy": 4},
+}
+
+CORPORA = ("duplicates", "rho-ties", "mixed")
+
+
+def corpus(name: str) -> np.ndarray:
+    r = np.random.default_rng(hash(name) % (2**32))
+    if name == "duplicates":
+        base = r.normal(0.0, 1.0, size=(24, 2))
+        return np.concatenate([base, base, base[:12], r.normal(2.0, 1.0, size=(20, 2))])
+    if name == "rho-ties":
+        return r.integers(0, 5, size=(80, 2)).astype(np.float64)
+    if name == "mixed":
+        blob = r.normal(0.0, 0.6, size=(40, 2))
+        dup = np.round(r.normal(3.0, 0.5, size=(20, 2)), 1)
+        lattice = r.integers(-2, 2, size=(20, 2)).astype(np.float64)
+        return np.concatenate([blob, dup, dup[:10], lattice])
+    raise KeyError(name)
+
+
+def dc_grid(points: np.ndarray) -> list:
+    return [safe_dc(points, fraction) for fraction in (0.1, 0.3, 0.5)]
+
+
+def assert_served_equals_direct(served, reference, context=""):
+    np.testing.assert_array_equal(served.rho, reference.rho, err_msg=f"rho {context}")
+    np.testing.assert_array_equal(served.delta, reference.delta, err_msg=f"delta {context}")
+    np.testing.assert_array_equal(served.mu, reference.mu, err_msg=f"mu {context}")
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("corpus_name", CORPORA)
+def test_concurrent_served_responses_bit_identical(family, corpus_name):
+    """Concurrent clients × coalesced dispatch × cache: every response equals
+    the direct index call, first-hit and cache-hit alike."""
+    points = corpus(corpus_name)
+    direct = make_index(family, **FAMILIES[family]).fit(points)
+    dcs = dc_grid(points)
+    references = {
+        dc: {
+            "quantities": direct.quantities(dc),
+            "cluster": direct.cluster(dc, n_centers=3),
+        }
+        for dc in dcs
+    }
+
+    with ClusteringService(linger_ms=5.0) as service:
+        service.fit_snapshot("data", points, index=family, **FAMILIES[family])
+        # Two sequential waves over every (dc, op): wave 1 computes (with
+        # coalescing under genuine concurrency), wave 2 hits the cache.
+        jobs = [(dc, op) for dc in dcs for op in ("quantities", "cluster")]
+        outcomes = []
+        for _ in range(2):
+            barrier = threading.Barrier(len(jobs))
+
+            def run(job):
+                dc, op = job
+                barrier.wait()  # maximise genuine concurrency within a wave
+                kwargs = {"n_centers": 3} if op == "cluster" else {}
+                return job, service.submit("data", op, dc, **kwargs).result()
+
+            with ThreadPoolExecutor(len(jobs)) as pool:
+                outcomes.extend(pool.map(run, jobs))
+
+    hits = 0
+    for (dc, op), result in outcomes:
+        reference = references[dc][op]
+        hits += bool(result.meta["cache_hit"])
+        if op == "quantities":
+            assert_served_equals_direct(result.value, reference, f"{family}/{corpus_name}")
+        else:
+            assert_served_equals_direct(
+                result.value.quantities, reference.quantities, f"{family}/{corpus_name}"
+            )
+            np.testing.assert_array_equal(result.value.centers, reference.centers)
+            np.testing.assert_array_equal(result.value.labels, reference.labels)
+    # With every (dc, op) issued twice, memoisation must have fired at least
+    # once — and those hits were compared above like any other response.
+    assert hits >= 1
+
+
+@pytest.mark.parametrize("family", ("ch", "kdtree", "grid"))
+def test_served_matches_estimator_refit_many(family):
+    """The service agrees with the high-level DensityPeakClustering sweep."""
+    points = corpus("mixed")
+    dcs = dc_grid(points)
+    model = DensityPeakClustering(
+        index=family, n_centers=3, index_params=FAMILIES[family]
+    )
+    model.fit(points)
+    expected = model.refit_many(dcs)
+
+    with ClusteringService() as service:
+        service.fit_snapshot("data", points, index=family, **FAMILIES[family])
+        for dc, reference in zip(dcs, expected):
+            served = service.cluster("data", dc, n_centers=3).value
+            np.testing.assert_array_equal(served.labels, reference.labels)
+            np.testing.assert_array_equal(served.rho, reference.rho)
+            np.testing.assert_array_equal(served.delta, reference.delta)
+            np.testing.assert_array_equal(served.mu, reference.mu)
+
+
+def test_multi_snapshot_isolation():
+    """Requests against different snapshots never cross-contaminate, even
+    when interleaved through one coalescer and one cache."""
+    a_points = corpus("duplicates")
+    b_points = corpus("rho-ties")
+    dc_a, dc_b = safe_dc(a_points, 0.3), safe_dc(b_points, 0.3)
+    ref_a = make_index("kdtree", leaf_size=8).fit(a_points).cluster(dc_a, n_centers=3)
+    ref_b = make_index("grid", target_occupancy=4).fit(b_points).cluster(dc_b, n_centers=3)
+
+    with ClusteringService(linger_ms=5.0) as service:
+        service.fit_snapshot("a", a_points, index="kdtree", leaf_size=8)
+        service.fit_snapshot("b", b_points, index="grid", target_occupancy=4)
+        jobs = [("a", dc_a), ("b", dc_b)] * 6
+        barrier = threading.Barrier(len(jobs))
+
+        def run(job):
+            name, dc = job
+            barrier.wait()
+            return name, service.submit(name, "cluster", dc, n_centers=3).result()
+
+        with ThreadPoolExecutor(len(jobs)) as pool:
+            for name, result in pool.map(run, jobs):
+                reference = ref_a if name == "a" else ref_b
+                np.testing.assert_array_equal(result.value.labels, reference.labels)
+                np.testing.assert_array_equal(result.value.rho, reference.rho)
+
+
+@pytest.mark.parametrize("tie_break", ("id", "strict"))
+def test_tie_break_served_exactly(tie_break):
+    """Both density-tie conventions survive the serving path on a corpus
+    built to stress them."""
+    points = corpus("rho-ties")
+    dc = safe_dc(points, 0.3)
+    direct = make_index("ch", default_bins=16).fit(points)
+    reference = direct.quantities(dc, tie_break)
+    with ClusteringService() as service:
+        service.fit_snapshot("data", points, index="ch", default_bins=16)
+        served = service.quantities("data", dc, tie_break=tie_break).value
+        assert_served_equals_direct(served, reference, f"tie_break={tie_break}")

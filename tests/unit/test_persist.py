@@ -104,3 +104,74 @@ def test_metric_preserved(tmp_path, rng):
     restored = load_index(path)
     assert restored.metric.name == "manhattan"
     assert_quantities_equal(original.quantities(1.0), restored.quantities(1.0))
+
+
+class TestFingerprint:
+    """The content fingerprint the serving cache keys on (index_fingerprint)."""
+
+    @pytest.mark.parametrize("factory", ALL_FACTORIES)
+    def test_roundtrip_preserves_fingerprint(self, factory, blobs, tmp_path):
+        path = str(tmp_path / "fp.npz")
+        original = factory().fit(blobs)
+        save_index(original, path)
+        restored = load_index(path)
+        assert restored.fingerprint() == original.fingerprint()
+
+    def test_deterministic_across_refits(self, blobs):
+        a = KDTreeIndex(leaf_size=8).fit(blobs)
+        b = KDTreeIndex(leaf_size=8).fit(blobs.copy())
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_changes_with_points(self, blobs):
+        index = KDTreeIndex().fit(blobs)
+        before = index.fingerprint()
+        shifted = blobs.copy()
+        shifted[0, 0] += 1e-9  # a single-ulp-ish nudge must change identity
+        index.fit(shifted)
+        assert index.fingerprint() != before
+
+    def test_changes_with_params(self, blobs):
+        a = KDTreeIndex(leaf_size=8).fit(blobs)
+        b = KDTreeIndex(leaf_size=16).fit(blobs)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_differs_between_index_families(self, blobs):
+        a = KDTreeIndex().fit(blobs)
+        b = QuadtreeIndex().fit(blobs)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_unfitted_rejected(self):
+        from repro.indexes.persist import index_fingerprint
+
+        with pytest.raises(ValueError, match="unfitted"):
+            index_fingerprint(ListIndex())
+        with pytest.raises(RuntimeError, match="not fitted"):
+            ListIndex().fingerprint()
+
+    def test_stored_in_payload_and_verified(self, blobs, tmp_path):
+        import json
+
+        path = str(tmp_path / "fp.npz")
+        original = CHIndex(bin_width=0.4).fit(blobs)
+        save_index(original, path)
+        with np.load(path) as data:
+            meta = json.loads(str(data["meta"]))
+        assert meta["fingerprint"] == original.fingerprint()
+
+    def test_tampered_payload_rejected(self, blobs, tmp_path):
+        import json
+
+        path = str(tmp_path / "fp.npz")
+        save_index(KDTreeIndex().fit(blobs), path)
+        with np.load(path) as data:
+            meta = json.loads(str(data["meta"]))
+            arrays = {k: data[k] for k in data.files if k != "meta"}
+        arrays["points"] = arrays["points"] + 1.0  # tamper with the data
+        np.savez_compressed(path, meta=json.dumps(meta), **arrays)
+        with pytest.raises(ValueError, match="fingerprint mismatch"):
+            load_index(path)
+
+    def test_execution_backend_irrelevant(self, blobs):
+        a = GridIndex().fit(blobs)
+        b = GridIndex(backend="threads", n_jobs=2).fit(blobs)
+        assert a.fingerprint() == b.fingerprint()

@@ -1,0 +1,137 @@
+"""ResultCache: LRU order, TTL, fingerprint invalidation, the put guard."""
+
+import pytest
+
+from repro.serving.cache import ResultCache, result_key
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def key(fp="fp", dc=1.0, op="cluster", **kwargs):
+    return result_key(fp, op, dc, "id", **kwargs)
+
+
+class TestBasics:
+    def test_get_miss_then_hit(self):
+        cache = ResultCache(max_entries=4)
+        assert cache.get(key()) is None
+        assert cache.put(key(), "value")
+        assert cache.get(key()) == "value"
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+
+    def test_key_normalisation(self):
+        # int dc and float dc produce bit-identical results -> one entry.
+        cache = ResultCache()
+        cache.put(result_key("fp", "cluster", 1, "id"), "v")
+        assert cache.get(result_key("fp", "cluster", 1.0, "id")) == "v"
+
+    def test_quantities_key_ignores_selection_params(self):
+        # Selection/halo params don't change a quantities answer; stray
+        # values must not fragment the cache.
+        assert result_key("fp", "quantities", 1.0, "id", n_centers=5, halo=True) == \
+            result_key("fp", "quantities", 1.0, "id")
+        assert result_key("fp", "cluster", 1.0, "id", n_centers=5) != \
+            result_key("fp", "cluster", 1.0, "id")
+
+    def test_distinct_params_distinct_entries(self):
+        cache = ResultCache()
+        cache.put(key(dc=1.0), "a")
+        cache.put(key(dc=2.0), "b")
+        cache.put(key(dc=1.0, n_centers=3), "c")
+        cache.put(key(dc=1.0, halo=True), "d")
+        cache.put(key(dc=1.0, op="quantities"), "e")
+        assert len(cache) == 5
+        assert cache.get(key(dc=1.0)) == "a"
+
+    def test_zero_capacity_disables(self):
+        cache = ResultCache(max_entries=0)
+        assert not cache.put(key(), "value")
+        assert cache.get(key()) is None
+        assert len(cache) == 0
+
+
+class TestLRU:
+    def test_eviction_order(self):
+        cache = ResultCache(max_entries=2)
+        cache.put(key(dc=1.0), "a")
+        cache.put(key(dc=2.0), "b")
+        cache.get(key(dc=1.0))  # freshen a -> b is now LRU
+        cache.put(key(dc=3.0), "c")
+        assert cache.get(key(dc=2.0)) is None
+        assert cache.get(key(dc=1.0)) == "a"
+        assert cache.get(key(dc=3.0)) == "c"
+        assert cache.stats.evictions == 1
+
+    def test_overwrite_same_key_keeps_size(self):
+        cache = ResultCache(max_entries=2)
+        cache.put(key(), "a")
+        cache.put(key(), "b")
+        assert len(cache) == 1
+        assert cache.get(key()) == "b"
+
+
+class TestTTL:
+    def test_entries_expire(self):
+        clock = FakeClock()
+        cache = ResultCache(max_entries=4, ttl_seconds=10.0, clock=clock)
+        cache.put(key(), "value")
+        clock.now = 9.0
+        assert cache.get(key()) == "value"
+        clock.now = 10.5
+        assert cache.get(key()) is None
+        assert cache.stats.expirations == 1
+        assert len(cache) == 0
+
+    def test_no_ttl_never_expires(self):
+        clock = FakeClock()
+        cache = ResultCache(max_entries=4, ttl_seconds=None, clock=clock)
+        cache.put(key(), "value")
+        clock.now = 1e9
+        assert cache.get(key()) == "value"
+
+    def test_invalid_ttl_rejected(self):
+        with pytest.raises(ValueError, match="ttl_seconds"):
+            ResultCache(ttl_seconds=0)
+
+
+class TestInvalidation:
+    def test_invalidate_fingerprint_drops_only_its_entries(self):
+        cache = ResultCache()
+        cache.put(key(fp="old", dc=1.0), "a")
+        cache.put(key(fp="old", dc=2.0), "b")
+        cache.put(key(fp="new", dc=1.0), "c")
+        assert cache.invalidate_fingerprint("old") == 2
+        assert cache.get(key(fp="old", dc=1.0)) is None
+        assert cache.get(key(fp="new", dc=1.0)) == "c"
+        assert cache.stats.invalidations == 2
+
+    def test_guard_rejects_put(self):
+        cache = ResultCache()
+        assert not cache.put(key(), "stale", guard=lambda: False)
+        assert cache.get(key()) is None
+        assert cache.stats.rejected_puts == 1
+        assert cache.put(key(), "fresh", guard=lambda: True)
+        assert cache.get(key()) == "fresh"
+
+    def test_clear(self):
+        cache = ResultCache()
+        cache.put(key(), "value")
+        cache.clear()
+        assert len(cache) == 0
+
+
+def test_describe_shape():
+    cache = ResultCache(max_entries=8, ttl_seconds=60.0)
+    cache.put(key(), "value")
+    info = cache.describe()
+    assert info["entries"] == 1
+    assert info["max_entries"] == 8
+    assert info["ttl_seconds"] == 60.0
+    for field in ("hits", "misses", "evictions", "expirations", "invalidations"):
+        assert field in info
