@@ -1,0 +1,199 @@
+"""Bulk-build benchmark: direct FlatTree construction vs the object-graph fit.
+
+Times ``fit()`` for every tree family under both construction paths and
+records the end-to-end effect on the two production consumers of fast
+builds — :class:`~repro.extras.streaming.StreamingDPC` amortised rebuilds
+and :class:`~repro.serving.snapshots.SnapshotStore` fit-and-publish — to
+``BENCH_build.json``.  Two timings matter per family:
+
+* ``fit`` — ``fit(points)`` wall clock;
+* ``query_ready`` — time until the index can answer its first batched
+  query: for the bulk path that *is* ``fit`` (the flat image is the fit
+  product), for the objects path it is ``fit`` plus the lazy
+  ``flatten_tree`` every query path consumes since PR 2.
+
+The script exits non-zero if the bulk fit is slower than the object fit for
+any family at ``n >= 5000`` — the CI ``build-smoke`` regression gate.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_build.py --quick
+    PYTHONPATH=src python benchmarks/bench_build.py --n 20000 --repeats 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.datasets.loaders import load_dataset
+from repro.extras.streaming import StreamingDPC
+from repro.indexes.kdtree import KDTreeIndex
+from repro.indexes.quadtree import QuadtreeIndex
+from repro.indexes.rtree import RTreeIndex
+from repro.serving.snapshots import SnapshotStore
+
+FAMILIES: Dict[str, Callable] = {
+    "rtree": RTreeIndex,
+    "kdtree": KDTreeIndex,
+    "quadtree": QuadtreeIndex,
+}
+
+
+def _best_of(repeats: int, fn: Callable[[], float]) -> float:
+    # Best-of, like the other BENCH_* scripts: fit times are deterministic
+    # work, so the minimum is the least load-contaminated observation.
+    return min(fn() for _ in range(max(1, repeats)))
+
+
+def _timed(fn: Callable[[], None]) -> float:
+    t = time.perf_counter()
+    fn()
+    return time.perf_counter() - t
+
+
+def run(n: int = 20000, dataset: str = "s1", repeats: int = 5, seed: int = 0) -> dict:
+    ds = load_dataset(dataset, n=n, seed=seed)
+    points = ds.points
+    dc = float(min(ds.params.dc_grid))
+    report = {
+        "benchmark": "bulk_build_vs_objects",
+        "dataset": ds.name,
+        "n": int(ds.n),
+        "dc": dc,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "families": {},
+        "streaming": {},
+        "snapshot_publish": {},
+    }
+
+    for name, cls in FAMILIES.items():
+        objects_fit = _best_of(
+            repeats, lambda: _timed(lambda: cls(build="objects").fit(points))
+        )
+        # The objects path is not query-ready until the first query pays the
+        # lazy flatten; the bulk fit produces the flat image directly.
+        objects_ready = _best_of(
+            repeats,
+            lambda: _timed(lambda: cls(build="objects").fit(points)._flat_tree()),
+        )
+        bulk_fit = _best_of(
+            repeats, lambda: _timed(lambda: cls(build="bulk").fit(points))
+        )
+        # Exactness spot check rides along: one full quantities() run must be
+        # bit-identical across the two construction paths.
+        qa = cls(build="objects").fit(points).quantities(dc)
+        qb = cls(build="bulk").fit(points).quantities(dc)
+        np.testing.assert_array_equal(qa.rho, qb.rho)
+        np.testing.assert_array_equal(qa.delta, qb.delta)
+        np.testing.assert_array_equal(qa.mu, qb.mu)
+        report["families"][name] = {
+            "objects_fit_seconds": objects_fit,
+            "objects_query_ready_seconds": objects_ready,
+            "bulk_fit_seconds": bulk_fit,
+            "fit_speedup": objects_fit / bulk_fit if bulk_fit > 0 else float("inf"),
+            "query_ready_speedup": (
+                objects_ready / bulk_fit if bulk_fit > 0 else float("inf")
+            ),
+        }
+
+    # Streaming: feed the dataset in batches; the amortised rebuilds (each a
+    # full fit of the grown prefix) dominate, so the add() total tracks the
+    # construction path directly.
+    batch = max(1, n // 16)
+    for mode in ("objects", "bulk"):
+        def feed() -> float:
+            stream = StreamingDPC(index_factory=lambda: RTreeIndex(build=mode))
+            t = time.perf_counter()
+            for start in range(0, len(points), batch):
+                stream.add(points[start : start + batch])
+            seconds = time.perf_counter() - t
+            feed.rebuilds = stream.rebuild_count
+            return seconds
+
+        seconds = _best_of(max(1, repeats // 2), feed)
+        report["streaming"][mode] = {
+            "total_add_seconds": seconds,
+            "rebuilds": feed.rebuilds,
+            "batch": batch,
+        }
+    report["streaming"]["speedup"] = (
+        report["streaming"]["objects"]["total_add_seconds"]
+        / report["streaming"]["bulk"]["total_add_seconds"]
+    )
+
+    # Snapshot publish: fit-and-publish latency for a serving hot swap.
+    for mode in ("objects", "bulk"):
+        def publish() -> float:
+            store = SnapshotStore()
+            t = time.perf_counter()
+            store.fit("bench", points, index="rtree", build=mode)
+            return time.perf_counter() - t
+
+        report["snapshot_publish"][mode] = {
+            "fit_publish_seconds": _best_of(max(1, repeats // 2), publish)
+        }
+    report["snapshot_publish"]["speedup"] = (
+        report["snapshot_publish"]["objects"]["fit_publish_seconds"]
+        / report["snapshot_publish"]["bulk"]["fit_publish_seconds"]
+    )
+
+    report["gate"] = {
+        "n": int(ds.n),
+        "enforced": bool(ds.n >= 5000),
+        "ok": all(
+            row["fit_speedup"] > 1.0 for row in report["families"].values()
+        )
+        if ds.n >= 5000
+        else True,
+    }
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=20000)
+    parser.add_argument("--dataset", default="s1")
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="BENCH_build.json")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke size (n=5000, fewer repeats; the >=5k gate still runs)",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.n = min(args.n, 5000)
+        args.repeats = min(args.repeats, 3)
+    report = run(n=args.n, dataset=args.dataset, repeats=args.repeats, seed=args.seed)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    for name, row in report["families"].items():
+        print(
+            f"{name:10s} objects {row['objects_fit_seconds']*1e3:7.2f} ms "
+            f"(ready {row['objects_query_ready_seconds']*1e3:7.2f} ms)  "
+            f"bulk {row['bulk_fit_seconds']*1e3:6.2f} ms  "
+            f"-> {row['fit_speedup']:.2f}x fit, {row['query_ready_speedup']:.2f}x ready"
+        )
+    print(
+        f"streaming  {report['streaming']['speedup']:.2f}x   "
+        f"snapshot publish {report['snapshot_publish']['speedup']:.2f}x"
+    )
+    print(f"wrote {args.out}")
+    if not report["gate"]["ok"]:
+        print("GATE FAILED: bulk fit slower than the object path at n>=5k", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,7 +10,11 @@ moment.
 
 Cost: for n arrivals the index is rebuilt O(log_{f} n) times, so the total
 construction work stays within a constant factor of one final build — while
-every intermediate clustering is available.
+every intermediate clustering is available.  Each rebuild fits a fresh index
+through its construction path — the default tree families build their flat
+query image directly via the vectorised bulk builders
+(:mod:`repro.indexes.build`), which is what keeps the amortised rebuild (and
+the serving snapshot publish it triggers) cheap.
 
 This composes with every index; for the O(n²)-space list indexes the
 rebuild-factor also bounds wasted construction work, which is why the class

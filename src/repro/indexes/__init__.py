@@ -1,6 +1,12 @@
 """Index structures for DPC: list-based, histogram, approximate, and trees."""
 
 from repro.indexes.base import DPCIndex, IndexStats
+from repro.indexes.build import (
+    bulk_build_kdtree,
+    bulk_build_quadtree,
+    bulk_build_str,
+    tree_from_flat,
+)
 from repro.indexes.parallel import ExecutionBackend, plan_chunks
 from repro.indexes.list_index import ListIndex
 from repro.indexes.ch_index import CHIndex
@@ -30,4 +36,8 @@ __all__ = [
     "save_index",
     "load_index",
     "index_fingerprint",
+    "bulk_build_str",
+    "bulk_build_kdtree",
+    "bulk_build_quadtree",
+    "tree_from_flat",
 ]

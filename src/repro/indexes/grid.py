@@ -213,15 +213,25 @@ class GridIndex(DPCIndex):
     # -- δ query --------------------------------------------------------------------
 
     def _annotate_cell_maxrho(self, rho_rows: np.ndarray) -> np.ndarray:
-        """Per-cell density bounds, one scatter pass per density order.
+        """Per-cell density bounds for every order, one ``reduceat`` pass.
 
         ``rho_rows`` is ``(n_orders, n)``; returns ``(n_orders, ncells)``.
-        The grid analogue of the trees' maxrho annotation.
+        The grid analogue of the trees' maxrho annotation, reduced over the
+        cell-sorted CSR layout: gathering densities in ``self._ids`` order
+        makes every occupied cell a contiguous run, so one
+        ``np.maximum.reduceat`` per call annotates every order of a sweep at
+        once (empty cells keep ``-inf``) — the same bottom-up reduction shape
+        the trees use, replacing the per-order Python ``zip`` scatter loop.
         """
+        rho_rows = np.asarray(rho_rows, dtype=np.float64)
         nx, ny = self._shape
         maxrho = np.full((len(rho_rows), nx * ny), -np.inf, dtype=np.float64)
-        for row, rho in zip(maxrho, rho_rows):
-            np.maximum.at(row, self._cell_of, rho.astype(np.float64, copy=False))
+        occupied = np.flatnonzero(np.diff(self._offsets) > 0)
+        if len(occupied):
+            vals = rho_rows[:, self._ids]
+            maxrho[:, occupied] = np.maximum.reduceat(
+                vals, self._offsets[occupied], axis=1
+            )
         return maxrho
 
     def delta_all(self, order: DensityOrder) -> Tuple[np.ndarray, np.ndarray]:

@@ -22,6 +22,7 @@ from typing import ClassVar
 import numpy as np
 
 from repro.geometry.distance import Metric
+from repro.indexes.build import bulk_build_kdtree
 from repro.indexes.treebase import TreeIndexBase, TreeNode
 
 __all__ = ["KDTreeIndex"]
@@ -34,6 +35,14 @@ class KDTreeIndex(TreeIndexBase):
     ----------
     leaf_size:
         Maximum objects per leaf.
+    build:
+        ``"bulk"`` (default) builds the flat image level-by-level from
+        per-dimension presorted permutations
+        (:func:`repro.indexes.build.bulk_build_kdtree`); ``"objects"`` is
+        the recursive ``argpartition`` reference.  Same split rule, but
+        median *ties* may fall on different sides, so the two trees can
+        differ in shape on tie-heavy data — results are bit-identical
+        either way (the queries are exact over any valid tree).
     """
 
     name: ClassVar[str] = "kdtree"
@@ -45,22 +54,25 @@ class KDTreeIndex(TreeIndexBase):
         density_pruning: bool = True,
         distance_pruning: bool = True,
         frontier: str = "batched",
+        build: str = "bulk",
         backend: str = "serial",
         n_jobs: "int | None" = None,
         chunk_size: "int | None" = None,
     ):
         super().__init__(
-            metric, density_pruning, distance_pruning, frontier,
+            metric, density_pruning, distance_pruning, frontier, build,
             backend=backend, n_jobs=n_jobs, chunk_size=chunk_size,
         )
         if leaf_size < 1:
             raise ValueError(f"leaf_size must be >= 1, got {leaf_size}")
         self.leaf_size = leaf_size
 
-    def _build(self) -> None:
+    def _bulk_build(self):
+        return bulk_build_kdtree(self.points, self.leaf_size)
+
+    def _build_objects(self) -> TreeNode:
         ids = np.arange(len(self.points), dtype=np.int64)
-        self._root = self._build_node(ids)
-        self._root.finalize_counts()
+        return self._build_node(ids)
 
     def _build_node(self, ids: np.ndarray) -> TreeNode:
         pts = self.points[ids]

@@ -632,11 +632,19 @@ class FlatTree:
     batched engine advance whole ``(query, node)`` pair arrays one level per
     Python step and annotate ``maxrho`` bottom-up with one ``reduceat`` per
     level.  ``root`` keeps the source node so index re-fits invalidate the
-    cached flattening by identity.
+    cached flattening by identity; ``nodes`` (when present) is the ``TreeNode``
+    list in flat-id order, which is how the per-run ``maxrho`` annotation
+    scatters the vectorised :func:`flat_tree_maxrho` values back onto the
+    object graph for the per-object reference frontiers.
+
+    Images come from two producers: :func:`flatten_tree` (the object-graph
+    path) and the direct bulk builders in :mod:`repro.indexes.build`, which
+    construct these arrays straight from the point array without ever
+    materialising a ``TreeNode`` graph.
     """
 
     __slots__ = (
-        "root", "lo", "hi", "nc", "child_start", "child_count", "parent",
+        "root", "nodes", "lo", "hi", "nc", "child_start", "child_count", "parent",
         "leaf_start", "leaf_size", "leaf_ids", "leaf_node_of",
         "levels", "n_nodes",
     )
@@ -670,6 +678,7 @@ class FlatTree:
         """
         flat = cls()
         flat.root = None
+        flat.nodes = None
         flat.levels = [tuple(level) for level in levels]
         flat.n_nodes = int(n_nodes)
         for name in cls.ARRAY_FIELDS:
@@ -693,6 +702,7 @@ def flatten_tree(root) -> FlatTree:
     dim = len(root.lo)
     flat = FlatTree()
     flat.root = root
+    flat.nodes = nodes
     flat.n_nodes = n_nodes
     flat.levels = levels
     flat.lo = np.empty((n_nodes, dim), dtype=np.float64)

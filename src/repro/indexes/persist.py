@@ -5,12 +5,15 @@ The paper's Table 4 is the motivation: List/CH construction is
 across sessions wants to pay it once.  ``save_index`` writes a single
 ``.npz`` with the constructor parameters, the points, and — for the
 list-based indexes — the expensive precomputed arrays, so ``load_index``
-restores them without recomputation.  Tree and grid indexes rebuild from
-points at load time (their construction is ``O(n log n)``, usually cheaper
-than deserialising a pointer structure).
+restores them without recomputation.  Tree indexes persist their flattened
+:class:`~repro.indexes.kernels.FlatTree` image (the structure every query
+path consumes), so a load — and a serving cold start — skips both the
+rebuild and the re-flatten and is query-ready immediately.  The grid
+rebuilds from points at load time (one vectorised binning pass).
 
 Round-trip contract (tested): a loaded index answers every query exactly
-like the one that was saved.
+like the one that was saved, and a loaded flat image equals a fresh
+flatten/bulk-build of the stored points bit for bit.
 """
 
 from __future__ import annotations
@@ -23,9 +26,11 @@ import numpy as np
 
 from repro.indexes.base import DPCIndex
 from repro.indexes.ch_index import CHIndex
+from repro.indexes.kernels import FlatTree
 from repro.indexes.list_index import ListIndex
 from repro.indexes.registry import INDEX_CLASSES
 from repro.indexes.rn_list import RNCHIndex, RNListIndex
+from repro.indexes.treebase import TreeIndexBase
 
 __all__ = ["save_index", "load_index", "index_fingerprint"]
 
@@ -53,12 +58,15 @@ def _state_attrs(index: DPCIndex):
     return ()
 
 
-#: Runtime execution configuration (repro.indexes.parallel) is machine
-#: state, not index state: a payload built on a 64-core box must restore
-#: cleanly on a laptop, and results are bit-identical across backends
-#: anyway.  These keys are never written and are dropped defensively when
-#: found in a (hand-edited / future-version) file.
-_EXECUTION_PARAMS = ("backend", "n_jobs", "chunk_size")
+#: Runtime configuration is machine/session state, not index state: the
+#: execution backend (repro.indexes.parallel) because a payload built on a
+#: 64-core box must restore cleanly on a laptop, and the construction path
+#: (``build="bulk"|"objects"``) because results are bit-identical across
+#: both and a restored index does not rebuild at all.  These keys are never
+#: written and are dropped defensively when found in a (hand-edited /
+#: future-version) file.  Keeping ``build`` out of the params also keeps
+#: the fingerprint recipe unchanged across this PR.
+_EXECUTION_PARAMS = ("backend", "n_jobs", "chunk_size", "build")
 
 
 def _constructor_params(index: DPCIndex) -> Dict[str, Any]:
@@ -130,6 +138,32 @@ def index_fingerprint(index: DPCIndex) -> str:
     return digest.hexdigest()
 
 
+def _flat_digest(flat: FlatTree) -> str:
+    """SHA-256 over a flat tree image (levels + every array, fixed order).
+
+    The content fingerprint hashes family + params + points — enough when
+    every structure was rebuilt from those points on load.  A persisted
+    flat image is loaded verbatim instead, so it carries its own integrity
+    hash: without one, a payload with intact points but corrupted or
+    hand-edited ``flat*`` arrays would load cleanly and silently serve
+    wrong answers under a fingerprint honest snapshots share.  Like the
+    fingerprint, this is a keyless checksum — it catches corruption and
+    casual edits, not an adversary who recomputes the digest; snapshot
+    files are trusted inputs.
+    """
+    digest = hashlib.sha256()
+    digest.update(
+        json.dumps([[int(a), int(b)] for a, b in flat.levels]).encode()
+    )
+    for name in FlatTree.ARRAY_FIELDS:
+        value = np.ascontiguousarray(getattr(flat, name))
+        digest.update(name.encode())
+        digest.update(str(value.dtype).encode())
+        digest.update(json.dumps(list(value.shape)).encode())
+        digest.update(value.tobytes())
+    return digest.hexdigest()
+
+
 def save_index(index: DPCIndex, path: str) -> None:
     """Serialise a fitted index to ``path`` (a ``.npz`` file)."""
     if not index.is_fitted:
@@ -159,14 +193,27 @@ def save_index(index: DPCIndex, path: str) -> None:
         arrays[f"state{attr}"] = value
     if hasattr(index, "_big_delta"):
         meta["big_delta"] = float(index._big_delta)
+    if isinstance(index, TreeIndexBase):
+        # Persist the flattened query image: a load (serving cold start)
+        # then skips both the rebuild and the re-flatten.
+        flat = index._flat_tree()
+        for name in FlatTree.ARRAY_FIELDS:
+            arrays[f"flat{name}"] = getattr(flat, name)
+        meta["flat"] = {
+            "levels": [[int(a), int(b)] for a, b in flat.levels],
+            "n_nodes": int(flat.n_nodes),
+            "build": index.build_,
+            "digest": _flat_digest(flat),
+        }
     np.savez_compressed(path, meta=json.dumps(meta), **arrays)
 
 
 def load_index(path: str) -> DPCIndex:
     """Restore an index saved by :func:`save_index`.
 
-    List-based indexes come back without recomputation; tree/grid indexes
-    are rebuilt from the stored points with the stored parameters.
+    List-based indexes come back without recomputation; tree indexes
+    restore their persisted flat image (no rebuild, no re-flatten); the
+    grid rebuilds from the stored points with the stored parameters.
     """
     with np.load(path, allow_pickle=False) as data:
         meta = json.loads(str(data["meta"]))
@@ -184,6 +231,12 @@ def load_index(path: str) -> DPCIndex:
         points = data["points"]
         state_attrs = meta.get("state_attrs", [])
         state = {attr: data[f"state{attr}"] for attr in state_attrs}
+        flat_meta = meta.get("flat")
+        flat_arrays = (
+            {name_: data[f"flat{name_}"] for name_ in FlatTree.ARRAY_FIELDS}
+            if flat_meta is not None
+            else None
+        )
 
     index = cls(**params)
     if state:
@@ -195,6 +248,31 @@ def load_index(path: str) -> DPCIndex:
             setattr(index, attr, value)
         if "big_delta" in meta:
             index._big_delta = meta["big_delta"]
+        index.build_seconds = float(meta.get("build_seconds", float("nan")))
+    elif flat_arrays is not None and isinstance(index, TreeIndexBase):
+        # Restore the flat query image directly — no rebuild, no flatten.
+        index.points = np.ascontiguousarray(points, dtype=np.float64)
+        flat = FlatTree.from_arrays(
+            flat_arrays, flat_meta["levels"], flat_meta["n_nodes"]
+        )
+        # Every file that carries flat arrays carries their digest (no older
+        # format ever wrote them), so absence is as suspect as a mismatch —
+        # accepting it would let an edited payload skip the integrity check.
+        stored_digest = flat_meta.get("digest")
+        if stored_digest is None:
+            raise ValueError(
+                f"flat image in {path!r} has no integrity digest — file "
+                "corrupt or hand-edited"
+            )
+        actual_digest = _flat_digest(flat)
+        if actual_digest != stored_digest:
+            raise ValueError(
+                f"flat-image digest mismatch for {path!r}: stored "
+                f"{stored_digest[:12]}…, recomputed {actual_digest[:12]}… "
+                "— file corrupt or hand-edited"
+            )
+        index._flat = flat
+        index.build_ = flat_meta.get("build")
         index.build_seconds = float(meta.get("build_seconds", float("nan")))
     else:
         index.fit(points)

@@ -6,11 +6,15 @@ than ``capacity`` objects.  As the paper notes, the shape follows the *data
 distribution* — skewed data can make the tree deep and unbalanced, which is
 exactly the weakness the R-tree comparison (Section 4.2) targets.
 
-Construction here is bulk-recursive (equivalent to the paper's repeated
-insertion, but vectorised): partition the id array by quadrant with numpy
-masks and recurse.  ``nc`` is filled during construction; ``maxrho`` is
-annotated per clustering run by the shared machinery in
-:mod:`repro.indexes.treebase`, which also provides the Algorithm 5/6 queries.
+Construction defaults to the Morton-key bulk builder
+(:func:`repro.indexes.build.bulk_build_quadtree`): every point's full
+quadrant path is derived in one vectorised pass and a single sort groups
+all tree levels at once, producing the flattened query image directly.  The
+recursive mask-partition build (equivalent to the paper's repeated
+insertion) is kept as the ``build="objects"`` reference.  ``nc`` is filled
+during construction; ``maxrho`` is annotated per clustering run by the
+shared machinery in :mod:`repro.indexes.treebase`, which also provides the
+Algorithm 5/6 queries.
 """
 
 from __future__ import annotations
@@ -20,7 +24,7 @@ from typing import ClassVar, Optional
 import numpy as np
 
 from repro.geometry.distance import Metric
-from repro.geometry.rect import bounding_rect
+from repro.indexes.build import _padded_box, bulk_build_quadtree
 from repro.indexes.treebase import TreeIndexBase, TreeNode
 
 __all__ = ["QuadtreeIndex"]
@@ -36,6 +40,14 @@ class QuadtreeIndex(TreeIndexBase):
     max_depth:
         Hard recursion cap; duplicate-heavy data would otherwise split
         forever (the paper's worst case "height may become linear").
+    build:
+        ``"bulk"`` (default) derives every point's full quadrant path in a
+        single Morton-key pass (:func:`repro.indexes.build.bulk_build_quadtree`);
+        ``"objects"`` is the recursive mask-partition reference.  Quadrant
+        boundaries may differ by ulps between the two (grid arithmetic vs
+        repeated midpoint averaging), a legitimate shape difference —
+        results are bit-identical either way.  ``max_depth > 32`` exceeds
+        the Morton key and falls back to the object path.
     """
 
     name: ClassVar[str] = "quadtree"
@@ -49,12 +61,13 @@ class QuadtreeIndex(TreeIndexBase):
         density_pruning: bool = True,
         distance_pruning: bool = True,
         frontier: str = "batched",
+        build: str = "bulk",
         backend: str = "serial",
         n_jobs: "int | None" = None,
         chunk_size: "int | None" = None,
     ):
         super().__init__(
-            metric, density_pruning, distance_pruning, frontier,
+            metric, density_pruning, distance_pruning, frontier, build,
             backend=backend, n_jobs=n_jobs, chunk_size=chunk_size,
         )
         if capacity < 1:
@@ -64,18 +77,17 @@ class QuadtreeIndex(TreeIndexBase):
         self.capacity = capacity
         self.max_depth = max_depth
 
-    def _build(self) -> None:
+    def _bulk_build(self):
+        return bulk_build_quadtree(self.points, self.capacity, self.max_depth)
+
+    def _build_objects(self) -> TreeNode:
         points = self.points
-        rect = bounding_rect(points, pad=0.0)
         # A zero-extent axis (all points collinear) still needs a box with
-        # positive area for quadrant splitting; inflate degenerate sides.
-        extent = rect.hi - rect.lo
-        pad = np.where(extent == 0.0, 1.0, 0.0)
-        lo = rect.lo - pad
-        hi = rect.hi + pad
+        # positive area for quadrant splitting; inflate degenerate sides
+        # (shared with the bulk builder so both decompose the same region).
+        lo, hi = _padded_box(points)
         ids = np.arange(len(points), dtype=np.int64)
-        self._root = self._build_node(ids, lo, hi, depth=0)
-        self._root.finalize_counts()
+        return self._build_node(ids, lo, hi, depth=0)
 
     def _build_node(
         self, ids: np.ndarray, lo: np.ndarray, hi: np.ndarray, depth: int

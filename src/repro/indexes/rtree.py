@@ -25,6 +25,7 @@ from typing import ClassVar, List
 import numpy as np
 
 from repro.geometry.distance import Metric
+from repro.indexes.build import _str_order, bulk_build_str
 from repro.indexes.treebase import TreeIndexBase, TreeNode
 
 __all__ = ["RTreeIndex"]
@@ -54,6 +55,13 @@ class RTreeIndex(TreeIndexBase):
         defaults to ``⌈M/2⌉`` per Guttman's recommendation.
     packing:
         ``"str"`` or ``"dynamic"`` (see module docstring).
+    build:
+        ``"bulk"`` (default) — STR packing runs as the vectorised
+        level-synchronous builder (:func:`repro.indexes.build.bulk_build_str`),
+        producing a flat image node-for-node identical to the object-graph
+        STR build.  Dynamic packing has no bulk path and always uses the
+        object-graph insertion, whatever ``build`` says (``build_`` records
+        the resolved path).
     """
 
     name: ClassVar[str] = "rtree"
@@ -67,12 +75,13 @@ class RTreeIndex(TreeIndexBase):
         density_pruning: bool = True,
         distance_pruning: bool = True,
         frontier: str = "batched",
+        build: str = "bulk",
         backend: str = "serial",
         n_jobs: int | None = None,
         chunk_size: int | None = None,
     ):
         super().__init__(
-            metric, density_pruning, distance_pruning, frontier,
+            metric, density_pruning, distance_pruning, frontier, build,
             backend=backend, n_jobs=n_jobs, chunk_size=chunk_size,
         )
         if max_entries < 2:
@@ -89,12 +98,15 @@ class RTreeIndex(TreeIndexBase):
             )
         self.packing = packing
 
-    def _build(self) -> None:
+    def _bulk_build(self):
+        if self.packing != "str":
+            return None  # dynamic insertion is inherently per-object
+        return bulk_build_str(self.points, self.max_entries)
+
+    def _build_objects(self) -> TreeNode:
         if self.packing == "str":
-            self._root = self._build_str()
-        else:
-            self._root = self._build_dynamic()
-        self._root.finalize_counts()
+            return self._build_str()
+        return self._build_dynamic()
 
     # -- STR bulk loading ------------------------------------------------------
 
@@ -152,22 +164,13 @@ class RTreeIndex(TreeIndexBase):
         return level[0]
 
     def _str_order(self, centers: np.ndarray, d: int) -> np.ndarray:
-        """STR ordering of node centres (sort-tile on successive dimensions)."""
-        idx = np.arange(len(centers), dtype=np.int64)
+        """STR ordering of node centres (sort-tile on successive dimensions).
 
-        def tile(sub: np.ndarray, dim: int) -> List[np.ndarray]:
-            if len(sub) <= self.max_entries or dim == d - 1:
-                return [sub[np.argsort(centers[sub, dim % d], kind="stable")]]
-            n_groups = math.ceil(len(sub) / self.max_entries)
-            s = math.ceil(n_groups ** (1.0 / (d - dim)))
-            slab = math.ceil(len(sub) / s)
-            order = sub[np.argsort(centers[sub, dim], kind="stable")]
-            out: List[np.ndarray] = []
-            for start in range(0, len(order), slab):
-                out.extend(tile(order[start : start + slab], dim + 1))
-            return out
-
-        return np.concatenate(tile(idx, 0))
+        One authoritative implementation, shared with the bulk builder —
+        the node-for-node STR identity contract depends on both paths
+        grouping through the exact same slab arithmetic.
+        """
+        return _str_order(centers, self.max_entries)
 
     # -- dynamic Guttman insertion ------------------------------------------------
 

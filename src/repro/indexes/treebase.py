@@ -31,6 +31,13 @@ best-first frontier can be the batched engine (default), a per-object heap
 paper's original per-object ordered stack.  ``"heap"``/``"stack"`` are the
 verbatim per-object reference paths the batched engine is property-tested
 against.
+
+Construction mirrors the same batched-vs-reference split: ``build="bulk"``
+(default) constructs the flattened query image directly from the point
+array (:mod:`repro.indexes.build` — no ``TreeNode`` graph on the hot path),
+``build="objects"`` keeps the original per-node builders; the object graph
+materialises lazily from the flat image when the reference frontiers or
+structure introspection need it.
 """
 
 from __future__ import annotations
@@ -95,15 +102,28 @@ class TreeNode:
         return Rect(self.lo, self.hi)
 
     def finalize_counts(self) -> int:
-        """Fill ``nc`` bottom-up and cache tuple boxes; returns the count."""
-        self.lo_t = tuple(float(v) for v in self.lo)
-        self.hi_t = tuple(float(v) for v in self.hi)
-        if self.children is not None:
-            self.nc = sum(child.finalize_counts() for child in self.children)
-        else:
-            # Leaf ids may have been assigned after construction (the dynamic
-            # R-tree buffers them); recompute rather than trusting __init__.
-            self.nc = int(len(self.ids)) if self.ids is not None else 0
+        """Fill ``nc`` bottom-up and cache tuple boxes; returns the count.
+
+        Iterative (explicit post-order stack): dynamic-insertion orders can
+        produce trees whose depth exceeds the Python recursion limit, and
+        finalisation must never be the thing that dies on them.
+        """
+        stack: List[Tuple["TreeNode", bool]] = [(self, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                node.nc = sum(child.nc for child in node.children)
+                continue
+            node.lo_t = tuple(float(v) for v in node.lo)
+            node.hi_t = tuple(float(v) for v in node.hi)
+            if node.children is not None:
+                stack.append((node, True))
+                stack.extend((child, False) for child in node.children)
+            else:
+                # Leaf ids may have been assigned after construction (the
+                # dynamic R-tree buffers them); recompute rather than
+                # trusting __init__.
+                node.nc = int(len(node.ids)) if node.ids is not None else 0
         return self.nc
 
     def iter_nodes(self):
@@ -116,10 +136,18 @@ class TreeNode:
                 stack.extend(node.children)
 
     def height(self) -> int:
-        """Leaf = 1."""
-        if self.children is None:
-            return 1
-        return 1 + max(child.height() for child in self.children)
+        """Leaf = 1.  Iterative (level frontier) — recursion-limit safe."""
+        height = 0
+        frontier: List["TreeNode"] = [self]
+        while frontier:
+            height += 1
+            frontier = [
+                child
+                for node in frontier
+                if node.children is not None
+                for child in node.children
+            ]
+        return height
 
 
 class TreeIndexBase(DPCIndex):
@@ -140,6 +168,20 @@ class TreeIndexBase(DPCIndex):
         per-object best-first via priority queue; ``"stack"`` — the paper's
         Algorithm 6 ordered stack (children pushed best-last so the nearest
         is popped first).  All three produce bit-identical (δ, μ).
+    build:
+        ``"bulk"`` (default) — construct the flattened
+        :class:`~repro.indexes.kernels.FlatTree` image directly from the
+        point array with the vectorised builders of
+        :mod:`repro.indexes.build`; no ``TreeNode`` graph is materialised
+        unless something asks for it (``root``, the per-object reference
+        frontiers).  ``"objects"`` — the original per-node Python
+        construction, kept as the property-tested reference.  ρ/δ/μ/labels/
+        halo are bit-identical across both; probe counters agree wherever
+        the tree shape does (always for STR, which is node-for-node
+        identical).  ``build`` is a runtime knob like ``backend`` — it is
+        never serialised and does not enter the content fingerprint.  The
+        fit-resolved path lives in ``build_`` (a config may fall back, e.g.
+        a dynamic-packing R-tree has no bulk path).
     backend, n_jobs, chunk_size:
         Query-execution policy (:mod:`repro.indexes.parallel`).  The ρ
         query and the batched δ frontier shard over query chunks against
@@ -153,6 +195,7 @@ class TreeIndexBase(DPCIndex):
         density_pruning: bool = True,
         distance_pruning: bool = True,
         frontier: str = "batched",
+        build: str = "bulk",
         backend: "str" = "serial",
         n_jobs: Optional[int] = None,
         chunk_size: Optional[int] = None,
@@ -167,18 +210,50 @@ class TreeIndexBase(DPCIndex):
             raise ValueError(
                 f"frontier must be 'batched', 'heap' or 'stack', got {frontier!r}"
             )
+        if build not in ("bulk", "objects"):
+            raise ValueError(f"build must be 'bulk' or 'objects', got {build!r}")
         self.density_pruning = density_pruning
         self.distance_pruning = distance_pruning
         self.frontier = frontier
+        self.build = build
+        self.build_: Optional[str] = None  # resolved per fit (or on load)
         self._root: Optional[TreeNode] = None
-        self._flat = None  # lazy FlatTree cache, keyed on root identity
+        self._flat = None  # FlatTree image (built at fit in bulk mode)
+        self._root_views_flat = False  # nodes borrow the flat arrays
 
-    def fit(self, points: np.ndarray) -> "TreeIndexBase":
-        # Drop the flattened image of the previous tree immediately: keeping
-        # it until the next query would pin the old TreeNode graph (and its
-        # flat arrays) in memory across the refit.
+    # -- construction routing ----------------------------------------------------
+
+    def _build(self) -> None:
+        """Template: bulk image by default, object graph as reference.
+
+        Subclasses provide ``_build_objects()`` (the verbatim per-node
+        construction, returning the root) and ``_bulk_build()`` (a
+        :class:`~repro.indexes.kernels.FlatTree`, or ``None`` when the
+        family/configuration has no bulk path — e.g. dynamic R-tree
+        packing, quadtrees deeper than a Morton key can encode).
+        """
+        # Drop the previous tree's structures only now — after fit()'s
+        # validation has accepted the new points (a rejected refit must
+        # leave the old fitted state queryable) — but before the new build
+        # allocates, so two trees are never pinned at once.
         self._flat = None
-        return super().fit(points)
+        self._root = None
+        self._root_views_flat = False
+        flat = self._bulk_build() if self.build == "bulk" else None
+        if flat is None:
+            root = self._build_objects()
+            root.finalize_counts()
+            self._root = root
+            self.build_ = "objects"
+        else:
+            self._flat = flat
+            self.build_ = "bulk"
+
+    def _build_objects(self) -> TreeNode:
+        raise NotImplementedError
+
+    def _bulk_build(self):
+        return None
 
     # -- bound-function selection -------------------------------------------------
 
@@ -245,35 +320,40 @@ class TreeIndexBase(DPCIndex):
     # -- per-run annotation ------------------------------------------------------
 
     def _annotate_maxrho(self, rho: np.ndarray) -> None:
-        """Post-order maxrho fill (the paper's pre-pass before Algorithm 6).
+        """Per-run maxrho fill (the paper's pre-pass before Algorithm 6).
 
-        Dtype-agnostic: integer ρ (Eq. 1 counts) and real-valued ρ (the
-        kernel/kNN variants in :mod:`repro.extras.variants`) both work.
-        Serves the per-object reference frontiers; the batched engine runs
-        the same reduction over the flattened tree
-        (:func:`repro.indexes.kernels.flat_tree_maxrho`) so a multi-``dc``
-        sweep annotates every order in one vectorised pass.
+        Runs as a bottom-up level-ordered segment reduction over the flat
+        image (:func:`repro.indexes.kernels.flat_tree_maxrho` — one
+        ``reduceat`` per tree level, the same pass the batched engine and
+        multi-``dc`` sweeps use), then scatters the per-node values onto the
+        ``TreeNode`` graph for the per-object reference frontiers.  The old
+        Python ``max(child.maxrho ...)`` walk — one numpy reduction per leaf,
+        repeated for every density order — is gone.  Dtype-agnostic:
+        integer ρ (Eq. 1 counts) and real-valued ρ (the kernel/kNN variants
+        in :mod:`repro.extras.variants`) both work (int64 ρ is exact in
+        float64 for any feasible n).
         """
-        root = self._root
-        stack: List[Tuple[TreeNode, bool]] = [(root, False)]
-        while stack:
-            node, expanded = stack.pop()
-            if node.is_leaf:
-                node.maxrho = rho[node.ids].max() if len(node.ids) else -np.inf
-            elif expanded:
-                node.maxrho = max(child.maxrho for child in node.children)
-            else:
-                stack.append((node, True))
-                stack.extend((child, False) for child in node.children)
+        self.root  # materialises the object graph (and flat.nodes) if needed
+        flat = self._flat_tree()
+        nodes = flat.nodes
+        if nodes is None:  # every producer fills it: flatten_tree/tree_from_flat
+            raise RuntimeError("flat image has no node list; tree not materialised")
+        vals = flat_tree_maxrho(flat, np.asarray(rho, dtype=np.float64)[None, :])[0]
+        for node, v in zip(nodes, vals.tolist()):
+            node.maxrho = v
 
     def _flat_tree(self):
         """The cached :class:`~repro.indexes.kernels.FlatTree` of this fit.
 
-        Re-fits build a fresh root, so the cache is keyed on root identity.
+        In bulk mode the image *is* the fit product; in objects mode it is
+        flattened lazily on first use.  Re-fits build fresh structures, so a
+        stale object-graph flattening is detected by root identity.
         """
-        root = self.root
-        if self._flat is None or self._flat.root is not root:
-            self._flat = flatten_tree(root)
+        self._require_fitted()
+        if self._flat is None:
+            self._flat = flatten_tree(self.root)
+        elif self._flat.root is not None and self._flat.root is not self._root:
+            self._flat = flatten_tree(self.root)
         return self._flat
 
     # -- sharded-execution image (repro.indexes.parallel) ---------------------------
@@ -478,29 +558,52 @@ class TreeIndexBase(DPCIndex):
 
     @property
     def root(self) -> TreeNode:
+        """The object-graph root; bulk-built fits materialise it lazily.
+
+        The flat image is the query-serving structure — only the per-object
+        reference frontiers and structure introspection need ``TreeNode``
+        objects, so a bulk fit defers (and usually never pays) this cost.
+        """
         if self._root is None:
-            raise RuntimeError(f"{type(self).__name__} is not fitted")
+            if self._flat is not None:
+                from repro.indexes.build import tree_from_flat
+
+                self._root = tree_from_flat(self._flat)
+                self._flat.root = self._root
+                self._root_views_flat = True  # nodes borrow the flat arrays
+            else:
+                raise RuntimeError(f"{type(self).__name__} is not fitted")
         return self._root
 
     def node_count(self) -> int:
+        if self._flat is not None:  # O(1) whenever the image exists
+            return int(self._flat.n_nodes)
         return sum(1 for _ in self.root.iter_nodes())
 
     def height(self) -> int:
+        if self._flat is not None:
+            return len(self._flat.levels)
         return self.root.height()
 
     def memory_bytes(self) -> int:
-        """Boxes + child pointers + leaf id arrays, per node — plus the
-        flattened engine image once a query has materialised it."""
-        if self._root is None:
-            return 0
+        """Flat engine image, plus the object graph where materialised.
+
+        A graph materialised *from* the flat image borrows its arrays
+        (``tree_from_flat`` nodes hold views), so only the per-node object
+        overhead is added then — the array bytes are already counted once
+        in the image.
+        """
         total = 0
-        for node in self._root.iter_nodes():
-            total += node.lo.nbytes + node.hi.nbytes
-            total += 64  # object header + slot pointers (approximation)
-            if node.ids is not None:
-                total += node.ids.nbytes
-            if node.children is not None:
-                total += 8 * len(node.children)
         if self._flat is not None:
             total += self._flat.nbytes()
+        if self._root is not None:
+            owns_arrays = not self._root_views_flat
+            for node in self._root.iter_nodes():
+                total += 64  # object header + slot pointers (approximation)
+                if owns_arrays:
+                    total += node.lo.nbytes + node.hi.nbytes
+                    if node.ids is not None:
+                        total += node.ids.nbytes
+                if node.children is not None:
+                    total += 8 * len(node.children)
         return total

@@ -154,22 +154,62 @@ class TestStatsBookkeeping:
 
 
 class TestFlatTreeLifecycle:
-    def test_memory_bytes_counts_flat_image(self, blobs):
+    def test_bulk_fit_builds_flat_image_up_front(self, blobs):
         index = RTreeIndex().fit(blobs)
+        assert index.build_ == "bulk"
+        assert index._flat is not None  # the image *is* the fit product
+        assert index._root is None  # no object graph materialised by fit...
+        index.quantities(0.5)
+        assert index._root is None  # ...nor by the batched queries
+
+    def test_objects_memory_bytes_counts_flat_image(self, blobs):
+        index = RTreeIndex(build="objects").fit(blobs)
         before = index.memory_bytes()
-        index.quantities(0.5)  # materialises the FlatTree
+        index.quantities(0.5)  # materialises the FlatTree lazily
         after = index.memory_bytes()
         assert after > before
         assert after - before == index._flat.nbytes()
 
-    def test_refit_drops_flat_cache(self, blobs):
-        index = RTreeIndex().fit(blobs)
+    def test_refit_drops_flat_cache_objects(self, blobs):
+        index = RTreeIndex(build="objects").fit(blobs)
         index.quantities(0.5)
         assert index._flat is not None
         index.fit(blobs * 2.0)
         assert index._flat is None  # old tree not pinned across refits
         index.quantities(0.5)
         assert index._flat.root is index.root
+
+    def test_refit_replaces_flat_image_bulk(self, blobs):
+        index = RTreeIndex().fit(blobs)
+        stale = index._flat
+        index.fit(blobs * 2.0)
+        assert index._flat is not stale  # old image not pinned across refits
+        assert index._flat is not None
+
+    def test_materialised_graph_does_not_double_count_flat_arrays(self, blobs):
+        """tree_from_flat nodes are views into the flat arrays; only the
+        per-node object overhead may be added on top of the image."""
+        index = RTreeIndex().fit(blobs)
+        before = index.memory_bytes()
+        assert before == index._flat.nbytes()
+        n_nodes = index.node_count()
+        index.root  # materialise the object graph from the image
+        added = index.memory_bytes() - before
+        assert added == 64 * n_nodes + 8 * (n_nodes - 1)
+
+    def test_rejected_refit_leaves_index_queryable(self, blobs):
+        """Regression: clearing the tree before fit() validation ran left a
+        previously-fitted index answering nothing after a bad refit call."""
+        index = RTreeIndex().fit(blobs)
+        expected = index.quantities(0.5)
+        import numpy as np
+        import pytest
+
+        with pytest.raises(ValueError):
+            index.fit(np.empty((0, 2)))
+        got = index.quantities(0.5)
+        np.testing.assert_array_equal(expected.rho, got.rho)
+        np.testing.assert_array_equal(expected.delta, got.delta)
 
     def test_refit_drops_shard_pack_with_flat_cache(self, blobs):
         """Regression: the FlatTree cache is counted by memory_bytes and was
@@ -182,8 +222,9 @@ class TestFlatTreeLifecycle:
             first = index.quantities(0.5)
             assert index._shard_pack is not None
             stale_pack = index._shard_pack
+            stale_flat = index._flat
             index.fit(blobs * 2.0)
-            assert index._flat is None
+            assert index._flat is not stale_flat
             assert index._shard_pack is None
             assert stale_pack._finalizer.alive is False  # unlinked, not leaked
             got = index.quantities(0.5)
