@@ -137,6 +137,16 @@ def main(argv=None) -> str:
     )
     parser.add_argument("--out", default="BENCH_parallel.json")
     parser.add_argument(
+        "--gate",
+        type=float,
+        default=None,
+        help="fail unless the best method reaches this speedup at --gate-jobs "
+        "workers; skipped (exit 0) when fewer usable CPUs than --gate-jobs",
+    )
+    parser.add_argument(
+        "--gate-jobs", type=int, default=4, help="worker count the gate checks"
+    )
+    parser.add_argument(
         "--quick", action="store_true", help="tiny CI smoke size (n=1200, jobs=2)"
     )
     args = parser.parse_args(argv)
@@ -162,6 +172,31 @@ def main(argv=None) -> str:
         f"wrote {args.out} (cpu_count={record['cpu_count']}, "
         f"usable={record['usable_cpus']})"
     )
+    if args.gate is not None:
+        if record["usable_cpus"] < args.gate_jobs:
+            print(
+                f"gate skipped: {record['usable_cpus']} usable CPUs < "
+                f"{args.gate_jobs} workers — a core-starved box cannot show "
+                "real scaling"
+            )
+            return args.out
+        speedups = [
+            cell["speedup"]
+            for row in record["methods"].values()
+            for j, cell in row["parallel"].items()
+            if int(j) == args.gate_jobs and cell["speedup"] is not None
+        ]
+        best = max(speedups, default=0.0)
+        if best < args.gate:
+            import sys
+
+            print(
+                f"GATE FAILED: best speedup {best:.2f}x at {args.gate_jobs} "
+                f"workers is below {args.gate:.1f}x",
+                file=sys.stderr,
+            )
+            raise SystemExit(1)
+        print(f"gate passed: best {best:.2f}x >= {args.gate:.1f}x at {args.gate_jobs} workers")
     return args.out
 
 

@@ -1,0 +1,271 @@
+"""Streaming maintenance benchmark: LSM delta segments vs amortised rebuild.
+
+Replays one batch schedule through two maintenance strategies, keeping the
+stream **exactly queryable** after every batch (each checkpoint computes
+full (ρ, δ, μ) — the continuous-clustering scenario the paper's check-in
+datasets motivate):
+
+* **delta** — the live path: :class:`repro.extras.StreamingDPC`, every
+  batch folds into the index's sorted side image
+  (:meth:`~repro.indexes.base.DPCIndex.add_points`), checkpoints answer
+  through the (base, delta) pair kernels, compaction is a sorted merge;
+* **rebuild** — the strategy this PR replaced: buffer arrivals, refit
+  from scratch when the buffer outgrows ``rebuild_factor`` times the
+  index, and answer checkpoints that catch a non-empty buffer by the
+  brute-force patch the old ``StreamingDPC.quantities`` used (an O(n²)
+  pass over the combined set — exact, but paid on every such query).
+
+Both follow the identical trigger policy and answer the identical
+checkpoints exactly, so the measured gap is the cost of *staying exactly
+queryable while ingesting*.  Appends a record to ``BENCH_streaming.json``
+(a list — the perf trajectory file).  With ``--gate MIN`` the process
+exits non-zero unless the delta path is at least ``MIN`` times faster
+end-to-end, which is how CI pins the win down.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_streaming_ingest.py --quick
+    PYTHONPATH=src python benchmarks/bench_streaming_ingest.py --n 20000 --gate 3.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.core.baseline import naive_quantities
+from repro.datasets.loaders import load_dataset
+from repro.extras.streaming import StreamingDPC
+from repro.indexes.kdtree import KDTreeIndex
+from repro.indexes.quadtree import QuadtreeIndex
+from repro.indexes.rtree import RTreeIndex
+
+METHODS: Dict[str, Callable] = {
+    "rtree": RTreeIndex,
+    "kdtree": KDTreeIndex,
+    "quadtree": QuadtreeIndex,
+}
+
+
+def delta_run(
+    batches: List[np.ndarray],
+    factory: Callable,
+    dc: float,
+    rebuild_factor: float,
+    min_buffer: int,
+    query_every: int,
+) -> dict:
+    stream = StreamingDPC(
+        index_factory=factory, rebuild_factor=rebuild_factor, min_buffer=min_buffer
+    )
+    rhos = []
+    t0 = time.perf_counter()
+    for i, batch in enumerate(batches, start=1):
+        stream.add(batch)
+        if i % query_every == 0 or i == len(batches):
+            rhos.append(stream.quantities(dc).rho)
+    seconds = time.perf_counter() - t0
+    return {
+        "seconds": seconds,
+        "compactions": stream.rebuild_count - 1,
+        "final_delta": stream.n_buffered,
+        "n": stream.n,
+        "queries": len(rhos),
+        "_rhos": rhos,
+    }
+
+
+def _patched_quantities(index, buffer: np.ndarray, dc: float):
+    """The old ``StreamingDPC.quantities`` buffer patch, verbatim in spirit:
+    ρ of the indexed prefix through the index plus cross-counts, then the
+    exact δ/μ via a naive O(n²) pass over the combined set."""
+    points = np.concatenate([index.points, buffer])
+    metric = index.metric
+    n_idx = index.n
+    rho = np.empty(len(points), dtype=np.int64)
+    rho[:n_idx] = index.rho_all(dc)
+    cross = metric.cross(buffer, points)
+    for i in range(len(buffer)):
+        rho[n_idx + i] = int((cross[i] < dc).sum()) - 1  # minus self
+    rho[:n_idx] += (cross[:, :n_idx] < dc).sum(axis=0)
+    return naive_quantities(points, dc, metric=metric, rho=rho)
+
+
+def rebuild_run(
+    batches: List[np.ndarray],
+    factory: Callable,
+    dc: float,
+    rebuild_factor: float,
+    min_buffer: int,
+    query_every: int,
+) -> dict:
+    index = None
+    buffered: List[np.ndarray] = []
+    n_buffered = 0
+    rebuilds = 0
+    rhos = []
+    t0 = time.perf_counter()
+    for i, batch in enumerate(batches, start=1):
+        if index is None:
+            index = factory().fit(batch)
+            rebuilds += 1
+        else:
+            buffered.append(batch)
+            n_buffered += len(batch)
+            if n_buffered >= min_buffer and n_buffered > rebuild_factor * index.n:
+                index = factory().fit(np.concatenate([index.points, *buffered]))
+                buffered = []
+                n_buffered = 0
+                rebuilds += 1
+        if i % query_every == 0 or i == len(batches):
+            if n_buffered:
+                rhos.append(_patched_quantities(index, np.concatenate(buffered), dc).rho)
+            else:
+                rhos.append(index.quantities(dc).rho)
+    seconds = time.perf_counter() - t0
+    return {
+        "seconds": seconds,
+        "rebuilds": rebuilds,
+        "final_buffer": n_buffered,
+        "n": index.n + n_buffered,
+        "queries": len(rhos),
+        "_rhos": rhos,
+    }
+
+
+def run(
+    n: int = 20000,
+    dataset: str = "gowalla",
+    dc: "float | None" = None,
+    batch_size: int = 500,
+    rebuild_factor: float = 0.5,
+    min_buffer: int = 64,
+    query_every: int = 4,
+    seed: int = 0,
+    indexes: "tuple[str, ...] | None" = None,
+) -> dict:
+    ds = load_dataset(dataset, n=n, seed=seed)
+    dc = float(dc) if dc is not None else float(min(ds.params.dc_grid))
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(ds.n)
+    batches = [
+        ds.points[order[start : start + batch_size]]
+        for start in range(0, ds.n, batch_size)
+    ]
+    record = {
+        "benchmark": "streaming_ingest",
+        "dataset": ds.name,
+        "n": int(ds.n),
+        "dc": dc,
+        "batch_size": batch_size,
+        "n_batches": len(batches),
+        "query_every": query_every,
+        "rebuild_factor": rebuild_factor,
+        "min_buffer": min_buffer,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "methods": {},
+    }
+    for name in indexes or tuple(METHODS):
+        factory = METHODS[name]
+        delta = delta_run(batches, factory, dc, rebuild_factor, min_buffer, query_every)
+        rebuild = rebuild_run(
+            batches, factory, dc, rebuild_factor, min_buffer, query_every
+        )
+        assert delta["n"] == rebuild["n"] == ds.n
+        # Both strategies answered the identical checkpoints — and exactly.
+        for qa, qb in zip(delta.pop("_rhos"), rebuild.pop("_rhos")):
+            np.testing.assert_array_equal(qa, qb)
+        record["methods"][name] = {
+            "delta": delta,
+            "rebuild": rebuild,
+            "speedup": rebuild["seconds"] / delta["seconds"]
+            if delta["seconds"] > 0
+            else None,
+        }
+    return record
+
+
+def append_record(record: dict, path: str) -> None:
+    """Append ``record`` to the JSON list at ``path`` (created if missing)."""
+    records = []
+    if os.path.exists(path):
+        with open(path) as fh:
+            existing = json.load(fh)
+        records = existing if isinstance(existing, list) else [existing]
+    records.append(record)
+    with open(path, "w") as fh:
+        json.dump(records, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=20000)
+    parser.add_argument("--dataset", default="gowalla")
+    parser.add_argument("--dc", type=float, default=None)
+    parser.add_argument("--batch-size", type=int, default=500)
+    parser.add_argument("--rebuild-factor", type=float, default=0.5)
+    parser.add_argument("--min-buffer", type=int, default=64)
+    parser.add_argument("--query-every", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--indexes", default=None, help="comma-separated subset of " + ",".join(METHODS)
+    )
+    parser.add_argument("--out", default="BENCH_streaming.json")
+    parser.add_argument(
+        "--gate",
+        type=float,
+        default=None,
+        help="fail unless every measured index's delta path is at least "
+        "this many times faster than the rebuild baseline",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="tiny CI smoke size (n=2000)"
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.n = min(args.n, 2000)
+        args.batch_size = min(args.batch_size, 200)
+    indexes = tuple(args.indexes.split(",")) if args.indexes else None
+    record = run(
+        n=args.n,
+        dataset=args.dataset,
+        dc=args.dc,
+        batch_size=args.batch_size,
+        rebuild_factor=args.rebuild_factor,
+        min_buffer=args.min_buffer,
+        query_every=args.query_every,
+        seed=args.seed,
+        indexes=indexes,
+    )
+    append_record(record, args.out)
+    failed = []
+    for name, row in record["methods"].items():
+        print(
+            f"{name:10s} delta {row['delta']['seconds']:.3f}s "
+            f"({row['delta']['compactions']} compactions)  "
+            f"rebuild {row['rebuild']['seconds']:.3f}s "
+            f"({row['rebuild']['rebuilds']} refits)  "
+            f"speedup {row['speedup']:.2f}x"
+        )
+        if args.gate is not None and row["speedup"] < args.gate:
+            failed.append(name)
+    print(f"wrote {args.out}")
+    if failed:
+        print(f"GATE FAILED: {', '.join(failed)} below {args.gate:.1f}x", file=sys.stderr)
+        return 1
+    if args.gate is not None:
+        print(f"gate passed: all >= {args.gate:.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,43 +1,77 @@
-"""Streaming clustering of arriving check-ins (extension).
+"""Live evolving-hotspot clustering of a check-in stream (extension).
 
-The paper's check-in datasets grow continuously in reality.  StreamingDPC
-keeps the clustering exact while amortising index rebuilds geometrically:
-ingest Gowalla-style batches and watch the hot-spot map evolve.
+Real check-in streams are non-stationary: the metro that dominates the
+volume changes over time.  This demo ingests a drifting simulated stream
+(:func:`repro.datasets.simulate_checkin_stream`) through the LSM-style
+delta path — every batch folds into a small side image, queries stay exact
+with no rebuild — and contrasts three density views at each checkpoint:
+
+* **cumulative** — exact ρ over everything seen (the old hotspot never
+  fades: history dominates);
+* **windowed** — only the trailing window counts (hard cut-off recency);
+* **decayed** — old arrivals' density contribution halves every
+  ``half_life`` arrivals (smooth recency).
+
+The reported "hot city" is the city centre nearest the ρ-max point of each
+view: the recency views track the drift while the cumulative view lags.
 
 Run:  python examples/streaming_checkins.py
 """
 
 import numpy as np
 
-from repro.datasets import gowalla
+from repro.datasets import simulate_checkin_stream
 from repro.extras import StreamingDPC
 
 
+def hot_city(points: np.ndarray, rho: np.ndarray, centers: np.ndarray) -> int:
+    """City whose centre is nearest the densest point of a view."""
+    peak = points[int(np.argmax(rho))]
+    return int(np.argmin(((centers - peak) ** 2).sum(axis=1)))
+
+
 def main() -> None:
-    data = gowalla(n=6000, seed=3)
-    rng = np.random.default_rng(0)
-    order = rng.permutation(data.n)
-    batches = np.array_split(data.points[order], 12)
+    n_batches, batch_size = 16, 500
+    batches, centers = simulate_checkin_stream(
+        n_batches, batch_size, n_cities=25, seed=7
+    )
+    dc = 0.35
+    window = 2 * batch_size
+    half_life = 1.5 * batch_size
 
     stream = StreamingDPC(rebuild_factor=0.5, min_buffer=128)
-    dc = 0.4
-    print(f"simulated check-in stream: {data.n} points in {len(batches)} batches, dc = {dc}\n")
-    print(f"{'batch':>5} {'points':>7} {'buffered':>8} {'rebuilds':>8} {'clusters':>8}")
-
-    for i, batch in enumerate(batches, start=1):
-        stream.add(batch)
-        if i % 3 == 0 or i == len(batches):
-            result = stream.cluster(dc)
-            print(
-                f"{i:>5} {stream.n:>7} {stream.n_buffered:>8} "
-                f"{stream.rebuild_count:>8} {result.n_clusters:>8}"
-            )
-
     print(
-        f"\n{stream.rebuild_count} index rebuilds for {len(batches)} batches — "
-        "the geometric rebuild schedule keeps total construction work within "
-        "a constant factor of one final build, while every intermediate "
-        "clustering stayed exact."
+        f"drifting check-in stream: {n_batches} batches x {batch_size} points, "
+        f"dc = {dc}\nwindow = {window} arrivals, half-life = {half_life:g} arrivals\n"
+    )
+    print(
+        f"{'batch':>5} {'points':>7} {'delta':>6} {'compactions':>11} "
+        f"{'hot(cumulative)':>15} {'hot(windowed)':>13} {'hot(decayed)':>12}"
+    )
+
+    for i, (points, _labels) in enumerate(batches, start=1):
+        stream.add(points)
+        if i % 4 and i != n_batches:
+            continue
+        pts = stream.points()
+        full = stream.quantities(dc)
+        win = stream.windowed_quantities(dc, window=window)
+        dec = stream.decayed_quantities(dc, half_life=half_life)
+        print(
+            f"{i:>5} {stream.n:>7} {stream.n_buffered:>6} "
+            f"{stream.rebuild_count - 1:>11} "
+            f"{'city ' + str(hot_city(pts, full.rho, centers)):>15} "
+            f"{'city ' + str(hot_city(pts[-window:], win.rho, centers)):>13} "
+            f"{'city ' + str(hot_city(pts, dec.rho, centers)):>12}"
+        )
+
+    result = stream.cluster(dc)
+    print(
+        f"\nfinal exact clustering: {result.n_clusters} clusters over "
+        f"{stream.n} points, {stream.rebuild_count - 1} compactions total — "
+        "delta ingest kept every intermediate view exact without a single "
+        "from-scratch rebuild, and the recency views followed the hotspot "
+        "drift that the cumulative density hides."
     )
 
 

@@ -18,7 +18,7 @@ from repro.datasets.synthetic import (
     query_workload,
     range_workload,
 )
-from repro.datasets.checkins import brightkite, gowalla
+from repro.datasets.checkins import brightkite, gowalla, simulate_checkin_stream
 from repro.datasets.loaders import available_datasets, load_dataset, PAPER_DATASETS
 
 __all__ = [
@@ -35,6 +35,7 @@ __all__ = [
     "range_workload",
     "brightkite",
     "gowalla",
+    "simulate_checkin_stream",
     "available_datasets",
     "load_dataset",
     "PAPER_DATASETS",

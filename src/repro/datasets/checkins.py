@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.datasets.base import Dataset, ExperimentParams, profile_size
 
-__all__ = ["simulate_checkins", "brightkite", "gowalla"]
+__all__ = ["simulate_checkins", "simulate_checkin_stream", "brightkite", "gowalla"]
 
 
 def simulate_checkins(
@@ -91,6 +91,83 @@ def simulate_checkins(
         labels = np.concatenate([labels, np.full(n_noise, -1, dtype=np.int64)])
     shuffle = rng.permutation(len(points))
     return points[shuffle], labels[shuffle]
+
+
+def simulate_checkin_stream(
+    n_batches: int,
+    batch_size: int,
+    n_cities: int = 30,
+    bbox: Tuple[float, float, float, float] = (-125.0, 25.0, -66.0, 50.0),
+    zipf_s: float = 1.1,
+    spread_range: Tuple[float, float] = (0.04, 0.3),
+    noise_fraction: float = 0.08,
+    seed: int = 0,
+) -> Tuple[list, np.ndarray]:
+    """A batched check-in stream whose hotspot ranking *drifts*.
+
+    Real LBSN streams are non-stationary: which metro dominates the
+    check-in volume changes over time (festivals, seasons, product
+    launches).  The simulator keeps the city geometry fixed but linearly
+    interpolates the Zipf popularity vector from its initial ranking to a
+    random re-ranking of the same weights — the early dominant city fades
+    while another rises, which is exactly the scenario the streaming
+    recency views (:meth:`repro.extras.StreamingDPC.windowed_quantities` /
+    :meth:`~repro.extras.StreamingDPC.decayed_quantities`) are for.
+
+    Returns
+    -------
+    ``(batches, centers)`` where ``batches`` is a list of ``(points,
+    city_labels)`` arrays (labels ``-1`` for background noise) and
+    ``centers`` the fixed ``(n_cities, 2)`` city centres, so callers can
+    map density peaks back to cities.
+    """
+    if n_batches < 1:
+        raise ValueError(f"n_batches must be >= 1, got {n_batches}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if n_cities < 1:
+        raise ValueError(f"n_cities must be >= 1, got {n_cities}")
+    rng = np.random.default_rng(seed)
+    lon_min, lat_min, lon_max, lat_max = bbox
+    centers = np.column_stack(
+        [
+            rng.uniform(lon_min, lon_max, size=n_cities),
+            rng.uniform(lat_min, lat_max, size=n_cities),
+        ]
+    )
+    lo, hi = spread_range
+    sigmas = np.exp(rng.uniform(np.log(lo), np.log(hi), size=n_cities))
+    ranks = np.arange(1, n_cities + 1, dtype=np.float64)
+    start = 1.0 / ranks**zipf_s
+    start /= start.sum()
+    end = start[rng.permutation(n_cities)]
+
+    batches = []
+    n_noise = int(round(batch_size * noise_fraction))
+    n_city = batch_size - n_noise
+    for b in range(n_batches):
+        t = b / max(n_batches - 1, 1)
+        weights = (1.0 - t) * start + t * end
+        weights /= weights.sum()
+        assignment = rng.choice(n_cities, size=n_city, p=weights)
+        points = centers[assignment] + rng.standard_normal((n_city, 2)) * sigmas[
+            assignment
+        ][:, None]
+        points[:, 0] = np.clip(points[:, 0], lon_min, lon_max)
+        points[:, 1] = np.clip(points[:, 1], lat_min, lat_max)
+        labels = assignment.astype(np.int64)
+        if n_noise:
+            noise = np.column_stack(
+                [
+                    rng.uniform(lon_min, lon_max, size=n_noise),
+                    rng.uniform(lat_min, lat_max, size=n_noise),
+                ]
+            )
+            points = np.concatenate([points, noise])
+            labels = np.concatenate([labels, np.full(n_noise, -1, dtype=np.int64)])
+        shuffle = rng.permutation(len(points))
+        batches.append((points[shuffle], labels[shuffle]))
+    return batches, centers
 
 
 def brightkite(n: Optional[int] = None, profile: str = "bench", seed: int = 0) -> Dataset:

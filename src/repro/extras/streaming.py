@@ -1,33 +1,42 @@
 """Streaming DPC: keep clustering as points arrive (extension).
 
 The paper's real datasets are check-in streams, but its indexes are static.
-This module adds the standard *amortised rebuild* (logarithmic / geometric
-rebuilding) technique on top of any index: buffer arriving points, and
-rebuild the index only when the buffer outgrows ``rebuild_factor`` times the
-indexed size.  Between rebuilds, queries run over the index **plus** a
-brute-force pass on the small buffer, so results remain *exact* at every
-moment.
+This module used to answer that with the classic *amortised rebuild*
+(geometric rebuilding) technique — buffer arrivals, refit from scratch when
+the buffer outgrows the index, brute-force-patch queries in between.  It now
+rides the LSM-style delta segments the index families grew instead
+(:meth:`repro.indexes.base.DPCIndex.add_points`): every batch folds into a
+small sorted side image of the live index, queries merge the (base, delta)
+pair at kernel time and stay **exact** at every moment, and the side image
+compacts into the main image — a sorted-merge for the tree/grid families,
+far cheaper than a refit — only when it outgrows ``rebuild_factor`` times
+the base.
 
-Cost: for n arrivals the index is rebuilt O(log_{f} n) times, so the total
-construction work stays within a constant factor of one final build — while
-every intermediate clustering is available.  Each rebuild fits a fresh index
-through its construction path — the default tree families build their flat
-query image directly via the vectorised bulk builders
-(:mod:`repro.indexes.build`), which is what keeps the amortised rebuild (and
-the serving snapshot publish it triggers) cheap.
+Cost: for n arrivals the base image compacts O(log_f n) times and each
+ingest does O(batch) image-building work, so total maintenance stays within
+a constant factor of one final build — while every intermediate clustering
+is available without brute-force patching.
 
-This composes with every index; for the O(n²)-space list indexes the
-rebuild-factor also bounds wasted construction work, which is why the class
-defaults to a tree index.
+This composes with every index family; the list/CH indexes merge their
+per-object sorted rows on every ingest (their ``delta_size`` stays 0), the
+tree and grid families carry a real delta segment between compactions.
+
+Beyond the exact full-stream quantities, the stream offers two *recency*
+views for evolving data: :meth:`StreamingDPC.windowed_quantities` clusters
+only the trailing window, and :meth:`StreamingDPC.decayed_quantities`
+exponentially down-weights old arrivals in the density (a float ρ through
+the same δ/μ machinery).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Tuple
+from typing import Callable, Optional
 
 import numpy as np
 
-from repro.core.quantities import NO_NEIGHBOR, DensityOrder, DPCQuantities, TieBreak
+from repro.core.baseline import naive_quantities
+from repro.core.quantities import DPCQuantities, TieBreak
+from repro.geometry.distance import pairwise_blocks
 from repro.indexes.base import DPCIndex
 from repro.indexes.rtree import RTreeIndex
 
@@ -43,12 +52,13 @@ class StreamingDPC:
         Zero-argument callable producing a fresh unfitted index
         (default: STR R-tree).
     rebuild_factor:
-        Rebuild when ``buffered > rebuild_factor · indexed`` (and at least
-        ``min_buffer`` points are buffered).  Smaller = fresher index, more
-        rebuild work.
+        Compact the delta segment into the base image when
+        ``delta > rebuild_factor · base`` (and at least ``min_buffer``
+        points are pending).  Smaller = tighter base image, more
+        compaction work; queries are exact either way.
     min_buffer:
-        Grace size below which no rebuild triggers (tiny streams would
-        otherwise rebuild on every arrival).
+        Grace size below which no compaction triggers (tiny streams would
+        otherwise compact on every arrival).
     """
 
     def __init__(
@@ -65,25 +75,29 @@ class StreamingDPC:
         self.rebuild_factor = rebuild_factor
         self.min_buffer = min_buffer
         self._index: Optional[DPCIndex] = None
-        self._indexed: Optional[np.ndarray] = None
-        self._buffer: list = []
         self._rebuild_subscribers: list = []
+        self._ingest_subscribers: list = []
+        self._points_cache: Optional[np.ndarray] = None
+        self._quantities_cache: dict = {}
         self.rebuild_count: int = 0
 
     @property
     def index(self) -> Optional[DPCIndex]:
-        """The index over the stream as of the last rebuild (None before
-        the first arrival).  Each rebuild produces a *fresh* index object —
-        a handle obtained here is never refit in place, so snapshot readers
-        keep a consistent view across rebuilds."""
-        return self._index
+        """A frozen snapshot of the index over everything seen so far
+        (None before the first arrival).  The live index mutates only by
+        attribute rebinding, so the snapshot keeps answering for exactly
+        its stream prefix while later batches ingest."""
+        if self._index is None:
+            return None
+        return self._index.snapshot_copy()
 
     def subscribe_rebuild(self, callback: Callable[[DPCIndex], None]) -> Callable[[], None]:
-        """Call ``callback(new_index)`` after every amortised rebuild.
+        """Call ``callback(index_snapshot)`` after the initial fit and after
+        every compaction.
 
         This is how the serving layer keeps a hot snapshot of a stream:
         :meth:`repro.serving.service.ClusteringService.attach_stream`
-        registers a callback that atomically publishes the rebuilt index
+        registers a callback that atomically publishes the compacted index
         (and invalidates the replaced snapshot's cache entries).  Returns
         an unsubscribe function.
         """
@@ -95,6 +109,27 @@ class StreamingDPC:
 
         return unsubscribe
 
+    def subscribe_ingest(
+        self, callback: Callable[[DPCIndex, np.ndarray], None]
+    ) -> Callable[[], None]:
+        """Call ``callback(index_snapshot, new_points)`` after every delta
+        ingest that did *not* trigger a compaction.
+
+        Together with :meth:`subscribe_rebuild` this gives downstream
+        consumers the full LSM event stream: small deltas arrive through
+        here (the serving layer forwards them as
+        :meth:`repro.serving.snapshots.SnapshotStore.publish_delta`), and
+        compactions arrive as full-image rebuild events.  Returns an
+        unsubscribe function.
+        """
+        self._ingest_subscribers.append(callback)
+
+        def unsubscribe() -> None:
+            if callback in self._ingest_subscribers:
+                self._ingest_subscribers.remove(callback)
+
+        return unsubscribe
+
     # -- stream ingestion -----------------------------------------------------
 
     def add(self, points: np.ndarray) -> "StreamingDPC":
@@ -102,109 +137,152 @@ class StreamingDPC:
         points = np.atleast_2d(np.asarray(points, dtype=np.float64))
         if points.ndim != 2 or points.shape[0] == 0:
             raise ValueError(f"expected (k, d) points, got shape {points.shape}")
-        if self._indexed is not None and points.shape[1] != self._indexed.shape[1]:
+        if self._index is not None and points.shape[1] != self._index.points.shape[1]:
             raise ValueError(
-                f"dimension mismatch: stream is {self._indexed.shape[1]}-D, "
+                f"dimension mismatch: stream is {self._index.points.shape[1]}-D, "
                 f"got {points.shape[1]}-D"
             )
-        self._buffer.extend(points)
-        self._maybe_rebuild()
+        self._points_cache = None
+        self._quantities_cache.clear()
+        if self._index is None:
+            self._index = self.index_factory().fit(points)
+            self.rebuild_count += 1
+            self._notify_rebuild()
+            return self
+        self._index.add_points(points)
+        if not self._maybe_compact():
+            for callback in tuple(self._ingest_subscribers):
+                callback(self._index.snapshot_copy(), points)
         return self
 
     @property
     def n(self) -> int:
-        indexed = 0 if self._indexed is None else len(self._indexed)
-        return indexed + len(self._buffer)
+        return 0 if self._index is None else self._index.n
 
     @property
     def n_buffered(self) -> int:
-        return len(self._buffer)
+        """Points currently living in the delta segment (0 right after a
+        compaction, and always 0 for the merge-on-append list family)."""
+        return 0 if self._index is None else self._index.delta_size
 
     def points(self) -> np.ndarray:
-        """All stream points, indexed-first then buffer, as one array."""
-        parts = []
-        if self._indexed is not None:
-            parts.append(self._indexed)
-        if self._buffer:
-            parts.append(np.asarray(self._buffer))
-        if not parts:
+        """All stream points, in arrival order, as one array.
+
+        The view is materialised once per ingest state and cached;
+        :meth:`add` invalidates it.
+        """
+        if self._index is None:
             raise ValueError("the stream is empty")
-        return np.concatenate(parts)
+        if self._points_cache is None:
+            self._points_cache = self._index.points
+        return self._points_cache
 
-    def _maybe_rebuild(self) -> None:
-        indexed = 0 if self._indexed is None else len(self._indexed)
-        buffered = len(self._buffer)
-        if buffered < self.min_buffer and indexed > 0:
-            return
-        if indexed == 0 or buffered > self.rebuild_factor * indexed:
-            self._rebuild()
+    def _maybe_compact(self) -> bool:
+        delta = self._index.delta_size
+        base = self._index.n - delta
+        if delta < self.min_buffer:
+            return False
+        if delta > self.rebuild_factor * base:
+            self._compact()
+            return True
+        return False
 
-    def _rebuild(self) -> None:
-        all_points = self.points()
-        self._index = self.index_factory().fit(all_points)
-        self._indexed = all_points
-        self._buffer = []
+    def _compact(self) -> None:
+        self._index.compact()
         self.rebuild_count += 1
-        for callback in tuple(self._rebuild_subscribers):
-            callback(self._index)
+        self._notify_rebuild()
 
-    # -- exact queries over index + buffer -------------------------------------
+    def _notify_rebuild(self) -> None:
+        for callback in tuple(self._rebuild_subscribers):
+            callback(self._index.snapshot_copy())
+
+    # -- exact queries over the (base, delta) pair ------------------------------
 
     def quantities(
         self, dc: float, tie_break: "str | TieBreak" = TieBreak.ID
     ) -> DPCQuantities:
         """Exact (ρ, δ, μ) over everything seen so far.
 
-        The indexed prefix answers through the index; the buffered suffix,
-        and its interactions with the prefix, are patched in by brute force
-        (the buffer is small by construction).
+        The delta-aware kernels answer over the (base, delta) image pair
+        directly — no brute-force patching, no rebuild.  Results for a
+        given ``(dc, tie_break)`` are cached until the next ingest.
         """
-        if self.n == 0:
+        if self._index is None:
             raise ValueError("the stream is empty")
-        if not self._buffer:
-            return self._index.quantities(dc, tie_break)
-
-        # Small buffer: simplest correct approach is one brute-force pass on
-        # the combined set for rho-deltas that involve the buffer, reusing
-        # the index for the (large) indexed part.
-        points = self.points()
-        metric = self._index.metric
-        n_idx = len(self._indexed)
-        buffer = points[n_idx:]
-
-        rho = np.empty(len(points), dtype=np.int64)
-        rho[:n_idx] = self._index.rho_all(dc)
-        # Cross-contributions: indexed objects gain neighbours from the
-        # buffer; buffered objects count against everything.
-        cross = metric.cross(buffer, points)
-        for i in range(len(buffer)):
-            row = cross[i]
-            rho[n_idx + i] = int((row < dc).sum()) - 1  # minus self
-        idx_cross = cross[:, :n_idx] < dc
-        rho[:n_idx] += idx_cross.sum(axis=0)
-
-        order = DensityOrder(rho, tie_break)
-        # δ must consider buffer objects as potential nearer denser
-        # neighbours of indexed ones, so a fully index-based δ is no longer
-        # valid; with a small buffer the dominant cost is the index part, so
-        # patch via brute force over the combined matrix row by row in
-        # blocks (exact, and still far cheaper than a full rebuild).
-        from repro.core.baseline import naive_quantities
-
-        return naive_quantities(points, dc, metric=metric, tie_break=tie_break, rho=rho)
+        key = (float(dc), str(TieBreak.coerce(tie_break)))
+        cached = self._quantities_cache.get(key)
+        if cached is None:
+            cached = self._index.quantities(dc, tie_break)
+            self._quantities_cache[key] = cached
+        return cached
 
     def cluster(self, dc: float, **kwargs):
         """Convenience: full DPC over the current stream contents.
 
-        Accepts the same selection/halo keywords as
-        :meth:`repro.indexes.DPCIndex.cluster`.
+        Compacts any pending delta first — clustering goes through the
+        index pipeline, and the fold was going to happen at the next
+        threshold crossing anyway.  Accepts the same selection/halo
+        keywords as :meth:`repro.indexes.DPCIndex.cluster`.
         """
-        self._rebuild_if_stale_for_clustering()
+        if self._index is None:
+            raise ValueError("the stream is empty")
+        if self._index.delta_size:
+            self._compact()
         return self._index.cluster(dc, **kwargs)
 
-    def _rebuild_if_stale_for_clustering(self) -> None:
-        # cluster() goes through the index pipeline, so fold the buffer in
-        # first; this keeps the amortised bound (the buffer was going to be
-        # folded at the next threshold crossing anyway).
-        if self._buffer or self._index is None:
-            self._rebuild()
+    # -- recency-weighted views --------------------------------------------------
+
+    def windowed_quantities(
+        self,
+        dc: float,
+        window: int,
+        tie_break: "str | TieBreak" = TieBreak.ID,
+    ) -> DPCQuantities:
+        """Exact (ρ, δ, μ) over only the most recent ``window`` arrivals.
+
+        The trailing window is its own clustering problem (row ``i`` of the
+        result is stream point ``n - len(window) + i``); older points do
+        not contribute density.  This is the hard-cut-off recency view —
+        see :meth:`decayed_quantities` for the smooth one.
+        """
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        pts = self.points()
+        win = pts[-int(window):]
+        if len(win) < 2:
+            raise ValueError(
+                f"window needs at least 2 stream points, have {len(win)}"
+            )
+        return naive_quantities(
+            win, dc, metric=self._index.metric, tie_break=tie_break
+        )
+
+    def decayed_quantities(
+        self,
+        dc: float,
+        half_life: float,
+        tie_break: "str | TieBreak" = TieBreak.ID,
+    ) -> DPCQuantities:
+        """(ρ, δ, μ) with exponentially decayed densities over all arrivals.
+
+        Each point's contribution to its neighbours' density is
+        ``0.5 ** (age / half_life)`` where age counts arrivals since it
+        (the newest point has age 0).  ρ becomes a float sum of neighbour
+        weights; δ/μ run through the standard machinery on that density —
+        hotspots that stopped receiving points fade instead of vanishing
+        at a window edge.
+        """
+        if half_life <= 0:
+            raise ValueError(f"half_life must be positive, got {half_life}")
+        pts = self.points()
+        n = len(pts)
+        age = (n - 1) - np.arange(n, dtype=np.float64)
+        weights = 0.5 ** (age / float(half_life))
+        rho = np.empty(n, dtype=np.float64)
+        for start, stop, block in pairwise_blocks(pts, self._index.metric):
+            within = block < dc
+            # The diagonal self-match contributes its own weight; remove it.
+            rho[start:stop] = within @ weights - weights[start:stop]
+        return naive_quantities(
+            pts, dc, metric=self._index.metric, tie_break=tie_break, rho=rho
+        )

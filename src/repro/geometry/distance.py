@@ -75,6 +75,15 @@ class Metric:
         entries / per-row ``distances_from`` (same subtract-and-reduce
         arithmetic).  ``None`` falls back to a scalar row loop in
         :func:`paired_distances`.
+    coord_radius:
+        ``f(t) -> coordinate radius`` of the metric ball of radius ``t`` —
+        the largest per-axis coordinate offset a point within metric
+        distance ``t`` can have (a numpy ufunc, so it accepts arrays).
+        ``None`` means metric values already are coordinate-comparable
+        (euclidean, manhattan, chebyshev, any L_p): the radius is ``t``
+        itself.  Squared euclidean needs ``sqrt``; the grid index's
+        cell-window and ring-bound arithmetic — which works in coordinate
+        units — routes thresholds through this.
     """
 
     name: str
@@ -86,6 +95,7 @@ class Metric:
     rect_mindist_many: "Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray] | None" = None
     rect_maxdist_many: "Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray] | None" = None
     pair_dists: "Callable[[np.ndarray, np.ndarray], np.ndarray] | None" = None
+    coord_radius: "Callable[[np.ndarray], np.ndarray] | None" = None
 
     def __call__(self, p: np.ndarray, q: np.ndarray) -> float:
         """Distance between two single points."""
@@ -367,6 +377,7 @@ register_metric(
         rect_mindist_many=_sqeuclidean_rect_min_many,
         rect_maxdist_many=_sqeuclidean_rect_max_many,
         pair_dists=_sqeuclidean_from,
+        coord_radius=np.sqrt,  # squared threshold -> coordinate radius
     )
 )
 register_metric(

@@ -137,6 +137,16 @@ class CHIndex(CumulativeHistogramMixin, ListIndex):
 
     def _build(self) -> None:
         super()._build()
+        self._refresh_histograms()
+
+    def _append(self, new_points: np.ndarray) -> None:
+        # The N-Lists merge in place (ListIndex); the histograms must be
+        # recomputed outright — appended points can grow the diameter, and
+        # the automatic bin width resolves from it.
+        super()._append(new_points)
+        self._refresh_histograms()
+
+    def _refresh_histograms(self) -> None:
         dists = self._neighbor_dists
         if self.bin_width is None:
             diameter = float(dists[:, -1].max())

@@ -107,6 +107,7 @@ __all__ = [
     "peak_delta_sweep",
     "density_order_key",
     "delta_multi_from_orders",
+    "merge_delta_candidates",
     "FlatTree",
     "flatten_tree",
     "flat_tree_maxrho",
@@ -574,6 +575,25 @@ def delta_multi_from_orders(
     return out
 
 
+def merge_delta_candidates(
+    d_a: np.ndarray,
+    mu_a: np.ndarray,
+    d_b: np.ndarray,
+    mu_b: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge per-image δ candidates by the lexicographic ``(distance, id)`` rule.
+
+    When an index holds a base image plus a delta segment, each image's δ
+    engine is exact over its own member set; the nearest denser neighbour
+    over the union is the lexicographic minimum of the two per-image
+    candidates — the same ``np.lexsort((cand, d))[0]`` rule the engines use
+    internally, so the merged result is bit-identical to a single engine run
+    over a combined image.
+    """
+    take_b = (d_b < d_a) | ((d_b == d_a) & (mu_b < mu_a))
+    return np.where(take_b, d_b, d_a), np.where(take_b, mu_b, mu_a)
+
+
 def _expand_csr(starts: np.ndarray, sizes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """Gather indices for variable-length CSR segments, concatenated.
 
@@ -852,6 +872,7 @@ def tree_delta_batched(
     density_pruning: bool = True,
     distance_pruning: bool = True,
     maxrho: "np.ndarray | None" = None,
+    own_leaf: "np.ndarray | None" = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Frontier-batched best-first δ search over a flattened spatial tree.
 
@@ -879,6 +900,12 @@ def tree_delta_batched(
         Optional precomputed :func:`flat_tree_maxrho` rows aligned with
         ``rho_rows`` — a multi-``dc`` sweep annotates every order in one
         pass and hands each engine run its row.  Computed here when absent.
+    own_leaf:
+        Optional per-query containing-leaf node ids overriding the default
+        ``flat.leaf_node_of[qid]`` lookup; ``-1`` marks a query that is not
+        a member of this image (a delta-segment query against the base
+        image, or vice versa), for which the own-leaf/sibling seeding is
+        skipped.  Seeding only affects pruning, never results.
 
     Returns
     -------
@@ -909,24 +936,32 @@ def tree_delta_batched(
     # stay reachable for the smaller-id tie-break.
     radius = np.full(m, np.inf, dtype=np.float64)
 
-    own_leaf = None
-    if distance_pruning:
+    seeded_parent = None
+    if not distance_pruning:
+        own_leaf = None
+    else:
         # Seed every query with its own containing leaf: most objects find
         # their nearest denser neighbour inside it, so the traversal starts
         # with a near-final radius and Lemma 2 collapses the upper levels.
         # The traversal skips the seeded leaf (already fully resolved).
-        own_leaf = flat.leaf_node_of[qid]
-        _resolve_pairs(
-            np.arange(m, dtype=np.int64),
-            flat.leaf_start[own_leaf], flat.leaf_size[own_leaf],
-            flat.leaf_ids, points, qpts, qord, key_q, key_rows,
-            pair_fn, stats, best_d, best_id, radius,
-        )
+        # Rows whose own_leaf is -1 (non-members of this image) skip the
+        # seeding and resolve through the plain traversal.
+        if own_leaf is None:
+            own_leaf = flat.leaf_node_of[qid]
+        else:
+            own_leaf = np.asarray(own_leaf, dtype=np.int64)
+        seeded = np.flatnonzero(own_leaf >= 0)
+        if len(seeded):
+            _resolve_pairs(
+                seeded,
+                flat.leaf_start[own_leaf[seeded]], flat.leaf_size[own_leaf[seeded]],
+                flat.leaf_ids, points, qpts, qord, key_q, key_rows,
+                pair_fn, stats, best_d, best_id, radius,
+            )
         # Queries densest within their own leaf still have an infinite
         # radius and would cascade through the whole upper tree; a second
         # hop over the leaf's (leaf-)siblings resolves almost all of them.
-        need = np.flatnonzero(np.isinf(radius))
-        seeded_parent = None
+        need = np.flatnonzero(np.isinf(radius) & (own_leaf >= 0))
         if len(need):
             sib_parent = flat.parent[own_leaf[need]]
             counts = flat.child_count[sib_parent]
@@ -1072,6 +1107,7 @@ def grid_delta_batched(
     shape: Tuple[int, int],
     metric,
     stats,
+    qcell: "np.ndarray | None" = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Expanding-ring cell-batched δ search over a uniform grid.
 
@@ -1091,6 +1127,14 @@ def grid_delta_batched(
     ``(offsets, ids_sorted)`` cell membership, ``cell_of`` flat home cells,
     ``grid_lo`` / ``cell_w`` / ``shape`` geometry, and ``cell_maxrho_rows``
     of shape ``(n_orders, nx · ny)``.
+
+    ``qcell`` overrides the ``cell_of`` home-cell lookup for queries that
+    are not members of this grid image (delta-segment queries against the
+    base CSR, or vice versa): a full-length array of per-point home cells,
+    clamped into the grid.  Ring expansion from a clamped home stays exact:
+    every stored candidate lies inside the grid rectangle, so per-axis
+    clamping of the query can only shrink its distance to a candidate —
+    a ring-``r`` cell is still at least ``(r-1)·w`` away from the query.
     """
     qid = np.asarray(qid, dtype=np.int64)
     qord = np.asarray(qord, dtype=np.int64)
@@ -1100,6 +1144,7 @@ def grid_delta_batched(
     if m == 0:
         return best_d, best_id
     mind_pairs, _maxd_pairs = _pair_rect_bounds(metric)
+    cr = getattr(get_metric(metric), "coord_radius", None)
 
     def pair_fn(a, b):
         return paired_distances(a, b, metric)
@@ -1110,7 +1155,7 @@ def grid_delta_batched(
     qpts = points[qid]
     rho_q = rho_rows[qord, qid]
     key_q = key_rows[qord, qid]
-    home = cell_of[qid]
+    home = (cell_of if qcell is None else qcell)[qid]
     hx, hy = home // ny, home % ny
     max_ring = max(nx, ny)
 
@@ -1118,8 +1163,11 @@ def grid_delta_batched(
     for r in range(max_ring + 1):
         if r > 0:
             bd = best_d[active]
-            # Ring-level Lemma 2: any ring-r cell is at least (r-1)·w away.
-            done = (bd < np.inf) & ((r - 1) * w > bd)
+            # Ring-level Lemma 2: any ring-r cell is at least (r-1)·w away
+            # in coordinate units; compare against the candidate δ's
+            # coordinate radius (identity for coordinate-valued metrics).
+            bd_coord = bd if cr is None else cr(bd)
+            done = (bd < np.inf) & ((r - 1) * w > bd_coord)
             # A ring entirely outside the grid ends the reference loop too.
             outside = (
                 (hx[active] - r < 0) & (hx[active] + r >= nx)
@@ -1188,6 +1236,7 @@ def grid_rho_batched(
     cell_of: np.ndarray,
     metric,
     stats,
+    qcell: "np.ndarray | None" = None,
 ) -> np.ndarray:
     """Cell-batched Observation-1 ρ over a uniform grid.
 
@@ -1202,6 +1251,13 @@ def grid_rho_batched(
     only on the query itself, so sharding over ``qid`` chunks is
     bit-identical to one whole-table call — the execution-backend contract.
 
+    ``qcell`` supports queries that are *not* members of this grid image
+    (delta-segment points queried against the base CSR, or vice versa): a
+    full-length array of per-point grouping cells — typically the clamped
+    home cell — used instead of the member-cell grouping.  Candidate cell
+    ranges always come from the query coordinates, so the grouping choice
+    affects locality only, never results.
+
     Parameters mirror :class:`~repro.indexes.grid.GridIndex` internals: CSR
     ``(offsets, ids_sorted)`` cell membership and the ``grid_lo`` /
     ``w`` / ``shape`` geometry.
@@ -1215,32 +1271,62 @@ def grid_rho_batched(
     cross = get_metric(metric).cross
 
     # Per-point candidate cell ranges — the same floor arithmetic the
-    # scalar query used, evaluated for all points at once.
+    # scalar query used, evaluated for all points at once.  The window is
+    # in coordinate units: a metric whose values are not coordinate
+    # distances (sqeuclidean) converts dc through its coord_radius.
+    cr = getattr(get_metric(metric), "coord_radius", None)
+    reach = dc if cr is None else float(cr(dc))
     lo = grid_lo
-    ix0 = np.maximum((points[:, 0] - dc - lo[0]) // w, 0).astype(np.int64)
-    ix1 = np.minimum((points[:, 0] + dc - lo[0]) // w, nx - 1).astype(np.int64)
-    iy0 = np.maximum((points[:, 1] - dc - lo[1]) // w, 0).astype(np.int64)
-    iy1 = np.minimum((points[:, 1] + dc - lo[1]) // w, ny - 1).astype(np.int64)
+    ix0 = np.maximum((points[:, 0] - reach - lo[0]) // w, 0).astype(np.int64)
+    ix1 = np.minimum((points[:, 0] + reach - lo[0]) // w, nx - 1).astype(np.int64)
+    iy0 = np.maximum((points[:, 1] - reach - lo[1]) // w, 0).astype(np.int64)
+    iy1 = np.minimum((points[:, 1] + reach - lo[1]) // w, ny - 1).astype(np.int64)
 
     # Restricting to a query subset visits only the subset's own home
     # cells (cell-sorted chunks touch a contiguous cell range, so a shard
     # pays for its cells alone, not a full occupied-cell sweep).
-    in_sel = None
-    if qid is not None:
-        qid = np.asarray(qid, dtype=np.int64)
-        in_sel = np.zeros(n, dtype=bool)
-        in_sel[qid] = True
-        occupied = np.unique(cell_of[qid])
+    if qcell is not None:
+        # External-query grouping: the queries need not be CSR members, so
+        # group them by their provided grouping cell directly.  Grouping
+        # only batches work; each query's candidate ranges and
+        # classifications are its own either way.
+        qsel = (
+            np.asarray(qid, dtype=np.int64)
+            if qid is not None
+            else np.arange(n, dtype=np.int64)
+        )
+        if len(qsel):
+            order = np.argsort(qcell[qsel], kind="stable")
+            qsel = qsel[order]
+            cells = qcell[qsel]
+            starts = np.flatnonzero(np.r_[True, cells[1:] != cells[:-1]])
+            stops = np.append(starts[1:], len(qsel))
+            groups = [qsel[a:b] for a, b in zip(starts, stops)]
+        else:
+            groups = iter(())
     else:
-        occupied = np.flatnonzero(np.diff(offsets) > 0)
+        in_sel = None
+        if qid is not None:
+            qid = np.asarray(qid, dtype=np.int64)
+            in_sel = np.zeros(n, dtype=bool)
+            in_sel[qid] = True
+            occupied = np.unique(cell_of[qid])
+        else:
+            occupied = np.flatnonzero(np.diff(offsets) > 0)
+
+        def _member_groups():
+            for home in occupied:
+                members = ids_sorted[offsets[home] : offsets[home + 1]]
+                if in_sel is not None:
+                    members = members[in_sel[members]]
+                    if len(members) == 0:
+                        continue
+                yield members
+
+        groups = _member_groups()
 
     counts = np.zeros(n, dtype=np.int64)
-    for home in occupied:
-        members = ids_sorted[offsets[home] : offsets[home + 1]]
-        if in_sel is not None:
-            members = members[in_sel[members]]
-            if len(members) == 0:
-                continue
+    for members in groups:
         mx0, mx1 = ix0[members], ix1[members]
         my0, my1 = iy0[members], iy1[members]
         for fx in range(int(mx0.min()), int(mx1.max()) + 1):

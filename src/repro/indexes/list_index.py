@@ -164,6 +164,51 @@ class ListIndex(DPCIndex):
         self._neighbor_ids = ids
         self._neighbor_dists = dists
 
+    # -- incremental maintenance -------------------------------------------------
+
+    def _append(self, new_points: np.ndarray) -> None:
+        """Merge a batch into every N-List instead of refitting.
+
+        The N-List rows are per-object sorted runs, so a batch folds in as
+        a sorted merge: each base row takes its ``k`` new entries at their
+        ``searchsorted`` positions (``side="right"`` — new ids are larger,
+        so distance ties keep ascending-id order), and each new object gets
+        a freshly sorted full row.  Only the ``O(k·n)`` new distances are
+        evaluated (elementwise, bit-identical to what a fresh build would
+        compute), versus ``O(n²)`` for a refit; the result is
+        indistinguishable from ``fit`` on the combined points, so the list
+        family compacts on every append (``delta_size`` stays 0).
+        """
+        base = self.points
+        base_n = len(base)
+        combined = np.concatenate([base, new_points])
+        n = len(combined)
+        k = n - base_n
+        old_ids, old_dists = self._neighbor_ids, self._neighbor_dists
+        ids = np.empty((n, n - 1), dtype=np.int32)
+        dists = np.empty((n, n - 1), dtype=np.float64)
+        cross_no = self.metric.cross(new_points, base)  # (k, base_n)
+        cross_nn = self.metric.cross(new_points, new_points)
+        new_ids = np.arange(base_n, n, dtype=np.int32)
+        for p in range(base_n):
+            d_new = cross_no[:, p]
+            srt = np.argsort(d_new, kind="stable")
+            ins = np.searchsorted(old_dists[p], d_new[srt], side="right")
+            ids[p] = np.insert(old_ids[p], ins, new_ids[srt])
+            dists[p] = np.insert(old_dists[p], ins, d_new[srt])
+        all_ids = np.arange(n, dtype=np.int32)
+        for i in range(k):
+            p = base_n + i
+            row = np.concatenate([cross_no[i], cross_nn[i]])
+            keep = all_ids != p
+            d = row[keep]
+            sorting = np.argsort(d, kind="stable")
+            ids[p] = all_ids[keep][sorting]
+            dists[p] = d[sorting]
+        self.points = combined
+        self._neighbor_ids = ids
+        self._neighbor_dists = dists
+
     # CSR view of the dense rows, shared with the kernels (row p occupies
     # [p·(n-1), (p+1)·(n-1)) in the flat arrays).
     def _row_offsets(self) -> np.ndarray:

@@ -39,7 +39,11 @@ _FORMAT_VERSION = 1
 #: Version of the fingerprint *recipe*; bumping it retires every cached
 #: result keyed on older fingerprints (the serving cache keys on the
 #: fingerprint string, so a recipe change must never collide with old keys).
-_FINGERPRINT_VERSION = 1
+#: v2 added the ``segments`` entry (LSM base/delta layout): a segmented
+#: index and its compacted equivalent answer queries identically, but they
+#: are different *payloads* — restoring one must reproduce the other's
+#: layout exactly for the round-trip contract to stay checkable.
+_FINGERPRINT_VERSION = 2
 
 #: Index classes whose heavy arrays are persisted (vs rebuilt on load).
 _ARRAY_STATE = {
@@ -132,6 +136,7 @@ def index_fingerprint(index: DPCIndex) -> str:
         "resolved": _resolved_params(index),
         "dtype": str(points.dtype),
         "shape": list(points.shape),
+        "segments": [int(s) for s in index._segment_lengths()],
     }
     digest = hashlib.sha256(json.dumps(head, sort_keys=True).encode())
     digest.update(np.ascontiguousarray(points).tobytes())
@@ -175,6 +180,12 @@ def save_index(index: DPCIndex, path: str) -> None:
         "build_seconds": index.build_seconds,
         "fingerprint": index_fingerprint(index),
         "fingerprint_version": _FINGERPRINT_VERSION,
+        # LSM segment layout.  Two entries mean the points array splits into
+        # a base prefix and a delta suffix; the load path restores the base
+        # structures verbatim and re-ingests the suffix through the same
+        # deterministic delta builders, reproducing the side image bit for
+        # bit (the list family merges on append, so it is always [n]).
+        "segments": [int(s) for s in index._segment_lengths()],
     }
     # The CH histograms were built with the *resolved* bin width, so a
     # restored index must query with it, not re-resolve.  (Indexes that
@@ -239,6 +250,8 @@ def load_index(path: str) -> DPCIndex:
         )
 
     index = cls(**params)
+    segments = meta.get("segments") or [len(points)]
+    base_n = int(segments[0])
     if state:
         # Restore without rebuilding: place points + arrays directly.
         index.points = np.ascontiguousarray(points, dtype=np.float64)
@@ -251,7 +264,9 @@ def load_index(path: str) -> DPCIndex:
         index.build_seconds = float(meta.get("build_seconds", float("nan")))
     elif flat_arrays is not None and isinstance(index, TreeIndexBase):
         # Restore the flat query image directly — no rebuild, no flatten.
-        index.points = np.ascontiguousarray(points, dtype=np.float64)
+        # The image covers the base segment; any delta suffix re-ingests
+        # below through the same deterministic side-image builder.
+        index.points = np.ascontiguousarray(points[:base_n], dtype=np.float64)
         flat = FlatTree.from_arrays(
             flat_arrays, flat_meta["levels"], flat_meta["n_nodes"]
         )
@@ -273,9 +288,20 @@ def load_index(path: str) -> DPCIndex:
             )
         index._flat = flat
         index.build_ = flat_meta.get("build")
+        index._base_n = base_n
         index.build_seconds = float(meta.get("build_seconds", float("nan")))
+        if base_n < len(points):
+            index.add_points(points[base_n:])
     else:
-        index.fit(points)
+        # Families that rebuild from points on load (the grid): refit the
+        # base segment, then re-ingest the delta suffix so the restored
+        # side image — and therefore the v2 fingerprint — matches the
+        # saved one exactly.
+        if base_n < len(points):
+            index.fit(points[:base_n])
+            index.add_points(points[base_n:])
+        else:
+            index.fit(points)
     stored = meta.get("fingerprint")
     if stored is not None and meta.get("fingerprint_version") == _FINGERPRINT_VERSION:
         # (A payload from an older/newer recipe skips verification; its

@@ -103,6 +103,15 @@ class RTreeIndex(TreeIndexBase):
             return None  # dynamic insertion is inherently per-object
         return bulk_build_str(self.points, self.max_entries)
 
+    def _delta_image(self, pts):
+        # The side image never affects results, so STR packs it even though
+        # the base may be dynamic (a dynamic base resolves build_="objects"
+        # and takes the refit fallback before this hook is consulted).
+        return bulk_build_str(pts, self.max_entries)
+
+    # Compaction keeps the default fresh-fit path: STR's slab arithmetic is
+    # global in n, so there is no sorted-run merge that reproduces it.
+
     def _build_objects(self) -> TreeNode:
         if self.packing == "str":
             return self._build_str()

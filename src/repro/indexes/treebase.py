@@ -57,7 +57,10 @@ from repro.indexes.kernels import (
     delta_multi_from_orders,
     flat_tree_maxrho,
     flatten_tree,
+    merge_delta_candidates,
     peak_delta_sweep,
+    tree_delta_batched,
+    tree_rho_batched,
 )
 
 __all__ = ["TreeNode", "TreeIndexBase"]
@@ -220,6 +223,8 @@ class TreeIndexBase(DPCIndex):
         self._root: Optional[TreeNode] = None
         self._flat = None  # FlatTree image (built at fit in bulk mode)
         self._root_views_flat = False  # nodes borrow the flat arrays
+        self._delta_flat = None  # LSM-style side image over appended points
+        self._base_n = 0  # points covered by the base image
 
     # -- construction routing ----------------------------------------------------
 
@@ -239,6 +244,7 @@ class TreeIndexBase(DPCIndex):
         self._flat = None
         self._root = None
         self._root_views_flat = False
+        self._delta_flat = None
         flat = self._bulk_build() if self.build == "bulk" else None
         if flat is None:
             root = self._build_objects()
@@ -248,12 +254,67 @@ class TreeIndexBase(DPCIndex):
         else:
             self._flat = flat
             self.build_ = "bulk"
+        self._base_n = len(self.points)
 
     def _build_objects(self) -> TreeNode:
         raise NotImplementedError
 
     def _bulk_build(self):
         return None
+
+    # -- LSM-style delta segment -------------------------------------------------
+
+    def _delta_image(self, pts: np.ndarray):
+        """Bulk-build a side :class:`FlatTree` over ``pts`` (``None`` = no path).
+
+        Families override with their bulk builder.  The delta image never
+        affects *results* — the ρ/δ engines are exact over any valid tree of
+        its member set — so every family uses its cheap bulk construction
+        here regardless of the base build's configuration.
+        """
+        return None
+
+    def _append(self, new_points: np.ndarray) -> None:
+        """Ingest a batch as a rebuilt delta side-image over all delta points.
+
+        The base image and ``self.points`` prefix stay frozen (attributes
+        are rebound, arrays never mutated in place, so snapshot copies keep
+        answering for their content).  Configurations without a flat image
+        (``build_ == "objects"``) fall back to a full refit.
+        """
+        if self.build_ != "bulk" or self._flat is None:
+            super()._append(new_points)
+            return
+        base_n = self._base_n
+        combined = np.concatenate([self.points, new_points])
+        dflat = self._delta_image(combined[base_n:])
+        if dflat is None:
+            super()._append(new_points)
+            return
+        dflat.leaf_ids = dflat.leaf_ids + base_n  # ids global, leaf_node_of local
+        self.points = combined
+        self._delta_flat = dflat
+
+    @property
+    def delta_size(self) -> int:
+        if self._delta_flat is None or not self.is_fitted:
+            return 0
+        return len(self.points) - self._base_n
+
+    def _merge_delta_image(self):
+        """Family hook: merged base+delta image, or ``None`` for a fresh fit."""
+        return None
+
+    def _compact(self) -> None:
+        flat = self._merge_delta_image() if self.build_ == "bulk" else None
+        if flat is None:
+            self.fit(self.points)
+            return
+        self._delta_flat = None
+        self._flat = flat
+        self._root = None
+        self._root_views_flat = False
+        self._base_n = len(self.points)
 
     # -- bound-function selection -------------------------------------------------
 
@@ -383,20 +444,42 @@ class TreeIndexBase(DPCIndex):
         # execution backend (bit-identical across backends).
         self._require_fitted()
         self._flat_tree()  # materialise before the shard image is published
-        return self._sharded_rho(parallel.tree_rho_task, [float(dc)])[0]
+        base = self._sharded_rho(parallel.tree_rho_task, [float(dc)])[0]
+        return self._rho_add_delta(base, float(dc))
 
     def rho_all_multi(self, dcs) -> np.ndarray:
         """ρ for a whole cut-off grid as one sharded ``(dc, chunk)`` wave."""
         self._require_fitted()
         dcs = self._validate_dcs(dcs)
         self._flat_tree()
-        return np.stack(self._sharded_rho(parallel.tree_rho_task, dcs))
+        rows = self._sharded_rho(parallel.tree_rho_task, dcs)
+        return np.stack([self._rho_add_delta(row, dc) for row, dc in zip(rows, dcs)])
+
+    def _rho_add_delta(self, base_counts: np.ndarray, dc: float) -> np.ndarray:
+        """Fold the delta segment's neighbour counts into the base counts.
+
+        Each image's ρ pass subtracts one self-count uniformly, but every
+        query is a member of exactly *one* of the two images, so the union
+        count is ``base + delta + 1`` — the same strict ``< dc`` neighbour
+        set a single combined image would count.
+        """
+        if self._delta_flat is None:
+            return base_counts
+        extra = tree_rho_batched(
+            self._delta_flat, self.points, dc, self.metric, self._stats
+        )
+        return base_counts + extra + 1
 
     # -- δ query (Algorithm 6) --------------------------------------------------------
 
     def delta_all(self, order: DensityOrder) -> Tuple[np.ndarray, np.ndarray]:
         if self.frontier == "batched":
             return self.delta_all_multi([order])[0]
+        if self._delta_flat is not None:
+            raise RuntimeError(
+                "the per-object reference frontiers do not traverse the delta "
+                "segment; call compact() first (or use frontier='batched')"
+            )
         points = self._require_fitted()
         n = len(points)
         if len(order) != n:
@@ -440,6 +523,8 @@ class TreeIndexBase(DPCIndex):
         if not orders:
             return []
         flat = self._flat_tree()
+        if self._delta_flat is not None:
+            return self._delta_all_multi_segmented(orders, flat)
 
         def run_engine(qid, qord, rho_rows, key_rows):
             # One vectorised maxrho pass annotates every order of the
@@ -461,6 +546,47 @@ class TreeIndexBase(DPCIndex):
                     "maxrho": maxrho,
                 },
             )
+
+        return delta_multi_from_orders(
+            points, orders, run_engine, self.metric, self._stats
+        )
+
+    def _delta_all_multi_segmented(self, orders, flat):
+        """δ sweep over the (base, delta) image pair.
+
+        Each image's engine is exact over its own member set when driven
+        with the *global* density rows (leaf ids are global point ids in
+        both images); the union's nearest denser neighbour is then the
+        lexicographic ``(distance, id)`` minimum of the two per-image
+        candidates.  Queries that are members of the other image pass
+        ``own_leaf = -1`` — the own-leaf/sibling seeding is pruning-only,
+        so skipping it never changes results.  Runs serially on both
+        images (the delta segment is small and the sharded engine derives
+        member leaves itself); compaction restores the sharded path.
+        """
+        points = self.points
+        dflat = self._delta_flat
+        base_n = self._base_n
+
+        def run_engine(qid, qord, rho_rows, key_rows):
+            in_base = qid < base_n
+            own_b = np.full(len(qid), -1, dtype=np.int64)
+            own_b[in_base] = flat.leaf_node_of[qid[in_base]]
+            own_d = np.full(len(qid), -1, dtype=np.int64)
+            own_d[~in_base] = dflat.leaf_node_of[qid[~in_base] - base_n]
+            d_b, m_b = tree_delta_batched(
+                flat, points, qid, qord, rho_rows, key_rows,
+                self.metric, self._stats,
+                self.density_pruning, self.distance_pruning,
+                maxrho=flat_tree_maxrho(flat, rho_rows), own_leaf=own_b,
+            )
+            d_d, m_d = tree_delta_batched(
+                dflat, points, qid, qord, rho_rows, key_rows,
+                self.metric, self._stats,
+                self.density_pruning, self.distance_pruning,
+                maxrho=flat_tree_maxrho(dflat, rho_rows), own_leaf=own_d,
+            )
+            return merge_delta_candidates(d_b, m_b, d_d, m_d)
 
         return delta_multi_from_orders(
             points, orders, run_engine, self.metric, self._stats
@@ -596,6 +722,8 @@ class TreeIndexBase(DPCIndex):
         total = 0
         if self._flat is not None:
             total += self._flat.nbytes()
+        if self._delta_flat is not None:
+            total += self._delta_flat.nbytes()
         if self._root is not None:
             owns_arrays = not self._root_views_flat
             for node in self._root.iter_nodes():

@@ -104,56 +104,72 @@ class ClusteringService:
     def attach_stream(self, name: str, stream: Any) -> Snapshot:
         """Serve a :class:`~repro.extras.streaming.StreamingDPC` under ``name``.
 
-        Every amortised rebuild of the stream atomically publishes the fresh
-        index as the new snapshot (and, through the swap subscription,
-        invalidates the replaced fingerprint's cache entries).  The snapshot
-        always reflects the stream *as of its last rebuild* — the buffered
-        suffix joins at the next rebuild, exactly the freshness the
-        amortised-rebuild scheme already promises for ``cluster()`` calls.
+        Every stream event atomically publishes a fresh frozen snapshot
+        (and, through the swap subscription, invalidates the replaced
+        fingerprint's cache entries): delta ingests arrive through
+        :meth:`SnapshotStore.publish_delta` carrying the new batch, while
+        the initial fit and every compaction publish a full image through
+        :meth:`SnapshotStore.publish`.  The served snapshot therefore
+        always reflects the *whole* stream — the delta segment answers
+        exactly, no staleness window.
 
-        Returns the initially published snapshot; the stream must have
-        rebuilt at least once (i.e. hold at least one point).  Re-attaching
-        a name replaces the previous stream; :meth:`drop_snapshot` and
-        :meth:`close` detach.
+        Returns the initially published snapshot; the stream must hold at
+        least one point.  Re-attaching a name replaces the previous
+        stream; :meth:`drop_snapshot` and :meth:`close` detach.
         """
         if stream.index is None:
             raise ValueError("cannot attach an empty stream; add points first")
         self.detach_stream(name)  # a replaced stream must stop publishing
 
         # Monotonic, detachable publisher.  The initial publish below and
-        # the rebuild callbacks (which fire on the producer's thread) race;
-        # ordering by the stream's rebuild counter guarantees an older index
-        # can never overwrite a newer snapshot (rebuild_count is read BEFORE
-        # the index, so a rebuild landing between the reads can only make
-        # the published index newer than the count claims, never older).
-        # The same lock gates detachment: once detach flips `active`, no
-        # already-captured callback can republish a name after
-        # drop_snapshot removed it.
+        # the stream callbacks (which fire on the producer's thread) race;
+        # ordering by (points, rebuilds) of the published index guarantees
+        # an older snapshot can never overwrite a newer one: every add
+        # grows the point count, and the compaction a cluster() forces at
+        # constant n bumps the rebuild counter (read AFTER the event, so a
+        # later event can only make the token newer than the index it
+        # rides with, never older).  The same lock gates detachment: once
+        # detach flips `active`, no already-captured callback can
+        # republish a name after drop_snapshot removed it.
         guard = threading.Lock()
-        latest = -1
+        latest = (-1, -1)
         active = True
 
-        def publish(index: Any, count: int) -> Optional[Snapshot]:
+        def publish(
+            index: Any, token, new_points: Optional[np.ndarray] = None
+        ) -> Optional[Snapshot]:
             nonlocal latest
             with guard:
-                if not active or count <= latest:
+                if not active or token <= latest:
                     return None
-                latest = count
+                latest = token
+                if new_points is not None:
+                    return self.store.publish_delta(name, index, new_points)
                 return self.store.publish(name, index)
 
-        unsubscribe = stream.subscribe_rebuild(
-            lambda rebuilt: publish(rebuilt, stream.rebuild_count)
-        )
+        unsubscribes = [
+            stream.subscribe_rebuild(
+                lambda rebuilt: publish(rebuilt, (rebuilt.n, stream.rebuild_count))
+            )
+        ]
+        if hasattr(stream, "subscribe_ingest"):
+            unsubscribes.append(
+                stream.subscribe_ingest(
+                    lambda snap, pts: publish(
+                        snap, (snap.n, stream.rebuild_count), pts
+                    )
+                )
+            )
 
         def detach() -> None:
             nonlocal active
             with guard:
                 active = False
-            unsubscribe()
+            for unsubscribe in unsubscribes:
+                unsubscribe()
 
         self._streams[name] = detach
-        count = stream.rebuild_count
-        snapshot = publish(stream.index, count)
+        snapshot = publish(stream.index, (stream.n, stream.rebuild_count))
         return snapshot if snapshot is not None else self.store.get(name)
 
     def detach_stream(self, name: str) -> None:

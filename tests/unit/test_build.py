@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.extras.streaming import StreamingDPC
 from repro.indexes.build import (
     _stable_argsort,
     bulk_build_kdtree,
@@ -219,20 +218,20 @@ class TestIterativeTreeNodeOps:
 
     def test_ascending_coordinate_stream_dynamic_rtree(self):
         """The adversarial dynamic-insertion order from the issue: a stream
-        of strictly ascending coordinates fed point by point."""
+        of strictly ascending coordinates fed point by point.  Dynamic
+        packing has no delta image, so every ``add_points`` takes the
+        refit fallback — re-finalizing the degenerate tree constantly."""
         pts = np.stack([np.arange(300.0), np.arange(300.0) * 2.0], axis=1)
-        stream = StreamingDPC(
-            index_factory=lambda: RTreeIndex(packing="dynamic"),
-            min_buffer=1,
-            rebuild_factor=0.01,  # rebuild (and re-finalize) constantly
-        )
-        for p in pts:
-            stream.add(p)
-        assert stream.rebuild_count > 100
+        index = RTreeIndex(packing="dynamic").fit(pts[:1])
+        for p in pts[1:]:
+            index.add_points(p[None, :])
+            assert index.delta_size == 0  # refit fallback, no side image
+        assert index.build_ == "objects"
+        assert index.n == len(pts)
         from repro.core.baseline import naive_quantities
 
         assert_quantities_equal(
-            naive_quantities(pts, 5.0), stream.quantities(5.0)
+            naive_quantities(pts, 5.0), index.quantities(5.0)
         )
 
 

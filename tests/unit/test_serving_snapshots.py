@@ -133,13 +133,27 @@ class TestStreamingSource:
             with pytest.raises(ValueError, match="empty stream"):
                 service.attach_stream("s", StreamingDPC())
 
-    def test_buffered_adds_do_not_republish(self, blobs):
+    def test_delta_ingest_publishes_fresh_snapshot(self, blobs):
+        # Below min_buffer the add stays in the delta segment (no
+        # compaction), but the served snapshot still advances: the ingest
+        # event publishes a delta snapshot that answers over base + delta.
         with ClusteringService() as service:
             stream = StreamingDPC(index_factory=lambda: KDTreeIndex(), min_buffer=10_000)
             stream.add(blobs)
+            deltas = []
+            service.store.subscribe_deltas(
+                lambda name, new, old, pts: deltas.append((name, new, pts))
+            )
             first = service.attach_stream("s", stream)
-            stream.add(blobs[:3])  # stays in the buffer: below min_buffer
-            assert service.store.get("s") is first
+            stream.add(blobs[:3])  # stays in the delta segment: below min_buffer
+            assert stream.rebuild_count == 1  # no compaction happened
+            current = service.store.get("s")
+            assert current is not first
+            assert current.n == len(blobs) + 3
+            assert len(deltas) == 1
+            name, published, pts = deltas[0]
+            assert name == "s" and published is current
+            np.testing.assert_array_equal(pts, blobs[:3])
 
     def test_swap_invalidates_cache_entries(self, blobs):
         with ClusteringService() as service:
