@@ -35,6 +35,7 @@ from repro.core import (
 )
 from repro.indexes import (
     CHIndex,
+    CorruptSnapshotError,
     DPCIndex,
     GridIndex,
     IndexStats,
@@ -72,6 +73,7 @@ __all__ = [
     "suggest_outliers",
     # indexes
     "CHIndex",
+    "CorruptSnapshotError",
     "DPCIndex",
     "GridIndex",
     "IndexStats",

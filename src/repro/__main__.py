@@ -97,6 +97,10 @@ def build_server(args):
         cache_ttl=args.cache_ttl,
         max_batch=args.max_batch,
         linger_ms=args.linger_ms,
+        # getattr: pre-robustness Namespace seams omit the fault-tolerance
+        # knobs; absent means the old unbounded/no-deadline behaviour.
+        max_queue=getattr(args, "max_queue", None),
+        default_timeout_s=getattr(args, "timeout_s", None),
     )
     if args.load is not None:
         if args.input is not None or args.dataset is not None:
@@ -215,6 +219,16 @@ def main(argv=None) -> int:
     serve.add_argument(
         "--linger-ms", type=float, default=2.0,
         help="how long a dispatch cycle waits for more requests to coalesce",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=None,
+        help="admission bound: shed requests (503 + Retry-After) once this "
+        "many are queued undispatched (default: unbounded)",
+    )
+    serve.add_argument(
+        "--timeout-s", type=float, default=None,
+        help="default per-request deadline; expired requests fail fast with "
+        "503 instead of riding their batch (default: none)",
     )
     serve.add_argument("--cache-entries", type=int, default=256, help="result-cache capacity (0 disables)")
     serve.add_argument("--cache-ttl", type=float, default=None, help="result-cache TTL seconds (default: none)")

@@ -15,7 +15,12 @@ from repro.indexes.quadtree import QuadtreeIndex
 from repro.indexes.rtree import RTreeIndex
 from repro.indexes.kdtree import KDTreeIndex
 from repro.indexes.grid import GridIndex
-from repro.indexes.persist import index_fingerprint, load_index, save_index
+from repro.indexes.persist import (
+    CorruptSnapshotError,
+    index_fingerprint,
+    load_index,
+    save_index,
+)
 from repro.indexes.registry import available_indexes, make_index
 
 __all__ = [
@@ -36,6 +41,7 @@ __all__ = [
     "save_index",
     "load_index",
     "index_fingerprint",
+    "CorruptSnapshotError",
     "bulk_build_str",
     "bulk_build_kdtree",
     "bulk_build_quadtree",

@@ -530,6 +530,17 @@ class DPCIndex(abc.ABC):
                 self._execution_.shutdown()
             self._execution_ = None
 
+    def execution_health(self) -> Optional[Dict[str, Any]]:
+        """Retry/degradation counters of the resolved execution backend.
+
+        ``None`` until a query first resolves the backend; afterwards the
+        :meth:`~repro.indexes.parallel.ExecutionBackend.health` dict —
+        configured vs effective rung, retry/pool-break/degradation counts
+        and the last infrastructure error.  The serving layer folds this
+        into per-snapshot health states.
+        """
+        return None if self._execution_ is None else self._execution_.health()
+
     def _shard_arrays(self) -> Dict[str, np.ndarray]:
         """Fit-time arrays the sharded kernel tasks read (per-family)."""
         raise NotImplementedError(

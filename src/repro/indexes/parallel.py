@@ -58,22 +58,55 @@ Failure / cleanup contract
 --------------------------
 An exception raised inside a worker chunk (e.g. a metric that rejects its
 input) is re-raised in the parent with its original type and message;
-pending chunk futures are cancelled and awaited first, and ephemeral
-shared-memory segments are unlinked in a ``finally`` block, so a failed run
-leaks nothing.  Fit-time packs live until the index is re-fitted
-(``fit`` invalidates shard plans and unlinks the pack — stale images can
-never serve a new dataset), explicitly released
-(``index.release_execution()``), or garbage-collected (a
-``weakref.finalize`` guard unlinks the segment even on abandoned indexes).
+in-flight chunks are awaited first, and ephemeral shared-memory segments
+are unlinked in a ``finally`` block, so a failed run leaks nothing.
+Fit-time packs live until the index is re-fitted (``fit`` invalidates
+shard plans and unlinks the pack — stale images can never serve a new
+dataset), explicitly released (``index.release_execution()``), or
+garbage-collected (a ``weakref.finalize`` guard unlinks the segment even
+on abandoned indexes).
+
+Fault tolerance
+---------------
+*Infrastructure* failures — a worker process dying
+(:class:`~concurrent.futures.BrokenExecutor`), a shared-memory segment
+vanishing mid-run (``FileNotFoundError`` on attach), a chunk result failing
+its integrity checksum (:class:`ChunkIntegrityError`), or an injected chaos
+fault (:class:`~repro.faults.InjectedFault`) — are **retryable**: the
+failed chunks (only those) are re-executed with jittered exponential
+backoff, and after ``max_retries`` exhausted rounds the run *degrades* one
+rung down the ladder ``process → threads → serial`` and continues there.
+Because every chunk is a pure function of the frozen index image, a chunk
+recomputed on any rung returns bit-identical results and probe counters —
+degradation trades throughput, never answers.  Deterministic (non-injected)
+errors raised by the kernels themselves — a metric rejecting its input, a
+``ValueError`` — stay fail-fast with their original type and message.
+
+Every chunk result carries a CRC-32 computed in the worker *after* the
+kernels ran; the parent re-verifies it before accepting, so a payload
+corrupted in transit (shared memory, pickling) is retried instead of
+silently merged.  Retries, pool breaks and degradations are recorded on the
+:class:`ExecutionBackend` (:meth:`ExecutionBackend.health`), which the
+serving layer surfaces through ``ClusteringService.stats()``; a degraded
+backend stays on its rung until :meth:`ExecutionBackend.reset_degradation`.
 """
 
 from __future__ import annotations
 
 import os
+import random
+import threading
+import time
 import uuid
 import weakref
+import zlib
 from collections import OrderedDict
-from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import multiprocessing
@@ -81,6 +114,8 @@ from multiprocessing import resource_tracker, shared_memory
 
 import numpy as np
 
+from repro import faults
+from repro.faults import InjectedFault, WorkerCrashError
 from repro.geometry.distance import get_metric
 from repro.indexes.base import IndexStats
 from repro.indexes.kernels import (
@@ -98,7 +133,10 @@ from repro.indexes.kernels import (
 
 __all__ = [
     "BACKENDS",
+    "DEGRADE_TO",
+    "RETRYABLE_ERRORS",
     "SHM_PREFIX",
+    "ChunkIntegrityError",
     "ExecutionBackend",
     "ShmPack",
     "plan_chunks",
@@ -110,6 +148,33 @@ __all__ = [
 
 #: Recognised backend kinds (one chunk-planning code path for all three).
 BACKENDS = ("serial", "threads", "process")
+
+#: Degradation ladder: when one rung keeps failing, execution falls to the
+#: next.  ``serial`` has no fallback — its failures propagate.
+DEGRADE_TO = {"process": "threads", "threads": "serial", "serial": None}
+
+
+class ChunkIntegrityError(RuntimeError):
+    """A worker chunk's result failed its integrity checksum.
+
+    The checksum is computed in the worker after the kernels ran and
+    re-verified in the parent, so this means the payload was corrupted in
+    transit (shared memory, pickling) — the chunk is retried, never merged.
+    """
+
+
+#: Failure types the chunk supervisor treats as transient infrastructure
+#: faults (retry, then degrade).  Everything else — kernel ``ValueError``s,
+#: metric ``TypeError``s — is deterministic and propagates immediately with
+#: its original type and message.
+RETRYABLE_ERRORS = (
+    BrokenExecutor,
+    ChunkIntegrityError,
+    InjectedFault,
+    FileNotFoundError,  # a shm segment unlinked while tasks still attach
+    ConnectionError,  # a dying pool's pipes
+    EOFError,
+)
 
 #: Shared-memory segment name prefix — recognisable in /dev/shm, so leak
 #: checks (tests, ops) can assert nothing of ours is left behind.
@@ -230,6 +295,10 @@ class ShmPack:
         pack must never serve another task."""
         self._finalizer()
 
+    @property
+    def closed(self) -> bool:
+        return not self._finalizer.alive
+
 
 # Worker-side cache of attached packs, keyed by segment name.  Names are
 # unique per pack (uuid), so a cached entry can never alias a different
@@ -294,10 +363,67 @@ def attach_pack_views(handle) -> Dict[str, np.ndarray]:
 # ---------------------------------------------------------------------------
 
 
+def _enact_payload_fault(payload) -> bool:
+    """Obey an injected fault marker riding in the payload (chaos tests).
+
+    The *parent* decides which chunks misbehave (so occurrence counting is
+    deterministic, see :mod:`repro.faults`); the worker only enacts the
+    marker.  Returns True when the result must be corrupted after its
+    checksum is computed.
+    """
+    marker = payload.get("_fault")
+    if not marker:
+        return False
+    mode = marker.get("mode")
+    if mode == "sleep":
+        time.sleep(float(marker.get("delay_s", 0.0)))
+        return False
+    if mode == "kill":
+        if marker.get("hard"):  # a real process death, not an exception
+            os._exit(13)
+        raise WorkerCrashError("injected worker crash (parallel.worker)")
+    if mode == "raise":
+        raise InjectedFault("injected worker fault (parallel.worker)")
+    return mode == "corrupt"
+
+
+def _result_checksum(result: Dict[str, Any]) -> int:
+    """CRC-32 over a task result's arrays (key + dtype + shape + bytes)."""
+    crc = 0
+    for key in sorted(result):
+        crc = zlib.crc32(key.encode(), crc)
+        value = result[key]
+        if isinstance(value, np.ndarray):
+            arr = np.ascontiguousarray(value)
+            crc = zlib.crc32(str(arr.dtype).encode(), crc)
+            crc = zlib.crc32(repr(arr.shape).encode(), crc)
+            crc = zlib.crc32(arr, crc)
+        else:  # pragma: no cover - tasks currently return arrays only
+            crc = zlib.crc32(repr(value).encode(), crc)
+    return crc
+
+
+def _corrupt_result(result: Dict[str, Any]) -> Dict[str, Any]:
+    """Bit-flip one byte of one result array (after the checksum ran)."""
+    corrupted = dict(result)
+    for key in sorted(corrupted):
+        value = corrupted[key]
+        if isinstance(value, np.ndarray) and value.size:
+            bad = np.ascontiguousarray(value).copy()
+            bad.view(np.uint8).reshape(-1)[0] ^= 0xFF
+            corrupted[key] = bad
+            break
+    return corrupted
+
+
 def _run_with_stats(fn, arrays, meta, payload):
+    corrupt = _enact_payload_fault(payload)
     stats = IndexStats()
     result = fn(arrays, meta, payload, stats)
-    return result, stats.as_dict()
+    crc = _result_checksum(result)
+    if corrupt:
+        result = _corrupt_result(result)
+    return result, stats.as_dict(), crc
 
 
 def _worker_exec(fn, handles, meta, payload):
@@ -306,6 +432,17 @@ def _worker_exec(fn, handles, meta, payload):
     for handle in handles:
         arrays.update(attach_pack_views(handle))
     return _run_with_stats(fn, arrays, meta, payload)
+
+
+def _accept_chunk(triple) -> Tuple[dict, Dict[str, int]]:
+    """Verify a chunk's integrity checksum before its result is merged."""
+    result, stats_delta, crc = triple
+    if _result_checksum(result) != crc:
+        raise ChunkIntegrityError(
+            "worker chunk result failed its integrity checksum "
+            "(payload corrupted in transit)"
+        )
+    return result, stats_delta
 
 
 def _merge_stats(stats: IndexStats, delta: Dict[str, int]) -> None:
@@ -328,15 +465,41 @@ class ExecutionBackend:
         kind: str = "serial",
         n_jobs: Optional[int] = None,
         chunk_size: Optional[int] = None,
+        max_retries: int = 2,
+        backoff_base_s: float = 0.05,
+        backoff_max_s: float = 1.0,
+        retry_seed: int = 0,
     ):
         if kind not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {kind!r}")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff_base_s < 0 or backoff_max_s < 0:
+            raise ValueError("backoff durations must be >= 0")
         self.kind = kind
         self.n_jobs = 1 if kind == "serial" else resolve_n_jobs(n_jobs)
         self.chunk_size = chunk_size
+        #: Retry policy: how many backoff rounds each ladder rung gets
+        #: before execution degrades to the next rung (process → threads →
+        #: serial).  The jitter stream is seeded, so recovery timing — and
+        #: therefore chaos tests — is reproducible.
+        self.max_retries = int(max_retries)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_max_s = float(backoff_max_s)
+        self.retry_seed = int(retry_seed)
         self._pool = None
+        self._pool_kind: Optional[str] = None
+        self._degraded_kind: Optional[str] = None
+        self._health_lock = threading.Lock()
+        self._health = {
+            "chunk_failures": 0,
+            "retries": 0,
+            "pool_breaks": 0,
+            "degradations": 0,
+        }
+        self._last_error: Optional[str] = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -350,13 +513,59 @@ class ExecutionBackend:
         """Chunk boundaries for ``n`` queries under this policy."""
         return plan_chunks(n, self.chunk_size, self.n_jobs)
 
+    # -- degradation / health --------------------------------------------------
+
+    @property
+    def effective_kind(self) -> str:
+        """The rung runs start on: the configured kind, or the sticky
+        degraded one after repeated failures."""
+        return self._degraded_kind or self.kind
+
+    @property
+    def degraded(self) -> bool:
+        return self._degraded_kind is not None
+
+    def health(self) -> Dict[str, Any]:
+        """Counters + degradation state for observability (JSON-friendly)."""
+        with self._health_lock:
+            snapshot = dict(self._health)
+            last_error = self._last_error
+        return {
+            "kind": self.kind,
+            "effective_kind": self.effective_kind,
+            "degraded": self.degraded,
+            "last_error": last_error,
+            **snapshot,
+        }
+
+    def reset_degradation(self) -> None:
+        """Return to the configured rung (after the operator fixed the cause)."""
+        with self._health_lock:
+            self._degraded_kind = None
+
+    def _note(self, key: str, count: int, error: Optional[BaseException]) -> None:
+        with self._health_lock:
+            self._health[key] += count
+            if error is not None:
+                self._last_error = f"{type(error).__name__}: {error}"
+
+    def _degrade_to(self, kind: str, error: Optional[BaseException]) -> None:
+        with self._health_lock:
+            self._degraded_kind = kind
+            self._health["degradations"] += 1
+            if error is not None:
+                self._last_error = f"{type(error).__name__}: {error}"
+        self._teardown_pool(wait=False)
+
     # -- pool lifecycle --------------------------------------------------------
 
-    def _ensure_pool(self):
+    def _ensure_pool(self, kind: str):
+        if self._pool is not None and self._pool_kind != kind:
+            self._teardown_pool(wait=False)
         if self._pool is None:
-            if self.kind == "threads":
+            if kind == "threads":
                 self._pool = ThreadPoolExecutor(max_workers=self.n_jobs)
-            elif self.kind == "process":
+            elif kind == "process":
                 # fork (where available) keeps pool start-up cheap and lets
                 # workers inherit registered metrics; the shared-memory
                 # protocol itself is start-method agnostic.
@@ -369,44 +578,86 @@ class ExecutionBackend:
                     initializer=_worker_init,
                     initargs=(start_method,),
                 )
+            self._pool_kind = kind
         return self._pool
+
+    def _teardown_pool(self, wait: bool) -> None:
+        pool, self._pool, self._pool_kind = self._pool, None, None
+        if pool is not None:
+            try:
+                pool.shutdown(wait=wait, cancel_futures=True)
+            except Exception:  # pragma: no cover - a broken pool may object
+                pass
 
     def shutdown(self) -> None:
         """Tear down the worker pool (a later run recreates it)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True, cancel_futures=True)
-            self._pool = None
+        self._teardown_pool(wait=True)
 
-    # -- execution -------------------------------------------------------------
 
-    def _gather(self, futures: "List[Future]"):
+# -- the chunk supervisor -----------------------------------------------------
+
+
+def _wave_outcomes(futures: "List[Future]") -> List[Tuple[bool, Any]]:
+    """Settle every future; per-payload ``(ok, value_or_exception)``.
+
+    No early cancel: in-flight chunks are awaited even after a failure, so
+    nothing can touch a shared-memory pack the caller is about to free.
+    """
+    outcomes: List[Tuple[bool, Any]] = []
+    for future in futures:
         try:
-            return [f.result() for f in futures]
-        except BaseException:
-            # First failure wins; stop handing out new chunks and wait for
-            # in-flight ones so nothing touches a pack we are about to free.
-            for f in futures:
-                f.cancel()
-            wait(futures)
-            raise
+            outcomes.append((True, future.result()))
+        except BaseException as exc:
+            outcomes.append((False, exc))
+    return outcomes
 
-    def map_local(self, fn, arrays, meta, payloads):
-        """Serial/threads execution over in-process array references."""
-        if self.kind == "serial" or len(payloads) <= 1:
-            return [_run_with_stats(fn, arrays, meta, p) for p in payloads]
-        pool = self._ensure_pool()
-        futures = [
-            pool.submit(_run_with_stats, fn, arrays, meta, p) for p in payloads
-        ]
-        return self._gather(futures)
 
-    def map_process(self, fn, handles, meta, payloads):
-        """Process execution over shared-memory pack handles."""
-        pool = self._ensure_pool()
-        futures = [
-            pool.submit(_worker_exec, fn, handles, meta, p) for p in payloads
-        ]
-        return self._gather(futures)
+def _run_wave_local(backend, kind, fn, arrays, meta, wave):
+    """One attempt over in-process array references (serial/threads)."""
+    if kind == "serial" or len(wave) <= 1:
+        outcomes = []
+        for payload in wave:
+            try:
+                outcomes.append((True, _run_with_stats(fn, arrays, meta, payload)))
+            except BaseException as exc:
+                outcomes.append((False, exc))
+        return outcomes
+    pool = backend._ensure_pool("threads")
+    futures = [pool.submit(_run_with_stats, fn, arrays, meta, p) for p in wave]
+    return _wave_outcomes(futures)
+
+
+def _run_wave_process(backend, fn, handles, meta, wave):
+    """One attempt over shared-memory pack handles (process backend)."""
+    pool = backend._ensure_pool("process")
+    futures = [pool.submit(_worker_exec, fn, handles, meta, p) for p in wave]
+    return _wave_outcomes(futures)
+
+
+def _mark_injected_faults(wave: List[dict], kind: str) -> None:
+    """Stamp chaos-plan fault markers onto this wave's payloads.
+
+    Decisions happen here in the parent (deterministic occurrence
+    counting); workers only enact the marker.  Stale markers from a
+    previous attempt are cleared first — a retried chunk runs clean unless
+    the plan trips again.
+    """
+    for payload in wave:
+        payload.pop("_fault", None)
+    if faults.active_plan() is None:
+        return
+    for payload in wave:
+        spec = faults.decide("parallel.worker")
+        if spec is not None:
+            payload["_fault"] = {"mode": spec.mode, "hard": kind == "process"}
+            continue
+        spec = faults.decide("parallel.slow")
+        if spec is not None:
+            payload["_fault"] = {"mode": "sleep", "delay_s": spec.delay_s}
+            continue
+        spec = faults.decide("parallel.corrupt")
+        if spec is not None:
+            payload["_fault"] = {"mode": "corrupt"}
 
 
 def run_index_tasks(
@@ -415,7 +666,7 @@ def run_index_tasks(
     payloads: Sequence[dict],
     run_arrays: Optional[Dict[str, np.ndarray]] = None,
 ) -> List[dict]:
-    """Execute one sharded kernel call for ``index`` and merge its counters.
+    """Execute one sharded kernel call for ``index``, fault-tolerantly.
 
     ``fn`` is a module-level task function ``fn(arrays, meta, payload,
     stats) -> dict`` (one of the ``*_task`` functions below).  ``arrays``
@@ -423,35 +674,118 @@ def run_index_tasks(
     with the per-run ``run_arrays``; ``meta`` is the index's picklable
     ``_shard_meta()`` plus the metric token.  Under the process backend the
     fit arrays are published once per fit (and reused by every later call),
-    the run arrays once per call; the run pack is unlinked in a ``finally``
-    whatever happens to the futures.
+    the run arrays once per run; the run pack is unlinked in a ``finally``
+    whatever happens to the chunks.
 
-    Returns the per-payload result dicts in payload order; each task's
-    counter deltas are folded into ``index._stats``.
+    Chunks that fail with a :data:`RETRYABLE_ERRORS` infrastructure fault
+    (worker death, vanished shm segment, corrupted result, injected chaos
+    fault) are retried with jittered exponential backoff; after
+    ``backend.max_retries`` exhausted rounds the run degrades one ladder
+    rung (``process → threads → serial``) and continues with only the
+    still-failed chunks.  Results and probe counters are bit-identical on
+    every rung; only *accepted* attempts' counters are merged, so a failed
+    attempt never skews the totals.  Deterministic kernel errors propagate
+    immediately with their original type and message.
+
+    Returns the per-payload result dicts in payload order; each accepted
+    task's counter deltas are folded into ``index._stats``.
     """
     backend: ExecutionBackend = index._execution()
     meta = dict(index._shard_meta())
     meta["metric"] = metric_token(index.metric)
-    if backend.kind != "process":
-        arrays = dict(index._shard_arrays())
-        if run_arrays:
-            arrays.update(run_arrays)
-        pairs = backend.map_local(fn, arrays, meta, payloads)
-    else:
-        if index._shard_pack is None:
-            index._shard_pack = ShmPack(index._shard_arrays())
-        handles = [index._shard_pack.handle]
-        run_pack = None
-        try:
+    # Payloads are annotated (fault markers) per attempt — never mutate the
+    # caller's dicts.
+    payloads = [dict(p) for p in payloads]
+    n_tasks = len(payloads)
+    if n_tasks == 0:
+        return []
+    accepted: List[Optional[Tuple[dict, Dict[str, int]]]] = [None] * n_tasks
+    pending = list(range(n_tasks))
+    kind = backend.effective_kind
+    retries_left = backend.max_retries
+    attempt = 0
+    jitter = random.Random(backend.retry_seed)
+    local_arrays: Optional[Dict[str, np.ndarray]] = None
+    run_pack: Optional[ShmPack] = None
+    last_error: Optional[BaseException] = None
+
+    def _local_arrays() -> Dict[str, np.ndarray]:
+        nonlocal local_arrays
+        if local_arrays is None:
+            local_arrays = dict(index._shard_arrays())
             if run_arrays:
-                run_pack = ShmPack(run_arrays)
-                handles.append(run_pack.handle)
-            pairs = backend.map_process(fn, handles, meta, payloads)
-        finally:
-            if run_pack is not None:
-                run_pack.close()
+                local_arrays.update(run_arrays)
+        return local_arrays
+
+    try:
+        while pending:
+            wave = [payloads[i] for i in pending]
+            _mark_injected_faults(wave, kind)
+            if kind == "process":
+                if index._shard_pack is None:
+                    index._shard_pack = ShmPack(index._shard_arrays())
+                handles = [index._shard_pack.handle]
+                if run_arrays:
+                    if run_pack is None or run_pack.closed:
+                        run_pack = ShmPack(run_arrays)
+                    handles.append(run_pack.handle)
+                if faults.decide("parallel.shm_unlink") is not None:
+                    # The injected unlink race: the run pack vanishes while
+                    # this wave's tasks are still attaching.
+                    if run_pack is not None:
+                        run_pack.close()
+                    else:
+                        index._release_shards()
+                outcomes = _run_wave_process(backend, fn, handles, meta, wave)
+            else:
+                outcomes = _run_wave_local(
+                    backend, kind, fn, _local_arrays(), meta, wave
+                )
+            still_failed: List[int] = []
+            pool_broken = False
+            for task_index, (ok, value) in zip(pending, outcomes):
+                if ok:
+                    try:
+                        accepted[task_index] = _accept_chunk(value)
+                        continue
+                    except ChunkIntegrityError as exc:
+                        value = exc
+                if isinstance(value, BrokenExecutor):
+                    pool_broken = True
+                if not isinstance(value, RETRYABLE_ERRORS):
+                    raise value  # deterministic error: original type/message
+                still_failed.append(task_index)
+                last_error = value
+            if pool_broken:
+                backend._note("pool_breaks", 1, last_error)
+                backend._teardown_pool(wait=False)
+            if not still_failed:
+                break
+            backend._note("chunk_failures", len(still_failed), last_error)
+            pending = still_failed
+            if retries_left > 0:
+                retries_left -= 1
+                backend._note("retries", 1, None)
+                delay = min(
+                    backend.backoff_max_s, backend.backoff_base_s * (2 ** attempt)
+                )
+                if delay > 0:
+                    time.sleep(delay * (0.5 + jitter.random()))
+                attempt += 1
+            else:
+                next_kind = DEGRADE_TO[kind]
+                if next_kind is None:
+                    raise last_error
+                backend._degrade_to(next_kind, last_error)
+                kind = next_kind
+                retries_left = backend.max_retries
+                attempt = 0
+    finally:
+        if run_pack is not None:
+            run_pack.close()
     results = []
-    for result, stats_delta in pairs:
+    for entry in accepted:
+        result, stats_delta = entry
         _merge_stats(index._stats, stats_delta)
         results.append(result)
     return results

@@ -14,16 +14,32 @@ rebuilds from points at load time (one vectorised binning pass).
 Round-trip contract (tested): a loaded index answers every query exactly
 like the one that was saved, and a loaded flat image equals a fresh
 flatten/bulk-build of the stored points bit for bit.
+
+Durability contract: :func:`save_index` is **atomic** — the payload is
+written to a same-directory temp file, fsynced, and ``os.replace``-d into
+place, so a crash mid-save leaves either the old file or the new one,
+never a truncated hybrid.  :func:`load_index` treats every unreadable or
+integrity-failing payload as a :class:`CorruptSnapshotError` (a
+``ValueError``) and, by default, **quarantines** the bad file by renaming
+it to ``<path>.corrupt`` — a serving process restarted in a crash loop
+then gets a clean :exc:`FileNotFoundError` instead of re-tripping on the
+same bytes, and the evidence survives for the operator.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-from typing import Any, Dict
+import os
+import struct
+import tempfile
+import zipfile
+import zlib
+from typing import Any, Dict, Optional
 
 import numpy as np
 
+from repro import faults
 from repro.indexes.base import DPCIndex
 from repro.indexes.ch_index import CHIndex
 from repro.indexes.kernels import FlatTree
@@ -32,7 +48,46 @@ from repro.indexes.registry import INDEX_CLASSES
 from repro.indexes.rn_list import RNCHIndex, RNListIndex
 from repro.indexes.treebase import TreeIndexBase
 
-__all__ = ["save_index", "load_index", "index_fingerprint"]
+__all__ = ["CorruptSnapshotError", "save_index", "load_index", "index_fingerprint"]
+
+
+class CorruptSnapshotError(ValueError):
+    """A snapshot file is unreadable or failed an integrity check.
+
+    Subclasses ``ValueError`` so callers that guarded the old error type
+    keep working; carries the offending ``path`` and, when quarantine ran,
+    the ``quarantined_to`` path the bad file was renamed to.  (A valid
+    ``.npz`` that simply isn't an index file still raises ``KeyError`` for
+    the missing ``meta`` entry — that's a wrong-file mistake, not
+    corruption, and the file is left alone.)
+    """
+
+    def __init__(
+        self,
+        message: str,
+        path: Optional[str] = None,
+        quarantined_to: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.path = path
+        self.quarantined_to = quarantined_to
+
+
+def _quarantine(path: str) -> Optional[str]:
+    """Rename a corrupt payload to ``<path>.corrupt`` (best effort)."""
+    target = f"{path}.corrupt"
+    try:
+        os.replace(path, target)
+    except OSError:
+        return None
+    return target
+
+
+def _corrupt(path: str, message: str, quarantine: bool) -> CorruptSnapshotError:
+    quarantined_to = _quarantine(path) if quarantine else None
+    if quarantined_to is not None:
+        message = f"{message} (quarantined to {quarantined_to!r})"
+    return CorruptSnapshotError(message, path=path, quarantined_to=quarantined_to)
 
 _FORMAT_VERSION = 1
 
@@ -170,7 +225,13 @@ def _flat_digest(flat: FlatTree) -> str:
 
 
 def save_index(index: DPCIndex, path: str) -> None:
-    """Serialise a fitted index to ``path`` (a ``.npz`` file)."""
+    """Serialise a fitted index to ``path`` (a ``.npz`` file), atomically.
+
+    The payload lands in a same-directory temp file first and is renamed
+    over ``path`` only once fully written and fsynced — a crash mid-save
+    (power loss, OOM kill, the injected ``persist.save`` fault) leaves the
+    previous file intact or no file at all, never a truncated one.
+    """
     if not index.is_fitted:
         raise ValueError("cannot save an unfitted index; call fit(points) first")
     meta = {
@@ -216,38 +277,91 @@ def save_index(index: DPCIndex, path: str) -> None:
             "build": index.build_,
             "digest": _flat_digest(flat),
         }
-    np.savez_compressed(path, meta=json.dumps(meta), **arrays)
+    path = os.fspath(path)
+    if not path.endswith(".npz"):
+        path += ".npz"  # np.savez appends it; the rename target must match
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=f".{os.path.basename(path)}.", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez_compressed(handle, meta=json.dumps(meta), **arrays)
+            handle.flush()
+            os.fsync(handle.fileno())
+        # Chaos point: a crash here (temp written, not yet renamed) must
+        # leave the previous payload at ``path`` untouched.
+        faults.trip("persist.save")
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    if faults.decide("persist.payload") is not None:
+        _flip_byte(path)  # simulated bitrot, after the durable rename
 
 
-def load_index(path: str) -> DPCIndex:
+def _flip_byte(path: str) -> None:
+    """XOR one mid-file byte in place (fault injection only)."""
+    with open(path, "r+b") as handle:
+        handle.seek(0, os.SEEK_END)
+        size = handle.tell()
+        offset = size // 2
+        handle.seek(offset)
+        byte = handle.read(1)
+        handle.seek(offset)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+
+
+def load_index(path: str, quarantine: bool = True) -> DPCIndex:
     """Restore an index saved by :func:`save_index`.
 
     List-based indexes come back without recomputation; tree indexes
     restore their persisted flat image (no rebuild, no re-flatten); the
     grid rebuilds from the stored points with the stored parameters.
+
+    An unreadable payload (truncated file, bitrot) or a failed integrity
+    check raises :class:`CorruptSnapshotError`; unless ``quarantine=False``
+    the bad file is first renamed to ``<path>.corrupt`` so a retry loop
+    fails cleanly instead of re-reading the same bytes.
     """
-    with np.load(path, allow_pickle=False) as data:
-        meta = json.loads(str(data["meta"]))
-        if meta.get("format_version") != _FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported index file version {meta.get('format_version')!r}"
+    path = os.fspath(path)
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            meta = json.loads(str(data["meta"]))
+            points = data["points"]
+            state_attrs = meta.get("state_attrs", [])
+            state = {attr: data[f"state{attr}"] for attr in state_attrs}
+            flat_meta = meta.get("flat")
+            flat_arrays = (
+                {name_: data[f"flat{name_}"] for name_ in FlatTree.ARRAY_FIELDS}
+                if flat_meta is not None
+                else None
             )
-        name = meta["index_name"]
-        if name not in INDEX_CLASSES:
-            raise ValueError(f"file holds unknown index type {name!r}")
-        cls = INDEX_CLASSES[name]
-        params = dict(meta["params"])
-        for key in _EXECUTION_PARAMS:
-            params.pop(key, None)
-        points = data["points"]
-        state_attrs = meta.get("state_attrs", [])
-        state = {attr: data[f"state{attr}"] for attr in state_attrs}
-        flat_meta = meta.get("flat")
-        flat_arrays = (
-            {name_: data[f"flat{name_}"] for name_ in FlatTree.ARRAY_FIELDS}
-            if flat_meta is not None
-            else None
+    except FileNotFoundError:
+        raise  # missing ≠ corrupt: the caller's path is simply wrong
+    except KeyError:
+        raise  # a valid .npz that isn't an index file (wrong file, not rot)
+    except (zipfile.BadZipFile, zlib.error, struct.error, EOFError, ValueError, OSError) as exc:
+        raise _corrupt(
+            path,
+            f"unreadable index payload in {path!r} "
+            f"({type(exc).__name__}: {exc}) — file truncated or corrupt",
+            quarantine,
+        ) from exc
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported index file version {meta.get('format_version')!r}"
         )
+    name = meta["index_name"]
+    if name not in INDEX_CLASSES:
+        raise ValueError(f"file holds unknown index type {name!r}")
+    cls = INDEX_CLASSES[name]
+    params = dict(meta["params"])
+    for key in _EXECUTION_PARAMS:
+        params.pop(key, None)
 
     index = cls(**params)
     segments = meta.get("segments") or [len(points)]
@@ -275,16 +389,20 @@ def load_index(path: str) -> DPCIndex:
         # accepting it would let an edited payload skip the integrity check.
         stored_digest = flat_meta.get("digest")
         if stored_digest is None:
-            raise ValueError(
+            raise _corrupt(
+                path,
                 f"flat image in {path!r} has no integrity digest — file "
-                "corrupt or hand-edited"
+                "corrupt or hand-edited",
+                quarantine,
             )
         actual_digest = _flat_digest(flat)
         if actual_digest != stored_digest:
-            raise ValueError(
+            raise _corrupt(
+                path,
                 f"flat-image digest mismatch for {path!r}: stored "
                 f"{stored_digest[:12]}…, recomputed {actual_digest[:12]}… "
-                "— file corrupt or hand-edited"
+                "— file corrupt or hand-edited",
+                quarantine,
             )
         index._flat = flat
         index.build_ = flat_meta.get("build")
@@ -312,9 +430,11 @@ def load_index(path: str) -> DPCIndex:
         # worse, a hand-edited payload could impersonate another snapshot).
         actual = index_fingerprint(index)
         if actual != stored:
-            raise ValueError(
+            raise _corrupt(
+                path,
                 f"fingerprint mismatch for {path!r}: stored {stored[:12]}…, "
-                f"recomputed {actual[:12]}… — file corrupt or hand-edited"
+                f"recomputed {actual[:12]}… — file corrupt or hand-edited",
+                quarantine,
             )
         index._fingerprint_ = stored
     return index

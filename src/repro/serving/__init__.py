@@ -14,11 +14,19 @@ front-end on top (``python -m repro serve``).
 
 Contract: every served response — cache hits and coalesced batches
 included — is bit-identical to a direct ``quantities()``/``cluster()``
-call on the same data.
+call on the same data, or fails fast with a typed
+:class:`~repro.serving.errors.ServingError` (shed, deadline, dispatcher
+crash) — never a hang.
 """
 
 from repro.serving.cache import CacheStats, ResultCache, result_key
 from repro.serving.coalescer import RequestCoalescer, ServeRequest
+from repro.serving.errors import (
+    DeadlineExceededError,
+    DispatcherCrashError,
+    LoadShedError,
+    ServingError,
+)
 from repro.serving.http import ClusteringServer, make_server
 from repro.serving.loadgen import LoadReport, run_load
 from repro.serving.service import ClusteringService, ServeResult
@@ -28,11 +36,15 @@ __all__ = [
     "CacheStats",
     "ClusteringServer",
     "ClusteringService",
+    "DeadlineExceededError",
+    "DispatcherCrashError",
     "LoadReport",
+    "LoadShedError",
     "RequestCoalescer",
     "ResultCache",
     "ServeRequest",
     "ServeResult",
+    "ServingError",
     "Snapshot",
     "SnapshotStore",
     "make_server",

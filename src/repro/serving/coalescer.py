@@ -17,6 +17,22 @@ direct per-request call, which is the serving contract
 A single dispatcher thread is also what makes the engine safe to share:
 index probe counters and lazy per-fit caches are only ever touched from one
 thread, regardless of how many clients are blocked on futures.
+
+Fault tolerance
+---------------
+The dispatcher is *supervised*: an exception escaping a dispatch cycle
+(including injected chaos faults at the ``coalescer.dispatch`` point) fails
+every unresolved future of the in-flight batch with a typed
+:class:`~repro.serving.errors.DispatcherCrashError` — futures are never
+left hanging — and the loop restarts for the next batch; a hard thread
+death is additionally healed by :meth:`RequestCoalescer.submit`, which
+respawns a dead dispatcher.  Admission is bounded (``max_queue``): when the
+backlog is full, :meth:`submit` sheds with a
+:class:`~repro.serving.errors.LoadShedError` instead of growing queue
+latency without bound.  Requests carry optional deadlines
+(``timeout_s``): a request whose deadline passed while it queued is failed
+fast with :class:`~repro.serving.errors.DeadlineExceededError` instead of
+riding (and slowing) the coalesced engine call of its batch-mates.
 """
 
 from __future__ import annotations
@@ -28,7 +44,13 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro import faults
 from repro.core.quantities import TieBreak
+from repro.serving.errors import (
+    DeadlineExceededError,
+    DispatcherCrashError,
+    LoadShedError,
+)
 from repro.serving.snapshots import Snapshot
 
 __all__ = ["ServeRequest", "RequestCoalescer"]
@@ -54,8 +76,12 @@ class ServeRequest:
     rho_min: Optional[float] = None
     delta_min: Optional[float] = None
     halo: bool = False
+    #: Optional per-request deadline: ``timeout_s`` seconds from admission.
+    #: The dispatcher fails an expired request fast instead of dispatching.
+    timeout_s: Optional[float] = None
     future: Future = field(default_factory=Future)
     enqueued_at: float = field(default_factory=time.perf_counter)
+    deadline: Optional[float] = field(default=None, init=False)
 
     def __post_init__(self) -> None:
         if self.op not in OPS:
@@ -67,6 +93,16 @@ class ServeRequest:
         if not self.dc > 0:  # "not >" also catches NaN
             raise ValueError(f"dc must be positive, got {self.dc}")
         self.tie_break = TieBreak.coerce(self.tie_break)
+        if self.timeout_s is not None:
+            self.timeout_s = float(self.timeout_s)
+            if not self.timeout_s > 0:  # "not >" also catches NaN
+                raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
+            self.deadline = self.enqueued_at + self.timeout_s
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        if self.deadline is None:
+            return False
+        return (time.perf_counter() if now is None else now) >= self.deadline
 
     def group_key(self) -> Tuple:
         """Requests sharing this key can ride one ``quantities_multi`` call."""
@@ -87,20 +123,36 @@ class RequestCoalescer:
         After the first request of a cycle arrives, how long to keep the
         window open for more.  ``0`` only picks up requests that are
         *already* queued (pure backlog coalescing, no added latency).
+    max_queue:
+        Admission bound: when this many requests are already queued but
+        undispatched, :meth:`submit` sheds with a
+        :class:`~repro.serving.errors.LoadShedError` instead of enqueueing.
+        ``0`` sheds everything (drain mode); ``None`` (default) admits
+        unboundedly, the pre-robustness behaviour.
     """
 
-    def __init__(self, max_batch: int = 64, linger_ms: float = 2.0) -> None:
+    def __init__(
+        self,
+        max_batch: int = 64,
+        linger_ms: float = 2.0,
+        max_queue: Optional[int] = None,
+    ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if linger_ms < 0:
             raise ValueError(f"linger_ms must be >= 0, got {linger_ms}")
+        if max_queue is not None and max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
         self.max_batch = int(max_batch)
         self.linger_ms = float(linger_ms)
+        self.max_queue = None if max_queue is None else int(max_queue)
         self._queue: "queue.SimpleQueue[Optional[ServeRequest]]" = queue.SimpleQueue()
         self._lock = threading.Lock()
         self._thread: Optional[threading.Thread] = None
         self._closed = False
-        # observability (written only by the dispatcher thread)
+        self._depth = 0  # queued-but-undispatched requests (under _lock)
+        # observability ("shed" is written under _lock by submitters, the
+        # rest only by the dispatcher thread)
         self.stats: Dict[str, int] = {
             "requests": 0,
             "batches": 0,
@@ -108,21 +160,51 @@ class RequestCoalescer:
             "coalesced_requests": 0,
             "deduped_dcs": 0,
             "largest_batch": 0,
+            "shed": 0,
+            "expired": 0,
+            "dispatcher_restarts": 0,
         }
 
     # -- client side ----------------------------------------------------------
+
+    def queue_depth(self) -> int:
+        """Requests admitted but not yet picked up by the dispatcher."""
+        with self._lock:
+            return self._depth
+
+    @property
+    def shedding(self) -> bool:
+        """Is admission control currently refusing new requests?"""
+        with self._lock:
+            return self.max_queue is not None and self._depth >= self.max_queue
 
     def submit(self, request: ServeRequest) -> Future:
         """Enqueue; the returned future resolves to ``(value, meta)``.
 
         ``value`` is a :class:`~repro.core.quantities.DPCQuantities` or
         :class:`~repro.core.quantities.DPCResult`; ``meta`` records the
-        batch this request rode in.
+        batch this request rode in.  Raises
+        :class:`~repro.serving.errors.LoadShedError` when the admission
+        queue is full — fail at the door, with a retry hint, rather than
+        grow unbounded latency for everyone already queued.
         """
         with self._lock:
             if self._closed:
                 raise RuntimeError("coalescer is closed")
-            if self._thread is None:
+            if self.max_queue is not None and self._depth >= self.max_queue:
+                self.stats["shed"] += 1
+                raise LoadShedError(
+                    f"dispatch queue is full ({self._depth} queued, "
+                    f"max_queue={self.max_queue}); retry later",
+                    retry_after_s=max(0.05, self.linger_ms / 1000.0 * 4),
+                )
+            # Supervision, half two: a dispatcher thread killed by a hard
+            # failure (the supervised loop catches ordinary exceptions) is
+            # respawned on the next submit, so one crash never turns every
+            # later request into a hang.
+            if self._thread is None or not self._thread.is_alive():
+                if self._thread is not None:
+                    self.stats["dispatcher_restarts"] += 1
                 self._thread = threading.Thread(
                     target=self._run, name="repro-serve-dispatch", daemon=True
                 )
@@ -130,6 +212,7 @@ class RequestCoalescer:
             # Enqueue under the lock: close() also holds it to set _closed
             # and append the shutdown sentinel, so a request can never land
             # behind the sentinel in a dead queue (its future would hang).
+            self._depth += 1
             self._queue.put(request)
         return request.future
 
@@ -175,10 +258,42 @@ class RequestCoalescer:
                     stop = True
                     break
                 batch.append(item)
-            self._dispatch(batch)
+            with self._lock:
+                self._depth -= len(batch)
+            # Supervision, half one: a dispatch cycle that dies (engine bug,
+            # injected chaos fault, anything) must not kill the loop with
+            # futures in hand.  Fail the whole in-flight batch fast with a
+            # typed, retryable error and keep dispatching.
+            try:
+                self._dispatch(batch)
+            except BaseException as exc:
+                if isinstance(exc, (SystemExit, KeyboardInterrupt)):
+                    raise
+                self.stats["dispatcher_restarts"] += 1
+                self._fail_unresolved(batch, exc)
+            else:
+                # Safety net: _dispatch resolves every future on all paths
+                # today, but "never hang" is a contract, not a hope.
+                self._fail_unresolved(batch, None)
             if stop:
                 self._drain_after_close()
                 return
+
+    @staticmethod
+    def _fail_unresolved(
+        batch: List[ServeRequest], cause: Optional[BaseException]
+    ) -> None:
+        for request in batch:
+            future = request.future
+            if future.done() or future.cancelled():
+                continue
+            error = DispatcherCrashError(
+                "dispatcher crashed mid-batch; request failed fast and is "
+                "safe to retry"
+            )
+            if cause is not None:
+                error.__cause__ = cause
+            future.set_exception(error)
 
     def _drain_after_close(self) -> None:
         while True:
@@ -186,15 +301,41 @@ class RequestCoalescer:
                 item = self._queue.get_nowait()
             except queue.Empty:
                 return
-            if item is not None and not item.future.cancelled():
+            if item is None:
+                continue
+            with self._lock:
+                self._depth -= 1
+            if not item.future.cancelled():
                 item.future.set_exception(RuntimeError("coalescer closed"))
 
     def _dispatch(self, batch: List[ServeRequest]) -> None:
+        # Chaos point: an exception here is exactly a dispatcher crash, so
+        # it rides the supervised path in _run (fail batch fast, restart).
+        faults.trip("coalescer.dispatch")
         self.stats["requests"] += len(batch)
         self.stats["batches"] += 1
         self.stats["largest_batch"] = max(self.stats["largest_batch"], len(batch))
         if len(batch) > 1:
             self.stats["coalesced_requests"] += len(batch)
+        # Deadline check at dispatch time: an expired request is failed fast
+        # instead of riding (and slowing) its batch-mates' engine call.
+        now = time.perf_counter()
+        live: List[ServeRequest] = []
+        for request in batch:
+            if request.expired(now):
+                self.stats["expired"] += 1
+                if not request.future.cancelled():
+                    request.future.set_exception(
+                        DeadlineExceededError(
+                            f"deadline exceeded before dispatch "
+                            f"(timeout_s={request.timeout_s})"
+                        )
+                    )
+            else:
+                live.append(request)
+        batch = live
+        if not batch:
+            return
         groups: "Dict[Tuple, List[ServeRequest]]" = {}
         for request in batch:
             groups.setdefault(request.group_key(), []).append(request)

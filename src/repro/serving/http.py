@@ -7,9 +7,18 @@ round-trip — a float64 parsed back with ``json.loads`` is *bit-identical*
 to the served value (``±Infinity`` included, via Python's permissive JSON
 dialect), so even HTTP clients keep the exactness contract.
 
+Overload and failure are part of the contract, not exceptions to it: a
+query that is shed at admission or misses its deadline gets ``503`` with a
+``Retry-After`` header and a typed JSON error body (``{"error": …,
+"type": "LoadShedError"|"DeadlineExceededError", "retry_after_s": …}``); a
+dispatcher crash (restarted underneath, request safe to retry) gets
+``500`` with ``"type": "DispatcherCrashError"``.  ``/healthz`` reports the
+service health state (``healthy``/``degraded``/``shedding``) with
+per-snapshot detail.
+
 Routes
 ------
-* ``GET  /healthz`` — liveness + snapshot count.
+* ``GET  /healthz`` — liveness + snapshot count + health states.
 * ``GET  /v1/snapshots`` — published snapshots (name, fingerprint, version…).
 * ``POST /v1/snapshots/<name>`` — publish: body ``{"points": [[…]…],
   "index": "ch", "params": {…}}`` fits in-process; ``{"path": "…"}`` loads
@@ -31,6 +40,12 @@ from typing import Any, Dict, Optional, Tuple
 import numpy as np
 
 from repro.core.quantities import DPCQuantities, DPCResult
+from repro.serving.errors import (
+    DeadlineExceededError,
+    DispatcherCrashError,
+    LoadShedError,
+    ServingError,
+)
 from repro.serving.service import ClusteringService
 
 __all__ = ["ClusteringServer", "make_server", "serialize_value"]
@@ -74,12 +89,20 @@ class _Handler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
     def _send_json(
-        self, status: int, payload: Dict[str, Any], close: bool = False
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        close: bool = False,
+        retry_after: Optional[float] = None,
     ) -> None:
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            # Retry-After is integer seconds per RFC 9110; round up so a
+            # compliant client never retries before the hint.
+            self.send_header("Retry-After", str(max(1, int(-(-retry_after // 1)))))
         if close:
             # Sets self.close_connection too (stdlib special-cases this
             # header), ending the keep-alive session after the response.
@@ -89,6 +112,20 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _error(self, status: int, message: str, close: bool = False) -> None:
         self._send_json(status, {"error": message}, close=close)
+
+    def _serving_error(self, exc: ServingError) -> None:
+        """Typed overload/failure → status code + Retry-After + JSON body."""
+        transient = isinstance(exc, (LoadShedError, DeadlineExceededError))
+        status = 503 if transient else 500
+        self._send_json(
+            status,
+            {
+                "error": str(exc),
+                "type": type(exc).__name__,
+                "retry_after_s": exc.retry_after_s,
+            },
+            retry_after=exc.retry_after_s,
+        )
 
     def _read_body(self) -> Optional[Dict[str, Any]]:
         try:
@@ -116,8 +153,16 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib contract
         if self.path == "/healthz":
+            health = self.service.health()
             self._send_json(
-                200, {"status": "ok", "snapshots": len(self.service.store)}
+                200,
+                {
+                    # "ok" when healthy keeps the liveness contract of plain
+                    # probes; degraded/shedding states ride in verbatim.
+                    "status": "ok" if health["state"] == "healthy" else health["state"],
+                    "snapshots": len(self.service.store),
+                    "health": health,
+                },
             )
         elif self.path == "/v1/snapshots":
             self._send_json(200, {"snapshots": self.service.store.describe()})
@@ -200,9 +245,15 @@ class _Handler(BaseHTTPRequestHandler):
                 delta_min=body.get("delta_min"),
                 halo=bool(body.get("halo", False)),
                 use_cache=bool(body.get("use_cache", True)),
+                timeout_s=body.get("timeout_s"),
             ).result()
         except KeyError as exc:
             self._error(404, str(exc.args[0]) if exc.args else str(exc))
+            return
+        except ServingError as exc:
+            # Shed/deadline → 503 + Retry-After, dispatcher crash → 500;
+            # all retryable overload, never a client mistake (400).
+            self._serving_error(exc)
             return
         except (ValueError, TypeError) as exc:
             self._error(400, str(exc))

@@ -20,6 +20,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.serving.errors import DeadlineExceededError, LoadShedError
 from repro.serving.service import ClusteringService
 
 __all__ = ["LoadReport", "run_load"]
@@ -29,10 +30,13 @@ __all__ = ["LoadReport", "run_load"]
 class LoadReport:
     """Aggregate of one closed-loop run (latencies in milliseconds).
 
-    ``requests`` counts every request issued; ``errors`` the failed subset.
-    ``throughput_rps`` and ``latency_ms`` cover **successful** requests
-    only — a run where half the requests error instantly must not report
-    doubled throughput and flattering percentiles.
+    ``requests`` counts every request issued; ``errors`` the failed subset,
+    of which ``shed`` (admission refused) and ``expired`` (per-request
+    deadline passed) are the typed overload components — the rates make
+    them comparable across runs of different sizes.  ``throughput_rps``
+    and ``latency_ms`` cover **successful** requests only — a run where
+    half the requests error instantly must not report doubled throughput
+    and flattering percentiles.
     """
 
     dispatch: str
@@ -40,11 +44,21 @@ class LoadReport:
     clients: int
     requests: int
     errors: int
+    shed: int
+    expired: int
     elapsed_seconds: float
     throughput_rps: float
     latency_ms: Dict[str, float]
     cache_hits: int
     coalescer: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def error_rate(self) -> float:
+        return self.errors / self.requests if self.requests else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.requests if self.requests else 0.0
 
     def as_record(self) -> Dict[str, Any]:
         return {
@@ -53,6 +67,10 @@ class LoadReport:
             "clients": self.clients,
             "requests": self.requests,
             "errors": self.errors,
+            "shed": self.shed,
+            "expired": self.expired,
+            "error_rate": self.error_rate,
+            "shed_rate": self.shed_rate,
             "elapsed_seconds": self.elapsed_seconds,
             "throughput_rps": self.throughput_rps,
             "latency_ms": dict(self.latency_ms),
@@ -82,13 +100,16 @@ def run_load(
     use_cache: bool = False,
     cluster_params: Optional[Dict[str, Any]] = None,
     seed: int = 0,
+    timeout_s: Optional[float] = None,
 ) -> LoadReport:
     """Drive ``clients`` closed-loop threads against one snapshot.
 
     ``use_cache=False`` (the default) measures *dispatch*: every request
     reaches the engine, which is the serial-vs-coalesced comparison the
     benchmark is after.  ``use_cache=True`` measures the full service
-    including memoisation.
+    including memoisation.  ``timeout_s`` rides every request as its
+    per-request deadline; shed and expired requests are counted separately
+    from other errors in the report.
     """
     if clients < 1:
         raise ValueError(f"clients must be >= 1, got {clients}")
@@ -98,6 +119,8 @@ def run_load(
     params = dict(cluster_params or {})
     latencies: List[List[float]] = [[] for _ in range(clients)]
     errors = [0] * clients
+    shed = [0] * clients
+    expired = [0] * clients
     cache_hits = [0] * clients
     barrier = threading.Barrier(clients + 1)
 
@@ -109,8 +132,15 @@ def run_load(
             started = time.perf_counter()
             try:
                 result = service.submit(
-                    snapshot, op, dcs[int(draw)], use_cache=use_cache, **params
+                    snapshot, op, dcs[int(draw)], use_cache=use_cache,
+                    timeout_s=timeout_s, **params
                 ).result()
+            except LoadShedError:
+                errors[slot] += 1
+                shed[slot] += 1
+            except DeadlineExceededError:
+                errors[slot] += 1
+                expired[slot] += 1
             except Exception:
                 errors[slot] += 1
             else:
@@ -139,6 +169,8 @@ def run_load(
         clients=clients,
         requests=succeeded + failed,
         errors=failed,
+        shed=int(sum(shed)),
+        expired=int(sum(expired)),
         elapsed_seconds=float(elapsed),
         throughput_rps=float(succeeded / elapsed) if elapsed > 0 else float("inf"),
         latency_ms=_percentiles(flat) if succeeded else {

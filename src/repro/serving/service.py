@@ -16,6 +16,16 @@ benchmark harness) talks to.  Its contract, property-tested in
   entries; the old fingerprint's entries are purged on swap, and in-flight
   computations for the old snapshot are barred from re-inserting them
   (the ``guard`` handshake with :meth:`ResultCache.put`).
+* **Fail fast, never hang** — a request either completes (bit-identical)
+  or its future fails promptly with a typed
+  :class:`~repro.serving.errors.ServingError`: shed at admission when the
+  dispatch queue is full (``max_queue``), expired when its per-request
+  deadline (``timeout_s``) passes before dispatch, failed fast when the
+  dispatcher crashes (and is restarted) underneath it.  Cache hits bypass
+  the queue entirely, so exact cached results keep flowing even while the
+  service sheds; a failed stream publish rolls back its ordering token and
+  keeps the last good snapshot serving.  :meth:`health` summarises all of
+  it as ``healthy`` / ``degraded`` / ``shedding``.
 """
 
 from __future__ import annotations
@@ -31,6 +41,7 @@ import numpy as np
 from repro.core.quantities import TieBreak
 from repro.serving.cache import ResultCache, result_key
 from repro.serving.coalescer import OPS, RequestCoalescer, ServeRequest
+from repro.serving.errors import ServingError
 from repro.serving.snapshots import Snapshot, SnapshotStore
 
 __all__ = ["ServeResult", "ClusteringService"]
@@ -68,20 +79,35 @@ class ClusteringService:
         cache_ttl: Optional[float] = None,
         max_batch: int = 64,
         linger_ms: float = 2.0,
+        max_queue: Optional[int] = None,
+        default_timeout_s: Optional[float] = None,
     ) -> None:
         if dispatch not in DISPATCH_MODES:
             raise ValueError(f"dispatch must be one of {DISPATCH_MODES}, got {dispatch!r}")
+        if default_timeout_s is not None and not default_timeout_s > 0:
+            raise ValueError(
+                f"default_timeout_s must be positive, got {default_timeout_s}"
+            )
         self.dispatch = dispatch
+        self.default_timeout_s = default_timeout_s
         self.store = store if store is not None else SnapshotStore()
         self.cache = cache if cache is not None else ResultCache(cache_entries, cache_ttl)
         if coalescer is not None:
             self.coalescer = coalescer
         elif dispatch == "serial":
-            self.coalescer = RequestCoalescer(max_batch=1, linger_ms=0.0)
+            self.coalescer = RequestCoalescer(
+                max_batch=1, linger_ms=0.0, max_queue=max_queue
+            )
         else:
-            self.coalescer = RequestCoalescer(max_batch=max_batch, linger_ms=linger_ms)
+            self.coalescer = RequestCoalescer(
+                max_batch=max_batch, linger_ms=linger_ms, max_queue=max_queue
+            )
         self._unsubscribe = self.store.subscribe(self._on_swap)
         self._streams: Dict[str, Any] = {}
+        # Last publish failure per snapshot name (streams swallow callback
+        # publish errors after rolling back — record them for health()).
+        self._publish_errors: Dict[str, str] = {}
+        self._publish_errors_lock = threading.Lock()
 
     # -- snapshot lifecycle ---------------------------------------------------
 
@@ -136,16 +162,34 @@ class ClusteringService:
         active = True
 
         def publish(
-            index: Any, token, new_points: Optional[np.ndarray] = None
+            index: Any,
+            token,
+            new_points: Optional[np.ndarray] = None,
+            reraise: bool = False,
         ) -> Optional[Snapshot]:
             nonlocal latest
             with guard:
                 if not active or token <= latest:
                     return None
+                previous_token = latest
                 latest = token
-                if new_points is not None:
-                    return self.store.publish_delta(name, index, new_points)
-                return self.store.publish(name, index)
+                try:
+                    if new_points is not None:
+                        snapshot = self.store.publish_delta(name, index, new_points)
+                    else:
+                        snapshot = self.store.publish(name, index)
+                except BaseException as exc:
+                    # Failed before the swap: the last good snapshot still
+                    # serves.  Roll the ordering token back so a *later*
+                    # stream event (which republishes the whole state) is
+                    # not mistaken for stale and retries the publish.
+                    latest = previous_token
+                    self._record_publish_error(name, exc)
+                    if reraise:
+                        raise
+                    return None
+                self._clear_publish_error(name)
+                return snapshot
 
         unsubscribes = [
             stream.subscribe_rebuild(
@@ -169,7 +213,16 @@ class ClusteringService:
                 unsubscribe()
 
         self._streams[name] = detach
-        snapshot = publish(stream.index, (stream.n, stream.rebuild_count))
+        # The initial publish re-raises: attach is a synchronous API call
+        # and the caller must learn the snapshot never went live.  Callback
+        # publishes (producer thread, no caller to tell) record instead.
+        try:
+            snapshot = publish(
+                stream.index, (stream.n, stream.rebuild_count), reraise=True
+            )
+        except BaseException:
+            self.detach_stream(name)  # failed attach must not keep publishing
+            raise
         return snapshot if snapshot is not None else self.store.get(name)
 
     def detach_stream(self, name: str) -> None:
@@ -178,6 +231,14 @@ class ClusteringService:
         unsubscribe = self._streams.pop(name, None)
         if unsubscribe is not None:
             unsubscribe()
+
+    def _record_publish_error(self, name: str, exc: BaseException) -> None:
+        with self._publish_errors_lock:
+            self._publish_errors[name] = f"{type(exc).__name__}: {exc}"
+
+    def _clear_publish_error(self, name: str) -> None:
+        with self._publish_errors_lock:
+            self._publish_errors.pop(name, None)
 
     def _on_swap(self, name: str, new: Optional[Snapshot], old: Optional[Snapshot]) -> None:
         if old is None:
@@ -205,11 +266,22 @@ class ClusteringService:
         delta_min: Optional[float] = None,
         halo: bool = False,
         use_cache: bool = True,
+        timeout_s: Optional[float] = None,
     ) -> "Future[ServeResult]":
         """Admit one request; returns a future resolving to a :class:`ServeResult`.
 
         The snapshot is resolved *now* — this request is answered from it
         even if a swap lands before the engine runs.
+
+        The returned future never hangs: it resolves with the result or
+        fails with a typed error — a
+        :class:`~repro.serving.errors.LoadShedError` when admission is
+        refused (queue full), a
+        :class:`~repro.serving.errors.DeadlineExceededError` when
+        ``timeout_s`` (default :attr:`default_timeout_s`) expires before
+        dispatch, a :class:`~repro.serving.errors.DispatcherCrashError`
+        when the dispatcher died mid-batch.  Cache hits resolve before
+        admission, so they are served even while shedding.
         """
         if op not in OPS:
             raise ValueError(f"op must be one of {OPS}, got {op!r}")
@@ -250,6 +322,7 @@ class ClusteringService:
             rho_min=rho_min,
             delta_min=delta_min,
             halo=halo,
+            timeout_s=timeout_s if timeout_s is not None else self.default_timeout_s,
         )
 
         def finish(inner: Future) -> None:
@@ -274,7 +347,13 @@ class ClusteringService:
                 )
             )
 
-        self.coalescer.submit(request).add_done_callback(finish)
+        try:
+            self.coalescer.submit(request).add_done_callback(finish)
+        except ServingError as exc:
+            # Admission refused (load shed).  Surface it through the future
+            # so every caller path — blocking helpers, HTTP front-end, load
+            # generator — observes one uniform contract.
+            outer.set_exception(exc)
         return outer
 
     def quantities(self, name: str, dc: float, **kwargs: Any) -> ServeResult:
@@ -293,6 +372,51 @@ class ClusteringService:
             "snapshots": self.store.describe(),
             "cache": self.cache.describe(),
             "coalescer": dict(self.coalescer.stats),
+            "health": self.health(),
+        }
+
+    def health(self) -> Dict[str, Any]:
+        """Service health: ``healthy`` / ``degraded`` / ``shedding``.
+
+        ``shedding`` — admission control is refusing new requests right now
+        (cache hits still serve).  ``degraded`` — everything is being
+        served exactly, but not on the happy path: an execution backend
+        fell down its degradation ladder (process → threads → serial), or a
+        stream's snapshot publish failed and the last good snapshot is
+        serving.  Per-snapshot detail rides along for ``healthz``.
+        """
+        with self._publish_errors_lock:
+            publish_errors = dict(self._publish_errors)
+        snapshots: Dict[str, Any] = {}
+        any_degraded = False
+        for name in self.store.names():
+            try:
+                snapshot = self.store.get(name)
+            except KeyError:  # dropped while we iterate
+                continue
+            execution = snapshot.index.execution_health()
+            publish_error = publish_errors.get(name)
+            degraded = bool(publish_error) or bool(execution and execution["degraded"])
+            any_degraded = any_degraded or degraded
+            snapshots[name] = {
+                "state": "degraded" if degraded else "healthy",
+                "version": snapshot.version,
+                "n": snapshot.n,
+                "execution": execution,
+                "publish_error": publish_error,
+            }
+        shedding = self.coalescer.shedding
+        return {
+            "state": (
+                "shedding" if shedding else "degraded" if any_degraded else "healthy"
+            ),
+            "shedding": shedding,
+            "queue_depth": self.coalescer.queue_depth(),
+            "dispatcher_restarts": self.coalescer.stats["dispatcher_restarts"],
+            "shed": self.coalescer.stats["shed"],
+            "expired": self.coalescer.stats["expired"],
+            "subscriber_errors": self.store.subscriber_errors,
+            "snapshots": snapshots,
         }
 
     def close(self) -> None:

@@ -26,6 +26,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import faults
 from repro.indexes.base import DPCIndex
 from repro.indexes.registry import make_index
 
@@ -93,6 +94,10 @@ class SnapshotStore:
         self._subscribers: List[SwapCallback] = []
         self._delta_subscribers: List[DeltaCallback] = []
         self._version = 0
+        #: Swap/delta callbacks that raised (swallowed; the swap itself is
+        #: already durable by the time subscribers run).
+        self.subscriber_errors = 0
+        self.last_subscriber_error: Optional[str] = None
 
     # -- publishing -----------------------------------------------------------
 
@@ -105,6 +110,9 @@ class SnapshotStore:
         if not index.is_fitted:
             raise ValueError("cannot publish an unfitted index; call fit(points) first")
         fingerprint = index.fingerprint()
+        # Chaos point: a publish that fails *here* fails before the swap —
+        # the store still serves the last good snapshot, nothing is torn.
+        faults.trip("snapshots.publish")
         with self._lock:
             previous = self._snapshots.get(name)
             self._version += 1
@@ -129,9 +137,21 @@ class SnapshotStore:
         one for ``name``.
         """
         snapshot, previous, subscribers, _ = self._swap(name, index)
-        for callback in subscribers:
-            callback(name, snapshot, previous)
+        self._notify(subscribers, name, snapshot, previous)
         return snapshot
+
+    def _notify(self, callbacks: Tuple[Callable, ...], *args: Any) -> None:
+        """Run subscriber callbacks; a raising subscriber is recorded, not
+        propagated — by the time callbacks run the swap is already durable,
+        and one broken metrics hook must not fail the publish (or starve
+        the remaining subscribers, e.g. the cache invalidator)."""
+        for callback in callbacks:
+            try:
+                callback(*args)
+            except Exception as exc:
+                with self._lock:
+                    self.subscriber_errors += 1
+                    self.last_subscriber_error = f"{type(exc).__name__}: {exc}"
 
     def publish_delta(
         self,
@@ -151,10 +171,8 @@ class SnapshotStore:
         subscribers, signalling "re-read the full image".
         """
         snapshot, previous, subscribers, delta_subscribers = self._swap(name, index)
-        for callback in subscribers:
-            callback(name, snapshot, previous)
-        for callback in delta_subscribers:
-            callback(name, snapshot, previous, new_points)
+        self._notify(subscribers, name, snapshot, previous)
+        self._notify(delta_subscribers, name, snapshot, previous, new_points)
         return snapshot
 
     def fit(

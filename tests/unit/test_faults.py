@@ -1,0 +1,126 @@
+"""Unit tests for the deterministic fault-injection framework (repro.faults)."""
+
+import threading
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultPlan, FaultSpec, InjectedFault, WorkerCrashError
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_plan():
+    yield
+    faults.clear()
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="mode must be one of"):
+            FaultSpec("x", mode="explode")
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec("x", probability=1.5)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError, match="delay_s"):
+            FaultSpec("x", delay_s=-1.0)
+
+    def test_at_coerced_to_int_tuple(self):
+        assert FaultSpec("x", at=[0, 2.0]).at == (0, 2)
+
+
+class TestFaultPlan:
+    def test_times_trips_first_n_occurrences(self):
+        plan = FaultPlan([FaultSpec("p", times=2)])
+        assert [plan.decide("p") is not None for _ in range(4)] == [
+            True, True, False, False,
+        ]
+        assert plan.fired() == {"p": 2}
+        assert plan.activations() == {"p": 4}
+
+    def test_at_trips_exact_occurrences(self):
+        plan = FaultPlan([FaultSpec("p", at=(1, 3))])
+        assert [plan.decide("p") is not None for _ in range(5)] == [
+            False, True, False, True, False,
+        ]
+
+    def test_times_none_trips_every_occurrence(self):
+        plan = FaultPlan([FaultSpec("p", times=None)])
+        assert all(plan.decide("p") for _ in range(5))
+
+    def test_probability_is_seed_deterministic(self):
+        draws = []
+        for _ in range(2):
+            plan = FaultPlan([FaultSpec("p", probability=0.5, times=None)], seed=4)
+            draws.append([plan.decide("p") is not None for _ in range(32)])
+        assert draws[0] == draws[1]
+        assert any(draws[0]) and not all(draws[0])
+
+    def test_unrelated_point_never_trips(self):
+        plan = FaultPlan([FaultSpec("p")])
+        assert plan.decide("other") is None
+        assert plan.fired() == {}
+
+    def test_rejects_non_spec(self):
+        with pytest.raises(TypeError, match="FaultSpec"):
+            FaultPlan([object()])
+
+    def test_thread_safe_counting(self):
+        plan = FaultPlan([FaultSpec("p", times=10)])
+        hits = []
+
+        def spin():
+            for _ in range(100):
+                if plan.decide("p") is not None:
+                    hits.append(1)
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(hits) == 10
+        assert plan.activations() == {"p": 400}
+
+
+class TestGlobalHooks:
+    def test_no_plan_is_noop(self):
+        faults.clear()
+        assert faults.decide("anything") is None
+        assert faults.trip("anything") is None
+
+    def test_inject_installs_and_always_clears(self):
+        plan = FaultPlan([FaultSpec("p")])
+        with faults.inject(plan):
+            assert faults.active_plan() is plan
+        assert faults.active_plan() is None
+        with pytest.raises(RuntimeError):
+            with faults.inject(plan):
+                raise RuntimeError("boom")
+        assert faults.active_plan() is None
+
+    def test_trip_raise_mode(self):
+        with faults.inject(FaultPlan([FaultSpec("p", message="ouch")])):
+            with pytest.raises(InjectedFault, match="injected fault at p: ouch"):
+                faults.trip("p")
+
+    def test_trip_sleep_mode_returns_spec(self):
+        with faults.inject(FaultPlan([FaultSpec("p", mode="sleep", delay_s=0.0)])):
+            spec = faults.trip("p")
+        assert spec is not None and spec.mode == "sleep"
+
+    def test_trip_site_handled_modes_return_spec(self):
+        plan = FaultPlan(
+            [FaultSpec("k", mode="kill"), FaultSpec("c", mode="corrupt")]
+        )
+        with faults.inject(plan):
+            assert faults.trip("k").mode == "kill"
+            assert faults.trip("c").mode == "corrupt"
+
+    def test_worker_crash_is_injected_and_retryable_type(self):
+        from repro.indexes.parallel import RETRYABLE_ERRORS
+
+        assert issubclass(WorkerCrashError, InjectedFault)
+        assert issubclass(InjectedFault, RETRYABLE_ERRORS)

@@ -1,12 +1,13 @@
 """Error paths and file-format robustness of index persistence."""
 
 import json
+import os
 
 import numpy as np
 import pytest
 
 from repro.indexes.kdtree import KDTreeIndex
-from repro.indexes.persist import load_index, save_index
+from repro.indexes.persist import CorruptSnapshotError, load_index, save_index
 
 
 @pytest.fixture
@@ -44,6 +45,51 @@ class TestLoadErrors:
     def test_missing_file(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             load_index(str(tmp_path / "nope.npz"))
+
+
+class TestCorruptionAndAtomicity:
+    """Crash-mid-save and bitrot: typed errors, quarantine, atomic rename."""
+
+    def test_truncated_file_raises_corrupt_snapshot_error(self, saved):
+        """A payload cut short by a crash mid-write must fail with a clear
+        typed error, not whatever numpy/zipfile internals happen to throw."""
+        size = os.path.getsize(saved)
+        with open(saved, "r+b") as fh:
+            fh.truncate(size // 2)
+        with pytest.raises(CorruptSnapshotError, match="truncated or corrupt"):
+            load_index(saved)
+        # the bad payload was quarantined: retries fail clean
+        assert not os.path.exists(saved)
+        assert os.path.exists(saved + ".corrupt")
+        with pytest.raises(FileNotFoundError):
+            load_index(saved)
+
+    def test_quarantine_opt_out_leaves_file(self, saved):
+        with open(saved, "r+b") as fh:
+            fh.truncate(os.path.getsize(saved) // 2)
+        with pytest.raises(CorruptSnapshotError) as info:
+            load_index(saved, quarantine=False)
+        assert info.value.quarantined_to is None
+        assert os.path.exists(saved)
+
+    def test_corrupt_snapshot_error_is_a_value_error(self):
+        assert issubclass(CorruptSnapshotError, ValueError)
+
+    def test_save_is_atomic_over_existing_payload(self, saved, tmp_path, blobs):
+        """Overwriting a snapshot goes through rename: at no point does the
+        target hold a partial payload, and no temp files are left behind."""
+        before = load_index(saved, quarantine=False).fingerprint()
+        save_index(KDTreeIndex(leaf_size=4).fit(blobs), saved)
+        after = load_index(saved, quarantine=False).fingerprint()
+        assert after != before  # different params ⇒ different content
+        assert sorted(os.listdir(tmp_path)) == ["index.npz"]
+
+    def test_save_appends_npz_suffix_like_numpy(self, tmp_path, blobs):
+        """The atomic path must keep np.savez's suffix behaviour: a bare
+        path gains .npz, so pre-existing callers find their files."""
+        save_index(KDTreeIndex().fit(blobs), str(tmp_path / "bare"))
+        assert os.path.exists(tmp_path / "bare.npz")
+        assert load_index(str(tmp_path / "bare.npz")).is_fitted
 
 
 class TestGeographicEndToEnd:

@@ -55,7 +55,12 @@ class TestRoutes:
     def test_healthz(self, served):
         base, _ = served
         out = get(base, "/healthz")
-        assert out == {"status": "ok", "snapshots": 1}
+        assert out["status"] == "ok"
+        assert out["snapshots"] == 1
+        health = out["health"]
+        assert health["state"] == "healthy"
+        assert health["shedding"] is False
+        assert health["snapshots"]["main"]["state"] == "healthy"
 
     def test_snapshots_listing(self, served):
         base, service = served
@@ -212,6 +217,57 @@ class TestErrors:
             500,
         )
         assert "closed" in body["error"]
+
+
+class TestOverload:
+    """Shed/deadline → 503 + Retry-After + typed JSON body; healthz states."""
+
+    def expect_error(self, fn, code):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fn()
+        assert excinfo.value.code == code
+        return excinfo.value
+
+    def test_shed_returns_503_with_retry_after(self, served):
+        base, service = served
+        service.coalescer.max_queue = 0  # drain mode: shed every admission
+        error = self.expect_error(
+            lambda: post(base, "/v1/query", {"snapshot": "main", "op": "cluster", "dc": 0.5}),
+            503,
+        )
+        assert int(error.headers["Retry-After"]) >= 1
+        body = json.load(error)
+        assert body["type"] == "LoadShedError"
+        assert body["retry_after_s"] > 0
+        assert "full" in body["error"]
+
+    def test_healthz_reports_shedding_state(self, served):
+        base, service = served
+        service.coalescer.max_queue = 0
+        out = get(base, "/healthz")
+        assert out["status"] == "shedding"
+        assert out["health"]["state"] == "shedding"
+        service.coalescer.max_queue = None
+        assert get(base, "/healthz")["status"] == "ok"
+
+    def test_expired_deadline_returns_503(self, served):
+        from repro import faults
+        from repro.faults import FaultPlan, FaultSpec
+
+        base, _ = served
+        plan = FaultPlan(
+            [FaultSpec("coalescer.dispatch", mode="sleep", times=1, delay_s=0.2)]
+        )
+        with faults.inject(plan):
+            error = self.expect_error(
+                lambda: post(base, "/v1/query", {
+                    "snapshot": "main", "op": "cluster", "dc": 0.9,
+                    "timeout_s": 0.05, "use_cache": False,
+                }),
+                503,
+            )
+        assert "Retry-After" in error.headers
+        assert json.load(error)["type"] == "DeadlineExceededError"
 
 
 class TestSerialize:
