@@ -1,0 +1,206 @@
+"""Partitioned scale-out benchmark: dataset tiles vs one monolithic index.
+
+For one dataset size, fits a monolithic index and partitioned variants at
+increasing tile counts, measures fit and end-to-end ``quantities()`` (ρ + δ)
+for each, verifies (ρ, δ, μ) **bit-identity** against the monolithic answer
+along the way, and **appends** a record to ``BENCH_partition.json`` (a list
+of records — the perf trajectory file).
+
+Each partitioned row carries the exchange telemetry
+(:meth:`~repro.indexes.partition.PartitionedIndex.partition_stats`): how
+many points sat in halo strips, how many δ queries settled inside their
+tile vs crossed it, and how many tile probes the density/distance prunes
+saved.  The record carries ``cpu_count``/``usable_cpus`` so a reader can
+tell real multi-core scaling from a core-starved CI box — with
+``--backend process`` each tile's queries run as supervised shared-memory
+tasks, and on one visible core that path can only show its overhead.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_partitioned.py --quick
+    PYTHONPATH=src python benchmarks/bench_partitioned.py --n 20000 --partitions 2,4,8
+    PYTHONPATH=src python benchmarks/bench_partitioned.py --backend process --n-jobs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.datasets.loaders import load_dataset
+from repro.indexes.registry import make_index
+
+FAMILIES = ("rtree", "kdtree", "quadtree", "grid", "list", "ch")
+
+
+def _best_of(repeats: int, fn: Callable[[], float]) -> float:
+    return min(fn() for _ in range(repeats))
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def run(
+    n: int = 20000,
+    dataset: str = "s1",
+    dc: "float | None" = None,
+    family: str = "rtree",
+    partitions: "tuple[int, ...]" = (2, 4),
+    backend: str = "serial",
+    n_jobs: "int | None" = None,
+    repeats: int = 1,
+    seed: int = 0,
+) -> dict:
+    """Measure one family across tile counts; returns one record."""
+    ds = load_dataset(dataset, n=n, seed=seed)
+    dc = float(dc) if dc is not None else float(min(ds.params.dc_grid))
+    record = {
+        "benchmark": "partitioned",
+        "dataset": ds.name,
+        "n": int(ds.n),
+        "dc": dc,
+        "family": family,
+        "backend": backend,
+        "n_jobs": n_jobs,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "usable_cpus": _usable_cpus(),
+        "partitioned": {},
+    }
+
+    mono = make_index(family)
+    t0 = time.perf_counter()
+    mono.fit(ds.points)
+    mono_fit = time.perf_counter() - t0
+    reference = mono.quantities(dc)
+    mono_seconds = _best_of(
+        repeats, lambda: _timed(lambda: mono.quantities(dc))
+    )
+    record["single"] = {"fit_seconds": mono_fit, "seconds": mono_seconds}
+
+    for p in partitions:
+        index = make_index(
+            "partitioned",
+            family=family,
+            partitions=p,
+            halo=dc,  # pre-size the strip so fit_seconds includes it
+            backend=backend,
+            n_jobs=n_jobs,
+        )
+        t0 = time.perf_counter()
+        index.fit(ds.points)
+        fit_seconds = time.perf_counter() - t0
+        try:
+            q = index.quantities(dc)  # warm-up: pools fork, images publish
+            np.testing.assert_array_equal(q.rho, reference.rho)
+            np.testing.assert_array_equal(q.delta, reference.delta)
+            np.testing.assert_array_equal(q.mu, reference.mu)
+            seconds = _best_of(
+                repeats, lambda: _timed(lambda: index.quantities(dc))
+            )
+            stats = index.partition_stats()
+        finally:
+            index.release_execution()
+        total = stats["local_settled"] + stats["gathered"]
+        record["partitioned"][str(p)] = {
+            "fit_seconds": fit_seconds,
+            "seconds": seconds,
+            "speedup": mono_seconds / seconds if seconds > 0 else None,
+            "identical": True,  # the asserts above are the proof
+            "halo": stats["halo"],
+            "halo_points": stats["halo_points"],
+            "local_settled_fraction": stats["local_settled"] / total
+            if total
+            else None,
+            "gather_probes": stats["gather_probes"],
+            "partitions_pruned_density": stats["partitions_pruned_density"],
+            "partitions_pruned_distance": stats["partitions_pruned_distance"],
+        }
+    return record
+
+
+def _timed(fn: Callable[[], object]) -> float:
+    t = time.perf_counter()
+    fn()
+    return time.perf_counter() - t
+
+
+def append_record(record: dict, path: str) -> None:
+    """Append ``record`` to the JSON list at ``path`` (created if missing)."""
+    records = []
+    if os.path.exists(path):
+        with open(path) as fh:
+            existing = json.load(fh)
+        records = existing if isinstance(existing, list) else [existing]
+    records.append(record)
+    with open(path, "w") as fh:
+        json.dump(records, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def main(argv=None) -> str:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=20000)
+    parser.add_argument("--dataset", default="s1")
+    parser.add_argument("--dc", type=float, default=None)
+    parser.add_argument("--family", default="rtree", choices=FAMILIES)
+    parser.add_argument(
+        "--partitions", default="2,4", help="comma-separated tile counts"
+    )
+    parser.add_argument("--backend", default="serial", choices=("serial", "threads", "process"))
+    parser.add_argument("--n-jobs", type=int, default=None)
+    parser.add_argument("--repeats", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="BENCH_partition.json")
+    parser.add_argument(
+        "--quick", action="store_true", help="tiny CI smoke size (n=1200)"
+    )
+    args = parser.parse_args(argv)
+    partitions = tuple(int(p) for p in args.partitions.split(","))
+    if args.quick:
+        args.n = min(args.n, 1200)
+        args.repeats = 1
+    record = run(
+        n=args.n,
+        dataset=args.dataset,
+        dc=args.dc,
+        family=args.family,
+        partitions=partitions,
+        backend=args.backend,
+        n_jobs=args.n_jobs,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    append_record(record, args.out)
+    print(
+        f"{args.family:10s} single fit {record['single']['fit_seconds']:.3f}s "
+        f"query {record['single']['seconds']:.3f}s"
+    )
+    for p, row in record["partitioned"].items():
+        settled = row["local_settled_fraction"]
+        settled_txt = f"settled {settled:.0%}" if settled is not None else ""
+        print(
+            f"  tiles={p:3s} fit {row['fit_seconds']:.3f}s "
+            f"query {row['seconds']:.3f}s ({row['speedup']:.2f}x)  "
+            f"halo_pts {row['halo_points']}  {settled_txt}"
+        )
+    print(
+        f"wrote {args.out} (cpu_count={record['cpu_count']}, "
+        f"usable={record['usable_cpus']}, backend={args.backend})"
+    )
+    return args.out
+
+
+if __name__ == "__main__":
+    main()

@@ -54,6 +54,14 @@ METHODS: Dict[str, Callable] = {
 }
 
 
+def _usable_cpus() -> int:
+    """Cores this process may actually run on (affinity/cgroup aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
 def delta_run(
     batches: List[np.ndarray],
     factory: Callable,
@@ -171,6 +179,9 @@ def run(
         "min_buffer": min_buffer,
         "python": platform.python_version(),
         "cpu_count": os.cpu_count(),
+        # The honesty note the other benchmarks carry: how many cores this
+        # run could really use (affinity/cgroup mask), vs the box's total.
+        "usable_cpus": _usable_cpus(),
         "methods": {},
     }
     for name in indexes or tuple(METHODS):

@@ -469,6 +469,37 @@ class DPCIndex(abc.ABC):
             result.halo = halo_mask(points, labels, q.rho, q.dc, metric=self.metric)
         return result
 
+    def partitioned(
+        self,
+        partitions: int,
+        halo: Optional[float] = None,
+        scheme: str = "morton",
+    ) -> "DPCIndex":
+        """A partitioned (dataset-sharded) index over this family + params.
+
+        Returns an *unfitted* :class:`~repro.indexes.partition.PartitionedIndex`
+        configured with this index's family, constructor parameters, metric
+        and execution knobs — the scale-out entry point:
+        ``RTreeIndex(max_entries=8).partitioned(4).fit(points)`` answers
+        every query bit-identically to the unpartitioned fit.
+        """
+        from repro.indexes.partition import PartitionedIndex
+        from repro.indexes.persist import _constructor_params
+
+        family_params = _constructor_params(self)
+        family_params.pop("metric", None)
+        return PartitionedIndex(
+            metric=self.metric,
+            family=self.name,
+            partitions=partitions,
+            halo=halo,
+            scheme=scheme,
+            family_params=family_params,
+            backend=self.backend,
+            n_jobs=self.n_jobs,
+            chunk_size=self.chunk_size,
+        )
+
     # -- execution backend (repro.indexes.parallel) -------------------------------
 
     def _execution(self):

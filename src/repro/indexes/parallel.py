@@ -182,9 +182,20 @@ SHM_PREFIX = "repro_shard"
 
 
 def resolve_n_jobs(n_jobs: Optional[int]) -> int:
-    """Worker count: ``None``/``0``/negative mean "all visible cores"."""
+    """Worker count: ``None``/``0``/negative mean "all *usable* cores".
+
+    Usable means the scheduling affinity mask (cgroup/taskset limits on
+    containers and CI runners), not the box's total core count —
+    ``os.cpu_count()`` on a 64-core host restricted to 4 cores would spawn
+    a 16x-oversubscribed pool.  Platforms without ``sched_getaffinity``
+    (macOS) fall back to ``cpu_count()``.
+    """
     if n_jobs is None or n_jobs <= 0:
-        return max(1, os.cpu_count() or 1)
+        try:
+            usable = len(os.sched_getaffinity(0))
+        except AttributeError:  # pragma: no cover - platform-dependent
+            usable = os.cpu_count() or 1
+        return max(1, usable)
     return int(n_jobs)
 
 

@@ -44,6 +44,7 @@ from repro.indexes.base import DPCIndex
 from repro.indexes.ch_index import CHIndex
 from repro.indexes.kernels import FlatTree
 from repro.indexes.list_index import ListIndex
+from repro.indexes.partition import PartitionedIndex
 from repro.indexes.registry import INDEX_CLASSES
 from repro.indexes.rn_list import RNCHIndex, RNListIndex
 from repro.indexes.treebase import TreeIndexBase
@@ -154,6 +155,16 @@ def _constructor_params(index: DPCIndex) -> Dict[str, Any]:
         "density_pruning",
         "distance_pruning",
         "frontier",
+        # Partitioned layer (repro.indexes.partition).  ``halo`` here is the
+        # *configured* initial width; the fit-resolved ``halo_`` is excluded
+        # on purpose — results are independent of it, so two snapshots that
+        # only differ in how far their halos auto-grew must share answers
+        # (they still fingerprint apart via the configured params).
+        "family",
+        "partitions",
+        "halo",
+        "scheme",
+        "family_params",
     ):
         if hasattr(index, attr):
             params[attr] = getattr(index, attr)
@@ -224,6 +235,24 @@ def _flat_digest(flat: FlatTree) -> str:
     return digest.hexdigest()
 
 
+def _partition_digest(halo: float, assign: np.ndarray, members) -> str:
+    """SHA-256 over a partitioned layout (halo + assignment + member ids).
+
+    Same rationale as :func:`_flat_digest`: the per-partition payload is
+    loaded verbatim instead of being re-derived from the points, so it
+    carries its own integrity hash — a corrupted or hand-edited member
+    array would otherwise fit plausible sub-indexes that silently answer
+    wrong under an honest fingerprint.
+    """
+    digest = hashlib.sha256()
+    digest.update(repr(float(halo)).encode())
+    digest.update(np.ascontiguousarray(assign, dtype=np.int64).tobytes())
+    for mem in members:
+        digest.update(b"|")
+        digest.update(np.ascontiguousarray(mem, dtype=np.int64).tobytes())
+    return digest.hexdigest()
+
+
 def save_index(index: DPCIndex, path: str) -> None:
     """Serialise a fitted index to ``path`` (a ``.npz`` file), atomically.
 
@@ -265,6 +294,21 @@ def save_index(index: DPCIndex, path: str) -> None:
         arrays[f"state{attr}"] = value
     if hasattr(index, "_big_delta"):
         meta["big_delta"] = float(index._big_delta)
+    if isinstance(index, PartitionedIndex):
+        # Per-partition payload: the tile assignment, the resolved halo and
+        # each tile's member ids.  A load adopts the layout verbatim (no
+        # curve sort, no halo rect pass) and refits the per-tile
+        # sub-indexes deterministically over their stored members.
+        arrays["partassign"] = index._assign
+        for t, mem in enumerate(index._members):
+            arrays[f"partmembers{t}"] = mem
+        meta["partitioned"] = {
+            "partitions": int(index.partitions_),
+            "halo": float(index.halo_),
+            "digest": _partition_digest(
+                index.halo_, index._assign, index._members
+            ),
+        }
     if isinstance(index, TreeIndexBase):
         # Persist the flattened query image: a load (serving cold start)
         # then skips both the rebuild and the re-flatten.
@@ -340,6 +384,14 @@ def load_index(path: str, quarantine: bool = True) -> DPCIndex:
                 if flat_meta is not None
                 else None
             )
+            part_meta = meta.get("partitioned")
+            part_assign = part_members = None
+            if part_meta is not None:
+                part_assign = data["partassign"]
+                part_members = [
+                    data[f"partmembers{t}"]
+                    for t in range(int(part_meta["partitions"]))
+                ]
     except FileNotFoundError:
         raise  # missing ≠ corrupt: the caller's path is simply wrong
     except KeyError:
@@ -410,6 +462,24 @@ def load_index(path: str, quarantine: bool = True) -> DPCIndex:
         index.build_seconds = float(meta.get("build_seconds", float("nan")))
         if base_n < len(points):
             index.add_points(points[base_n:])
+    elif part_meta is not None and isinstance(index, PartitionedIndex):
+        # Adopt the per-partition layout verbatim; the per-tile sub-indexes
+        # refit deterministically over their stored member ids.
+        stored_digest = part_meta.get("digest")
+        actual_digest = _partition_digest(
+            part_meta["halo"], part_assign, part_members
+        )
+        if stored_digest is None or actual_digest != stored_digest:
+            raise _corrupt(
+                path,
+                f"partition-layout digest mismatch for {path!r} — file "
+                "corrupt or hand-edited",
+                quarantine,
+            )
+        index._restore_layout(
+            points, part_meta["halo"], part_assign, part_members
+        )
+        index.build_seconds = float(meta.get("build_seconds", float("nan")))
     else:
         # Families that rebuild from points on load (the grid): refit the
         # base segment, then re-ingest the delta suffix so the restored

@@ -27,6 +27,7 @@ INDEX_PARAMS = {
     "rtree": {},
     "kdtree": {},
     "grid": {},
+    "partitioned": {"partitions": 3},
 }
 
 

@@ -1,0 +1,231 @@
+"""Partitioned-index bit-identity properties (repro.indexes.partition).
+
+The partitioned layer promises results **bit-identical** to a monolithic fit
+of the same family — ρ, δ, μ, labels and halo, ties and smaller-id μ
+included — for every exact family, every rect-capable metric, both
+tie-break conventions and any partition count.  The corpora here are the
+adversarial ones where a tiling bug would actually show:
+
+* **border-duplicates** — exactly coincident point stacks spread across the
+  whole domain, so duplicate groups land *on* tile borders and the δ=0 ties
+  must resolve to the smallest global id across the cut;
+* **rho-ties** — an integer lattice with heavy ρ ties, so the density-order
+  keys (both conventions) are exercised across partition boundaries;
+* **dc exceeding the tile width** — the halo swallows whole neighbouring
+  tiles and the local/settled fraction collapses, yet nothing may change.
+
+A Hypothesis sweep drives random lattice clouds (dc placed at the midpoint
+of two consecutive unique pairwise distances, so no strict-< comparison can
+flip between code paths) through random partition counts.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.distance import pairwise_distances
+from repro.indexes.registry import make_index
+
+from tests.conftest import assert_quantities_equal, safe_dc
+
+#: Constructor extras per exact family (small structures so tiles stay deep
+#: enough to matter).  The rn-* families are approximate and rejected by the
+#: partitioned constructor — covered in tests/unit/test_partition.py.
+FAMILY_SPECS = {
+    "list": {},
+    "ch": {"default_bins": 16},
+    "kdtree": {"leaf_size": 8},
+    "quadtree": {"capacity": 8},
+    "rtree": {"max_entries": 6},
+    "grid": {"target_occupancy": 4},
+}
+
+#: Every metric with exact rectangle bounds (halo membership needs them).
+RECT_METRICS = (
+    "euclidean",
+    "sqeuclidean",
+    "manhattan",
+    "chebyshev",
+    "minkowski[p=3]",
+)
+
+PARTITION_COUNTS = (1, 2, 4)
+
+CORPORA = ("border-duplicates", "rho-ties", "mixed")
+
+
+def corpus(name: str) -> np.ndarray:
+    r = np.random.default_rng(hash(name) % (2**32))
+    if name == "border-duplicates":
+        # Duplicate stacks spread over the whole domain: however the
+        # equal-count tiles cut the curve, some stack straddles a border.
+        centers = r.uniform(-4.0, 4.0, size=(18, 2))
+        stacks = np.repeat(centers, 3, axis=0)
+        return np.concatenate([stacks, r.normal(0.0, 2.0, size=(26, 2))])
+    if name == "rho-ties":
+        return r.integers(0, 5, size=(80, 2)).astype(np.float64)
+    if name == "mixed":
+        blob = r.normal(0.0, 0.6, size=(40, 2))
+        dup = np.round(r.normal(3.0, 0.5, size=(20, 2)), 1)
+        lattice = r.integers(-2, 2, size=(20, 2)).astype(np.float64)
+        return np.concatenate([blob, dup, dup[:10], lattice])
+    raise KeyError(name)
+
+
+def build_pair(family, metric, partitions, **kwargs):
+    mono = make_index(family, metric=metric, **FAMILY_SPECS[family])
+    part = make_index(
+        "partitioned",
+        metric=metric,
+        family=family,
+        partitions=partitions,
+        family_params=FAMILY_SPECS[family],
+        **kwargs,
+    )
+    return mono, part
+
+
+class TestPartitionBitIdentity:
+    """Mono vs partitioned on every (family, rect metric) pair."""
+
+    @pytest.mark.parametrize("metric", RECT_METRICS)
+    @pytest.mark.parametrize("family", sorted(FAMILY_SPECS))
+    def test_families_and_metrics(self, family, metric):
+        points = corpus("mixed")
+        dc = safe_dc(points)
+        for partitions in PARTITION_COUNTS:
+            mono, part = build_pair(family, metric, partitions)
+            mono.fit(points)
+            part.fit(points)
+            for tie_break in ("id", "strict"):
+                assert_quantities_equal(
+                    mono.quantities(dc, tie_break=tie_break),
+                    part.quantities(dc, tie_break=tie_break),
+                )
+
+    @pytest.mark.parametrize("corpus_name", CORPORA)
+    @pytest.mark.parametrize("family", sorted(FAMILY_SPECS))
+    def test_border_corpora_and_labels(self, family, corpus_name):
+        points = corpus(corpus_name)
+        dc = safe_dc(points)
+        mono, part = build_pair(family, "euclidean", 4)
+        mono.fit(points)
+        part.fit(points)
+        for tie_break in ("id", "strict"):
+            assert_quantities_equal(
+                mono.quantities(dc, tie_break=tie_break),
+                part.quantities(dc, tie_break=tie_break),
+            )
+        a = mono.cluster(dc, n_centers=3, halo=True)
+        b = part.cluster(dc, n_centers=3, halo=True)
+        np.testing.assert_array_equal(a.centers, b.centers)
+        np.testing.assert_array_equal(a.labels, b.labels)
+        np.testing.assert_array_equal(a.halo, b.halo)
+
+    @pytest.mark.parametrize("family", sorted(FAMILY_SPECS))
+    def test_multi_dc_sweep_with_dc_exceeding_tile_width(self, family):
+        """One sweep spans tiny dc through a dc wider than the whole domain,
+        so the halo regrows mid-life and finally swallows every neighbour."""
+        points = corpus("border-duplicates")
+        base = safe_dc(points)
+        span = float(np.linalg.norm(points.max(0) - points.min(0)))
+        dcs = [base * 0.3, base, base * 2.5, span * 1.5]
+        mono, part = build_pair(family, "euclidean", 4)
+        mono.fit(points)
+        part.fit(points)
+        for tie_break in ("id", "strict"):
+            qa = mono.quantities_multi(dcs, tie_break=tie_break)
+            qb = part.quantities_multi(dcs, tie_break=tie_break)
+            for x, y in zip(qa, qb):
+                assert_quantities_equal(x, y)
+        stats = part.partition_stats()
+        assert stats["halo"] >= span  # the halo really did swallow the tiles
+        assert stats["halo_regrows"] >= 1
+
+    @pytest.mark.parametrize("scheme", ("morton", "grid"))
+    def test_scheme_is_a_locality_knob_only(self, scheme):
+        points = corpus("rho-ties")
+        dc = safe_dc(points)
+        mono = make_index("rtree", max_entries=6).fit(points)
+        part = make_index(
+            "partitioned",
+            family="rtree",
+            partitions=4,
+            scheme=scheme,
+            family_params={"max_entries": 6},
+        ).fit(points)
+        for tie_break in ("id", "strict"):
+            assert_quantities_equal(
+                mono.quantities(dc, tie_break=tie_break),
+                part.quantities(dc, tie_break=tie_break),
+            )
+
+    def test_tiny_user_halo_is_grown_not_trusted(self):
+        """A configured halo smaller than dc must auto-grow, never cap."""
+        points = corpus("mixed")
+        dc = safe_dc(points)
+        mono = make_index("kdtree", leaf_size=8).fit(points)
+        part = make_index(
+            "partitioned",
+            family="kdtree",
+            partitions=4,
+            halo=dc * 1e-6,
+            family_params={"leaf_size": 8},
+        ).fit(points)
+        assert_quantities_equal(mono.quantities(dc), part.quantities(dc))
+        stats = part.partition_stats()
+        assert stats["halo"] >= dc
+        assert stats["halo_regrows"] >= 1
+
+    def test_excess_partitions_clamp_to_pair_tiles(self):
+        """More tiles than the data supports clamps so every tile keeps at
+        least two core points (singleton fits would be refused by e.g. the
+        list family, and carry no locality anyway)."""
+        points = corpus("mixed")[:10]
+        dc = safe_dc(points)
+        mono = make_index("list").fit(points)
+        part = make_index("partitioned", family="list", partitions=64).fit(points)
+        assert part.partition_stats()["partitions"] == len(points) // 2
+        assert_quantities_equal(mono.quantities(dc), part.quantities(dc))
+
+
+@st.composite
+def lattice_case(draw):
+    """Random duplicate-heavy lattice cloud + a midpoint-safe dc."""
+    n = draw(st.integers(8, 60))
+    coords = draw(
+        st.lists(
+            st.tuples(st.integers(0, 12), st.integers(0, 12)),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    points = np.asarray(coords, dtype=np.float64) * 0.7310585786300049
+    d = pairwise_distances(points)
+    iu = np.triu_indices(len(points), k=1)
+    uniq = np.unique(d[iu])
+    uniq = uniq[uniq > 0.0]
+    if len(uniq) < 2:
+        dc = 1.0
+    else:
+        idx = draw(st.integers(0, len(uniq) - 2))
+        dc = float((uniq[idx] + uniq[idx + 1]) / 2.0)
+    return points, dc
+
+
+@given(case=lattice_case(), partitions=st.integers(1, 5))
+@settings(max_examples=25, deadline=None)
+def test_random_lattices_any_partition_count(case, partitions):
+    points, dc = case
+    mono = make_index("rtree", max_entries=6).fit(points)
+    part = make_index(
+        "partitioned",
+        family="rtree",
+        partitions=partitions,
+        family_params={"max_entries": 6},
+    ).fit(points)
+    for tie_break in ("id", "strict"):
+        assert_quantities_equal(
+            mono.quantities(dc, tie_break=tie_break),
+            part.quantities(dc, tie_break=tie_break),
+        )

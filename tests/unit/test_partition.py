@@ -1,0 +1,224 @@
+"""Structural unit tests for the partitioned index (repro.indexes.partition).
+
+Bit-identity against monolithic fits lives in
+tests/properties/test_prop_partition.py; here we pin down the layout
+machinery itself: deterministic balanced tiling, constructor validation,
+halo auto-growth, persistence (round-trip + tamper detection), the
+``DPCIndex.partitioned()`` helper and the observability surface.
+"""
+
+import numpy as np
+import pytest
+
+from repro.indexes.partition import (
+    PARTITION_SCHEMES,
+    PartitionedIndex,
+    assign_partitions,
+)
+from repro.indexes.persist import CorruptSnapshotError, load_index, save_index
+from repro.indexes.registry import make_index
+from repro.indexes.rtree import RTreeIndex
+
+from tests.conftest import assert_quantities_equal, safe_dc
+
+
+@pytest.fixture
+def points():
+    r = np.random.default_rng(42)
+    base = r.normal(0.0, 1.5, size=(30, 2))
+    return np.concatenate([base, base[:10], r.uniform(-4, 4, size=(20, 2))])
+
+
+class TestAssignPartitions:
+    @pytest.mark.parametrize("scheme", PARTITION_SCHEMES)
+    @pytest.mark.parametrize("partitions", (1, 2, 3, 7))
+    def test_balanced_disjoint_cover(self, points, scheme, partitions):
+        assign = assign_partitions(points, partitions, scheme)
+        assert assign.shape == (len(points),)
+        sizes = np.bincount(assign, minlength=partitions)
+        assert sizes.sum() == len(points)
+        assert (sizes > 0).all()
+        # Equal-count packing: tile sizes differ by at most one.
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_deterministic(self, points):
+        a = assign_partitions(points, 4, "morton")
+        b = assign_partitions(points, 4, "morton")
+        np.testing.assert_array_equal(a, b)
+
+    def test_duplicates_break_ties_by_id(self):
+        # A fully coincident cloud still packs into contiguous id runs.
+        points = np.zeros((8, 2))
+        assign = assign_partitions(points, 4, "morton")
+        np.testing.assert_array_equal(assign, [0, 0, 1, 1, 2, 2, 3, 3])
+
+    def test_unknown_scheme_rejected(self, points):
+        with pytest.raises(ValueError, match="scheme"):
+            assign_partitions(points, 2, "hilbert")
+
+
+class TestConstructorValidation:
+    def test_unknown_family(self):
+        with pytest.raises(ValueError, match="unknown family"):
+            PartitionedIndex(family="btree")
+
+    def test_no_nesting(self):
+        with pytest.raises(ValueError, match="nest"):
+            PartitionedIndex(family="partitioned")
+
+    @pytest.mark.parametrize("family", ("rn-list", "rn-ch"))
+    def test_approximate_families_rejected(self, family):
+        with pytest.raises(ValueError, match="approximate"):
+            PartitionedIndex(family=family, family_params={"tau": 2.0})
+
+    def test_metric_without_rect_bounds_rejected(self):
+        with pytest.raises(ValueError, match="rect"):
+            PartitionedIndex(metric="haversine", family="list")
+
+    def test_bad_partition_count(self):
+        with pytest.raises(ValueError, match="partitions"):
+            PartitionedIndex(partitions=0)
+
+    def test_negative_halo(self):
+        with pytest.raises(ValueError, match="halo"):
+            PartitionedIndex(halo=-1.0)
+
+    def test_bad_scheme(self):
+        with pytest.raises(ValueError, match="scheme"):
+            PartitionedIndex(scheme="zigzag")
+
+    @pytest.mark.parametrize("key", ("metric", "backend", "n_jobs", "chunk_size"))
+    def test_family_params_cannot_override_execution(self, key):
+        with pytest.raises(ValueError, match=key):
+            PartitionedIndex(family_params={key: "x"})
+
+    def test_required_ndim_follows_family(self):
+        assert PartitionedIndex(family="quadtree").required_ndim == 2
+        assert PartitionedIndex(family="kdtree").required_ndim is None
+
+
+class TestHaloGrowth:
+    def test_queries_grow_the_halo_monotonically(self, points):
+        dc = safe_dc(points)
+        index = make_index("partitioned", family="rtree", partitions=3).fit(points)
+        assert index.partition_stats()["halo"] == 0.0
+        index.rho_all(dc)
+        stats = index.partition_stats()
+        assert stats["halo"] == dc
+        assert stats["halo_regrows"] == 1
+        # A narrower query rides the existing strip: no refit.
+        index.rho_all(dc / 2)
+        assert index.partition_stats()["halo_regrows"] == 1
+        # A wider one regrows exactly once more.
+        index.quantities(dc * 2)
+        stats = index.partition_stats()
+        assert stats["halo"] == dc * 2
+        assert stats["halo_regrows"] == 2
+
+    def test_configured_halo_presizes_the_strip(self, points):
+        dc = safe_dc(points)
+        index = make_index(
+            "partitioned", family="rtree", partitions=3, halo=dc
+        ).fit(points)
+        index.quantities(dc)
+        stats = index.partition_stats()
+        assert stats["halo"] == dc
+        assert stats["halo_regrows"] == 0
+
+
+class TestPersistence:
+    def test_round_trip_preserves_layout_and_results(self, points, tmp_path):
+        dc = safe_dc(points)
+        path = str(tmp_path / "part.npz")
+        index = make_index(
+            "partitioned",
+            family="kdtree",
+            partitions=3,
+            family_params={"leaf_size": 8},
+        ).fit(points)
+        index.quantities(dc)  # grow the halo so the stored width is real
+        save_index(index, path)
+        loaded = load_index(path)
+        assert isinstance(loaded, PartitionedIndex)
+        assert loaded.fingerprint() == index.fingerprint()
+        assert loaded.partition_stats()["halo"] == index.partition_stats()["halo"]
+        assert (
+            loaded.partition_stats()["member_sizes"]
+            == index.partition_stats()["member_sizes"]
+        )
+        for tie_break in ("id", "strict"):
+            assert_quantities_equal(
+                index.quantities(dc, tie_break=tie_break),
+                loaded.quantities(dc, tie_break=tie_break),
+            )
+
+    def test_tampered_members_are_rejected(self, points, tmp_path):
+        path = str(tmp_path / "part.npz")
+        index = make_index("partitioned", family="rtree", partitions=3).fit(points)
+        index.quantities(safe_dc(points))
+        save_index(index, path)
+        with np.load(path, allow_pickle=False) as payload:
+            arrays = {k: payload[k] for k in payload.files}
+        # Silently shrinking a tile would drop halo neighbours — the digest
+        # must catch the edit even though the arrays stay self-consistent.
+        arrays["partmembers0"] = arrays["partmembers0"][:-1]
+        np.savez(path.removesuffix(".npz"), **arrays)
+        with pytest.raises(CorruptSnapshotError, match="partition"):
+            load_index(path)
+
+    def test_tampered_assignment_is_rejected(self, points, tmp_path):
+        path = str(tmp_path / "part.npz")
+        index = make_index("partitioned", family="rtree", partitions=3).fit(points)
+        save_index(index, path)
+        with np.load(path, allow_pickle=False) as payload:
+            arrays = {k: payload[k] for k in payload.files}
+        arrays["partassign"] = arrays["partassign"][::-1].copy()
+        np.savez(path.removesuffix(".npz"), **arrays)
+        with pytest.raises(CorruptSnapshotError, match="partition"):
+            load_index(path)
+
+
+class TestPartitionedHelper:
+    def test_wraps_family_with_constructor_params(self, points):
+        dc = safe_dc(points)
+        mono = RTreeIndex(max_entries=6).fit(points)
+        part = mono.partitioned(partitions=3, halo=dc).fit(points)
+        assert isinstance(part, PartitionedIndex)
+        assert part.family == "rtree"
+        assert part.family_params["max_entries"] == 6
+        assert_quantities_equal(mono.quantities(dc), part.quantities(dc))
+
+
+class TestObservability:
+    def test_partition_stats_shape(self, points):
+        dc = safe_dc(points)
+        index = make_index("partitioned", family="grid", partitions=4).fit(points)
+        index.quantities(dc)
+        stats = index.partition_stats()
+        assert stats["partitions"] == 4
+        assert stats["scheme"] == "morton"
+        assert stats["family"] == "grid"
+        assert sum(stats["core_sizes"]) == len(points)
+        assert all(
+            m >= c for m, c in zip(stats["member_sizes"], stats["core_sizes"])
+        )
+        assert stats["halo_points"] == sum(stats["member_sizes"]) - len(points)
+        # Every non-peak query resolved through exactly one of the two paths.
+        assert stats["local_settled"] + stats["gathered"] == len(points) - 1
+
+    def test_probe_counters_fold_into_parent_stats(self, points):
+        index = make_index("partitioned", family="rtree", partitions=3).fit(points)
+        index.quantities(safe_dc(points))
+        assert index.stats().distance_evals > 0
+
+    def test_describe_reports_layout(self, points):
+        index = make_index("partitioned", family="rtree", partitions=3).fit(points)
+        info = index.describe()
+        assert info["family"] == "rtree"
+        assert info["partitions"] == 3
+        assert info["halo"] == 0.0
+
+    def test_memory_bytes_counts_subs(self, points):
+        index = make_index("partitioned", family="rtree", partitions=3).fit(points)
+        mono = RTreeIndex().fit(points)
+        assert index.memory_bytes() > mono.memory_bytes() / 2

@@ -1,0 +1,151 @@
+"""Clock-discipline audit for the serving layer.
+
+Deadlines and TTLs must live on one *monotonic* clock end-to-end: a request
+admitted before an NTP step, a DST shift or an operator's ``date`` call must
+neither expire early nor become immortal.  The serving layer uses
+
+* ``time.perf_counter`` for every :class:`ServeRequest` deadline — admission
+  stamp, ``deadline`` derivation and every ``expired()`` comparison,
+  including the dispatcher's linger window;
+* ``time.monotonic`` for the result cache's TTL (injectable for tests);
+* ``time.time`` (wall clock) in exactly one place — the *informational*
+  ``published_at`` stamp on a snapshot, which is never compared against any
+  deadline.
+
+These tests pin that inventory down: the source scan fails if a future
+change sneaks a wall-clock read into a new serving module, and the
+behavioural tests fail if a deadline ever reacts to a wall-clock jump.
+"""
+
+from __future__ import annotations
+
+import inspect
+import pathlib
+import re
+import time
+
+import repro.serving as serving_pkg
+from repro.serving.cache import ResultCache
+from repro.serving.coalescer import ServeRequest
+
+
+class _StubSnapshot:
+    """ServeRequest never touches the snapshot at admission time."""
+
+
+def _make_request(**kwargs) -> ServeRequest:
+    return ServeRequest(snapshot=_StubSnapshot(), op="quantities", dc=1.0, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Source inventory: wall clock appears once, and only informationally
+# ---------------------------------------------------------------------------
+
+
+def test_wall_clock_appears_only_in_snapshot_published_at():
+    serving_dir = pathlib.Path(serving_pkg.__file__).parent
+    uses = {}
+    for path in sorted(serving_dir.glob("*.py")):
+        hits = [
+            lineno
+            for lineno, line in enumerate(path.read_text().splitlines(), 1)
+            if re.search(r"\btime\.time\(", line)
+        ]
+        if hits:
+            uses[path.name] = hits
+    assert set(uses) <= {"snapshots.py"}, (
+        f"wall-clock reads leaked into the serving layer: {uses} — deadlines "
+        "and TTLs must use perf_counter/monotonic"
+    )
+    source = (serving_dir / "snapshots.py").read_text()
+    assert len(re.findall(r"\btime\.time\(", source)) == 1
+    # ... and that one read only feeds the informational published_at stamp.
+    assert re.search(r"published_at=time\.time\(\)", source)
+
+
+def test_deadline_paths_use_perf_counter_only():
+    """Every deadline derivation/comparison in the coalescer reads
+    ``time.perf_counter`` — no mixed-clock arithmetic anywhere."""
+    import repro.serving.coalescer as coalescer
+
+    source = inspect.getsource(coalescer)
+    assert not re.search(r"\btime\.time\(", source)
+    assert not re.search(r"\btime\.monotonic\(", source)
+    assert re.search(r"\btime\.perf_counter\(", source)
+
+
+# ---------------------------------------------------------------------------
+# Behaviour: deadlines are immune to wall-clock jumps
+# ---------------------------------------------------------------------------
+
+
+def test_request_deadline_is_one_clock_arithmetic():
+    req = _make_request(timeout_s=10.0)
+    # deadline = admission stamp + timeout, all in perf_counter space.
+    assert req.deadline == req.enqueued_at + 10.0
+    assert not req.expired(now=req.enqueued_at)
+    assert not req.expired(now=req.deadline - 1e-6)
+    assert req.expired(now=req.deadline)
+    assert req.expired(now=req.deadline + 5.0)
+
+
+def test_request_without_timeout_never_expires():
+    req = _make_request()
+    assert req.deadline is None
+    assert not req.expired(now=req.enqueued_at + 1e9)
+
+
+def test_wall_clock_jump_does_not_expire_requests(monkeypatch):
+    req = _make_request(timeout_s=60.0)
+    # An NTP step / operator `date` call: wall clock leaps a day forward.
+    monkeypatch.setattr(time, "time", lambda: time.perf_counter() + 86_400.0)
+    assert not req.expired()
+    # ... and a day backward cannot resurrect an expired one.
+    expired = _make_request(timeout_s=60.0)
+    expired.deadline = expired.enqueued_at - 1.0
+    monkeypatch.setattr(time, "time", lambda: time.perf_counter() - 86_400.0)
+    assert expired.expired()
+
+
+def test_perf_counter_advance_does_expire_requests(monkeypatch):
+    req = _make_request(timeout_s=5.0)
+    real = time.perf_counter
+    monkeypatch.setattr(time, "perf_counter", lambda: real() + 6.0)
+    assert req.expired()
+
+
+# ---------------------------------------------------------------------------
+# Cache TTL: monotonic by default, wall-clock jumps irrelevant
+# ---------------------------------------------------------------------------
+
+
+def test_cache_default_clock_is_monotonic():
+    signature = inspect.signature(ResultCache.__init__)
+    assert signature.parameters["clock"].default is time.monotonic
+
+
+def test_cache_ttl_ignores_wall_clock(monkeypatch):
+    ticks = [0.0]
+    cache = ResultCache(max_entries=4, ttl_seconds=10.0, clock=lambda: ticks[0])
+    cache.put("k", "v")
+    # Wall clock jumps do not touch the injected monotonic stream.
+    monkeypatch.setattr(time, "time", lambda: 1e12)
+    assert cache.get("k") == "v"
+    ticks[0] = 10.0 + 1e-9  # the *monotonic* stream passing the TTL does
+    assert cache.get("k") is None
+    assert cache.stats.expirations == 1
+
+
+def test_snapshot_published_at_is_wall_clock_informational():
+    """The one wall-clock stamp is for humans (as_dict), not for deadlines."""
+    import numpy as np
+
+    from repro.indexes.list_index import ListIndex
+    from repro.serving.snapshots import SnapshotStore
+
+    store = SnapshotStore()
+    index = ListIndex().fit(np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 0.5]]))
+    before = time.time()
+    snapshot = store.publish("s", index)
+    after = time.time()
+    assert before <= snapshot.published_at <= after
