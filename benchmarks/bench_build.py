@@ -24,8 +24,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import sys
 import time
 from typing import Callable, Dict
@@ -34,6 +32,7 @@ import numpy as np
 
 from repro.datasets.loaders import load_dataset
 from repro.extras.streaming import StreamingDPC
+from repro.obs.provenance import append_record
 from repro.indexes.kdtree import KDTreeIndex
 from repro.indexes.quadtree import QuadtreeIndex
 from repro.indexes.rtree import RTreeIndex
@@ -68,7 +67,6 @@ def run(n: int = 20000, dataset: str = "s1", repeats: int = 5, seed: int = 0) ->
         "n": int(ds.n),
         "dc": dc,
         "repeats": repeats,
-        "python": platform.python_version(),
         "families": {},
         "streaming": {},
         "snapshot_publish": {},
@@ -174,9 +172,7 @@ def main(argv=None) -> int:
         args.n = min(args.n, 5000)
         args.repeats = min(args.repeats, 3)
     report = run(n=args.n, dataset=args.dataset, repeats=args.repeats, seed=args.seed)
-    with open(args.out, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    append_record(report, args.out)
     for name, row in report["families"].items():
         print(
             f"{name:10s} objects {row['objects_fit_seconds']*1e3:7.2f} ms "

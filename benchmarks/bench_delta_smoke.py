@@ -16,8 +16,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import time
 from typing import Callable, Dict
 
@@ -26,6 +24,7 @@ import numpy as np
 from repro.core.quantities import DensityOrder
 from repro.datasets.loaders import load_dataset
 from repro.harness.runner import time_cluster
+from repro.obs.provenance import append_record
 from repro.indexes.grid import GridIndex
 from repro.indexes.kdtree import KDTreeIndex
 from repro.indexes.quadtree import QuadtreeIndex
@@ -63,7 +62,6 @@ def run(
         "n": int(ds.n),
         "dc": dc,
         "repeats": repeats,
-        "python": platform.python_version(),
         "methods": {},
     }
     for name, (batched_factory, reference_factory) in METHODS.items():
@@ -129,9 +127,7 @@ def main(argv=None) -> str:
         n=args.n, dataset=args.dataset, dc=args.dc,
         repeats=args.repeats, seed=args.seed,
     )
-    with open(args.out, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    append_record(report, args.out)
     for name, row in report["methods"].items():
         print(
             f"{name:10s} rho {row['rho_seconds']:.3f}s  "

@@ -1,0 +1,190 @@
+"""Observability overhead gate: disabled instrumentation must stay ≤ 2%.
+
+The :mod:`repro.obs` contract is that instrumentation compiled into the hot
+paths is a *measured* no-op while observability is disabled (the default
+everywhere except a live server).  This benchmark enforces it:
+
+1. ``t_off`` — best-of wall clock of one end-to-end ``quantities()`` run
+   with observability disabled (the production default path).
+2. One run with observability **enabled**, counting what the
+   instrumentation actually did: metric writes (registry write counter)
+   and spans (trace tree walk).
+3. The per-call cost of a *disabled* instrument — counter fetch + ``inc``
+   and a no-op span — measured over a tight calibration loop.
+
+The gate multiplies the op counts from (2) by the per-op disabled costs
+from (3): that product is the instrumentation's worst-case share of
+``t_off``, and it must stay under ``--gate-pct`` (default 2%).  Gating on
+the *estimate* instead of an enabled-vs-disabled A/B diff keeps the check
+deterministic on a noisy CI box — an A/B diff of two ~seconds runs swings
+by more than 2% from scheduler jitter alone, while op counts and a
+million-iteration calibration loop do not.  The A/B timing is still
+recorded (not gated) for the trajectory file.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --quick
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --n 20000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro import obs
+from repro.datasets.loaders import load_dataset
+from repro.indexes.registry import make_index
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.provenance import append_record
+
+CALIBRATION_ITERS = 200_000
+
+
+def _best_of(repeats: int, fn: Callable[[], float]) -> float:
+    return min(fn() for _ in range(max(1, repeats)))
+
+
+def _timed(fn: Callable[[], object]) -> float:
+    t = time.perf_counter()
+    fn()
+    return time.perf_counter() - t
+
+
+def _count_spans(tree: "dict | None") -> int:
+    if not tree:
+        return 0
+    return 1 + sum(_count_spans(child) for child in tree.get("children", ()))
+
+
+def calibrate_noop_ns(iters: int = CALIBRATION_ITERS) -> "dict[str, float]":
+    """Per-op nanosecond cost of *disabled* instruments (obs must be off)."""
+    assert not obs.enabled(), "calibration measures the disabled path"
+    # Counter fetch + labels + inc — the exact call shape of a hot site.
+    t0 = time.perf_counter_ns()
+    for _ in range(iters):
+        obs_metrics.counter("bench_calibration_total", "calibration", ("k",)).labels("v").inc()
+    metric_ns = (time.perf_counter_ns() - t0) / iters
+    t0 = time.perf_counter_ns()
+    for _ in range(iters):
+        with obs_trace.span("bench.calibration"):
+            pass
+    span_ns = (time.perf_counter_ns() - t0) / iters
+    return {"metric_op_ns": metric_ns, "span_ns": span_ns}
+
+
+def run(
+    n: int = 20000,
+    dataset: str = "s1",
+    family: str = "kdtree",
+    dc: "float | None" = None,
+    repeats: int = 3,
+    seed: int = 0,
+    gate_pct: float = 2.0,
+) -> dict:
+    ds = load_dataset(dataset, n=n, seed=seed)
+    dc = float(dc) if dc is not None else float(min(ds.params.dc_grid))
+    index = make_index(family).fit(ds.points)
+    index.quantities(dc)  # warm-up: lazy flatten, caches
+
+    assert not obs.enabled()
+    t_off = _best_of(repeats, lambda: _timed(lambda: index.quantities(dc)))
+
+    # Enabled pass: count what instrumentation a run actually performs.
+    obs_metrics.REGISTRY.reset()
+    obs_trace.reset()
+    obs.enable()
+    try:
+        root = obs_trace.begin_span("bench.obs_overhead")
+        writes_before = obs_metrics.REGISTRY.total_writes()
+        with obs_trace.use_span(root):
+            t_on = _timed(lambda: index.quantities(dc))
+        metric_ops = obs_metrics.REGISTRY.total_writes() - writes_before
+        root.finish()
+        spans = _count_spans(obs_trace.get_trace(root.trace_id)) - 1  # minus root
+    finally:
+        obs.disable()
+        obs_metrics.REGISTRY.reset()
+        obs_trace.reset()
+
+    calibration = calibrate_noop_ns()
+    estimated_seconds = (
+        metric_ops * calibration["metric_op_ns"] + spans * calibration["span_ns"]
+    ) / 1e9
+    overhead_pct = 100.0 * estimated_seconds / t_off if t_off > 0 else 0.0
+
+    return {
+        "benchmark": "obs_overhead",
+        "dataset": ds.name,
+        "n": int(ds.n),
+        "dc": dc,
+        "family": family,
+        "repeats": repeats,
+        "disabled_seconds": t_off,
+        "enabled_seconds_informational": t_on,
+        "metric_ops_per_query": int(metric_ops),
+        "spans_per_query": int(spans),
+        "calibration": calibration,
+        "estimated_disabled_overhead_seconds": estimated_seconds,
+        "estimated_disabled_overhead_pct": overhead_pct,
+        "gate": {
+            "pct": gate_pct,
+            "ok": bool(overhead_pct <= gate_pct),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=20000)
+    parser.add_argument("--dataset", default="s1")
+    parser.add_argument("--family", default="kdtree")
+    parser.add_argument("--dc", type=float, default=None)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--gate-pct", type=float, default=2.0,
+        help="fail if the estimated disabled-instrumentation share of one "
+        "query exceeds this percentage",
+    )
+    parser.add_argument("--out", default="BENCH_obs.json")
+    parser.add_argument(
+        "--quick", action="store_true", help="tiny CI smoke size (n=2000)"
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.n = min(args.n, 2000)
+        args.repeats = 2
+    record = run(
+        n=args.n, dataset=args.dataset, family=args.family, dc=args.dc,
+        repeats=args.repeats, seed=args.seed, gate_pct=args.gate_pct,
+    )
+    append_record(record, args.out)
+    cal = record["calibration"]
+    print(
+        f"{record['family']} n={record['n']}: disabled {record['disabled_seconds']*1e3:.1f} ms, "
+        f"enabled {record['enabled_seconds_informational']*1e3:.1f} ms (informational)"
+    )
+    print(
+        f"per query: {record['metric_ops_per_query']} metric ops x "
+        f"{cal['metric_op_ns']:.0f} ns + {record['spans_per_query']} spans x "
+        f"{cal['span_ns']:.0f} ns = {record['estimated_disabled_overhead_seconds']*1e6:.1f} us "
+        f"({record['estimated_disabled_overhead_pct']:.3f}% of the disabled run)"
+    )
+    print(f"wrote {args.out}")
+    if not record["gate"]["ok"]:
+        print(
+            f"GATE FAILED: disabled-instrumentation overhead "
+            f"{record['estimated_disabled_overhead_pct']:.3f}% exceeds "
+            f"{record['gate']['pct']:.1f}%",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

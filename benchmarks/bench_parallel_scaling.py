@@ -20,15 +20,13 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
-import os
-import platform
 import time
 from typing import Callable, Dict
 
 import numpy as np
 
 from repro.datasets.loaders import load_dataset
+from repro.obs.provenance import append_record, usable_cpus as _usable_cpus
 from repro.indexes.grid import GridIndex
 from repro.indexes.kdtree import KDTreeIndex
 from repro.indexes.quadtree import QuadtreeIndex
@@ -44,13 +42,6 @@ METHODS: Dict[str, Callable] = {
 
 def _best_of(repeats: int, fn: Callable[[], float]) -> float:
     return min(fn() for _ in range(repeats))
-
-
-def _usable_cpus() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
 
 
 def run(
@@ -73,8 +64,6 @@ def run(
         "dc": dc,
         "repeats": repeats,
         "chunk_size": chunk_size,
-        "python": platform.python_version(),
-        "cpu_count": os.cpu_count(),
         "usable_cpus": _usable_cpus(),
         "methods": {},
     }
@@ -107,20 +96,6 @@ def run(
             index.set_execution(backend="serial")
         record["methods"][name] = row
     return record
-
-
-def append_record(record: dict, path: str) -> None:
-    """Append ``record`` to the JSON list at ``path`` (created if missing;
-    a legacy single-object file is wrapped into a list)."""
-    records = []
-    if os.path.exists(path):
-        with open(path) as fh:
-            existing = json.load(fh)
-        records = existing if isinstance(existing, list) else [existing]
-    records.append(record)
-    with open(path, "w") as fh:
-        json.dump(records, fh, indent=2, sort_keys=True)
-        fh.write("\n")
 
 
 def main(argv=None) -> str:
@@ -169,7 +144,7 @@ def main(argv=None) -> str:
         )
         print(f"{name:10s} serial {row['serial_seconds']:.3f}s  {scaling}")
     print(
-        f"wrote {args.out} (cpu_count={record['cpu_count']}, "
+        f"wrote {args.out} (cpu_count={record['provenance']['cpu_count']}, "
         f"usable={record['usable_cpus']})"
     )
     if args.gate is not None:

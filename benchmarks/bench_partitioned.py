@@ -25,9 +25,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
-import os
-import platform
 import time
 from typing import Callable
 
@@ -35,19 +32,13 @@ import numpy as np
 
 from repro.datasets.loaders import load_dataset
 from repro.indexes.registry import make_index
+from repro.obs.provenance import append_record
 
 FAMILIES = ("rtree", "kdtree", "quadtree", "grid", "list", "ch")
 
 
 def _best_of(repeats: int, fn: Callable[[], float]) -> float:
     return min(fn() for _ in range(repeats))
-
-
-def _usable_cpus() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
 
 
 def run(
@@ -73,9 +64,6 @@ def run(
         "backend": backend,
         "n_jobs": n_jobs,
         "repeats": repeats,
-        "python": platform.python_version(),
-        "cpu_count": os.cpu_count(),
-        "usable_cpus": _usable_cpus(),
         "partitioned": {},
     }
 
@@ -136,19 +124,6 @@ def _timed(fn: Callable[[], object]) -> float:
     return time.perf_counter() - t
 
 
-def append_record(record: dict, path: str) -> None:
-    """Append ``record`` to the JSON list at ``path`` (created if missing)."""
-    records = []
-    if os.path.exists(path):
-        with open(path) as fh:
-            existing = json.load(fh)
-        records = existing if isinstance(existing, list) else [existing]
-    records.append(record)
-    with open(path, "w") as fh:
-        json.dump(records, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-
-
 def main(argv=None) -> str:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--n", type=int, default=20000)
@@ -195,9 +170,10 @@ def main(argv=None) -> str:
             f"query {row['seconds']:.3f}s ({row['speedup']:.2f}x)  "
             f"halo_pts {row['halo_points']}  {settled_txt}"
         )
+    provenance = record["provenance"]
     print(
-        f"wrote {args.out} (cpu_count={record['cpu_count']}, "
-        f"usable={record['usable_cpus']}, backend={args.backend})"
+        f"wrote {args.out} (cpu_count={provenance['cpu_count']}, "
+        f"usable={provenance['usable_cpus']}, backend={args.backend})"
     )
     return args.out
 

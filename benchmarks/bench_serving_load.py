@@ -27,14 +27,13 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
-import os
-import platform
 
 import numpy as np
 
+from repro import obs
 from repro.datasets.loaders import load_dataset
 from repro.indexes.registry import make_index
+from repro.obs.provenance import append_record
 from repro.serving.loadgen import run_load
 from repro.serving.service import ClusteringService
 
@@ -42,13 +41,6 @@ from repro.serving.service import ClusteringService
 #: a 20k-point run in modest memory (pass --indexes ch,... explicitly for
 #: small n; the --quick smoke and unit tests cover them there).
 METHODS = ("kdtree", "quadtree", "rtree", "grid")
-
-
-def _usable_cpus() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
 
 
 def _verify_exactness(service: ClusteringService, index_name: str, points, dc: float) -> None:
@@ -69,6 +61,7 @@ def run(
     max_batch: int = 64,
     seed: int = 0,
     indexes: "tuple[str, ...] | None" = None,
+    trace_sample: int = 0,
 ) -> dict:
     """Measure every method; returns one BENCH_serving.json record."""
     ds = load_dataset(dataset, n=n, seed=seed)
@@ -85,9 +78,6 @@ def run(
         "linger_ms": linger_ms,
         "max_batch": max_batch,
         "op": "cluster",
-        "python": platform.python_version(),
-        "cpu_count": os.cpu_count(),
-        "usable_cpus": _usable_cpus(),
         "methods": {},
     }
     for name in indexes or METHODS:
@@ -106,6 +96,7 @@ def run(
                     clients=clients, requests_per_client=requests_per_client,
                     op="cluster", use_cache=False,
                     cluster_params={"n_centers": 4}, seed=seed,
+                    trace_sample=trace_sample if dispatch == "coalesce" else 0,
                 )
             row[dispatch] = report.as_record()
         # Warm-cache round: the whole dc grid is cached after one pass, so
@@ -128,19 +119,6 @@ def run(
     return record
 
 
-def append_record(record: dict, path: str) -> None:
-    """Append ``record`` to the JSON list at ``path`` (created if missing)."""
-    records = []
-    if os.path.exists(path):
-        with open(path) as fh:
-            existing = json.load(fh)
-        records = existing if isinstance(existing, list) else [existing]
-    records.append(record)
-    with open(path, "w") as fh:
-        json.dump(records, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-
-
 def main(argv=None) -> str:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--n", type=int, default=20000)
@@ -156,6 +134,11 @@ def main(argv=None) -> str:
     )
     parser.add_argument("--out", default="BENCH_serving.json")
     parser.add_argument(
+        "--trace-sample", type=int, default=0, metavar="N",
+        help="enable repro.obs tracing and record N sampled request traces "
+        "per coalesced round; prints one phase breakdown per method",
+    )
+    parser.add_argument(
         "--quick", action="store_true",
         help="tiny CI smoke size (n=1500, 4 clients x 6 requests, kdtree+grid)",
     )
@@ -166,12 +149,18 @@ def main(argv=None) -> str:
         args.clients = min(args.clients, 4)
         args.requests = min(args.requests, 6)
         indexes = indexes or ("kdtree", "grid")
-    record = run(
-        n=args.n, dataset=args.dataset, clients=args.clients,
-        requests_per_client=args.requests, dc_count=args.dc_count,
-        linger_ms=args.linger_ms, max_batch=args.max_batch, seed=args.seed,
-        indexes=indexes,
-    )
+    if args.trace_sample > 0:
+        obs.enable()
+    try:
+        record = run(
+            n=args.n, dataset=args.dataset, clients=args.clients,
+            requests_per_client=args.requests, dc_count=args.dc_count,
+            linger_ms=args.linger_ms, max_batch=args.max_batch, seed=args.seed,
+            indexes=indexes, trace_sample=args.trace_sample,
+        )
+    finally:
+        if args.trace_sample > 0:
+            obs.disable()
     append_record(record, args.out)
     for name, row in record["methods"].items():
         serial, coalesce, warm = row["serial"], row["coalesce"], row["warm_cache"]
@@ -183,9 +172,17 @@ def main(argv=None) -> str:
             f"speedup {row['coalesce_speedup']:.2f}x   "
             f"warm-cache {warm['throughput_rps']:8.1f} rps"
         )
+        samples = row["coalesce"].get("trace_samples") or []
+        if samples:
+            sample = samples[0]
+            phases = ", ".join(
+                f"{phase} {ms:.2f}ms" for phase, ms in sorted(sample["phase_ms"].items())
+            )
+            print(f"           trace {sample['trace_id']}: {phases}")
+    provenance = record["provenance"]
     print(
-        f"wrote {args.out} (cpu_count={record['cpu_count']}, "
-        f"usable={record['usable_cpus']})"
+        f"wrote {args.out} (cpu_count={provenance['cpu_count']}, "
+        f"usable={provenance['usable_cpus']})"
     )
     return args.out
 

@@ -31,9 +31,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
-import os
-import platform
 import sys
 import time
 from typing import Callable, Dict, List
@@ -43,6 +40,7 @@ import numpy as np
 from repro.core.baseline import naive_quantities
 from repro.datasets.loaders import load_dataset
 from repro.extras.streaming import StreamingDPC
+from repro.obs.provenance import append_record
 from repro.indexes.kdtree import KDTreeIndex
 from repro.indexes.quadtree import QuadtreeIndex
 from repro.indexes.rtree import RTreeIndex
@@ -52,14 +50,6 @@ METHODS: Dict[str, Callable] = {
     "kdtree": KDTreeIndex,
     "quadtree": QuadtreeIndex,
 }
-
-
-def _usable_cpus() -> int:
-    """Cores this process may actually run on (affinity/cgroup aware)."""
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
 
 
 def delta_run(
@@ -177,11 +167,6 @@ def run(
         "query_every": query_every,
         "rebuild_factor": rebuild_factor,
         "min_buffer": min_buffer,
-        "python": platform.python_version(),
-        "cpu_count": os.cpu_count(),
-        # The honesty note the other benchmarks carry: how many cores this
-        # run could really use (affinity/cgroup mask), vs the box's total.
-        "usable_cpus": _usable_cpus(),
         "methods": {},
     }
     for name in indexes or tuple(METHODS):
@@ -202,19 +187,6 @@ def run(
             else None,
         }
     return record
-
-
-def append_record(record: dict, path: str) -> None:
-    """Append ``record`` to the JSON list at ``path`` (created if missing)."""
-    records = []
-    if os.path.exists(path):
-        with open(path) as fh:
-            existing = json.load(fh)
-        records = existing if isinstance(existing, list) else [existing]
-    records.append(record)
-    with open(path, "w") as fh:
-        json.dump(records, fh, indent=2, sort_keys=True)
-        fh.write("\n")
 
 
 def main(argv=None) -> int:

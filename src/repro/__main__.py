@@ -96,7 +96,23 @@ def cmd_cluster(args) -> int:
         index_params=index_params,
         seed=args.seed,
     )
-    model.fit(points)
+    stats_json = getattr(args, "stats_json", None)
+    root_span = None
+    if stats_json:
+        from repro import obs
+        from repro.obs import trace as obs_trace
+
+        obs.enable()
+        root_span = obs_trace.begin_span(
+            "cli.cluster", index=index_name, n=len(points)
+        )
+        try:
+            with obs_trace.use_span(root_span):
+                model.fit(points)
+        finally:
+            root_span.finish()
+    else:
+        model.fit(points)
 
     n = len(points)
     shown = (
@@ -116,6 +132,28 @@ def cmd_cluster(args) -> int:
     if args.out:
         np.savetxt(args.out, model.labels_, fmt="%d")
         print(f"\nwrote labels to {args.out}")
+    if stats_json:
+        from repro import obs
+        from repro.obs import trace as obs_trace
+        from repro.obs.export import dump_stats_json
+        from repro.obs.provenance import provenance_block
+
+        tree = obs_trace.get_trace(root_span.trace_id)
+        dump_stats_json(
+            stats_json,
+            trace_tree=tree,
+            extra={
+                "provenance": provenance_block(),
+                "run": {
+                    "index": index_name,
+                    "n": n,
+                    "dc": float(model.dc_),
+                    "n_clusters": int(model.n_clusters_),
+                },
+            },
+        )
+        obs.disable()
+        print(f"\nwrote metrics + trace to {stats_json}")
     return 0
 
 
@@ -151,7 +189,13 @@ def build_server(args):
         snapshot = service.fit_snapshot(
             args.snapshot, _load_points(args), index=index_name, **index_params
         )
-    server = make_server(service, host=args.host, port=args.port, verbose=args.verbose)
+    server = make_server(
+        service,
+        host=args.host,
+        port=args.port,
+        verbose=args.verbose,
+        observability=not getattr(args, "no_observability", False),
+    )
     return service, server, snapshot
 
 
@@ -231,6 +275,11 @@ def main(argv=None) -> int:
         help="tiling curve for --partitions (locality only, never results)",
     )
     cluster.add_argument("--out", default=None, help="write labels (one per row) here")
+    cluster.add_argument(
+        "--stats-json", default=None, metavar="PATH",
+        help="enable observability for the run and write the metrics "
+        "snapshot + phase-timing trace (repro.obs) as JSON here",
+    )
     cluster.add_argument("--seed", type=int, default=0)
     cluster.set_defaults(func=cmd_cluster)
 
@@ -290,6 +339,11 @@ def main(argv=None) -> int:
     serve.add_argument("--cache-entries", type=int, default=256, help="result-cache capacity (0 disables)")
     serve.add_argument("--cache-ttl", type=float, default=None, help="result-cache TTL seconds (default: none)")
     serve.add_argument("--verbose", action="store_true", help="log every HTTP request")
+    serve.add_argument(
+        "--no-observability", action="store_true",
+        help="keep repro.obs instrumentation on its no-op path "
+        "(/metrics and /trace will serve empty registries)",
+    )
     serve.add_argument("--seed", type=int, default=0)
     serve.set_defaults(func=cmd_serve)
 

@@ -23,6 +23,7 @@ import numpy as np
 from repro.core.baseline import naive_quantities
 from repro.core.quantities import DensityOrder, DPCQuantities, DPCResult, TieBreak
 from repro.datasets.base import Dataset
+from repro.obs import trace as obs_trace
 from repro.indexes.base import DPCIndex
 from repro.indexes.ch_index import CHIndex
 from repro.indexes.list_index import ListIndex
@@ -85,13 +86,23 @@ class ClusterTiming:
 def time_quantities(
     index: DPCIndex, dc: float, tie_break: "str | TieBreak" = TieBreak.ID
 ) -> Tuple[DPCQuantities, QueryTiming]:
-    """Run both DPC queries on ``index`` and time them separately."""
-    t0 = time.perf_counter()
-    rho = index.rho_all(float(dc))
-    t1 = time.perf_counter()
-    order = DensityOrder(rho, tie_break)
-    delta, mu = index.delta_all(order)
-    t2 = time.perf_counter()
+    """Run both DPC queries on ``index`` and time them separately.
+
+    The phases are also traced under the engine's own span names
+    (``engine.rho`` / ``engine.delta``), so a harness run with
+    :mod:`repro.obs` enabled exposes the same phase breakdown as a served
+    request; the returned perf_counter timings stay the measurement of
+    record either way.
+    """
+    with obs_trace.span("engine.quantities", dc=float(dc)):
+        t0 = time.perf_counter()
+        with obs_trace.span("engine.rho"):
+            rho = index.rho_all(float(dc))
+        t1 = time.perf_counter()
+        order = DensityOrder(rho, tie_break)
+        with obs_trace.span("engine.delta"):
+            delta, mu = index.delta_all(order)
+        t2 = time.perf_counter()
     q = DPCQuantities(dc=float(dc), rho=rho, delta=delta, mu=mu, density_order=order)
     return q, QueryTiming(rho_seconds=t1 - t0, delta_seconds=t2 - t1)
 
@@ -120,12 +131,15 @@ def time_cluster(
     halo: bool = False,
 ) -> Tuple["DPCResult", ClusterTiming]:
     """Run a full clustering on ``index`` with a per-phase timing split."""
-    t0 = time.perf_counter()
-    rho = index.rho_all(float(dc))
-    t1 = time.perf_counter()
-    order = DensityOrder(rho, tie_break)
-    delta, mu = index.delta_all(order)
-    t2 = time.perf_counter()
+    with obs_trace.span("engine.quantities", dc=float(dc)):
+        t0 = time.perf_counter()
+        with obs_trace.span("engine.rho"):
+            rho = index.rho_all(float(dc))
+        t1 = time.perf_counter()
+        order = DensityOrder(rho, tie_break)
+        with obs_trace.span("engine.delta"):
+            delta, mu = index.delta_all(order)
+        t2 = time.perf_counter()
     q = DPCQuantities(dc=float(dc), rho=rho, delta=delta, mu=mu, density_order=order)
     result = index._finish_cluster(q, n_centers, rho_min, delta_min, halo)
     t3 = time.perf_counter()

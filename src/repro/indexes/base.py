@@ -48,8 +48,20 @@ from repro.core.quantities import (
     TieBreak,
 )
 from repro.geometry.distance import Metric, get_metric
+from repro.obs import metrics as obs_metrics
+from repro.obs import runtime as obs_runtime
+from repro.obs import trace as obs_trace
 
 __all__ = ["IndexStats", "DPCIndex"]
+
+
+def _observe_phase(phase: str, sp) -> None:
+    """Fold one finished phase span into the shared phase histogram."""
+    obs_metrics.histogram(
+        "repro_engine_phase_seconds",
+        "Engine phase latency (rho / delta / assign)",
+        ("phase",),
+    ).labels(phase).observe(sp.duration_ns / 1e9)
 
 
 @dataclass
@@ -330,9 +342,17 @@ class DPCIndex(abc.ABC):
         self._require_fitted()
         if dc <= 0:
             raise ValueError(f"dc must be positive, got {dc}")
-        rho = self.rho_all(float(dc))
-        order = DensityOrder(rho, tie_break)
-        delta, mu = self.delta_all(order)
+        probes_before = self._probe_snapshot()
+        with obs_trace.span("engine.quantities", dc=float(dc)):
+            with obs_trace.span("engine.rho") as sp_rho:
+                rho = self.rho_all(float(dc))
+            order = DensityOrder(rho, tie_break)
+            with obs_trace.span("engine.delta") as sp_delta:
+                delta, mu = self.delta_all(order)
+        if obs_runtime._ENABLED:
+            _observe_phase("rho", sp_rho)
+            _observe_phase("delta", sp_delta)
+            self._emit_probe_delta(probes_before)
         return DPCQuantities(dc=float(dc), rho=rho, delta=delta, mu=mu, density_order=order)
 
     # -- multi-dc sweeps ---------------------------------------------------------
@@ -378,9 +398,30 @@ class DPCIndex(abc.ABC):
         """
         self._require_fitted()
         dcs = self._validate_dcs(dcs)
-        rhos = self.rho_all_multi(dcs)
+        probes_before = self._probe_snapshot()
+        with obs_trace.span("engine.quantities", dcs=len(dcs)):
+            result = self._quantities_multi_impl(dcs, tie_break)
+        if obs_runtime._ENABLED:
+            self._emit_probe_delta(probes_before)
+        return result
+
+    def _quantities_multi_impl(
+        self, dcs: np.ndarray, tie_break: "str | TieBreak"
+    ) -> "list[DPCQuantities]":
+        """The sweep computation behind :meth:`quantities_multi`.
+
+        Subclasses with a fused sweep kernel override *this* hook (not the
+        public method) so validation, tracing, and probe accounting stay in
+        one place.  ``dcs`` arrives already validated as a float64 array.
+        """
+        with obs_trace.span("engine.rho") as sp_rho:
+            rhos = self.rho_all_multi(dcs)
         orders = [DensityOrder(rho, tie_break) for rho in rhos]
-        deltas = self.delta_all_multi(orders)
+        with obs_trace.span("engine.delta") as sp_delta:
+            deltas = self.delta_all_multi(orders)
+        if obs_runtime._ENABLED:
+            _observe_phase("rho", sp_rho)
+            _observe_phase("delta", sp_delta)
         return [
             DPCQuantities(dc=float(dc), rho=rho, delta=delta, mu=mu, density_order=order)
             for dc, rho, order, (delta, mu) in zip(dcs, rhos, orders, deltas)
@@ -455,18 +496,21 @@ class DPCIndex(abc.ABC):
         points = self._require_fitted()
         if n_centers is not None and (rho_min is not None or delta_min is not None):
             raise ValueError("pass either n_centers or rho_min/delta_min, not both")
-        if n_centers is not None:
-            centers = select_centers_top_k(q, n_centers)
-        elif rho_min is not None or delta_min is not None:
-            if rho_min is None or delta_min is None:
-                raise ValueError("rho_min and delta_min must be given together")
-            centers = select_centers_threshold(q, rho_min, delta_min)
-        else:
-            centers = select_centers_auto(q)
-        labels = assign_labels(q, centers, points=points, metric=self.metric)
-        result = DPCResult(quantities=q, centers=centers, labels=labels)
-        if halo:
-            result.halo = halo_mask(points, labels, q.rho, q.dc, metric=self.metric)
+        with obs_trace.span("engine.assign", dc=float(q.dc)) as sp:
+            if n_centers is not None:
+                centers = select_centers_top_k(q, n_centers)
+            elif rho_min is not None or delta_min is not None:
+                if rho_min is None or delta_min is None:
+                    raise ValueError("rho_min and delta_min must be given together")
+                centers = select_centers_threshold(q, rho_min, delta_min)
+            else:
+                centers = select_centers_auto(q)
+            labels = assign_labels(q, centers, points=points, metric=self.metric)
+            result = DPCResult(quantities=q, centers=centers, labels=labels)
+            if halo:
+                result.halo = halo_mask(points, labels, q.rho, q.dc, metric=self.metric)
+        if obs_runtime._ENABLED:
+            _observe_phase("assign", sp)
         return result
 
     def partitioned(
@@ -653,6 +697,32 @@ class DPCIndex(abc.ABC):
 
     def reset_stats(self) -> None:
         self._stats.reset()
+
+    def _probe_snapshot(self) -> Optional[Dict[str, int]]:
+        """Probe counters before a query, or ``None`` with capture off."""
+        if not obs_runtime._ENABLED:
+            return None
+        return self.stats().as_dict()
+
+    def _emit_probe_delta(self, before: Optional[Dict[str, int]]) -> None:
+        """Publish the probe work one query added as counter increments.
+
+        Emitted at query granularity (never inside kernel loops), from the
+        same :class:`IndexStats` the bit-identity suites assert on — so the
+        live metrics and the test-visible counters cannot drift apart.
+        """
+        if before is None or not obs_runtime._ENABLED:
+            return
+        after = self.stats().as_dict()
+        probe_counter = obs_metrics.counter(
+            "repro_probe_ops_total",
+            "Logical probe work by counter kind (distance evals, node visits, prunes)",
+            ("counter",),
+        )
+        for key, value in after.items():
+            delta = value - before.get(key, 0)
+            if delta:
+                probe_counter.labels(key).inc(delta)
 
     def describe(self) -> Dict[str, Any]:
         """Human-oriented summary used by the harness tables."""

@@ -275,13 +275,12 @@ class ListIndex(DPCIndex):
 
     # -- multi-dc sweep -----------------------------------------------------------
 
-    def quantities_multi(
-        self, dcs, tie_break: "str | TieBreak" = TieBreak.ID
+    def _quantities_multi_impl(
+        self, dcs, tie_break: "str | TieBreak"
     ) -> "list[DPCQuantities]":
         """Batched sweep: one sharded ρ search for the whole grid, then the
         δ scans as one ``(dc, chunk)`` task grid (each chunk gathering its
         ``dc``-independent prefetch block)."""
-        self._require_fitted()
         return sweep_quantities(self, dcs, tie_break)
 
     # -- bookkeeping -------------------------------------------------------------

@@ -118,6 +118,9 @@ from repro import faults
 from repro.faults import InjectedFault, WorkerCrashError
 from repro.geometry.distance import get_metric
 from repro.indexes.base import IndexStats
+from repro.obs import metrics as obs_metrics
+from repro.obs import runtime as obs_runtime
+from repro.obs import trace as obs_trace
 from repro.indexes.kernels import (
     FlatTree,
     bounded_searchsorted,
@@ -295,6 +298,13 @@ class ShmPack:
             specs,
         )
         self._finalizer = weakref.finalize(self, _destroy_segment, self._shm)
+        if obs_runtime._ENABLED:
+            obs_metrics.counter(
+                "repro_shm_publishes_total", "Shared-memory packs published"
+            ).inc()
+            obs_metrics.counter(
+                "repro_shm_publish_bytes_total", "Bytes published into shared memory"
+            ).inc(max(1, offset))
 
     @property
     def name(self) -> str:
@@ -331,7 +341,16 @@ def _worker_init(start_method: str) -> None:
 
 
 def attach_pack_views(handle) -> Dict[str, np.ndarray]:
-    """Attach (or fetch from cache) the arrays behind a pack handle."""
+    """Attach (or fetch from cache) the arrays behind a pack handle.
+
+    Runs worker-side: under the process backend the attach counter lives in
+    the *worker's* registry (inherited at fork), so the parent's
+    ``/metrics`` only sees attaches made in-process.
+    """
+    if obs_runtime._ENABLED:
+        obs_metrics.counter(
+            "repro_shm_attaches_total", "Shared-memory pack attach calls (per process)"
+        ).inc()
     name, specs = handle
     cached = _ATTACHED.get(name)
     if cached is not None:
@@ -461,6 +480,20 @@ def _merge_stats(stats: IndexStats, delta: Dict[str, int]) -> None:
         setattr(stats, key, getattr(stats, key) + value)
 
 
+_HEALTH_METRIC_HELP = {
+    "chunk_failures": "Worker chunks that failed an attempt",
+    "retries": "Backoff retry rounds over failed chunks",
+    "pool_breaks": "Worker pools torn down after a BrokenExecutor",
+}
+
+
+def _observe_chunk_seconds(seconds: float) -> None:
+    obs_metrics.histogram(
+        "repro_parallel_chunk_seconds",
+        "Per-chunk task latency (submit to settle)",
+    ).observe(seconds)
+
+
 class ExecutionBackend:
     """A configured execution policy plus its lazily created worker pool.
 
@@ -559,6 +592,11 @@ class ExecutionBackend:
             self._health[key] += count
             if error is not None:
                 self._last_error = f"{type(error).__name__}: {error}"
+        if obs_runtime._ENABLED:
+            obs_metrics.counter(
+                f"repro_parallel_{key}_total",
+                _HEALTH_METRIC_HELP.get(key, "Execution backend health events"),
+            ).inc(count)
 
     def _degrade_to(self, kind: str, error: Optional[BaseException]) -> None:
         with self._health_lock:
@@ -566,6 +604,12 @@ class ExecutionBackend:
             self._health["degradations"] += 1
             if error is not None:
                 self._last_error = f"{type(error).__name__}: {error}"
+        if obs_runtime._ENABLED:
+            obs_metrics.counter(
+                "repro_parallel_degradations_total",
+                "Ladder degradations (process -> threads -> serial)",
+                ("to",),
+            ).labels(kind).inc()
         self._teardown_pool(wait=False)
 
     # -- pool lifecycle --------------------------------------------------------
@@ -623,25 +667,45 @@ def _wave_outcomes(futures: "List[Future]") -> List[Tuple[bool, Any]]:
     return outcomes
 
 
+def _submit_timed(pool, fn, *args):
+    """Submit one chunk; per-chunk latency is observed at settle time."""
+    t0 = time.perf_counter()
+    future = pool.submit(fn, *args)
+    future.add_done_callback(
+        lambda _f, _t0=t0: _observe_chunk_seconds(time.perf_counter() - _t0)
+    )
+    return future
+
+
 def _run_wave_local(backend, kind, fn, arrays, meta, wave):
     """One attempt over in-process array references (serial/threads)."""
+    record = obs_runtime._ENABLED
     if kind == "serial" or len(wave) <= 1:
         outcomes = []
         for payload in wave:
+            t0 = time.perf_counter() if record else 0.0
             try:
                 outcomes.append((True, _run_with_stats(fn, arrays, meta, payload)))
             except BaseException as exc:
                 outcomes.append((False, exc))
+            if record:
+                _observe_chunk_seconds(time.perf_counter() - t0)
         return outcomes
     pool = backend._ensure_pool("threads")
-    futures = [pool.submit(_run_with_stats, fn, arrays, meta, p) for p in wave]
+    if record:
+        futures = [_submit_timed(pool, _run_with_stats, fn, arrays, meta, p) for p in wave]
+    else:
+        futures = [pool.submit(_run_with_stats, fn, arrays, meta, p) for p in wave]
     return _wave_outcomes(futures)
 
 
 def _run_wave_process(backend, fn, handles, meta, wave):
     """One attempt over shared-memory pack handles (process backend)."""
     pool = backend._ensure_pool("process")
-    futures = [pool.submit(_worker_exec, fn, handles, meta, p) for p in wave]
+    if obs_runtime._ENABLED:
+        futures = [_submit_timed(pool, _worker_exec, fn, handles, meta, p) for p in wave]
+    else:
+        futures = [pool.submit(_worker_exec, fn, handles, meta, p) for p in wave]
     return _wave_outcomes(futures)
 
 
@@ -719,6 +783,8 @@ def run_index_tasks(
     local_arrays: Optional[Dict[str, np.ndarray]] = None
     run_pack: Optional[ShmPack] = None
     last_error: Optional[BaseException] = None
+    run_span = obs_trace.begin_span("parallel.tasks", kind=kind, tasks=n_tasks)
+    waves = 0
 
     def _local_arrays() -> Dict[str, np.ndarray]:
         nonlocal local_arrays
@@ -732,6 +798,16 @@ def run_index_tasks(
         while pending:
             wave = [payloads[i] for i in pending]
             _mark_injected_faults(wave, kind)
+            waves += 1
+            if obs_runtime._ENABLED:
+                obs_metrics.counter(
+                    "repro_parallel_tasks_total",
+                    "Chunk tasks dispatched, by execution rung",
+                    ("kind",),
+                ).labels(kind).inc(len(wave))
+            wave_span = obs_trace.begin_span(
+                "parallel.wave", parent=run_span, kind=kind, tasks=len(wave)
+            )
             if kind == "process":
                 if index._shard_pack is None:
                     index._shard_pack = ShmPack(index._shard_arrays())
@@ -752,6 +828,7 @@ def run_index_tasks(
                 outcomes = _run_wave_local(
                     backend, kind, fn, _local_arrays(), meta, wave
                 )
+            wave_span.finish()
             still_failed: List[int] = []
             pool_broken = False
             for task_index, (ok, value) in zip(pending, outcomes):
@@ -767,6 +844,7 @@ def run_index_tasks(
                     raise value  # deterministic error: original type/message
                 still_failed.append(task_index)
                 last_error = value
+            wave_span.set("failed", len(still_failed))
             if pool_broken:
                 backend._note("pool_breaks", 1, last_error)
                 backend._teardown_pool(wait=False)
@@ -792,6 +870,9 @@ def run_index_tasks(
                 retries_left = backend.max_retries
                 attempt = 0
     finally:
+        run_span.set("waves", waves)
+        run_span.set("final_kind", kind)
+        run_span.finish()
         if run_pack is not None:
             run_pack.close()
     results = []

@@ -71,6 +71,9 @@ import numpy as np
 from repro.core.quantities import NO_NEIGHBOR, DensityOrder
 from repro.geometry.distance import Metric, rect_bounds_many
 from repro.indexes.base import DPCIndex, IndexStats
+from repro.obs import metrics as obs_metrics
+from repro.obs import runtime as obs_runtime
+from repro.obs import trace as obs_trace
 from repro.indexes.kernels import (
     delta_multi_from_orders,
     gather_min_denser,
@@ -329,6 +332,11 @@ class PartitionedIndex(DPCIndex):
         if needed > self.halo_:
             self.halo_ = float(needed)
             self._pstats["halo_regrows"] += 1
+            if obs_runtime._ENABLED:
+                obs_metrics.counter(
+                    "repro_partition_halo_regrows_total",
+                    "Halo strips regrown (tiles refitted) because a query dc outgrew them",
+                ).inc()
             self._fit_subs()
 
     # -- lifecycle plumbing --------------------------------------------------
@@ -402,46 +410,62 @@ class PartitionedIndex(DPCIndex):
         # equal to the global ones restricted to the tile.
         loc_delta = np.empty((n_orders, n), dtype=np.float64)
         loc_mu = np.full((n_orders, n), NO_NEIGHBOR, dtype=np.int64)
-        for t, sub in enumerate(self._subs):
-            mem = self._members[t]
-            rows = self._core_rows[t]
-            local_orders = [
-                DensityOrder(order.rho[mem], order.tie_break) for order in orders
-            ]
-            for o, (d_l, m_l) in enumerate(sub.delta_all_multi(local_orders)):
-                loc_delta[o, self._cores[t]] = d_l[rows]
-                m_core = m_l[rows]
-                has = m_core != NO_NEIGHBOR
-                loc_mu[o, self._cores[t]] = np.where(
-                    has, mem[np.where(has, m_core, 0)], NO_NEIGHBOR
-                )
-        self._drain_substats()
+        with obs_trace.span("partition.local", tiles=len(self._subs)):
+            for t, sub in enumerate(self._subs):
+                mem = self._members[t]
+                rows = self._core_rows[t]
+                local_orders = [
+                    DensityOrder(order.rho[mem], order.tie_break) for order in orders
+                ]
+                for o, (d_l, m_l) in enumerate(sub.delta_all_multi(local_orders)):
+                    loc_delta[o, self._cores[t]] = d_l[rows]
+                    m_core = m_l[rows]
+                    has = m_core != NO_NEIGHBOR
+                    loc_mu[o, self._cores[t]] = np.where(
+                        has, mem[np.where(has, m_core, 0)], NO_NEIGHBOR
+                    )
+            self._drain_substats()
 
         halo = self.halo_
         delta_q = np.empty(len(qid), dtype=np.float64)
         mu_q = np.empty(len(qid), dtype=np.int64)
-        for o in range(n_orders):
-            sel = np.flatnonzero(qord == o)
-            ids = qid[sel]
-            d_loc = loc_delta[o, ids]
-            m_loc = loc_mu[o, ids]
-            # Settled iff the local candidate exists and every global point
-            # within δ_loc is provably a member (rect_mindist ≤ d ≤ halo).
-            settled = (m_loc != NO_NEIGHBOR) & (d_loc <= halo)
-            self._pstats["local_settled"] += int(settled.sum())
-            out_d = np.where(settled, d_loc, np.inf)
-            out_mu = np.where(settled, m_loc, n)
-            open_rows = np.flatnonzero(~settled)
-            if len(open_rows):
-                g_d, g_mu = self._gather(ids[open_rows], key_rows[o])
-                out_d[open_rows] = g_d
-                out_mu[open_rows] = g_mu
-            if not np.isfinite(out_d).all():  # pragma: no cover - invariant
-                raise RuntimeError(
-                    "partitioned gather left a non-peak query unresolved"
-                )
-            delta_q[sel] = out_d
-            mu_q[sel] = out_mu
+        settled_total = 0
+        with obs_trace.span("partition.gather", orders=n_orders) as gather_span:
+            for o in range(n_orders):
+                sel = np.flatnonzero(qord == o)
+                ids = qid[sel]
+                d_loc = loc_delta[o, ids]
+                m_loc = loc_mu[o, ids]
+                # Settled iff the local candidate exists and every global point
+                # within δ_loc is provably a member (rect_mindist ≤ d ≤ halo).
+                settled = (m_loc != NO_NEIGHBOR) & (d_loc <= halo)
+                settled_total += int(settled.sum())
+                self._pstats["local_settled"] += int(settled.sum())
+                out_d = np.where(settled, d_loc, np.inf)
+                out_mu = np.where(settled, m_loc, n)
+                open_rows = np.flatnonzero(~settled)
+                if len(open_rows):
+                    g_d, g_mu = self._gather(ids[open_rows], key_rows[o])
+                    out_d[open_rows] = g_d
+                    out_mu[open_rows] = g_mu
+                if not np.isfinite(out_d).all():  # pragma: no cover - invariant
+                    raise RuntimeError(
+                        "partitioned gather left a non-peak query unresolved"
+                    )
+                delta_q[sel] = out_d
+                mu_q[sel] = out_mu
+            gather_span.set("settled", settled_total)
+            gather_span.set("gathered", len(qid) - settled_total)
+        if obs_runtime._ENABLED:
+            split = obs_metrics.counter(
+                "repro_partition_delta_queries_total",
+                "Non-peak delta queries by resolution path (settled in-tile vs gathered)",
+                ("path",),
+            )
+            if settled_total:
+                split.labels("settled").inc(settled_total)
+            if len(qid) - settled_total:
+                split.labels("gathered").inc(len(qid) - settled_total)
         return delta_q, mu_q
 
     def _gather(self, ids: np.ndarray, key: np.ndarray):
@@ -458,6 +482,7 @@ class PartitionedIndex(DPCIndex):
         points = self.points
         n = len(points)
         self._pstats["gathered"] += len(ids)
+        record = obs_runtime._ENABLED
         q_points = points[ids]
         q_key = key[ids]
         best_d = np.full(len(ids), np.inf)
@@ -467,18 +492,31 @@ class PartitionedIndex(DPCIndex):
             cores = self._cores[t]
             min_key = key[cores].min()
             denser_possible = min_key < q_key
-            self._pstats["partitions_pruned_density"] += int(
-                (~denser_possible).sum()
-            )
+            pruned_density = int((~denser_possible).sum())
+            self._pstats["partitions_pruned_density"] += pruned_density
             near = mindist_many(q_points, self._bbox_lo[t], self._bbox_hi[t])
             in_range = near <= best_d
-            self._pstats["partitions_pruned_distance"] += int(
-                (denser_possible & ~in_range).sum()
-            )
+            pruned_distance = int((denser_possible & ~in_range).sum())
+            self._pstats["partitions_pruned_distance"] += pruned_distance
+            if record:
+                pruned = obs_metrics.counter(
+                    "repro_partition_pruned_total",
+                    "Tile probes skipped by the partition-level lemmas",
+                    ("lemma",),
+                )
+                if pruned_density:
+                    pruned.labels("density").inc(pruned_density)
+                if pruned_distance:
+                    pruned.labels("distance").inc(pruned_distance)
             active = np.flatnonzero(denser_possible & in_range)
             if not len(active):
                 continue
             self._pstats["gather_probes"] += 1
+            if record:
+                obs_metrics.counter(
+                    "repro_partition_gather_probes_total",
+                    "Cross-tile gather probes actually executed",
+                ).inc()
             denser = key[cores][None, :] < q_key[active][:, None]
             d_t, mu_t = gather_min_denser(
                 q_points[active],

@@ -193,10 +193,9 @@ class RNListIndex(DPCIndex):
 
     # -- multi-dc sweep ----------------------------------------------------------------
 
-    def quantities_multi(
-        self, dcs, tie_break: "str | TieBreak" = TieBreak.ID
+    def _quantities_multi_impl(
+        self, dcs, tie_break: "str | TieBreak"
     ) -> "list[DPCQuantities]":
-        self._require_fitted()
         return sweep_quantities(self, dcs, tie_break)
 
     # -- bookkeeping --------------------------------------------------------------------

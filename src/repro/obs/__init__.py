@@ -1,0 +1,30 @@
+"""Unified observability: metrics registry, request tracing, exposition.
+
+Three pillars, one switch:
+
+- :mod:`repro.obs.metrics` — process-global counters / gauges / fixed-bucket
+  histograms with bounded label sets;
+- :mod:`repro.obs.trace` — contextvars-propagated span trees with a ring
+  buffer of recent traces;
+- :mod:`repro.obs.export` — Prometheus text exposition, the trace JSON
+  shape, and ``--stats-json`` dumps.
+
+Capture is **off by default** (library and benchmark use pay a single
+global read per instrumentation site); the HTTP server turns it on at
+startup.  :mod:`repro.obs.provenance` stamps ``BENCH_*.json`` records with
+a common environment block through the shared ``append_record``.
+"""
+
+from repro.obs import export, metrics, provenance, trace  # noqa: F401
+from repro.obs.runtime import disable, enable, enabled, enabled_scope
+
+__all__ = [
+    "disable",
+    "enable",
+    "enabled",
+    "enabled_scope",
+    "export",
+    "metrics",
+    "provenance",
+    "trace",
+]

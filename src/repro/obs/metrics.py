@@ -1,0 +1,340 @@
+"""Process-global metrics registry: counters, gauges, fixed-bucket histograms.
+
+Dependency-free, thread-safe, and near-free when observability is off:
+the accessor functions (:func:`counter`, :func:`gauge`, :func:`histogram`)
+return the shared no-op singletons (:data:`NOOP_COUNTER` et al.) whenever
+:mod:`repro.obs.runtime` says capture is disabled, and every write method on
+a real instrument re-checks the same flag so handles cached while enabled
+stop recording the moment capture is turned off.
+
+Label sets are bounded: each instrument family keeps at most
+:data:`MAX_LABEL_SETS` distinct children; further label combinations fold
+into one shared overflow child (label values ``"__overflow__"``), so a
+cardinality bug in a caller cannot grow the registry without bound.
+
+Usage::
+
+    from repro.obs import metrics
+
+    metrics.counter(
+        "repro_parallel_retries_total", "Chunk retries", ("kind",)
+    ).labels("process").inc()
+
+Snapshots come from :meth:`MetricsRegistry.collect` (consumed by
+:mod:`repro.obs.export` for the Prometheus text endpoint and
+``--stats-json``).
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs import runtime
+
+__all__ = [
+    "DEFAULT_SECONDS_BUCKETS",
+    "MAX_LABEL_SETS",
+    "MetricsRegistry",
+    "NOOP_COUNTER",
+    "NOOP_GAUGE",
+    "NOOP_HISTOGRAM",
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+]
+
+#: Upper bounds (seconds) for latency histograms; ``+Inf`` is implicit.
+DEFAULT_SECONDS_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Per-family cap on distinct label-value children.
+MAX_LABEL_SETS = 64
+
+#: Label values of the shared overflow child.
+OVERFLOW_LABEL = "__overflow__"
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+class _Noop:
+    """Shared do-nothing instrument; one singleton per kind.
+
+    ``labels`` returns ``self`` so call sites never branch on the flag.
+    """
+
+    __slots__ = ()
+
+    def labels(self, *values: object) -> "_Noop":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NOOP_COUNTER = _Noop()
+NOOP_GAUGE = _Noop()
+NOOP_HISTOGRAM = _Noop()
+
+_NOOPS = {"counter": NOOP_COUNTER, "gauge": NOOP_GAUGE, "histogram": NOOP_HISTOGRAM}
+
+
+class _Child:
+    """One labelled time series of a scalar family (counter or gauge)."""
+
+    __slots__ = ("family", "labelvalues", "value")
+
+    def __init__(self, family: "_Family", labelvalues: Tuple[str, ...]) -> None:
+        self.family = family
+        self.labelvalues = labelvalues
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not runtime._ENABLED:
+            return
+        fam = self.family
+        with fam._lock:
+            self.value += amount
+            fam._writes += 1
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def set(self, value: float) -> None:
+        if not runtime._ENABLED:
+            return
+        fam = self.family
+        with fam._lock:
+            self.value = float(value)
+            fam._writes += 1
+
+    def labels(self, *values: object) -> "_Child":
+        return self.family.labels(*values)
+
+
+class _HistogramChild:
+    """One labelled series of a histogram family (fixed cumulative buckets)."""
+
+    __slots__ = ("family", "labelvalues", "counts", "sum", "count")
+
+    def __init__(self, family: "_Family", labelvalues: Tuple[str, ...]) -> None:
+        self.family = family
+        self.labelvalues = labelvalues
+        self.counts = [0] * (len(family.buckets) + 1)  # last slot = +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        if not runtime._ENABLED:
+            return
+        fam = self.family
+        idx = bisect_left(fam.buckets, value)
+        with fam._lock:
+            self.counts[idx] += 1
+            self.sum += value
+            self.count += 1
+            fam._writes += 1
+
+    def labels(self, *values: object) -> "_HistogramChild":
+        return self.family.labels(*values)
+
+
+class _Family:
+    """One named instrument: a set of children keyed by label values."""
+
+    __slots__ = (
+        "kind", "name", "help", "labelnames", "buckets",
+        "_lock", "_children", "_writes", "_default",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        name: str,
+        help: str,
+        labelnames: Tuple[str, ...],
+        buckets: Optional[Tuple[float, ...]] = None,
+    ) -> None:
+        self.kind = kind
+        self.name = name
+        self.help = help
+        self.labelnames = labelnames
+        self.buckets = buckets or ()
+        self._lock = threading.Lock()
+        self._children: Dict[Tuple[str, ...], object] = {}
+        self._writes = 0
+        # Label-less families act as their own single child.
+        self._default = self.labels() if not labelnames else None
+
+    def labels(self, *values: object):
+        key = tuple(str(v) for v in values)
+        if len(key) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected {len(self.labelnames)} label values, got {len(key)}"
+            )
+        child = self._children.get(key)
+        if child is not None:
+            return child
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                if len(self._children) >= MAX_LABEL_SETS:
+                    key = (OVERFLOW_LABEL,) * len(self.labelnames)
+                    child = self._children.get(key)
+                    if child is not None:
+                        return child
+                cls = _HistogramChild if self.kind == "histogram" else _Child
+                child = self._children[key] = cls(self, key)
+        return child
+
+    # Scalar writes on a label-less family delegate to the default child.
+    def inc(self, amount: float = 1.0) -> None:
+        self._default.inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default.dec(amount)
+
+    def set(self, value: float) -> None:
+        self._default.set(value)
+
+    def observe(self, value: float) -> None:
+        self._default.observe(value)
+
+    def snapshot(self) -> dict:
+        """A point-in-time copy of every child, safe to serialise."""
+        with self._lock:
+            samples: List[dict] = []
+            for key in sorted(self._children):
+                child = self._children[key]
+                labels = dict(zip(self.labelnames, key))
+                if self.kind == "histogram":
+                    samples.append(
+                        {
+                            "labels": labels,
+                            "buckets": list(child.counts),
+                            "sum": child.sum,
+                            "count": child.count,
+                        }
+                    )
+                else:
+                    samples.append({"labels": labels, "value": child.value})
+            return {
+                "name": self.name,
+                "kind": self.kind,
+                "help": self.help,
+                "labelnames": list(self.labelnames),
+                "bucket_bounds": list(self.buckets),
+                "samples": samples,
+                "writes": self._writes,
+            }
+
+
+class MetricsRegistry:
+    """Thread-safe name → family map; the process default is :data:`REGISTRY`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, _Family] = {}
+
+    def register(
+        self,
+        kind: str,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> _Family:
+        family = self._families.get(name)
+        if family is not None:
+            if family.kind != kind:
+                raise ValueError(
+                    f"instrument {name!r} already registered as {family.kind}, not {kind}"
+                )
+            return family
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        labelnames = tuple(str(l) for l in labelnames)
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r} on {name!r}")
+        if kind == "histogram":
+            bounds = tuple(float(b) for b in (buckets or DEFAULT_SECONDS_BUCKETS))
+            if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+                raise ValueError(f"histogram {name!r} buckets must be strictly increasing")
+        else:
+            bounds = None
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = self._families[name] = _Family(kind, name, help, labelnames, bounds)
+            elif family.kind != kind:
+                raise ValueError(
+                    f"instrument {name!r} already registered as {family.kind}, not {kind}"
+                )
+        return family
+
+    def collect(self) -> List[dict]:
+        """Snapshot every family, sorted by name."""
+        with self._lock:
+            families = sorted(self._families.values(), key=lambda f: f.name)
+        return [family.snapshot() for family in families]
+
+    def total_writes(self) -> int:
+        """How many instrument writes have been recorded (overhead accounting)."""
+        with self._lock:
+            families = list(self._families.values())
+        total = 0
+        for family in families:
+            with family._lock:
+                total += family._writes
+        return total
+
+    def reset(self) -> None:
+        """Drop every family (test isolation)."""
+        with self._lock:
+            self._families.clear()
+
+
+#: The process-wide default registry.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str, help: str = "", labelnames: Sequence[str] = ()):
+    """Get or create a counter; the shared no-op when capture is off."""
+    if not runtime._ENABLED:
+        return NOOP_COUNTER
+    return REGISTRY.register("counter", name, help, labelnames)
+
+
+def gauge(name: str, help: str = "", labelnames: Sequence[str] = ()):
+    """Get or create a gauge; the shared no-op when capture is off."""
+    if not runtime._ENABLED:
+        return NOOP_GAUGE
+    return REGISTRY.register("gauge", name, help, labelnames)
+
+
+def histogram(
+    name: str,
+    help: str = "",
+    labelnames: Sequence[str] = (),
+    buckets: Optional[Sequence[float]] = None,
+):
+    """Get or create a fixed-bucket histogram; the shared no-op when off."""
+    if not runtime._ENABLED:
+        return NOOP_HISTOGRAM
+    return REGISTRY.register("histogram", name, help, labelnames, buckets)

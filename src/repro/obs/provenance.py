@@ -1,0 +1,79 @@
+"""Shared provenance stamping for ``BENCH_*.json`` trajectory records.
+
+Every benchmark script used to hand-roll its own ``append_record`` helper
+and its own subset of environment fields (``python``, ``cpu_count``,
+``usable_cpus``...), so records from different scripts — and different PRs
+— were not comparable.  This module is the single implementation: records
+appended through :func:`append_record` are stamped with one common
+``provenance`` block so the future trend-report runner can group, filter
+and diff records across the whole trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+from typing import Optional
+
+__all__ = ["SCHEMA_VERSION", "append_record", "git_commit", "provenance_block", "usable_cpus"]
+
+#: Version of the provenance block layout (bump on breaking field changes).
+SCHEMA_VERSION = 1
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def git_commit() -> Optional[str]:
+    """The repo HEAD commit, or ``None`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    commit = out.stdout.strip()
+    return commit if out.returncode == 0 and commit else None
+
+
+def provenance_block() -> dict:
+    """The common environment/identity block stamped onto every record."""
+    import numpy
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "git_commit": git_commit(),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "cpu_count": os.cpu_count(),
+        "usable_cpus": usable_cpus(),
+    }
+
+
+def append_record(record: dict, path: str) -> None:
+    """Append ``record`` (provenance-stamped) to the JSON list at ``path``.
+
+    The file is created if missing; a legacy single-record file is wrapped
+    into a list.  An existing ``provenance`` key is left untouched.
+    """
+    record.setdefault("provenance", provenance_block())
+    records = []
+    if os.path.exists(path):
+        with open(path) as fh:
+            existing = json.load(fh)
+        records = existing if isinstance(existing, list) else [existing]
+    records.append(record)
+    with open(path, "w") as fh:
+        json.dump(records, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -1,0 +1,57 @@
+"""Process-global observability switch.
+
+Instrumentation follows the :mod:`repro.faults` trick: with observability
+disabled (the default for library and benchmark use) every instrument
+accessor returns a shared no-op singleton and every write method bails on a
+single module-attribute read, so the hot paths keep their cost.  The HTTP
+server enables observability at startup; tests flip it with
+:func:`enabled_scope`.
+
+The flag deliberately lives in its own tiny module so that
+:mod:`repro.obs.metrics` and :mod:`repro.obs.trace` can share it without an
+import cycle through ``repro.obs``.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["disable", "enable", "enabled", "enabled_scope"]
+
+_ENABLED = False
+_LOCK = threading.Lock()
+
+
+def enabled() -> bool:
+    """Is instrumentation capture currently on? (One global read.)"""
+    return _ENABLED
+
+
+def enable() -> None:
+    """Turn instrumentation capture on process-wide."""
+    global _ENABLED
+    with _LOCK:
+        _ENABLED = True
+
+
+def disable() -> None:
+    """Turn instrumentation capture off process-wide (the default)."""
+    global _ENABLED
+    with _LOCK:
+        _ENABLED = False
+
+
+@contextmanager
+def enabled_scope(value: bool = True) -> Iterator[None]:
+    """Temporarily force the capture flag to ``value`` (always restored)."""
+    global _ENABLED
+    with _LOCK:
+        previous = _ENABLED
+        _ENABLED = bool(value)
+    try:
+        yield
+    finally:
+        with _LOCK:
+            _ENABLED = previous

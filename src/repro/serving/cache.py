@@ -24,7 +24,19 @@ import time
 from collections import OrderedDict
 from typing import Any, Callable, Dict, Hashable, Optional, Tuple
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import runtime as obs_runtime
+
 __all__ = ["CacheStats", "ResultCache", "result_key"]
+
+
+def _cache_event(event: str, count: int = 1) -> None:
+    if obs_runtime._ENABLED:
+        obs_metrics.counter(
+            "repro_cache_ops_total",
+            "Result-cache events (hit/miss/eviction/expiration/invalidation/rejected_put)",
+            ("event",),
+        ).labels(event).inc(count)
 
 
 def result_key(
@@ -116,15 +128,19 @@ class ResultCache:
             entry = self._entries.get(key)
             if entry is None:
                 self.stats.misses += 1
+                _cache_event("miss")
                 return None
             inserted_at, value = entry
             if self.ttl_seconds is not None and self._clock() - inserted_at > self.ttl_seconds:
                 del self._entries[key]
                 self.stats.expirations += 1
                 self.stats.misses += 1
+                _cache_event("expiration")
+                _cache_event("miss")
                 return None
             self._entries.move_to_end(key)
             self.stats.hits += 1
+            _cache_event("hit")
             return value
 
     def put(self, key: Hashable, value: Any, guard: Optional[Callable[[], bool]] = None) -> bool:
@@ -140,6 +156,7 @@ class ResultCache:
         with self._lock:
             if guard is not None and not guard():
                 self.stats.rejected_puts += 1
+                _cache_event("rejected_put")
                 return False
             if key in self._entries:
                 self._entries.move_to_end(key)
@@ -147,6 +164,7 @@ class ResultCache:
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
+                _cache_event("eviction")
             return True
 
     def invalidate_fingerprint(self, fingerprint: str) -> int:
@@ -156,6 +174,8 @@ class ResultCache:
             for key in doomed:
                 del self._entries[key]
             self.stats.invalidations += len(doomed)
+            if doomed:
+                _cache_event("invalidation", len(doomed))
             return len(doomed)
 
     def clear(self) -> None:

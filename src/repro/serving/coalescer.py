@@ -46,6 +46,9 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro import faults
 from repro.core.quantities import TieBreak
+from repro.obs import metrics as obs_metrics
+from repro.obs import runtime as obs_runtime
+from repro.obs import trace as obs_trace
 from repro.serving.errors import (
     DeadlineExceededError,
     DispatcherCrashError,
@@ -82,6 +85,11 @@ class ServeRequest:
     future: Future = field(default_factory=Future)
     enqueued_at: float = field(default_factory=time.perf_counter)
     deadline: Optional[float] = field(default=None, init=False)
+    #: Root trace span of the request (set by the service).  The dispatcher
+    #: runs on its own thread, so contextvars cannot carry the trace across;
+    #: the span rides the request instead and is re-established with
+    #: ``obs.trace.use_span`` at dispatch.
+    span: Any = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.op not in OPS:
@@ -165,6 +173,19 @@ class RequestCoalescer:
             "dispatcher_restarts": 0,
         }
 
+    def stats_snapshot(self) -> Dict[str, int]:
+        """A point-in-time copy of the counters, safe against concurrent
+        dispatcher mutation (scrapers must never hold the live dict)."""
+        with self._lock:
+            return dict(self.stats)
+
+    def _depth_gauge(self, depth: int) -> None:
+        if obs_runtime._ENABLED:
+            obs_metrics.gauge(
+                "repro_serving_queue_depth",
+                "Requests admitted but not yet picked up by the dispatcher",
+            ).set(depth)
+
     # -- client side ----------------------------------------------------------
 
     def queue_depth(self) -> int:
@@ -193,6 +214,11 @@ class RequestCoalescer:
                 raise RuntimeError("coalescer is closed")
             if self.max_queue is not None and self._depth >= self.max_queue:
                 self.stats["shed"] += 1
+                if obs_runtime._ENABLED:
+                    obs_metrics.counter(
+                        "repro_serving_shed_total",
+                        "Requests refused at admission (queue full)",
+                    ).inc()
                 raise LoadShedError(
                     f"dispatch queue is full ({self._depth} queued, "
                     f"max_queue={self.max_queue}); retry later",
@@ -213,6 +239,7 @@ class RequestCoalescer:
             # and append the shutdown sentinel, so a request can never land
             # behind the sentinel in a dead queue (its future would hang).
             self._depth += 1
+            self._depth_gauge(self._depth)
             self._queue.put(request)
         return request.future
 
@@ -260,6 +287,7 @@ class RequestCoalescer:
                 batch.append(item)
             with self._lock:
                 self._depth -= len(batch)
+                self._depth_gauge(self._depth)
             # Supervision, half one: a dispatch cycle that dies (engine bug,
             # injected chaos fault, anything) must not kill the loop with
             # futures in hand.  Fail the whole in-flight batch fast with a
@@ -305,6 +333,7 @@ class RequestCoalescer:
                 continue
             with self._lock:
                 self._depth -= 1
+                self._depth_gauge(self._depth)
             if not item.future.cancelled():
                 item.future.set_exception(RuntimeError("coalescer closed"))
 
@@ -317,13 +346,33 @@ class RequestCoalescer:
         self.stats["largest_batch"] = max(self.stats["largest_batch"], len(batch))
         if len(batch) > 1:
             self.stats["coalesced_requests"] += len(batch)
+        record = obs_runtime._ENABLED
+        if record:
+            obs_metrics.counter(
+                "repro_coalescer_batches_total", "Dispatch cycles executed"
+            ).inc()
+            obs_metrics.histogram(
+                "repro_coalescer_batch_size",
+                "Requests drained per dispatch cycle",
+                buckets=(1, 2, 4, 8, 16, 32, 64, 128),
+            ).observe(len(batch))
         # Deadline check at dispatch time: an expired request is failed fast
         # instead of riding (and slowing) its batch-mates' engine call.
         now = time.perf_counter()
         live: List[ServeRequest] = []
         for request in batch:
+            if record:
+                obs_metrics.histogram(
+                    "repro_serving_queue_wait_seconds",
+                    "Time a request spent queued before dispatch",
+                ).observe(max(0.0, now - request.enqueued_at))
             if request.expired(now):
                 self.stats["expired"] += 1
+                if record:
+                    obs_metrics.counter(
+                        "repro_serving_expired_total",
+                        "Requests whose deadline passed while queued",
+                    ).inc()
                 if not request.future.cancelled():
                     request.future.set_exception(
                         DeadlineExceededError(
@@ -349,13 +398,49 @@ class RequestCoalescer:
         dcs = list(dict.fromkeys(request.dc for request in group))
         self.stats["engine_calls"] += 1
         self.stats["deduped_dcs"] += len(group) - len(dcs)
+        if obs_runtime._ENABLED:
+            obs_metrics.counter(
+                "repro_coalescer_engine_calls_total", "quantities_multi engine calls"
+            ).inc()
+            if len(group) - len(dcs):
+                obs_metrics.counter(
+                    "repro_coalescer_deduped_dcs_total",
+                    "Requests answered from a batch-mate's identical dc",
+                ).inc(len(group) - len(dcs))
+        # The group's one engine call is traced under the *lead* request
+        # (the first with a root span), so its trace shows the full
+        # coalescer -> quantities -> (partition|parallel) tree; batch-mates
+        # get a "coalescer.ride" marker pointing at the lead trace.
+        lead = next((r.span for r in group if r.span is not None), None)
+        dispatch_span = obs_trace.begin_span(
+            "coalescer.dispatch",
+            parent=lead,
+            batch_size=len(group),
+            batch_dcs=len(dcs),
+        )
+        ride_spans = []
+        for request in group:
+            if request.span is not None and request.span is not lead:
+                ride_spans.append(
+                    obs_trace.begin_span(
+                        "coalescer.ride",
+                        parent=request.span,
+                        lead_trace=dispatch_span.trace_id,
+                        batch_size=len(group),
+                    )
+                )
         try:
-            quantities = index.quantities_multi(dcs, tie_break)
+            with obs_trace.use_span(dispatch_span):
+                quantities = index.quantities_multi(dcs, tie_break)
         except BaseException as exc:  # propagate engine errors to every waiter
             for request in group:
                 if not request.future.cancelled():
                     request.future.set_exception(exc)
             return
+        finally:
+            dispatch_span.finish()
+            for ride in ride_spans:
+                ride.finish()
         by_dc = dict(zip(dcs, quantities))
         meta = {
             "batch_size": len(group),
@@ -368,13 +453,16 @@ class RequestCoalescer:
             try:
                 q = by_dc[request.dc]
                 if request.op == "cluster":
-                    value: Any = index.cluster_from_quantities(
-                        q,
-                        n_centers=request.n_centers,
-                        rho_min=request.rho_min,
-                        delta_min=request.delta_min,
-                        halo=request.halo,
-                    )
+                    # The selection/assignment tail runs under the request's
+                    # own root, so engine.assign lands in the right trace.
+                    with obs_trace.use_span(request.span):
+                        value: Any = index.cluster_from_quantities(
+                            q,
+                            n_centers=request.n_centers,
+                            rho_min=request.rho_min,
+                            delta_min=request.delta_min,
+                            halo=request.halo,
+                        )
                 else:
                     value = q
             except BaseException as exc:  # bad per-request selection params

@@ -27,8 +27,11 @@ Routes
 * ``POST /v1/query`` — body ``{"snapshot": …, "op": "quantities"|"cluster",
   "dc": …, "tie_break"?, "n_centers"?, "rho_min"?, "delta_min"?, "halo"?,
   "use_cache"?}``; responds with the arrays plus the serving ``meta``
-  (fingerprint, cache_hit, batch_size, …).
+  (fingerprint, cache_hit, batch_size, trace_id, …) and, when tracing is
+  on, an ``X-Trace-Id`` header naming the request's span tree.
 * ``GET  /v1/stats`` — store / cache / coalescer counters.
+* ``GET  /metrics`` — Prometheus text exposition of the obs registry.
+* ``GET  /trace/<id>`` — one finished span tree from the trace ring buffer.
 """
 
 from __future__ import annotations
@@ -39,7 +42,10 @@ from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.quantities import DPCQuantities, DPCResult
+from repro.obs import trace as obs_trace
+from repro.obs.export import render_prometheus
 from repro.serving.errors import (
     DeadlineExceededError,
     DispatcherCrashError,
@@ -94,11 +100,14 @@ class _Handler(BaseHTTPRequestHandler):
         payload: Dict[str, Any],
         close: bool = False,
         retry_after: Optional[float] = None,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> None:
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for key, value in (extra_headers or {}).items():
+            self.send_header(key, value)
         if retry_after is not None:
             # Retry-After is integer seconds per RFC 9110; round up so a
             # compliant client never retries before the hint.
@@ -168,6 +177,26 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(200, {"snapshots": self.service.store.describe()})
         elif self.path == "/v1/stats":
             self._send_json(200, self.service.stats())
+        elif self.path == "/metrics":
+            body = render_prometheus().encode()
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        elif self.path.startswith("/trace/"):
+            trace_id = self.path[len("/trace/"):]
+            tree = obs_trace.get_trace(trace_id) if trace_id else None
+            if tree is None:
+                self._send_json(
+                    404,
+                    {
+                        "error": f"no trace {trace_id!r} in the ring buffer",
+                        "recent": list(obs_trace.recent_trace_ids()),
+                    },
+                )
+            else:
+                self._send_json(200, {"trace": tree})
         else:
             self._error(404, f"no route GET {self.path}")
 
@@ -264,22 +293,57 @@ class _Handler(BaseHTTPRequestHandler):
         payload = serialize_value(result.value)
         payload["op"] = result.meta["op"]
         payload["meta"] = result.meta
-        self._send_json(200, payload)
+        trace_id = result.meta.get("trace_id")
+        payload["trace_id"] = trace_id
+        self._send_json(
+            200,
+            payload,
+            extra_headers={"X-Trace-Id": trace_id} if trace_id else None,
+        )
 
 
 class ClusteringServer(ThreadingHTTPServer):
-    """A threading HTTP server bound to one :class:`ClusteringService`."""
+    """A threading HTTP server bound to one :class:`ClusteringService`.
+
+    Observability (:mod:`repro.obs`) is switched on for the whole process by
+    default — a server exists to be watched, and ``/metrics`` / ``/trace``
+    would otherwise serve empty registries.  Pass ``observability=False`` to
+    keep instrumentation on its no-op path (e.g. overhead benchmarks).
+    """
 
     daemon_threads = True
 
-    def __init__(self, address: Tuple[str, int], service: ClusteringService, verbose: bool = False):
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: ClusteringService,
+        verbose: bool = False,
+        observability: bool = True,
+    ):
+        # Set before super().__init__: a failed bind calls server_close().
+        self._obs_enabled_here = False
         super().__init__(address, _Handler)
         self.service = service
         self.verbose = verbose
+        self._obs_enabled_here = observability and not obs.enabled()
+        if observability:
+            obs.enable()
+
+    def server_close(self) -> None:
+        super().server_close()
+        # Only undo an enable *this* server performed — a process that was
+        # already observing (CLI flag, another live server) keeps observing.
+        if self._obs_enabled_here:
+            obs.disable()
+            self._obs_enabled_here = False
 
 
 def make_server(
-    service: ClusteringService, host: str = "127.0.0.1", port: int = 0, verbose: bool = False
+    service: ClusteringService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+    observability: bool = True,
 ) -> ClusteringServer:
     """Bind (``port=0`` picks a free one; read ``server.server_address``)."""
-    return ClusteringServer((host, port), service, verbose=verbose)
+    return ClusteringServer((host, port), service, verbose=verbose, observability=observability)

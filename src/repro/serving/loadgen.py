@@ -20,6 +20,8 @@ from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs import trace as obs_trace
+from repro.obs.export import phase_totals
 from repro.serving.errors import DeadlineExceededError, LoadShedError
 from repro.serving.service import ClusteringService
 
@@ -51,6 +53,10 @@ class LoadReport:
     latency_ms: Dict[str, float]
     cache_hits: int
     coalescer: Dict[str, int] = field(default_factory=dict)
+    #: Up to ``trace_sample`` sampled request traces, each
+    #: ``{"trace_id": …, "phase_ms": {span name: total ms}}`` — empty when
+    #: sampling was off or tracing disabled.
+    trace_samples: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def error_rate(self) -> float:
@@ -76,6 +82,7 @@ class LoadReport:
             "latency_ms": dict(self.latency_ms),
             "cache_hits": self.cache_hits,
             "coalescer": dict(self.coalescer),
+            "trace_samples": list(self.trace_samples),
         }
 
 
@@ -101,6 +108,7 @@ def run_load(
     cluster_params: Optional[Dict[str, Any]] = None,
     seed: int = 0,
     timeout_s: Optional[float] = None,
+    trace_sample: int = 0,
 ) -> LoadReport:
     """Drive ``clients`` closed-loop threads against one snapshot.
 
@@ -110,6 +118,11 @@ def run_load(
     including memoisation.  ``timeout_s`` rides every request as its
     per-request deadline; shed and expired requests are counted separately
     from other errors in the report.
+
+    ``trace_sample > 0`` keeps the trace ids of the first N successful
+    requests per the whole run and resolves their span trees into per-phase
+    millisecond totals after the run (requires :mod:`repro.obs` tracing to
+    be enabled, otherwise ``trace_samples`` stays empty).
     """
     if clients < 1:
         raise ValueError(f"clients must be >= 1, got {clients}")
@@ -122,6 +135,8 @@ def run_load(
     shed = [0] * clients
     expired = [0] * clients
     cache_hits = [0] * clients
+    sampled_ids: List[str] = []
+    sample_lock = threading.Lock()
     barrier = threading.Barrier(clients + 1)
 
     def client(slot: int) -> None:
@@ -147,6 +162,11 @@ def run_load(
                 if result.meta.get("cache_hit"):
                     cache_hits[slot] += 1
                 latencies[slot].append((time.perf_counter() - started) * 1e3)
+                trace_id = result.meta.get("trace_id")
+                if trace_id and trace_sample > 0 and len(sampled_ids) < trace_sample:
+                    with sample_lock:
+                        if len(sampled_ids) < trace_sample:
+                            sampled_ids.append(trace_id)
 
     threads = [
         threading.Thread(target=client, args=(slot,), name=f"loadgen-{slot}")
@@ -163,6 +183,14 @@ def run_load(
     flat = np.asarray([value for bucket in latencies for value in bucket])
     succeeded = int(flat.size)
     failed = int(sum(errors))
+    trace_samples: List[Dict[str, Any]] = []
+    for trace_id in sampled_ids:
+        # Resolved after the run: by now every sampled request has finished,
+        # so its root span is in the ring buffer (unless later traffic
+        # already evicted it — then the sample is silently dropped).
+        tree = obs_trace.get_trace(trace_id)
+        if tree is not None:
+            trace_samples.append({"trace_id": trace_id, "phase_ms": phase_totals(tree)})
     return LoadReport(
         dispatch=service.dispatch,
         op=op,
@@ -178,5 +206,6 @@ def run_load(
             "p99": float("nan"), "max": float("nan"),
         },
         cache_hits=int(sum(cache_hits)),
-        coalescer=dict(service.coalescer.stats),
+        coalescer=service.coalescer.stats_snapshot(),
+        trace_samples=trace_samples,
     )

@@ -39,9 +39,16 @@ from typing import Any, Dict, Optional
 import numpy as np
 
 from repro.core.quantities import TieBreak
+from repro.obs import metrics as obs_metrics
+from repro.obs import runtime as obs_runtime
+from repro.obs import trace as obs_trace
 from repro.serving.cache import ResultCache, result_key
 from repro.serving.coalescer import OPS, RequestCoalescer, ServeRequest
-from repro.serving.errors import ServingError
+from repro.serving.errors import (
+    DeadlineExceededError,
+    LoadShedError,
+    ServingError,
+)
 from repro.serving.snapshots import Snapshot, SnapshotStore
 
 __all__ = ["ServeResult", "ClusteringService"]
@@ -293,15 +300,44 @@ class ClusteringService:
             n_centers=n_centers, rho_min=rho_min, delta_min=delta_min, halo=halo,
         )
         outer: "Future[ServeResult]" = Future()
+        root_span = obs_trace.begin_span(
+            "serve.request", snapshot=name, op=op, dc=float(dc)
+        )
         base_meta = {
             "snapshot": name,
             "fingerprint": snapshot.fingerprint,
             "snapshot_version": snapshot.version,
             "op": op,
         }
+        if root_span.trace_id is not None:
+            base_meta["trace_id"] = root_span.trace_id
+
+        def finalize(outcome: str) -> None:
+            """Close the request's root span and record request metrics."""
+            root_span.set("outcome", outcome)
+            root_span.finish()
+            if obs_runtime._ENABLED:
+                obs_metrics.counter(
+                    "repro_serving_requests_total",
+                    "Requests served, by operation and outcome",
+                    ("op", "outcome"),
+                ).labels(op, outcome).inc()
+                obs_metrics.histogram(
+                    "repro_serving_request_seconds",
+                    "End-to-end request latency (admission to resolution)",
+                ).observe(time.perf_counter() - started)
+
+        def outcome_of(exc: BaseException) -> str:
+            if isinstance(exc, LoadShedError):
+                return "shed"
+            if isinstance(exc, DeadlineExceededError):
+                return "expired"
+            return "error"
+
         if use_cache:
             cached = self.cache.get(key)
             if cached is not None:
+                finalize("cache_hit")
                 outer.set_result(
                     ServeResult(
                         cached,
@@ -324,10 +360,12 @@ class ClusteringService:
             halo=halo,
             timeout_s=timeout_s if timeout_s is not None else self.default_timeout_s,
         )
+        request.span = root_span if root_span.trace_id is not None else None
 
         def finish(inner: Future) -> None:
             exc = inner.exception()
             if exc is not None:
+                finalize(outcome_of(exc))
                 outer.set_exception(exc)
                 return
             value, batch_meta = inner.result()
@@ -335,6 +373,7 @@ class ClusteringService:
                 # guard: refuse the insert if the snapshot was swapped while
                 # we computed — the invalidation already happened and must win.
                 self.cache.put(key, value, guard=lambda: self.store.is_current(snapshot))
+            finalize("ok")
             outer.set_result(
                 ServeResult(
                     value,
@@ -353,6 +392,7 @@ class ClusteringService:
             # Admission refused (load shed).  Surface it through the future
             # so every caller path — blocking helpers, HTTP front-end, load
             # generator — observes one uniform contract.
+            finalize(outcome_of(exc))
             outer.set_exception(exc)
         return outer
 
@@ -367,11 +407,13 @@ class ClusteringService:
     # -- observability / lifecycle --------------------------------------------
 
     def stats(self) -> Dict[str, Any]:
+        """A point-in-time copy throughout — callers may mutate or serialise
+        it freely while the dispatcher keeps counting."""
         return {
             "dispatch": self.dispatch,
             "snapshots": self.store.describe(),
             "cache": self.cache.describe(),
-            "coalescer": dict(self.coalescer.stats),
+            "coalescer": self.coalescer.stats_snapshot(),
             "health": self.health(),
         }
 
@@ -406,15 +448,16 @@ class ClusteringService:
                 "publish_error": publish_error,
             }
         shedding = self.coalescer.shedding
+        coalescer_stats = self.coalescer.stats_snapshot()
         return {
             "state": (
                 "shedding" if shedding else "degraded" if any_degraded else "healthy"
             ),
             "shedding": shedding,
             "queue_depth": self.coalescer.queue_depth(),
-            "dispatcher_restarts": self.coalescer.stats["dispatcher_restarts"],
-            "shed": self.coalescer.stats["shed"],
-            "expired": self.coalescer.stats["expired"],
+            "dispatcher_restarts": coalescer_stats["dispatcher_restarts"],
+            "shed": coalescer_stats["shed"],
+            "expired": coalescer_stats["expired"],
             "subscriber_errors": self.store.subscriber_errors,
             "snapshots": snapshots,
         }

@@ -29,6 +29,7 @@ import numpy as np
 from repro import faults
 from repro.indexes.base import DPCIndex
 from repro.indexes.registry import make_index
+from repro.obs import metrics as obs_metrics
 
 __all__ = ["Snapshot", "SnapshotStore"]
 
@@ -113,6 +114,9 @@ class SnapshotStore:
         # Chaos point: a publish that fails *here* fails before the swap —
         # the store still serves the last good snapshot, nothing is torn.
         faults.trip("snapshots.publish")
+        obs_metrics.counter(
+            "repro_snapshot_swaps_total", "Snapshot publishes (atomic name swaps)"
+        ).inc()
         with self._lock:
             previous = self._snapshots.get(name)
             self._version += 1

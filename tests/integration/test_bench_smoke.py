@@ -29,10 +29,13 @@ def test_run_produces_phase_split(smoke_module):
 def test_main_writes_json(smoke_module, tmp_path):
     out = tmp_path / "BENCH_delta.json"
     smoke_module.main(["--quick", "--n", "300", "--out", str(out)])
-    report = json.loads(out.read_text())
+    records = json.loads(out.read_text())
+    assert isinstance(records, list) and len(records) == 1
+    report = records[-1]
     assert report["benchmark"] == "delta_engine_phase_split"
     assert report["n"] == 300
     assert "rtree" in report["methods"]
+    assert report["provenance"]["schema_version"] == 1
 
 
 @pytest.fixture(scope="module")
@@ -48,7 +51,7 @@ def parallel_module():
 def test_parallel_scaling_record_shape(parallel_module):
     record = parallel_module.run(n=250, jobs=(2,), indexes=("kdtree", "grid"))
     assert record["benchmark"] == "parallel_scaling"
-    assert record["cpu_count"] >= 1 and record["usable_cpus"] >= 1
+    assert record["usable_cpus"] >= 1
     assert set(record["methods"]) == {"kdtree", "grid"}
     for row in record["methods"].values():
         assert row["serial_seconds"] > 0.0
@@ -81,7 +84,6 @@ def test_serving_load_record_shape(serving_module):
         n=250, clients=3, requests_per_client=4, dc_count=3, indexes=("kdtree",)
     )
     assert record["benchmark"] == "serving_load"
-    assert record["cpu_count"] >= 1 and record["usable_cpus"] >= 1
     row = record["methods"]["kdtree"]
     for mode in ("serial", "coalesce", "warm_cache"):
         report = row[mode]
@@ -135,6 +137,9 @@ def test_build_bench_record_shape(build_module):
 def test_build_bench_main_writes_json(build_module, tmp_path):
     out = tmp_path / "BENCH_build.json"
     assert build_module.main(["--n", "400", "--repeats", "1", "--out", str(out)]) == 0
-    report = json.loads(out.read_text())
+    records = json.loads(out.read_text())
+    assert isinstance(records, list) and len(records) == 1
+    report = records[-1]
     assert report["benchmark"] == "bulk_build_vs_objects"
     assert report["n"] == 400
+    assert report["provenance"]["schema_version"] == 1

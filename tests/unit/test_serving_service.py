@@ -271,6 +271,27 @@ class TestMetaAndStats:
         assert "hits" in stats["cache"]
         assert stats["coalescer"]["requests"] >= 1
 
+    def test_stats_returns_snapshot_copies(self, service):
+        """Mutating what stats() returned must never touch live state."""
+        service.cluster("main", 0.5, n_centers=3)
+        stats = service.stats()
+        stats["coalescer"]["requests"] = -999
+        stats["cache"]["hits"] = -999
+        stats["health"]["state"] = "broken"
+        fresh = service.stats()
+        assert fresh["coalescer"]["requests"] >= 1
+        assert fresh["cache"]["hits"] >= 0
+        assert fresh["health"]["state"] != "broken"
+
+    def test_health_returns_copy_not_live_counters(self, service):
+        service.cluster("main", 0.5, n_centers=3)
+        health = service.health()
+        health["shed"] = -999
+        health["snapshots"]["main"]["state"] = "broken"
+        fresh = service.health()
+        assert fresh["shed"] >= 0
+        assert fresh["snapshots"]["main"]["state"] in ("healthy", "degraded")
+
     def test_unknown_snapshot_raises_keyerror(self, service):
         with pytest.raises(KeyError, match="no snapshot named"):
             service.quantities("nope", 0.5)
