@@ -34,7 +34,7 @@ from repro import obs
 from repro.datasets.loaders import load_dataset
 from repro.indexes.registry import make_index
 from repro.obs.provenance import append_record
-from repro.serving.loadgen import run_load
+from repro.serving.loadgen import run_load, sweep_open_loop
 from repro.serving.service import ClusteringService
 
 #: Tree/grid families only by default: the O(n²)-space list indexes don't fit
@@ -62,8 +62,19 @@ def run(
     seed: int = 0,
     indexes: "tuple[str, ...] | None" = None,
     trace_sample: int = 0,
+    offered_rps: "tuple[float, ...] | None" = None,
+    open_duration_s: float = 2.0,
+    workers: int = 0,
 ) -> dict:
-    """Measure every method; returns one BENCH_serving.json record."""
+    """Measure every method; returns one BENCH_serving.json record.
+
+    ``offered_rps`` switches an additional **open-loop** round on: for each
+    method, the coalesced service is swept across those Poisson arrival
+    rates (latency-vs-offered-load plus the saturation throughput) —
+    closed-loop rounds stay the default and always run.  ``workers > 0``
+    runs every service with that many supervised shared-memory serving
+    workers, so the records also carry failover counters.
+    """
     ds = load_dataset(dataset, n=n, seed=seed)
     grid = [float(v) for v in ds.params.dc_grid]
     lo, hi = min(grid), max(grid)
@@ -77,6 +88,7 @@ def run(
         "requests_per_client": requests_per_client,
         "linger_ms": linger_ms,
         "max_batch": max_batch,
+        "workers": workers,
         "op": "cluster",
         "methods": {},
     }
@@ -88,6 +100,7 @@ def run(
                 cache_entries=0,  # dispatch rounds measure the engine path
                 max_batch=max_batch,
                 linger_ms=linger_ms,
+                workers=workers if dispatch == "coalesce" else 0,
             ) as service:
                 service.fit_snapshot("bench", ds.points, index=name)
                 _verify_exactness(service, name, ds.points, dcs[0])
@@ -112,6 +125,23 @@ def run(
                 cluster_params={"n_centers": 4}, seed=seed,
             )
             row["warm_cache"] = report.as_record()
+        if offered_rps:
+            # Open-loop round: Poisson arrivals swept across the offered
+            # rates — records the latency knee and saturation throughput.
+            with ClusteringService(
+                dispatch="coalesce",
+                cache_entries=0,
+                max_batch=max_batch,
+                linger_ms=linger_ms,
+                workers=workers,
+            ) as service:
+                service.fit_snapshot("bench", ds.points, index=name)
+                row["open_loop"] = sweep_open_loop(
+                    service, "bench", dcs, offered_rps,
+                    duration_s=open_duration_s, op="cluster",
+                    use_cache=False, cluster_params={"n_centers": 4},
+                    seed=seed,
+                )
         serial_rps = row["serial"]["throughput_rps"]
         coalesce_rps = row["coalesce"]["throughput_rps"]
         row["coalesce_speedup"] = coalesce_rps / serial_rps if serial_rps > 0 else None
@@ -134,6 +164,21 @@ def main(argv=None) -> str:
     )
     parser.add_argument("--out", default="BENCH_serving.json")
     parser.add_argument(
+        "--offered-rps", default=None,
+        help="comma-separated arrival rates (e.g. 20,50,100): adds an "
+        "open-loop Poisson sweep per method recording latency-vs-offered-"
+        "load and the saturation throughput (closed-loop stays default)",
+    )
+    parser.add_argument(
+        "--open-duration-s", type=float, default=2.0,
+        help="offered-arrival window per open-loop rate",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="run services with N supervised shared-memory serving workers "
+        "(0 = in-process dispatch)",
+    )
+    parser.add_argument(
         "--trace-sample", type=int, default=0, metavar="N",
         help="enable repro.obs tracing and record N sampled request traces "
         "per coalesced round; prints one phase breakdown per method",
@@ -152,11 +197,17 @@ def main(argv=None) -> str:
     if args.trace_sample > 0:
         obs.enable()
     try:
+        offered = (
+            tuple(float(rate) for rate in args.offered_rps.split(","))
+            if args.offered_rps else None
+        )
         record = run(
             n=args.n, dataset=args.dataset, clients=args.clients,
             requests_per_client=args.requests, dc_count=args.dc_count,
             linger_ms=args.linger_ms, max_batch=args.max_batch, seed=args.seed,
             indexes=indexes, trace_sample=args.trace_sample,
+            offered_rps=offered, open_duration_s=args.open_duration_s,
+            workers=args.workers,
         )
     finally:
         if args.trace_sample > 0:
@@ -172,6 +223,17 @@ def main(argv=None) -> str:
             f"speedup {row['coalesce_speedup']:.2f}x   "
             f"warm-cache {warm['throughput_rps']:8.1f} rps"
         )
+        open_loop = row.get("open_loop")
+        if open_loop:
+            knees = "  ".join(
+                f"{rec['offered_rps']:g}rps→p99 {rec['latency_ms']['p99']:.1f}ms"
+                f" (err {rec['errors']}, shed {rec['shed']}, fo {rec['failovers']})"
+                for rec in open_loop["sweep"]
+            )
+            print(
+                f"           open-loop saturation "
+                f"{open_loop['saturation_rps']:.1f} rps   {knees}"
+            )
         samples = row["coalesce"].get("trace_samples") or []
         if samples:
             sample = samples[0]

@@ -171,6 +171,10 @@ def build_server(args):
         # knobs; absent means the old unbounded/no-deadline behaviour.
         max_queue=getattr(args, "max_queue", None),
         default_timeout_s=getattr(args, "timeout_s", None),
+        # Replicated serving tier: N supervised shared-memory workers
+        # (0 = classic in-process dispatch).
+        workers=getattr(args, "workers", 0) or 0,
+        heartbeat_s=getattr(args, "heartbeat_s", 0.25),
     )
     if args.load is not None:
         if args.input is not None or args.dataset is not None:
@@ -189,33 +193,76 @@ def build_server(args):
         snapshot = service.fit_snapshot(
             args.snapshot, _load_points(args), index=index_name, **index_params
         )
-    server = make_server(
-        service,
-        host=args.host,
-        port=args.port,
-        verbose=args.verbose,
-        observability=not getattr(args, "no_observability", False),
-    )
+    if getattr(args, "edge", "threads") == "asyncio":
+        from repro.serving.edge import make_edge_server
+
+        server = make_edge_server(
+            service,
+            host=args.host,
+            port=args.port,
+            max_inflight=getattr(args, "max_inflight", None),
+            default_timeout_s=getattr(args, "timeout_s", None),
+            observability=not getattr(args, "no_observability", False),
+        )
+    else:
+        server = make_server(
+            service,
+            host=args.host,
+            port=args.port,
+            verbose=args.verbose,
+            observability=not getattr(args, "no_observability", False),
+        )
     return service, server, snapshot
 
 
 def cmd_serve(args) -> int:
+    import signal
+    import threading
+
     service, server, snapshot = build_server(args)
     host, port = server.server_address
     print(f"snapshot {snapshot.name!r}: index={snapshot.index.name} n={snapshot.n} "
           f"fingerprint={snapshot.fingerprint[:12]}…")
-    print(f"serving on http://{host}:{port}  (dispatch={service.dispatch})")
+    workers = getattr(args, "workers", 0) or 0
+    print(f"serving on http://{host}:{port}  (dispatch={service.dispatch}, "
+          f"edge={getattr(args, 'edge', 'threads')}, workers={workers})")
     print(f"  curl http://{host}:{port}/healthz")
     print(f"  curl -X POST http://{host}:{port}/v1/query -d "
           f"'{{\"snapshot\": \"{snapshot.name}\", \"op\": \"cluster\", \"dc\": 0.5}}'")
-    try:
-        server.serve_forever()
-    except KeyboardInterrupt:  # pragma: no cover - interactive
-        pass
-    finally:
-        server.server_close()
-        service.close()
-    return 0
+
+    # SIGTERM/SIGINT trigger a graceful drain: stop accepting (clients fail
+    # over), flush in-flight requests under --drain-timeout-s, exit 0 when
+    # the flush completed cleanly, 1 when it was forced.
+    stop = threading.Event()
+    received = {}
+
+    def _on_signal(signum, frame):  # noqa: ARG001 - signal contract
+        received["signum"] = signum
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+
+    accept_thread = None
+    if hasattr(server, "serve_forever"):  # threading front-end
+        accept_thread = threading.Thread(
+            target=server.serve_forever, name="repro-serve-accept", daemon=True
+        )
+        accept_thread.start()
+    # The asyncio edge is already serving on its own loop thread.
+
+    stop.wait()
+    signum = received.get("signum")
+    name = signal.Signals(signum).name if signum is not None else "stop"
+    drain_timeout = getattr(args, "drain_timeout_s", 10.0)
+    print(f"{name}: draining (timeout {drain_timeout:g}s)…")
+    clean = server.drain(timeout_s=drain_timeout)
+    clean = service.drain(timeout_s=drain_timeout) and clean
+    server.server_close()
+    if accept_thread is not None:
+        accept_thread.join(timeout=5.0)
+    print(f"drain {'clean' if clean else 'forced'}; exiting {0 if clean else 1}")
+    return 0 if clean else 1
 
 
 def cmd_info(_args) -> int:
@@ -338,6 +385,31 @@ def main(argv=None) -> int:
     )
     serve.add_argument("--cache-entries", type=int, default=256, help="result-cache capacity (0 disables)")
     serve.add_argument("--cache-ttl", type=float, default=None, help="result-cache TTL seconds (default: none)")
+    serve.add_argument(
+        "--workers", type=int, default=0,
+        help="supervised serving workers sharing one shared-memory snapshot "
+        "image (0 = in-process dispatch only; dead workers fail over warm)",
+    )
+    serve.add_argument(
+        "--heartbeat-s", type=float, default=0.25,
+        help="worker heartbeat period; a worker silent for 5 heartbeats is "
+        "declared dead and its in-flight batch re-dispatched",
+    )
+    serve.add_argument(
+        "--drain-timeout-s", type=float, default=10.0,
+        help="graceful-drain budget on SIGTERM/SIGINT: in-flight requests "
+        "get this long to flush before a forced exit (exit code 1)",
+    )
+    serve.add_argument(
+        "--edge", default="threads", choices=("threads", "asyncio"),
+        help="front-end flavour: thread-per-connection (default) or the "
+        "asyncio edge (one event loop, admission control at the door)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=None,
+        help="asyncio edge only: cap on concurrently served queries; excess "
+        "is shed with 503 + Retry-After before touching the dispatch queue",
+    )
     serve.add_argument("--verbose", action="store_true", help="log every HTTP request")
     serve.add_argument(
         "--no-observability", action="store_true",

@@ -30,6 +30,18 @@ Named fault points
                             before the atomic rename (crash-mid-save)
 ``persist.payload``         the saved payload is bit-flipped on disk after
                             the rename (bitrot the loader must detect)
+``serving.worker.kill``     a serving worker process dies (``os._exit``)
+                            mid-batch; the supervisor must fail over the
+                            in-flight batch to a warm replica
+``serving.worker.hang``     a serving worker wedges (sleeps ``delay_s``)
+                            mid-batch; the supervisor's batch deadline must
+                            detect it and fail over
+``serving.heartbeat.drop``  the supervisor discards a received worker
+                            heartbeat — lost-heartbeat noise that must at
+                            worst cause a spurious (idempotent) failover
+``serving.shm.unlink``      a snapshot's shared-memory image segment is
+                            unlinked right after publication; worker
+                            attaches fail and the pool must republish
 ==========================  ====================================================
 
 Determinism
@@ -85,9 +97,10 @@ __all__ = [
 ]
 
 #: How a tripped point misbehaves.  ``raise``/``sleep`` are handled by
-#: :func:`trip` itself; ``kill`` and ``corrupt`` are returned to the site,
-#: which owns the mechanics (process exit, payload bit-flip).
-FAULT_MODES = ("raise", "sleep", "kill", "corrupt")
+#: :func:`trip` itself; ``kill``, ``corrupt`` and ``hang`` are returned to
+#: the site, which owns the mechanics (process exit, payload bit-flip, a
+#: wedged worker sleeping through its batch deadline).
+FAULT_MODES = ("raise", "sleep", "kill", "corrupt", "hang")
 
 
 class InjectedFault(RuntimeError):
@@ -243,8 +256,8 @@ def trip(point: str) -> Optional[FaultSpec]:
     """Fire ``point``: no-op, sleep, or raise, per the active plan.
 
     ``raise`` specs raise :class:`InjectedFault` here; ``sleep`` specs sleep
-    ``delay_s`` and return; ``kill``/``corrupt`` specs are returned for the
-    call site to enact.
+    ``delay_s`` and return; ``kill``/``corrupt``/``hang`` specs are returned
+    for the call site to enact.
     """
     spec = decide(point)
     if spec is None:

@@ -142,6 +142,8 @@ __all__ = [
     "ChunkIntegrityError",
     "ExecutionBackend",
     "ShmPack",
+    "attach_pack_views",
+    "detach_pack",
     "plan_chunks",
     "resolve_n_jobs",
     "metric_token",
@@ -386,6 +388,29 @@ def attach_pack_views(handle) -> Dict[str, np.ndarray]:
             pass
     _ATTACHED[name] = (shm, views)
     return views
+
+
+def detach_pack(name: str) -> bool:
+    """Drop this process's cached attachment to segment ``name`` (if any).
+
+    The attach cache above is LRU-bounded, which is enough for the
+    ephemeral per-run packs of the parallel backend; long-lived *serving
+    workers*, however, hold snapshot images for as long as a snapshot is
+    live and are told explicitly when one is retired — this is that
+    hygiene hook.  Returns True when an attachment was dropped.  Any views
+    still referenced elsewhere keep the mapping alive (dropping the handle
+    never invalidates them); once the last view dies the memory goes back
+    to the OS even if the publisher already unlinked the segment name.
+    """
+    cached = _ATTACHED.pop(name, None)
+    if cached is None:
+        return False
+    shm, _ = cached
+    try:
+        shm.close()
+    except (OSError, BufferError):  # pragma: no cover - views still alive
+        pass
+    return True
 
 
 # ---------------------------------------------------------------------------

@@ -49,7 +49,14 @@ from repro.indexes.registry import INDEX_CLASSES
 from repro.indexes.rn_list import RNCHIndex, RNListIndex
 from repro.indexes.treebase import TreeIndexBase
 
-__all__ = ["CorruptSnapshotError", "save_index", "load_index", "index_fingerprint"]
+__all__ = [
+    "CorruptSnapshotError",
+    "export_index_image",
+    "index_fingerprint",
+    "load_index",
+    "restore_index_image",
+    "save_index",
+]
 
 
 class CorruptSnapshotError(ValueError):
@@ -253,13 +260,18 @@ def _partition_digest(halo: float, assign: np.ndarray, members) -> str:
     return digest.hexdigest()
 
 
-def save_index(index: DPCIndex, path: str) -> None:
-    """Serialise a fitted index to ``path`` (a ``.npz`` file), atomically.
+def export_index_image(index: DPCIndex) -> "tuple[Dict[str, Any], Dict[str, np.ndarray]]":
+    """A fitted index as ``(meta, arrays)`` — the persisted payload, in memory.
 
-    The payload lands in a same-directory temp file first and is renamed
-    over ``path`` only once fully written and fsynced — a crash mid-save
-    (power loss, OOM kill, the injected ``persist.save`` fault) leaves the
-    previous file intact or no file at all, never a truncated one.
+    ``meta`` is the JSON-safe header :func:`save_index` writes (format
+    version, constructor params, fingerprint, segment/flat/partition
+    layout); ``arrays`` the named numpy payload (``points``, per-family
+    state, the flat query image).  :func:`restore_index_image` is the exact
+    inverse.  ``save_index`` is this plus an atomic file write — the split
+    exists so the serving tier can publish the same image into shared
+    memory and have worker processes attach and restore it **without a file
+    round trip or a per-worker copy** (the restored index's big arrays are
+    views into the attached segment).
     """
     if not index.is_fitted:
         raise ValueError("cannot save an unfitted index; call fit(points) first")
@@ -321,6 +333,18 @@ def save_index(index: DPCIndex, path: str) -> None:
             "build": index.build_,
             "digest": _flat_digest(flat),
         }
+    return meta, arrays
+
+
+def save_index(index: DPCIndex, path: str) -> None:
+    """Serialise a fitted index to ``path`` (a ``.npz`` file), atomically.
+
+    The payload lands in a same-directory temp file first and is renamed
+    over ``path`` only once fully written and fsynced — a crash mid-save
+    (power loss, OOM kill, the injected ``persist.save`` fault) leaves the
+    previous file intact or no file at all, never a truncated one.
+    """
+    meta, arrays = export_index_image(index)
     path = os.fspath(path)
     if not path.endswith(".npz"):
         path += ".npz"  # np.savez appends it; the rename target must match
@@ -375,23 +399,9 @@ def load_index(path: str, quarantine: bool = True) -> DPCIndex:
     try:
         with np.load(path, allow_pickle=False) as data:
             meta = json.loads(str(data["meta"]))
-            points = data["points"]
-            state_attrs = meta.get("state_attrs", [])
-            state = {attr: data[f"state{attr}"] for attr in state_attrs}
-            flat_meta = meta.get("flat")
-            flat_arrays = (
-                {name_: data[f"flat{name_}"] for name_ in FlatTree.ARRAY_FIELDS}
-                if flat_meta is not None
-                else None
-            )
-            part_meta = meta.get("partitioned")
-            part_assign = part_members = None
-            if part_meta is not None:
-                part_assign = data["partassign"]
-                part_members = [
-                    data[f"partmembers{t}"]
-                    for t in range(int(part_meta["partitions"]))
-                ]
+            arrays = {key: data[key] for key in data.files if key != "meta"}
+            if "points" not in arrays:
+                raise KeyError("points")
     except FileNotFoundError:
         raise  # missing ≠ corrupt: the caller's path is simply wrong
     except KeyError:
@@ -403,6 +413,47 @@ def load_index(path: str, quarantine: bool = True) -> DPCIndex:
             f"({type(exc).__name__}: {exc}) — file truncated or corrupt",
             quarantine,
         ) from exc
+    try:
+        return restore_index_image(meta, arrays)
+    except CorruptSnapshotError as exc:
+        # Integrity failures gain the file context (and quarantine) here;
+        # in-memory restores (the serving workers) surface them bare.
+        raise _corrupt(path, f"{exc} — payload {path!r}", quarantine) from exc
+
+
+def restore_index_image(
+    meta: Dict[str, Any], arrays: Dict[str, np.ndarray]
+) -> DPCIndex:
+    """Rebuild a fitted index from an exported ``(meta, arrays)`` image.
+
+    The exact inverse of :func:`export_index_image`, and the shared tail of
+    :func:`load_index`: list-based families restore their precomputed
+    arrays without recomputation, tree families adopt the flat query image
+    verbatim (digest-checked), the partitioned wrapper adopts its stored
+    tile layout, and the grid refits deterministically from the points.
+    The restored index keeps **views** of the arrays it was handed wherever
+    it can — restoring from shared-memory-attached arrays copies nothing
+    big — and the stored content fingerprint is re-verified, so a corrupt
+    or torn image raises :class:`CorruptSnapshotError` (without the file
+    quarantine, which only :func:`load_index` owns) instead of serving
+    wrong answers.
+    """
+    points = arrays["points"]
+    state_attrs = meta.get("state_attrs", [])
+    state = {attr: arrays[f"state{attr}"] for attr in state_attrs}
+    flat_meta = meta.get("flat")
+    flat_arrays = (
+        {name_: arrays[f"flat{name_}"] for name_ in FlatTree.ARRAY_FIELDS}
+        if flat_meta is not None
+        else None
+    )
+    part_meta = meta.get("partitioned")
+    part_assign = part_members = None
+    if part_meta is not None:
+        part_assign = arrays["partassign"]
+        part_members = [
+            arrays[f"partmembers{t}"] for t in range(int(part_meta["partitions"]))
+        ]
     if meta.get("format_version") != _FORMAT_VERSION:
         raise ValueError(
             f"unsupported index file version {meta.get('format_version')!r}"
@@ -441,20 +492,16 @@ def load_index(path: str, quarantine: bool = True) -> DPCIndex:
         # accepting it would let an edited payload skip the integrity check.
         stored_digest = flat_meta.get("digest")
         if stored_digest is None:
-            raise _corrupt(
-                path,
-                f"flat image in {path!r} has no integrity digest — file "
-                "corrupt or hand-edited",
-                quarantine,
+            raise CorruptSnapshotError(
+                "flat image has no integrity digest — image corrupt or "
+                "hand-edited"
             )
         actual_digest = _flat_digest(flat)
         if actual_digest != stored_digest:
-            raise _corrupt(
-                path,
-                f"flat-image digest mismatch for {path!r}: stored "
-                f"{stored_digest[:12]}…, recomputed {actual_digest[:12]}… "
-                "— file corrupt or hand-edited",
-                quarantine,
+            raise CorruptSnapshotError(
+                f"flat-image digest mismatch: stored {stored_digest[:12]}…, "
+                f"recomputed {actual_digest[:12]}… — image corrupt or "
+                "hand-edited"
             )
         index._flat = flat
         index.build_ = flat_meta.get("build")
@@ -470,11 +517,9 @@ def load_index(path: str, quarantine: bool = True) -> DPCIndex:
             part_meta["halo"], part_assign, part_members
         )
         if stored_digest is None or actual_digest != stored_digest:
-            raise _corrupt(
-                path,
-                f"partition-layout digest mismatch for {path!r} — file "
-                "corrupt or hand-edited",
-                quarantine,
+            raise CorruptSnapshotError(
+                "partition-layout digest mismatch — image corrupt or "
+                "hand-edited"
             )
         index._restore_layout(
             points, part_meta["halo"], part_assign, part_members
@@ -500,11 +545,9 @@ def load_index(path: str, quarantine: bool = True) -> DPCIndex:
         # worse, a hand-edited payload could impersonate another snapshot).
         actual = index_fingerprint(index)
         if actual != stored:
-            raise _corrupt(
-                path,
-                f"fingerprint mismatch for {path!r}: stored {stored[:12]}…, "
-                f"recomputed {actual[:12]}… — file corrupt or hand-edited",
-                quarantine,
+            raise CorruptSnapshotError(
+                f"fingerprint mismatch: stored {stored[:12]}…, recomputed "
+                f"{actual[:12]}… — image corrupt or hand-edited"
             )
         index._fingerprint_ = stored
     return index

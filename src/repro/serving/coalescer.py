@@ -53,6 +53,10 @@ from repro.serving.errors import (
     DeadlineExceededError,
     DispatcherCrashError,
     LoadShedError,
+    ServiceDrainingError,
+    ServingError,
+    WorkerBatchError,
+    WorkerPoolUnavailableError,
 )
 from repro.serving.snapshots import Snapshot
 
@@ -90,6 +94,11 @@ class ServeRequest:
     #: the span rides the request instead and is re-established with
     #: ``obs.trace.use_span`` at dispatch.
     span: Any = field(default=None, init=False, repr=False)
+    #: Set once the request was handed to the replicated executor: its
+    #: future is now owned by the worker pool (resolved from the supervisor
+    #: thread), so the dispatcher's end-of-cycle safety net must not fail
+    #: it as "unresolved".
+    detached: bool = field(default=False, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.op not in OPS:
@@ -137,6 +146,19 @@ class RequestCoalescer:
         :class:`~repro.serving.errors.LoadShedError` instead of enqueueing.
         ``0`` sheds everything (drain mode); ``None`` (default) admits
         unboundedly, the pre-robustness behaviour.
+    executor:
+        Optional replicated-execution hook: ``executor(snapshot, dcs,
+        tie_break) -> Future`` resolving to the ``quantities_multi``
+        payload (the :class:`~repro.serving.workers.WorkerPool`'s
+        ``submit``).  When set, coalesced groups are handed to it and the
+        dispatcher moves straight on to the next batch — groups compute
+        concurrently across worker replicas.  A synchronous
+        :class:`~repro.serving.errors.ServingError` from the hook, or a
+        future failing with
+        :class:`~repro.serving.errors.WorkerPoolUnavailableError` /
+        :class:`~repro.serving.errors.WorkerBatchError`, degrades that
+        group to the in-process engine call (the pre-replication path) —
+        bit-identical either way, so pool trouble is never client-visible.
     """
 
     def __init__(
@@ -144,6 +166,7 @@ class RequestCoalescer:
         max_batch: int = 64,
         linger_ms: float = 2.0,
         max_queue: Optional[int] = None,
+        executor: Optional[Any] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -154,11 +177,20 @@ class RequestCoalescer:
         self.max_batch = int(max_batch)
         self.linger_ms = float(linger_ms)
         self.max_queue = None if max_queue is None else int(max_queue)
+        self.executor = executor
         self._queue: "queue.SimpleQueue[Optional[ServeRequest]]" = queue.SimpleQueue()
         self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
         self._thread: Optional[threading.Thread] = None
         self._closed = False
+        self._draining = False
         self._depth = 0  # queued-but-undispatched requests (under _lock)
+        self._outstanding = 0  # admitted requests whose futures are unresolved
+        # Serialises in-process engine calls on the shared index: with an
+        # executor, the dispatcher thread (sync fallback) and short-lived
+        # fallback threads (async fallback) may otherwise race the index's
+        # probe counters and lazy per-fit caches.
+        self._inline_lock = threading.Lock()
         # observability ("shed" is written under _lock by submitters, the
         # rest only by the dispatcher thread)
         self.stats: Dict[str, int] = {
@@ -171,6 +203,8 @@ class RequestCoalescer:
             "shed": 0,
             "expired": 0,
             "dispatcher_restarts": 0,
+            "executor_batches": 0,
+            "executor_fallbacks": 0,
         }
 
     def stats_snapshot(self) -> Dict[str, int]:
@@ -212,6 +246,14 @@ class RequestCoalescer:
         with self._lock:
             if self._closed:
                 raise RuntimeError("coalescer is closed")
+            if self._draining:
+                self.stats["shed"] += 1
+                if obs_runtime._ENABLED:
+                    obs_metrics.counter(
+                        "repro_serving_shed_total",
+                        "Requests refused at admission (queue full)",
+                    ).inc()
+                raise ServiceDrainingError()
             if self.max_queue is not None and self._depth >= self.max_queue:
                 self.stats["shed"] += 1
                 if obs_runtime._ENABLED:
@@ -240,8 +282,50 @@ class RequestCoalescer:
             # behind the sentinel in a dead queue (its future would hang).
             self._depth += 1
             self._depth_gauge(self._depth)
+            self._outstanding += 1
             self._queue.put(request)
+        # Outside the lock: a done callback may fire immediately (it takes
+        # the lock itself to decrement the outstanding counter).
+        request.future.add_done_callback(self._note_done)
         return request.future
+
+    def _note_done(self, _future: Future) -> None:
+        with self._lock:
+            self._outstanding -= 1
+            if self._outstanding <= 0:
+                self._cond.notify_all()
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    def drain(self, timeout_s: float = 10.0) -> bool:
+        """Stop admitting, wait for every in-flight future, then close.
+
+        New submits fail with
+        :class:`~repro.serving.errors.ServiceDrainingError` (a 503 with
+        ``Retry-After`` at the HTTP layer) the moment this is called;
+        already-admitted requests are flushed to completion.  Returns
+        ``True`` when everything resolved within ``timeout_s`` (a clean
+        drain), ``False`` when the deadline forced the close with futures
+        still unresolved (those fail with ``"coalescer closed"``).
+        """
+        with self._lock:
+            if self._closed:
+                return True
+            self._draining = True
+        deadline = time.perf_counter() + max(0.0, float(timeout_s))
+        clean = True
+        with self._lock:
+            while self._outstanding > 0:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    clean = False
+                    break
+                self._cond.wait(remaining)
+        self.close()
+        return clean
 
     def close(self) -> None:
         """Stop the dispatcher; queued-but-unprocessed requests error out."""
@@ -313,7 +397,7 @@ class RequestCoalescer:
     ) -> None:
         for request in batch:
             future = request.future
-            if future.done() or future.cancelled():
+            if request.detached or future.done() or future.cancelled():
                 continue
             error = DispatcherCrashError(
                 "dispatcher crashed mid-batch; request failed fast and is "
@@ -429,18 +513,107 @@ class RequestCoalescer:
                         batch_size=len(group),
                     )
                 )
+        def finish_spans() -> None:
+            dispatch_span.finish()
+            for ride in ride_spans:
+                ride.finish()
+
+        if self.executor is not None:
+            for request in group:
+                request.detached = True
+            try:
+                with obs_trace.use_span(dispatch_span):
+                    pool_future = self.executor(
+                        group[0].snapshot, list(dcs), tie_break
+                    )
+            except ServingError:
+                # Pool can't take the batch right now (draining, no live
+                # workers): degrade to the in-process path, immediately.
+                self._note_fallback()
+                self._run_group_inline(group, dcs, tie_break, dispatch_span, finish_spans)
+            else:
+                with self._lock:
+                    self.stats["executor_batches"] += 1
+                pool_future.add_done_callback(
+                    lambda f: self._executor_done(
+                        group, dcs, tie_break, dispatch_span, finish_spans, f
+                    )
+                )
+            return
+        self._run_group_inline(group, dcs, tie_break, dispatch_span, finish_spans)
+
+    def _note_fallback(self) -> None:
+        with self._lock:
+            self.stats["executor_fallbacks"] += 1
+        if obs_runtime._ENABLED:
+            obs_metrics.counter(
+                "repro_serving_pool_fallbacks_total",
+                "Coalesced groups degraded from the worker pool to "
+                "in-process dispatch",
+            ).inc()
+
+    def _executor_done(
+        self,
+        group: List[ServeRequest],
+        dcs: List[float],
+        tie_break: TieBreak,
+        dispatch_span: Any,
+        finish_spans: Any,
+        pool_future: Future,
+    ) -> None:
+        """Completion of a pool-dispatched group (pool supervisor thread)."""
+        exc = pool_future.exception()
+        if exc is None:
+            finish_spans()
+            self._complete_group(group, dcs, pool_future.result())
+            return
+        if isinstance(exc, (WorkerPoolUnavailableError, WorkerBatchError)):
+            # Degrade: recompute in-process, on a short-lived thread — this
+            # callback runs on the pool's supervisor thread, which must stay
+            # responsive to heartbeats while the engine call runs.
+            self._note_fallback()
+            threading.Thread(
+                target=self._run_group_inline,
+                args=(group, dcs, tie_break, dispatch_span, finish_spans),
+                name="repro-serve-fallback",
+                daemon=True,
+            ).start()
+            return
+        finish_spans()
+        for request in group:  # pragma: no cover - pool raises typed errors
+            if not request.future.cancelled():
+                request.future.set_exception(exc)
+
+    def _run_group_inline(
+        self,
+        group: List[ServeRequest],
+        dcs: List[float],
+        tie_break: TieBreak,
+        dispatch_span: Any,
+        finish_spans: Any,
+    ) -> None:
+        """The pre-replication path: one engine call on this process."""
+        index = group[0].snapshot.index
         try:
             with obs_trace.use_span(dispatch_span):
-                quantities = index.quantities_multi(dcs, tie_break)
+                with self._inline_lock:
+                    quantities = index.quantities_multi(dcs, tie_break)
         except BaseException as exc:  # propagate engine errors to every waiter
+            finish_spans()
             for request in group:
                 if not request.future.cancelled():
                     request.future.set_exception(exc)
             return
-        finally:
-            dispatch_span.finish()
-            for ride in ride_spans:
-                ride.finish()
+        finish_spans()
+        self._complete_group(group, dcs, quantities)
+
+    def _complete_group(
+        self, group: List[ServeRequest], dcs: List[float], quantities: List[Any]
+    ) -> None:
+        """Distribute a group's ``quantities_multi`` payload to its waiters
+        (including the per-request ``cluster`` tail) — bit-identical no
+        matter which thread or process produced the payload."""
+        index = group[0].snapshot.index
         by_dc = dict(zip(dcs, quantities))
         meta = {
             "batch_size": len(group),
@@ -456,13 +629,14 @@ class RequestCoalescer:
                     # The selection/assignment tail runs under the request's
                     # own root, so engine.assign lands in the right trace.
                     with obs_trace.use_span(request.span):
-                        value: Any = index.cluster_from_quantities(
-                            q,
-                            n_centers=request.n_centers,
-                            rho_min=request.rho_min,
-                            delta_min=request.delta_min,
-                            halo=request.halo,
-                        )
+                        with self._inline_lock:
+                            value: Any = index.cluster_from_quantities(
+                                q,
+                                n_centers=request.n_centers,
+                                rho_min=request.rho_min,
+                                delta_min=request.delta_min,
+                                halo=request.halo,
+                            )
                 else:
                     value = q
             except BaseException as exc:  # bad per-request selection params

@@ -1,0 +1,608 @@
+"""Asyncio HTTP/JSON edge: admission control and deadlines at the door.
+
+The threading front-end (:mod:`repro.serving.http`) spends one OS thread
+per connection — fine for a handful of clients, wrong for the ROADMAP's
+"millions of users" shape where most connections are idle keep-alives.
+:class:`EdgeServer` is the asyncio replacement: one event loop (on a
+background thread, so the rest of the process stays synchronous) multiplexes
+every connection, parses a deliberately minimal HTTP/1.1 dialect (request
+line, headers, ``Content-Length`` bodies, keep-alive), and applies the
+serving tier's *edge policies* before any work is admitted:
+
+* **Admission control** — at most ``max_inflight`` queries are in flight;
+  excess gets ``503`` + ``Retry-After`` immediately, without touching the
+  dispatch queue.  ``/healthz`` and ``/metrics`` are exempt: operators must
+  be able to see a saturated server.
+* **Per-request deadlines** — a query without its own ``timeout_s`` gets
+  the edge default, and the edge additionally bounds the await itself, so a
+  client never waits unboundedly on a wedged backend.
+* **Graceful drain** — :meth:`drain` stops accepting, refuses new queries
+  with ``503`` (clients fail over to a replica), flushes in-flight ones
+  under a deadline, then closes.  SIGTERM handling in ``python -m repro
+  serve`` is built on this.
+
+Responses are byte-identical in content to the threading front-end — both
+serialise through :func:`repro.serving.http.serialize_value`, so the
+shortest-round-trip float encoding (and with it the exactness contract)
+is shared, not duplicated.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.obs import metrics as obs_metrics
+from repro.obs import runtime as obs_runtime
+from repro.obs import trace as obs_trace
+from repro.obs.export import render_prometheus
+from repro.serving.errors import (
+    DeadlineExceededError,
+    LoadShedError,
+    ServiceDrainingError,
+    ServingError,
+)
+from repro.serving.http import serialize_value
+from repro.serving.service import ClusteringService
+
+__all__ = ["EdgeServer", "make_edge_server"]
+
+_MAX_BODY_BYTES = 256 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class _BadRequest(Exception):
+    """A malformed request the connection cannot recover from."""
+
+
+class EdgeServer:
+    """Asyncio front-end over one :class:`ClusteringService`.
+
+    The event loop runs on a dedicated background thread (:meth:`start`
+    blocks until the socket is bound), so the edge composes with the
+    synchronous service, CLI and tests exactly like the threading server.
+    Routes match :mod:`repro.serving.http`; ``/v1/query`` awaits the
+    service future without holding a thread.
+    """
+
+    def __init__(
+        self,
+        service: ClusteringService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_inflight: Optional[int] = None,
+        default_timeout_s: Optional[float] = None,
+        observability: bool = True,
+    ) -> None:
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        self.service = service
+        self._host = host
+        self._port = int(port)
+        self.max_inflight = max_inflight
+        self.default_timeout_s = default_timeout_s
+        self.address: Tuple[str, int] = (host, int(port))
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._start_error: Optional[BaseException] = None
+        self._inflight = 0  # queries being served (loop thread only)
+        self._draining = False
+        self._closed = False
+        self._conn_tasks: "set[asyncio.Task]" = set()
+        self.stats: Dict[str, int] = {"requests": 0, "queries": 0, "shed": 0}
+        self._obs_enabled_here = observability and not obs.enabled()
+        if observability:
+            obs.enable()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "EdgeServer":
+        """Bind and serve on a background event-loop thread (idempotent)."""
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-serve-edge", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=10.0):  # pragma: no cover
+            raise RuntimeError("edge server failed to start within 10s")
+        if self._start_error is not None:
+            self._thread.join(timeout=1.0)
+            raise self._start_error
+        return self
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            self._server = loop.run_until_complete(
+                asyncio.start_server(self._serve_connection, self._host, self._port)
+            )
+        except BaseException as exc:
+            self._start_error = exc
+            self._started.set()
+            loop.close()
+            return
+        self.address = self._server.sockets[0].getsockname()[:2]
+        self._started.set()
+        try:
+            loop.run_forever()
+        finally:
+            try:
+                self._server.close()
+                for task in list(self._conn_tasks):
+                    task.cancel()
+                loop.run_until_complete(loop.shutdown_asyncgens())
+            except Exception:  # pragma: no cover - teardown best-effort
+                pass
+            loop.close()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def inflight(self) -> int:
+        """Queries currently being served (approximate cross-thread read)."""
+        return self._inflight
+
+    def drain(self, timeout_s: float = 10.0) -> bool:
+        """Stop accepting, flush in-flight queries, close.  True = clean.
+
+        New queries are refused with ``503`` (``ServiceDrainingError``) the
+        moment this is called; the listening socket closes, so clients'
+        connection attempts fail over to a replica; queries already being
+        awaited run to completion within the deadline.
+        """
+        self._draining = True
+        loop, server = self._loop, self._server
+        if loop is not None and server is not None and loop.is_running():
+            loop.call_soon_threadsafe(server.close)
+        deadline = time.monotonic() + max(0.0, float(timeout_s))
+        clean = True
+        while self._inflight > 0:
+            if time.monotonic() >= deadline:
+                clean = False
+                break
+            time.sleep(0.01)
+        self.close()
+        return clean
+
+    def close(self) -> None:
+        """Tear the loop and thread down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._draining = True
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        if self._obs_enabled_here:
+            obs.disable()
+            self._obs_enabled_here = False
+
+    @property
+    def server_address(self) -> Tuple[str, int]:
+        """Alias so the CLI treats both front-ends uniformly."""
+        return self.address
+
+    def server_close(self) -> None:
+        """Alias so the CLI treats both front-ends uniformly."""
+        self.close()
+
+    def __enter__(self) -> "EdgeServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- connection handling (loop thread) ------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _BadRequest as exc:
+                    await self._respond(
+                        writer, 400, {"error": str(exc)}, close=True
+                    )
+                    break
+                except (
+                    asyncio.IncompleteReadError,
+                    ConnectionError,
+                    asyncio.LimitOverrunError,
+                ):
+                    break
+                if request is None:
+                    break  # EOF between requests: clean keep-alive close
+                method, path, headers, body = request
+                self.stats["requests"] += 1
+                keep_alive = headers.get("connection", "").lower() != "close"
+                try:
+                    await self._dispatch(writer, method, path, body)
+                except _BadRequest as exc:
+                    # A malformed *body* is the client's bug, not ours; the
+                    # connection itself is still in sync (the body was fully
+                    # read), so keep-alive may continue.
+                    await self._respond(writer, 400, {"error": str(exc)})
+                    if not keep_alive:
+                        break
+                    continue
+                except ConnectionError:  # pragma: no cover - client went away
+                    break
+                except asyncio.CancelledError:
+                    raise
+                except BaseException as exc:
+                    # Never drop the socket without a status.
+                    try:
+                        await self._respond(
+                            writer,
+                            500,
+                            {"error": f"{type(exc).__name__}: {exc}"},
+                            close=True,
+                        )
+                    except ConnectionError:  # pragma: no cover
+                        pass
+                    break
+                if not keep_alive:
+                    break
+        except asyncio.CancelledError:
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise _BadRequest(f"malformed request line: {line!r}")
+        method, path, _version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            if b":" in raw:
+                key, value = raw.decode("latin-1").split(":", 1)
+                headers[key.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length") or 0)
+        except ValueError:
+            raise _BadRequest("invalid Content-Length") from None
+        if length < 0 or length > _MAX_BODY_BYTES:
+            raise _BadRequest("Content-Length out of bounds")
+        body = await reader.readexactly(length) if length else b""
+        return method, path, headers, body
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Any,
+        content_type: str = "application/json",
+        retry_after: Optional[float] = None,
+        extra_headers: Optional[Dict[str, str]] = None,
+        close: bool = False,
+    ) -> None:
+        body = payload if isinstance(payload, bytes) else json.dumps(payload).encode()
+        head = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Response')}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+        ]
+        for key, value in (extra_headers or {}).items():
+            head.append(f"{key}: {value}")
+        if retry_after is not None:
+            # Integer seconds per RFC 9110; round up so a compliant client
+            # never retries before the hint.
+            head.append(f"Retry-After: {max(1, int(-(-retry_after // 1)))}")
+        if close:
+            head.append("Connection: close")
+        writer.write("\r\n".join(head).encode("latin-1") + b"\r\n\r\n" + body)
+        await writer.drain()
+
+    # -- routing --------------------------------------------------------------
+
+    def _parse_body(self, body: bytes) -> Dict[str, Any]:
+        if not body:
+            raise _BadRequest("a JSON body with Content-Length is required")
+        try:
+            payload = json.loads(body)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise _BadRequest(f"invalid JSON body: {exc}") from None
+        if not isinstance(payload, dict):
+            raise _BadRequest("the JSON body must be an object")
+        return payload
+
+    async def _dispatch(
+        self, writer: asyncio.StreamWriter, method: str, path: str, body: bytes
+    ) -> None:
+        if method == "GET":
+            await self._handle_get(writer, path)
+            return
+        if method == "POST" and path == "/v1/query":
+            await self._handle_query(writer, body)
+            return
+        prefix = "/v1/snapshots/"
+        if path.startswith(prefix) and path[len(prefix):]:
+            name = path[len(prefix):]
+            if method == "POST":
+                await self._handle_publish(writer, name, body)
+                return
+            if method == "DELETE":
+                if name not in self.service.store:
+                    await self._respond(
+                        writer, 404, {"error": f"no snapshot named {name!r}"}
+                    )
+                    return
+                self.service.drop_snapshot(name)
+                await self._respond(writer, 200, {"dropped": name})
+                return
+        await self._respond(writer, 404, {"error": f"no route {method} {path}"})
+
+    async def _handle_get(self, writer: asyncio.StreamWriter, path: str) -> None:
+        # Liveness and metrics serve even while draining or saturated —
+        # exactly then is when operators need them.
+        if path == "/healthz":
+            health = self.service.health()
+            if self._draining:
+                health["state"] = "draining"
+                health["draining"] = True
+            health["edge"] = {
+                "inflight": self._inflight,
+                "max_inflight": self.max_inflight,
+                "draining": self._draining,
+            }
+            await self._respond(
+                writer,
+                200,
+                {
+                    "status": "ok" if health["state"] == "healthy" else health["state"],
+                    "snapshots": len(self.service.store),
+                    "health": health,
+                },
+            )
+        elif path == "/metrics":
+            await self._respond(
+                writer,
+                200,
+                render_prometheus().encode(),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
+        elif path == "/v1/snapshots":
+            await self._respond(
+                writer, 200, {"snapshots": self.service.store.describe()}
+            )
+        elif path == "/v1/stats":
+            await self._respond(writer, 200, self.service.stats())
+        elif path.startswith("/trace/"):
+            trace_id = path[len("/trace/"):]
+            tree = obs_trace.get_trace(trace_id) if trace_id else None
+            if tree is None:
+                await self._respond(
+                    writer,
+                    404,
+                    {
+                        "error": f"no trace {trace_id!r} in the ring buffer",
+                        "recent": list(obs_trace.recent_trace_ids()),
+                    },
+                )
+            else:
+                await self._respond(writer, 200, {"trace": tree})
+        else:
+            await self._respond(writer, 404, {"error": f"no route GET {path}"})
+
+    async def _handle_publish(
+        self, writer: asyncio.StreamWriter, name: str, raw: bytes
+    ) -> None:
+        if self._draining:
+            await self._serving_error(writer, ServiceDrainingError())
+            return
+        body = self._parse_body(raw)
+
+        def publish():
+            if "path" in body:
+                return self.service.load_snapshot(name, str(body["path"]))
+            if "points" in body:
+                points = np.asarray(body["points"], dtype=np.float64)
+                return self.service.fit_snapshot(
+                    name,
+                    points,
+                    index=str(body.get("index", "ch")),
+                    **dict(body.get("params") or {}),
+                )
+            raise _BadRequest('publish needs "points" (fit) or "path" (load)')
+
+        try:
+            # A fit can take a while; run it off the loop so health checks
+            # and other connections keep being served meanwhile.
+            snapshot = await asyncio.get_running_loop().run_in_executor(
+                None, publish
+            )
+        except _BadRequest:
+            raise
+        except (ValueError, TypeError, KeyError, OSError) as exc:
+            await self._respond(writer, 400, {"error": str(exc)})
+            return
+        except Exception as exc:
+            await self._respond(
+                writer, 500, {"error": f"{type(exc).__name__}: {exc}"}
+            )
+            return
+        await self._respond(writer, 200, {"published": snapshot.info()})
+
+    async def _serving_error(
+        self, writer: asyncio.StreamWriter, exc: ServingError
+    ) -> None:
+        transient = isinstance(exc, (LoadShedError, DeadlineExceededError))
+        await self._respond(
+            writer,
+            503 if transient else 500,
+            {
+                "error": str(exc),
+                "type": type(exc).__name__,
+                "retry_after_s": exc.retry_after_s,
+            },
+            retry_after=exc.retry_after_s,
+        )
+
+    async def _handle_query(self, writer: asyncio.StreamWriter, raw: bytes) -> None:
+        # Edge policies first: drain refusal, then bounded in-flight.
+        if self._draining:
+            await self._serving_error(writer, ServiceDrainingError())
+            return
+        if self.max_inflight is not None and self._inflight >= self.max_inflight:
+            self.stats["shed"] += 1
+            if obs_runtime._ENABLED:
+                obs_metrics.counter(
+                    "repro_edge_shed_total",
+                    "Queries refused by edge admission control (inflight cap)",
+                ).inc()
+            await self._serving_error(
+                writer,
+                LoadShedError(
+                    f"edge at capacity ({self._inflight} in flight, "
+                    f"max_inflight={self.max_inflight}); retry later",
+                    retry_after_s=0.2,
+                ),
+            )
+            return
+        body = self._parse_body(raw)
+        name = body.get("snapshot")
+        if not isinstance(name, str):
+            await self._respond(
+                writer, 400, {"error": 'the query body needs a "snapshot" name'}
+            )
+            return
+        if "dc" not in body:
+            await self._respond(
+                writer, 400, {"error": 'the query body needs a "dc" cut-off'}
+            )
+            return
+        timeout_s = body.get("timeout_s", self.default_timeout_s)
+        self._inflight += 1
+        self.stats["queries"] += 1
+        if obs_runtime._ENABLED:
+            obs_metrics.gauge(
+                "repro_edge_inflight", "Queries in flight at the asyncio edge"
+            ).set(self._inflight)
+        try:
+            try:
+                future = self.service.submit(
+                    name,
+                    op=str(body.get("op", "cluster")),
+                    dc=body["dc"],
+                    tie_break=body.get("tie_break", "id"),
+                    n_centers=body.get("n_centers"),
+                    rho_min=body.get("rho_min"),
+                    delta_min=body.get("delta_min"),
+                    halo=bool(body.get("halo", False)),
+                    use_cache=bool(body.get("use_cache", True)),
+                    timeout_s=timeout_s,
+                )
+                awaitable = asyncio.wrap_future(future)
+                if timeout_s is not None:
+                    # The dispatcher enforces the deadline while queued; this
+                    # edge bound also covers a wedged engine call, so the
+                    # client's wait is limited no matter where time is lost.
+                    result = await asyncio.wait_for(
+                        awaitable, timeout=float(timeout_s) + 1.0
+                    )
+                else:
+                    result = await awaitable
+            except KeyError as exc:
+                await self._respond(
+                    writer,
+                    404,
+                    {"error": str(exc.args[0]) if exc.args else str(exc)},
+                )
+                return
+            except asyncio.TimeoutError:
+                await self._serving_error(
+                    writer,
+                    DeadlineExceededError(
+                        f"deadline exceeded at the edge (timeout_s={timeout_s})"
+                    ),
+                )
+                return
+            except ServingError as exc:
+                await self._serving_error(writer, exc)
+                return
+            except (ValueError, TypeError) as exc:
+                await self._respond(writer, 400, {"error": str(exc)})
+                return
+            except Exception as exc:
+                await self._respond(
+                    writer, 500, {"error": f"{type(exc).__name__}: {exc}"}
+                )
+                return
+        finally:
+            self._inflight -= 1
+            if obs_runtime._ENABLED:
+                obs_metrics.gauge(
+                    "repro_edge_inflight", "Queries in flight at the asyncio edge"
+                ).set(self._inflight)
+        payload = serialize_value(result.value)
+        payload["op"] = result.meta["op"]
+        payload["meta"] = result.meta
+        trace_id = result.meta.get("trace_id")
+        payload["trace_id"] = trace_id
+        await self._respond(
+            writer,
+            200,
+            payload,
+            extra_headers={"X-Trace-Id": trace_id} if trace_id else None,
+        )
+
+
+def make_edge_server(
+    service: ClusteringService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_inflight: Optional[int] = None,
+    default_timeout_s: Optional[float] = None,
+    observability: bool = True,
+) -> EdgeServer:
+    """Bind and start an :class:`EdgeServer` (``port=0`` picks a free one;
+    read ``server.address``)."""
+    return EdgeServer(
+        service,
+        host=host,
+        port=port,
+        max_inflight=max_inflight,
+        default_timeout_s=default_timeout_s,
+        observability=observability,
+    ).start()

@@ -16,7 +16,10 @@ __all__ = [
     "DeadlineExceededError",
     "DispatcherCrashError",
     "LoadShedError",
+    "ServiceDrainingError",
     "ServingError",
+    "WorkerBatchError",
+    "WorkerPoolUnavailableError",
 ]
 
 
@@ -56,4 +59,45 @@ class DispatcherCrashError(ServingError):
     with this error — futures are never left hanging.  The request itself
     was not the cause (engine errors propagate with their own types), so
     retrying it is safe.
+    """
+
+
+class ServiceDrainingError(LoadShedError):
+    """The server is draining: it stopped accepting new requests.
+
+    Raised at admission once a graceful drain (SIGTERM) began — in-flight
+    requests are still flushed to completion, but new work is refused with
+    a ``Retry-After`` hint so clients fail over to a healthy replica.
+    A :class:`LoadShedError` subclass: the HTTP layers map it to ``503``
+    exactly like overload shedding.
+    """
+
+    def __init__(
+        self, message: str = "service is draining; retry elsewhere",
+        retry_after_s: float = 1.0,
+    ) -> None:
+        super().__init__(message, retry_after_s=retry_after_s)
+
+
+class WorkerPoolUnavailableError(ServingError):
+    """The replicated worker pool could not take (or finish) this batch.
+
+    Internal to the serving tier — **never client-visible**: the coalescer
+    catches it and degrades to in-process dispatch (the pre-replication
+    code path), so the response is still produced, bit-identical, on the
+    serving process itself.  Raised when the pool is draining or closed,
+    when no live worker exists, or when a batch exhausted its failover
+    attempts.
+    """
+
+
+class WorkerBatchError(ServingError):
+    """A serving worker failed a batch deterministically (an engine error).
+
+    Workers report engine failures as ``(type name, message)`` — the
+    original exception object does not cross the process boundary.  The
+    coalescer treats this like pool unavailability and recomputes the
+    batch in-process, where the *real* typed exception is raised and
+    propagated to the waiting clients, so error behaviour stays exactly
+    that of a direct engine call.
     """

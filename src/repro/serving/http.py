@@ -36,9 +36,12 @@ Routes
 
 from __future__ import annotations
 
+import contextlib
 import json
+import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -50,6 +53,7 @@ from repro.serving.errors import (
     DeadlineExceededError,
     DispatcherCrashError,
     LoadShedError,
+    ServiceDrainingError,
     ServingError,
 )
 from repro.serving.service import ClusteringService
@@ -160,9 +164,50 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- routes ---------------------------------------------------------------
 
+    def _guarded(self, inner) -> None:
+        """Drain refusal + in-flight tracking around one request.
+
+        While the server drains, every route except ``GET /healthz`` and
+        ``GET /metrics`` (operators still need eyes) gets ``503`` +
+        ``Retry-After`` so clients fail over; the refusal closes the
+        connection because a refused POST's body was never consumed and
+        keep-alive would desync.  Admitted requests are counted so
+        :meth:`ClusteringServer.drain` can wait for them to flush.
+        """
+        server = self.server
+        if getattr(server, "draining", False) and not (
+            self.command == "GET" and self.path in ("/healthz", "/metrics")
+        ):
+            exc = ServiceDrainingError()
+            self._send_json(
+                503,
+                {
+                    "error": str(exc),
+                    "type": type(exc).__name__,
+                    "retry_after_s": exc.retry_after_s,
+                },
+                close=True,
+                retry_after=exc.retry_after_s,
+            )
+            return
+        with server.track_request():  # type: ignore[attr-defined]
+            inner()
+
     def do_GET(self) -> None:  # noqa: N802 - stdlib contract
+        self._guarded(self._do_get)
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib contract
+        self._guarded(self._do_delete)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib contract
+        self._guarded(self._do_post)
+
+    def _do_get(self) -> None:
         if self.path == "/healthz":
             health = self.service.health()
+            if getattr(self.server, "draining", False):
+                health["state"] = "draining"
+                health["draining"] = True
             self._send_json(
                 200,
                 {
@@ -200,7 +245,7 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._error(404, f"no route GET {self.path}")
 
-    def do_DELETE(self) -> None:  # noqa: N802 - stdlib contract
+    def _do_delete(self) -> None:
         name = self._snapshot_name()
         if name is None:
             return
@@ -210,7 +255,7 @@ class _Handler(BaseHTTPRequestHandler):
         self.service.drop_snapshot(name)
         self._send_json(200, {"dropped": name})
 
-    def do_POST(self) -> None:  # noqa: N802 - stdlib contract
+    def _do_post(self) -> None:
         if self.path == "/v1/query":
             self._handle_query()
             return
@@ -325,9 +370,61 @@ class ClusteringServer(ThreadingHTTPServer):
         super().__init__(address, _Handler)
         self.service = service
         self.verbose = verbose
+        self.draining = False
+        self._serving = False
+        self._inflight = 0
+        self._inflight_cond = threading.Condition()
         self._obs_enabled_here = observability and not obs.enabled()
         if observability:
             obs.enable()
+
+    @contextlib.contextmanager
+    def track_request(self) -> Iterator[None]:
+        """Count one admitted request so :meth:`drain` can wait it out."""
+        with self._inflight_cond:
+            self._inflight += 1
+        try:
+            yield
+        finally:
+            with self._inflight_cond:
+                self._inflight -= 1
+                self._inflight_cond.notify_all()
+
+    def inflight(self) -> int:
+        return self._inflight
+
+    def serve_forever(self, poll_interval: float = 0.5) -> None:
+        self._serving = True
+        try:
+            super().serve_forever(poll_interval)
+        finally:
+            self._serving = False
+
+    def drain(self, timeout_s: float = 10.0) -> bool:
+        """Graceful drain: stop accepting, flush in-flight, report clean.
+
+        Sets :attr:`draining` (new requests get ``503`` immediately), stops
+        the accept loop, then waits up to ``timeout_s`` for every admitted
+        request to finish.  Returns ``True`` when the flush completed inside
+        the deadline (a *clean* drain), ``False`` when requests were still
+        running when time ran out (callers should exit non-zero).  Does not
+        close the socket — call :meth:`server_close` after, as usual.
+        """
+        self.draining = True
+        deadline = time.monotonic() + max(0.0, float(timeout_s))
+        if self._serving:
+            # Stops serve_forever's accept loop; safe here because drain()
+            # is called from a different thread (e.g. the CLI signal path).
+            self.shutdown()
+        clean = True
+        with self._inflight_cond:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    clean = False
+                    break
+                self._inflight_cond.wait(remaining)
+        return clean
 
     def server_close(self) -> None:
         super().server_close()

@@ -1,14 +1,25 @@
-"""Closed-loop load generator for the serving layer.
+"""Load generators for the serving layer: closed-loop and open-loop.
 
 Shared by ``benchmarks/bench_serving_load.py`` and the harness ``serving``
-experiment so both report from one measurement path.  *Closed-loop* means
-each simulated client issues its next request only after the previous one
-returned — throughput and latency respond to the service, never to an
-open-loop arrival schedule outrunning it.
+experiment so both report from one measurement path.  Two arrival models:
 
-Each client draws its cut-offs from the same ``dcs`` grid with a
-deterministic per-client RNG, so runs are reproducible and the dispatch
-modes are compared on identical request sequences.
+* **Closed-loop** (:func:`run_load`, the default) — each simulated client
+  issues its next request only after the previous one returned; throughput
+  and latency respond to the service, never to an arrival schedule
+  outrunning it.  Right for comparing dispatch modes on identical request
+  sequences.
+* **Open-loop** (:func:`run_open_loop`, :func:`sweep_open_loop`) — requests
+  arrive on a seeded Poisson schedule at ``--offered-rps`` regardless of
+  completions, the way independent users actually behave.  Latency is
+  measured from the *scheduled* arrival (no coordinated omission: a stalled
+  server cannot slow the clock that judges it), so sweeping the offered
+  rate exposes the latency knee and the saturation throughput that
+  closed-loop runs structurally hide.
+
+Both draw cut-offs from the same ``dcs`` grid with deterministic RNGs, so
+runs are reproducible, and both report typed overload components (shed,
+expired) plus the replicated worker pool's failover counters when the
+service runs one.
 """
 
 from __future__ import annotations
@@ -25,7 +36,22 @@ from repro.obs.export import phase_totals
 from repro.serving.errors import DeadlineExceededError, LoadShedError
 from repro.serving.service import ClusteringService
 
-__all__ = ["LoadReport", "run_load"]
+__all__ = ["LoadReport", "OpenLoopReport", "run_load", "run_open_loop", "sweep_open_loop"]
+
+
+def _pool_stats(service: ClusteringService) -> Dict[str, int]:
+    pool = getattr(service, "pool", None)
+    if pool is None:
+        return {}
+    return {
+        key: int(value)
+        for key, value in pool.stats_snapshot().items()
+        if isinstance(value, (int, np.integer))
+    }
+
+
+def _pool_delta(before: Dict[str, int], after: Dict[str, int]) -> Dict[str, int]:
+    return {key: after[key] - before.get(key, 0) for key in after}
 
 
 @dataclass
@@ -57,6 +83,12 @@ class LoadReport:
     #: ``{"trace_id": …, "phase_ms": {span name: total ms}}`` — empty when
     #: sampling was off or tracing disabled.
     trace_samples: List[Dict[str, Any]] = field(default_factory=list)
+    #: Worker-pool failovers that happened *during this run* (0 without a
+    #: replicated pool) — batches re-dispatched to a warm replica after a
+    #: worker died; the clients above never saw them.
+    failovers: int = 0
+    #: Delta of the worker pool's counters over the run (empty without one).
+    pool: Dict[str, int] = field(default_factory=dict)
 
     @property
     def error_rate(self) -> float:
@@ -83,6 +115,8 @@ class LoadReport:
             "cache_hits": self.cache_hits,
             "coalescer": dict(self.coalescer),
             "trace_samples": list(self.trace_samples),
+            "failovers": self.failovers,
+            "pool": dict(self.pool),
         }
 
 
@@ -138,6 +172,7 @@ def run_load(
     sampled_ids: List[str] = []
     sample_lock = threading.Lock()
     barrier = threading.Barrier(clients + 1)
+    pool_before = _pool_stats(service)
 
     def client(slot: int) -> None:
         rng = np.random.default_rng(seed * 10_007 + slot)
@@ -183,6 +218,7 @@ def run_load(
     flat = np.asarray([value for bucket in latencies for value in bucket])
     succeeded = int(flat.size)
     failed = int(sum(errors))
+    pool_delta = _pool_delta(pool_before, _pool_stats(service))
     trace_samples: List[Dict[str, Any]] = []
     for trace_id in sampled_ids:
         # Resolved after the run: by now every sampled request has finished,
@@ -208,4 +244,218 @@ def run_load(
         cache_hits=int(sum(cache_hits)),
         coalescer=service.coalescer.stats_snapshot(),
         trace_samples=trace_samples,
+        failovers=pool_delta.get("failovers", 0),
+        pool=pool_delta,
     )
+
+
+@dataclass
+class OpenLoopReport:
+    """Aggregate of one open-loop run at a fixed offered rate.
+
+    ``achieved_rps`` is the arrival rate actually generated (a starved
+    generator box can undershoot the schedule); ``goodput_rps`` counts
+    successful completions only.  ``latency_ms`` is measured from each
+    request's *scheduled* arrival time, so queueing delay under overload is
+    included — the honest open-loop number.  ``unresolved`` requests (still
+    pending when the settle timeout expired) are counted in ``errors``.
+    """
+
+    op: str
+    offered_rps: float
+    duration_s: float
+    requests: int
+    completed: int
+    errors: int
+    shed: int
+    expired: int
+    unresolved: int
+    elapsed_seconds: float
+    achieved_rps: float
+    goodput_rps: float
+    latency_ms: Dict[str, float]
+    failovers: int = 0
+    pool: Dict[str, int] = field(default_factory=dict)
+    coalescer: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def error_rate(self) -> float:
+        return self.errors / self.requests if self.requests else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.requests if self.requests else 0.0
+
+    def as_record(self) -> Dict[str, Any]:
+        return {
+            "op": self.op,
+            "offered_rps": self.offered_rps,
+            "duration_s": self.duration_s,
+            "requests": self.requests,
+            "completed": self.completed,
+            "errors": self.errors,
+            "shed": self.shed,
+            "expired": self.expired,
+            "unresolved": self.unresolved,
+            "error_rate": self.error_rate,
+            "shed_rate": self.shed_rate,
+            "elapsed_seconds": self.elapsed_seconds,
+            "achieved_rps": self.achieved_rps,
+            "goodput_rps": self.goodput_rps,
+            "latency_ms": dict(self.latency_ms),
+            "failovers": self.failovers,
+            "pool": dict(self.pool),
+            "coalescer": dict(self.coalescer),
+        }
+
+
+def run_open_loop(
+    service: ClusteringService,
+    snapshot: str,
+    dcs: Sequence[float],
+    offered_rps: float,
+    duration_s: float = 2.0,
+    op: str = "cluster",
+    use_cache: bool = False,
+    cluster_params: Optional[Dict[str, Any]] = None,
+    seed: int = 0,
+    timeout_s: Optional[float] = None,
+    settle_timeout_s: float = 30.0,
+) -> OpenLoopReport:
+    """Offer Poisson arrivals at ``offered_rps`` for ``duration_s`` seconds.
+
+    One scheduler thread (this one) sleeps between seeded exponential
+    inter-arrival gaps and submits without waiting for completions —
+    futures resolve via callbacks.  If the scheduler falls behind (service
+    backpressure cannot slow an open loop, but a starved box can slow the
+    generator), requests are issued immediately and the achieved rate is
+    reported.  After the offered window, outstanding futures get
+    ``settle_timeout_s`` to flush; stragglers count as errors.
+    """
+    if offered_rps <= 0:
+        raise ValueError(f"offered_rps must be > 0, got {offered_rps}")
+    dcs = [float(dc) for dc in dcs]
+    if not dcs:
+        raise ValueError("dcs must be non-empty")
+    params = dict(cluster_params or {})
+    rng = np.random.default_rng(seed * 10_007 + 1)
+    cond = threading.Condition()
+    latencies: List[float] = []
+    counts = {"errors": 0, "shed": 0, "expired": 0}
+    pending = [0]
+    pool_before = _pool_stats(service)
+
+    start = time.perf_counter()
+    horizon = start + float(duration_s)
+    next_at = start
+    issued = 0
+    while next_at < horizon:
+        now = time.perf_counter()
+        if next_at > now:
+            time.sleep(next_at - now)
+        scheduled = next_at
+        dc = dcs[int(rng.integers(0, len(dcs)))]
+        issued += 1
+
+        def _done(future, scheduled=scheduled):
+            error = future.exception()
+            with cond:
+                if error is None:
+                    latencies.append((time.perf_counter() - scheduled) * 1e3)
+                else:
+                    counts["errors"] += 1
+                    if isinstance(error, LoadShedError):
+                        counts["shed"] += 1
+                    elif isinstance(error, DeadlineExceededError):
+                        counts["expired"] += 1
+                pending[0] -= 1
+                cond.notify_all()
+
+        try:
+            future = service.submit(
+                snapshot, op, dc, use_cache=use_cache, timeout_s=timeout_s, **params
+            )
+        except LoadShedError:
+            with cond:
+                counts["errors"] += 1
+                counts["shed"] += 1
+        except DeadlineExceededError:
+            with cond:
+                counts["errors"] += 1
+                counts["expired"] += 1
+        except Exception:
+            with cond:
+                counts["errors"] += 1
+        else:
+            with cond:
+                pending[0] += 1
+            future.add_done_callback(_done)
+        next_at += float(rng.exponential(1.0 / float(offered_rps)))
+
+    settle_deadline = time.perf_counter() + max(0.0, float(settle_timeout_s))
+    with cond:
+        while pending[0] > 0:
+            remaining = settle_deadline - time.perf_counter()
+            if remaining <= 0:
+                break
+            cond.wait(remaining)
+        unresolved = pending[0]
+        flat = np.asarray(latencies, dtype=np.float64)
+        errors = counts["errors"] + unresolved
+        shed, expired = counts["shed"], counts["expired"]
+    elapsed = time.perf_counter() - start
+    pool_delta = _pool_delta(pool_before, _pool_stats(service))
+    completed = int(flat.size)
+    return OpenLoopReport(
+        op=op,
+        offered_rps=float(offered_rps),
+        duration_s=float(duration_s),
+        requests=issued,
+        completed=completed,
+        errors=errors,
+        shed=shed,
+        expired=expired,
+        unresolved=unresolved,
+        elapsed_seconds=float(elapsed),
+        achieved_rps=float(issued / elapsed) if elapsed > 0 else float("inf"),
+        goodput_rps=float(completed / elapsed) if elapsed > 0 else float("inf"),
+        latency_ms=_percentiles(flat) if completed else {
+            "mean": float("nan"), "p50": float("nan"), "p95": float("nan"),
+            "p99": float("nan"), "max": float("nan"),
+        },
+        failovers=pool_delta.get("failovers", 0),
+        pool=pool_delta,
+        coalescer=service.coalescer.stats_snapshot(),
+    )
+
+
+def sweep_open_loop(
+    service: ClusteringService,
+    snapshot: str,
+    dcs: Sequence[float],
+    offered_rps: Sequence[float],
+    duration_s: float = 2.0,
+    **kwargs: Any,
+) -> Dict[str, Any]:
+    """Sweep offered rates (ascending) and report the latency-vs-load curve.
+
+    Returns ``{"mode": "open-loop", "sweep": [per-rate records…],
+    "saturation_rps": max goodput observed}`` — the saturation number is
+    the open-loop throughput ceiling: offering more than it only grows the
+    queue (and the measured-from-schedule latencies show exactly that).
+    """
+    rates = sorted(float(rate) for rate in offered_rps)
+    if not rates:
+        raise ValueError("offered_rps must be non-empty")
+    sweep = [
+        run_open_loop(
+            service, snapshot, dcs, rate, duration_s=duration_s, **kwargs
+        ).as_record()
+        for rate in rates
+    ]
+    return {
+        "mode": "open-loop",
+        "offered_rps": rates,
+        "sweep": sweep,
+        "saturation_rps": float(max(record["goodput_rps"] for record in sweep)),
+    }

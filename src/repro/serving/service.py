@@ -88,6 +88,9 @@ class ClusteringService:
         linger_ms: float = 2.0,
         max_queue: Optional[int] = None,
         default_timeout_s: Optional[float] = None,
+        workers: int = 0,
+        heartbeat_s: float = 0.25,
+        batch_timeout_s: float = 30.0,
     ) -> None:
         if dispatch not in DISPATCH_MODES:
             raise ValueError(f"dispatch must be one of {DISPATCH_MODES}, got {dispatch!r}")
@@ -95,20 +98,44 @@ class ClusteringService:
             raise ValueError(
                 f"default_timeout_s must be positive, got {default_timeout_s}"
             )
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
         self.dispatch = dispatch
         self.default_timeout_s = default_timeout_s
         self.store = store if store is not None else SnapshotStore()
         self.cache = cache if cache is not None else ResultCache(cache_entries, cache_ttl)
+        # The replicated tier: N supervised worker processes sharing
+        # snapshot images over shared memory.  ``workers=0`` (default)
+        # keeps the single-process behaviour; the pool degrades to it
+        # anyway whenever it cannot serve, so exactness never depends on
+        # worker health.
+        self.pool = None
+        if workers > 0:
+            from repro.serving.workers import WorkerPool
+
+            self.pool = WorkerPool(
+                self.store,
+                workers=workers,
+                heartbeat_s=heartbeat_s,
+                batch_timeout_s=batch_timeout_s,
+            )
+        executor = self.pool.submit if self.pool is not None else None
         if coalescer is not None:
             self.coalescer = coalescer
+            if executor is not None and self.coalescer.executor is None:
+                self.coalescer.executor = executor
         elif dispatch == "serial":
             self.coalescer = RequestCoalescer(
-                max_batch=1, linger_ms=0.0, max_queue=max_queue
+                max_batch=1, linger_ms=0.0, max_queue=max_queue, executor=executor
             )
         else:
             self.coalescer = RequestCoalescer(
-                max_batch=max_batch, linger_ms=linger_ms, max_queue=max_queue
+                max_batch=max_batch,
+                linger_ms=linger_ms,
+                max_queue=max_queue,
+                executor=executor,
             )
+        self._draining = False
         self._unsubscribe = self.store.subscribe(self._on_swap)
         self._streams: Dict[str, Any] = {}
         # Last publish failure per snapshot name (streams swallow callback
@@ -418,14 +445,18 @@ class ClusteringService:
         }
 
     def health(self) -> Dict[str, Any]:
-        """Service health: ``healthy`` / ``degraded`` / ``shedding``.
+        """Service health: ``healthy`` / ``degraded`` / ``shedding`` /
+        ``draining``.
 
-        ``shedding`` — admission control is refusing new requests right now
-        (cache hits still serve).  ``degraded`` — everything is being
-        served exactly, but not on the happy path: an execution backend
-        fell down its degradation ladder (process → threads → serial), or a
-        stream's snapshot publish failed and the last good snapshot is
-        serving.  Per-snapshot detail rides along for ``healthz``.
+        ``draining`` — a graceful shutdown is flushing in-flight requests;
+        new admissions are refused.  ``shedding`` — admission control is
+        refusing new requests right now (cache hits still serve).
+        ``degraded`` — everything is being served exactly, but not on the
+        happy path: an execution backend fell down its degradation ladder
+        (process → threads → serial), the worker pool fell back to
+        in-process dispatch (or has a worker down), or a stream's snapshot
+        publish failed and the last good snapshot is serving.  Per-snapshot
+        and per-worker detail rides along for ``healthz``.
         """
         with self._publish_errors_lock:
             publish_errors = dict(self._publish_errors)
@@ -449,11 +480,24 @@ class ClusteringService:
             }
         shedding = self.coalescer.shedding
         coalescer_stats = self.coalescer.stats_snapshot()
-        return {
+        pool_health = self.pool.health() if self.pool is not None else None
+        if pool_health is not None and pool_health["state"] == "degraded":
+            any_degraded = True
+        draining = self._draining or (
+            pool_health is not None and pool_health["state"] == "draining"
+        )
+        health = {
             "state": (
-                "shedding" if shedding else "degraded" if any_degraded else "healthy"
+                "draining"
+                if draining
+                else "shedding"
+                if shedding
+                else "degraded"
+                if any_degraded
+                else "healthy"
             ),
             "shedding": shedding,
+            "draining": draining,
             "queue_depth": self.coalescer.queue_depth(),
             "dispatcher_restarts": coalescer_stats["dispatcher_restarts"],
             "shed": coalescer_stats["shed"],
@@ -461,10 +505,39 @@ class ClusteringService:
             "subscriber_errors": self.store.subscriber_errors,
             "snapshots": snapshots,
         }
+        if pool_health is not None:
+            health["workers"] = pool_health
+        return health
+
+    def drain(self, timeout_s: float = 10.0) -> bool:
+        """Gracefully wind the service down: refuse new requests, flush
+        everything in flight, stop the worker pool, detach streams.
+
+        Returns ``True`` for a clean drain (all in-flight requests resolved
+        within ``timeout_s``); ``False`` when the deadline forced shutdown.
+        Idempotent with :meth:`close` — drain ends in a closed service.
+        """
+        self._draining = True
+        deadline = time.perf_counter() + max(0.0, float(timeout_s))
+        clean = self.coalescer.drain(timeout_s=timeout_s)
+        if self.pool is not None:
+            remaining = max(0.0, deadline - time.perf_counter())
+            clean = self.pool.drain(timeout_s=remaining) and clean
+        if obs_runtime._ENABLED:
+            obs_metrics.counter(
+                "repro_serving_drains_total",
+                "Graceful drains completed, by outcome",
+                ("outcome",),
+            ).labels("clean" if clean else "forced").inc()
+        self.close()
+        return clean
 
     def close(self) -> None:
-        """Stop the dispatcher, detach streams and store hooks (idempotent)."""
+        """Stop the dispatcher and the worker pool, detach streams and
+        store hooks (idempotent)."""
         self.coalescer.close()
+        if self.pool is not None:
+            self.pool.close()
         for name in list(self._streams):
             self.detach_stream(name)
         self._unsubscribe()

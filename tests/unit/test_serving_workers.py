@@ -1,0 +1,207 @@
+"""WorkerPool unit behaviour: lifecycle, failover bookkeeping, drain, health.
+
+The chaos *properties* (bit-identity under storms) live in
+``tests/properties/test_prop_serving_replicated.py``; these tests pin the
+pool's mechanical contract — validation, stats, image retirement, sticky
+degradation, respawn — at unit granularity with one tiny corpus.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.quantities import TieBreak
+from repro.indexes.parallel import SHM_PREFIX
+from repro.indexes.registry import make_index
+from repro.serving.errors import WorkerPoolUnavailableError
+from repro.serving.snapshots import SnapshotStore
+from repro.serving.workers import WorkerPool
+
+from tests.conftest import safe_dc
+
+
+def shard_segments():
+    try:
+        return sorted(f for f in os.listdir("/dev/shm") if f.startswith(SHM_PREFIX))
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return []
+
+
+def small_corpus(seed=5, n=64):
+    r = np.random.default_rng(seed)
+    return r.normal(size=(n, 2))
+
+
+def wait_until(predicate, timeout_s=10.0, interval_s=0.02):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return predicate()
+
+
+@pytest.fixture
+def store():
+    return SnapshotStore()
+
+
+class TestValidation:
+    def test_rejects_zero_workers(self, store):
+        with pytest.raises(ValueError, match="workers"):
+            WorkerPool(store, workers=0)
+
+    def test_rejects_nonpositive_heartbeat(self, store):
+        with pytest.raises(ValueError, match="heartbeat_s"):
+            WorkerPool(store, workers=1, heartbeat_s=0.0)
+
+    def test_rejects_nonpositive_batch_timeout(self, store):
+        with pytest.raises(ValueError, match="batch_timeout_s"):
+            WorkerPool(store, workers=1, batch_timeout_s=-1.0)
+
+
+class TestRoundTrip:
+    def test_batch_is_bit_identical_and_counted(self, store):
+        points = small_corpus()
+        snapshot = store.fit("main", points, index="ch")
+        dcs = [safe_dc(points, 0.2), safe_dc(points, 0.4)]
+        reference = make_index("ch").fit(points).quantities_multi(dcs)
+        with WorkerPool(store, workers=1, heartbeat_s=0.05) as pool:
+            payload = pool.submit(snapshot, dcs, TieBreak.ID).result(timeout=60.0)
+            assert len(payload) == len(dcs)
+            for got, want in zip(payload, reference):
+                np.testing.assert_array_equal(got.rho, want.rho)
+                np.testing.assert_array_equal(got.delta, want.delta)
+                np.testing.assert_array_equal(got.mu, want.mu)
+            stats = pool.stats_snapshot()
+            assert stats["submitted"] == 1
+            assert stats["completed"] == 1
+            assert stats["failovers"] == 0
+            assert stats["images_published"] == 1
+            assert len(pool.worker_pids()) == 1
+
+    def test_stats_snapshot_is_a_copy(self, store):
+        store.fit("main", small_corpus(), index="ch")
+        with WorkerPool(store, workers=1, heartbeat_s=0.05) as pool:
+            snap = pool.stats_snapshot()
+            snap["submitted"] = 999
+            assert pool.stats_snapshot()["submitted"] == 0
+
+    def test_health_rollup_shape(self, store):
+        store.fit("main", small_corpus(), index="ch")
+        with WorkerPool(store, workers=2, heartbeat_s=0.05) as pool:
+            assert wait_until(lambda: len(pool.worker_pids()) == 2)
+            health = pool.health()
+            assert health["state"] in ("healthy", "degraded")
+            assert len(health["workers"]) == 2
+            for row in health["workers"]:
+                assert row["state"] in ("healthy", "busy", "respawning", "draining")
+                assert isinstance(row["pid"], int)
+            assert health["pending_batches"] == 0
+
+
+class TestImageLifecycle:
+    def test_swap_retires_the_old_image(self, store):
+        before = shard_segments()
+        points_v1 = small_corpus(seed=5)
+        points_v2 = small_corpus(seed=6)
+        snapshot = store.fit("main", points_v1, index="ch")
+        dc = safe_dc(points_v1, 0.3)
+        with WorkerPool(store, workers=1, heartbeat_s=0.05) as pool:
+            pool.submit(snapshot, [dc], TieBreak.ID).result(timeout=60.0)
+            assert pool.stats_snapshot()["images_published"] == 1
+            swapped = store.fit("main", points_v2, index="ch")
+            assert wait_until(
+                lambda: pool.stats_snapshot()["images_retired"] == 1
+            ), "old content image never retired after the swap"
+            dc2 = safe_dc(points_v2, 0.3)
+            reference = make_index("ch").fit(points_v2).quantities_multi([dc2])[0]
+            got = pool.submit(swapped, [dc2], TieBreak.ID).result(timeout=60.0)[0]
+            np.testing.assert_array_equal(got.rho, reference.rho)
+            np.testing.assert_array_equal(got.delta, reference.delta)
+        assert shard_segments() == before, "pool close leaked shm segments"
+
+    def test_same_content_republish_is_not_retired(self, store):
+        points = small_corpus()
+        store.fit("main", points, index="ch")
+        with WorkerPool(store, workers=1, heartbeat_s=0.05) as pool:
+            # Same bytes, same fingerprint: the image must be reused as-is.
+            store.fit("main", points, index="ch")
+            time.sleep(0.2)
+            stats = pool.stats_snapshot()
+            assert stats["images_retired"] == 0
+
+
+class TestDrainAndClose:
+    def test_drain_idle_pool_is_clean(self, store):
+        store.fit("main", small_corpus(), index="ch")
+        pool = WorkerPool(store, workers=1, heartbeat_s=0.05)
+        assert pool.drain(timeout_s=10.0) is True
+        # Idempotent: draining/closing again is a no-op that stays clean.
+        assert pool.drain(timeout_s=1.0) is True
+        pool.close()
+
+    def test_submit_after_close_raises_unavailable(self, store):
+        snapshot = store.fit("main", small_corpus(), index="ch")
+        pool = WorkerPool(store, workers=1, heartbeat_s=0.05)
+        pool.close()
+        with pytest.raises(WorkerPoolUnavailableError):
+            pool.submit(snapshot, [0.5], TieBreak.ID)
+
+    def test_close_releases_every_segment(self, store):
+        before = shard_segments()
+        snapshot = store.fit("main", small_corpus(), index="ch")
+        pool = WorkerPool(store, workers=2, heartbeat_s=0.05)
+        pool.submit(snapshot, [safe_dc(small_corpus(), 0.3)], TieBreak.ID).result(
+            timeout=60.0
+        )
+        pool.close()
+        assert shard_segments() == before
+
+
+class TestFailoverMechanics:
+    def test_killed_worker_is_respawned_and_pool_recovers(self, store):
+        points = small_corpus()
+        snapshot = store.fit("main", points, index="ch")
+        dc = safe_dc(points, 0.3)
+        reference = make_index("ch").fit(points).quantities_multi([dc])[0]
+        with WorkerPool(
+            store, workers=1, heartbeat_s=0.05, respawn_backoff_s=0.01
+        ) as pool:
+            (pid,) = pool.worker_pids()
+            os.kill(pid, signal.SIGKILL)
+            assert wait_until(
+                lambda: pool.stats_snapshot()["worker_deaths"] >= 1
+            ), "supervisor never noticed the SIGKILL"
+            assert wait_until(
+                lambda: pool.worker_pids() and pool.worker_pids() != [pid]
+            ), "worker never respawned"
+            got = pool.submit(snapshot, [dc], TieBreak.ID).result(timeout=60.0)[0]
+            np.testing.assert_array_equal(got.rho, reference.rho)
+            np.testing.assert_array_equal(got.delta, reference.delta)
+            stats = pool.stats_snapshot()
+            assert stats["respawns"] >= 1
+            assert stats["worker_deaths"] >= 1
+
+    def test_all_workers_down_raises_and_sets_sticky_degradation(self, store):
+        snapshot = store.fit("main", small_corpus(), index="ch")
+        with WorkerPool(
+            store,
+            workers=1,
+            heartbeat_s=0.05,
+            # Park the respawn far away so the down window is observable.
+            respawn_backoff_s=30.0,
+            respawn_backoff_cap_s=60.0,
+        ) as pool:
+            (pid,) = pool.worker_pids()
+            os.kill(pid, signal.SIGKILL)
+            assert wait_until(lambda: not pool.worker_pids())
+            with pytest.raises(WorkerPoolUnavailableError):
+                pool.submit(snapshot, [0.5], TieBreak.ID)
+            assert pool.degraded is not None
+            assert pool.health()["state"] == "degraded"
+            pool.reset_degradation()
+            assert pool.degraded is None
